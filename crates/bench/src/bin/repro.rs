@@ -1,0 +1,104 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--exp <id>] [--quick]
+//!
+//!   --exp    table2 | table3 | table4 | fig4 | fig5 | fig6 | lru |
+//!            fig7 | fig8 | fig9 | fig10 | fig11 | all   (default: all)
+//!   --quick  run at the reduced test scale instead of the full
+//!            reproduction scale
+//! ```
+
+use experiments::exps::{self, Sweep};
+use experiments::Scale;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp = "all".to_string();
+    let mut scale = Scale::full();
+    let mut tsv = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                exp = args.get(i).cloned().unwrap_or_else(|| usage("missing experiment id"));
+            }
+            "--quick" => scale = Scale::quick(),
+            "--tsv" => tsv = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    let t0 = Instant::now();
+    let mut sweep = Sweep::new(scale);
+    let ids: Vec<&str> = if exp == "all" {
+        vec![
+            "table2", "table4", "table3", "fig4", "fig5", "fig6", "lru", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "restrict",
+        ]
+    } else {
+        vec![exp.as_str()]
+    };
+    for id in ids {
+        run_one(id, &mut sweep, tsv);
+    }
+    eprintln!(
+        "[repro] {} full-system runs, {:.1}s",
+        sweep.runs(),
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn run_one(id: &str, sweep: &mut Sweep, tsv: bool) {
+    if tsv {
+        // Machine-readable output for the distribution and performance
+        // figures; other experiments fall through to text.
+        let out = match id {
+            "fig4" => Some(exps::fig4(sweep).render_tsv()),
+            "fig5" => Some(exps::fig5(sweep).render_tsv()),
+            "fig7" => Some(exps::fig7(sweep).render_tsv()),
+            "fig6" => Some(exps::fig6(sweep).render_tsv()),
+            "fig8" => Some(exps::fig8(sweep).render_tsv()),
+            "fig9" => Some(exps::fig9(sweep).render_tsv()),
+            _ => None,
+        };
+        if let Some(out) = out {
+            println!("{out}");
+            return;
+        }
+    }
+    let out = match id {
+        "table2" => format!("Table 2: cache energies (nJ)\n{}", exps::table2().render()),
+        "table3" => format!(
+            "Table 3: applications and base-case characterization\n{}",
+            exps::table3(sweep).render()
+        ),
+        "table4" => format!("Table 4: cache latencies (cycles)\n{}", exps::table4().render()),
+        "fig4" => exps::fig4(sweep).render(),
+        "fig5" => exps::fig5(sweep).render(),
+        "fig6" => exps::fig6(sweep).render(),
+        "lru" => exps::sec531(sweep).render(),
+        "fig7" => exps::fig7(sweep).render(),
+        "fig8" => exps::fig8(sweep).render(),
+        "fig9" => exps::fig9(sweep).render(),
+        "fig10" => exps::fig10(sweep).render(),
+        "fig11" => exps::fig11(sweep).render(),
+        "restrict" => exps::restriction_ablation(sweep).render(),
+        other => usage(&format!("unknown experiment {other:?}")),
+    };
+    println!("{out}");
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|all] [--quick] [--tsv]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

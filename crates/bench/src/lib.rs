@@ -1,0 +1,41 @@
+//! Shared helpers for the benchmark harness and the `repro` binary.
+
+use experiments::exps::Sweep;
+use experiments::Scale;
+use workloads::profiles::{by_name, BenchProfile};
+
+/// Scale used by the Criterion benches: small enough to iterate, large
+/// enough to exercise every code path (warm caches, swaps, misses).
+pub fn bench_scale() -> Scale {
+    Scale {
+        warmup: 30_000,
+        measure: 50_000,
+    }
+}
+
+/// The two-application subset the Criterion benches sweep (one high-load,
+/// one low-load).
+pub fn bench_apps() -> Vec<BenchProfile> {
+    vec![
+        by_name("galgel").expect("in roster"),
+        by_name("wupwise").expect("in roster"),
+    ]
+}
+
+/// A sweep sized for benchmarking.
+pub fn bench_sweep() -> Sweep {
+    Sweep::with_apps(bench_scale(), bench_apps())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_setup_is_consistent() {
+        assert_eq!(bench_apps().len(), 2);
+        assert!(bench_scale().measure > 0);
+        let s = bench_sweep();
+        assert_eq!(s.apps().len(), 2);
+    }
+}

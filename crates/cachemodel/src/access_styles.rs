@@ -1,0 +1,143 @@
+//! Tag/data access-style energy comparison (paper Section 1).
+//!
+//! Large caches can probe tags and data in three ways:
+//!
+//! * **parallel** — probe the tag array and *every* data way at once
+//!   (fast, but "considerably high energy");
+//! * **sequential way search** — probe (tag way, data way) pairs from the
+//!   closest way outward until the block is found (what NUCA's
+//!   incremental search does);
+//! * **sequential tag-data** — probe the whole tag array once, then
+//!   exactly the matching data way (what large caches like the Itanium II
+//!   L3 do, and what NuRAPID builds on).
+//!
+//! The paper's argument: "Because the entire tag array is smaller than
+//! even one data way, sequential tag-data access is more energy-efficient
+//! than sequential way search if the matching data is not found in the
+//! first way." This module prices all three styles with the same array
+//! models so that claim is checkable.
+
+use crate::sram::{self, TagArray};
+use simbase::{Capacity, EnergyNj};
+
+/// Per-access energies of one n-way cache under the three access styles.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessStyles {
+    /// Energy of probing one way's slice of the tag array.
+    tag_way_nj: f64,
+    /// Energy of probing the entire tag array (all ways of one set).
+    tag_all_nj: f64,
+    /// Energy of reading one data way.
+    data_way_nj: f64,
+    ways: u32,
+}
+
+impl AccessStyles {
+    /// Models a cache of `capacity` with `assoc` ways and `block_bytes`
+    /// blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is zero.
+    pub fn new(capacity: Capacity, block_bytes: u64, assoc: u32) -> Self {
+        assert!(assoc > 0, "associativity must be positive");
+        let tag = TagArray::new(capacity, block_bytes, assoc, 51);
+        let way_capacity = Capacity::from_bytes(capacity.bytes() / assoc as u64);
+        let tag_all = tag.probe_nj();
+        AccessStyles {
+            tag_way_nj: tag_all / assoc as f64,
+            tag_all_nj: tag_all,
+            data_way_nj: sram::data_access_nj(way_capacity),
+            ways: assoc,
+        }
+    }
+
+    /// Parallel access: the whole tag array plus every data way.
+    pub fn parallel(&self) -> EnergyNj {
+        EnergyNj::new(self.tag_all_nj + self.data_way_nj * self.ways as f64)
+    }
+
+    /// Sequential way search that finds the block in way `found`
+    /// (0-based): `found + 1` tag ways and `found + 1` data ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `found` is out of range.
+    pub fn sequential_way_search(&self, found: u32) -> EnergyNj {
+        assert!(found < self.ways, "way {found} out of range");
+        let probes = (found + 1) as f64;
+        EnergyNj::new(probes * (self.tag_way_nj + self.data_way_nj))
+    }
+
+    /// Sequential tag-data access: the whole tag array once, then exactly
+    /// one data way.
+    pub fn sequential_tag_data(&self) -> EnergyNj {
+        EnergyNj::new(self.tag_all_nj + self.data_way_nj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn styles() -> AccessStyles {
+        // The paper's 8-MB, 8-way, 128-B cache.
+        AccessStyles::new(Capacity::from_mib(8), 128, 8)
+    }
+
+    #[test]
+    fn parallel_access_is_the_most_expensive() {
+        let s = styles();
+        assert!(s.parallel().nj() > s.sequential_tag_data().nj());
+        for w in 0..8 {
+            assert!(s.parallel().nj() >= s.sequential_way_search(w).nj());
+        }
+    }
+
+    #[test]
+    fn tag_data_beats_way_search_beyond_the_first_way() {
+        // Section 1: "if the data is found in the second way, sequential
+        // way accesses two tag ways and two data ways, while sequential
+        // tag-data accesses the entire tag array once and one data way."
+        let s = styles();
+        assert!(
+            s.sequential_tag_data().nj() < s.sequential_way_search(1).nj(),
+            "tag-data {} vs way-search@2 {}",
+            s.sequential_tag_data().nj(),
+            s.sequential_way_search(1).nj()
+        );
+        // And the gap grows with every further way probed.
+        for w in 2..8 {
+            assert!(s.sequential_tag_data().nj() < s.sequential_way_search(w).nj());
+        }
+    }
+
+    #[test]
+    fn first_way_hit_slightly_favors_way_search() {
+        // The one case sequential way search wins: an immediate first-way
+        // hit probes only 1/8 of the tag array.
+        let s = styles();
+        assert!(s.sequential_way_search(0).nj() < s.sequential_tag_data().nj());
+    }
+
+    #[test]
+    fn tag_array_is_smaller_than_one_data_way() {
+        // The premise of the paper's argument.
+        let s = styles();
+        assert!(s.tag_all_nj < s.data_way_nj);
+    }
+
+    #[test]
+    fn way_search_energy_is_monotone_in_found_way() {
+        let s = styles();
+        for w in 1..8 {
+            assert!(s.sequential_way_search(w).nj() > s.sequential_way_search(w - 1).nj());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn way_out_of_range_panics() {
+        let _ = styles().sequential_way_search(8);
+    }
+}

@@ -1,0 +1,37 @@
+//! Cacti-like analytical latency and energy model (paper Section 4).
+//!
+//! The paper modifies Cacti 3 to (1) treat each d-group as an independent,
+//! tagless cache optimized for size and access time, (2) add the wire delay
+//! to route around closer d-groups, and (3) optimize the unified tag array
+//! for access time. This crate reimplements that methodology as a compact
+//! analytical model at the paper's 70 nm / 5 GHz technology point:
+//!
+//! * [`tech::Tech`] — technology constants (cycle time, wire delay/energy
+//!   per mm), calibrated against the paper's published anchor points
+//!   (Table 2 energies, Table 4 latencies, the 8-cycle 8-way tag latency);
+//! * [`sram`] — access time and dynamic energy of data and tag arrays as a
+//!   function of capacity;
+//! * [`catalog`] — the derived per-organization numbers the simulators
+//!   consume: d-group latencies/energies for 2/4/8-d-group NuRAPID
+//!   (Table 4 columns 1–3), D-NUCA per-bank latencies/energies (Table 4
+//!   column 4, Table 2 rows 5–7), smart-search and L1 energies.
+//!
+//! # Examples
+//!
+//! ```
+//! use cachemodel::catalog::NuRapidGeometry;
+//! use simbase::Capacity;
+//!
+//! let geo = NuRapidGeometry::micro2003(Capacity::from_mib(8), 4);
+//! // Paper Table 4: the fastest 2-MB d-group of the 4-d-group NuRAPID is
+//! // 14 cycles (including the 8-cycle sequential tag access).
+//! assert_eq!(geo.dgroup_latency_cycles(0), 14);
+//! ```
+
+pub mod access_styles;
+pub mod catalog;
+pub mod sram;
+pub mod tech;
+
+pub use catalog::{DnucaGeometry, NuRapidGeometry};
+pub use tech::Tech;

@@ -1,0 +1,96 @@
+//! Technology constants for the 70 nm / 5 GHz design point.
+//!
+//! The constants are *calibrated*, not first-principles: like the paper's
+//! modified Cacti, the model's free parameters are fit so its outputs land
+//! on the published anchor points (8-cycle 8-way tag latency, 14-cycle
+//! fastest 2-MB d-group, Table 2 energies), and the formulas then
+//! extrapolate to every other configuration the experiments need.
+
+/// Technology parameters used by the array and wire models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tech {
+    /// Processor clock frequency in GHz (paper Section 4: 5 GHz).
+    pub clock_ghz: f64,
+    /// One-way delay of a repeated global wire, ps per mm.
+    pub wire_ps_per_mm: f64,
+    /// Energy to move an address out and a 128-B block back over global
+    /// wires, nJ per mm of (one-way) route distance.
+    pub wire_nj_per_mm: f64,
+    /// Energy per hop of D-NUCA's switched network (switch traversal plus
+    /// inter-switch link, address + data), in nJ.
+    pub nuca_hop_nj: f64,
+    /// Latency per hop of D-NUCA's switched network, in cycles (switch
+    /// arbitration + link, both directions amortized).
+    pub nuca_hop_cycles: u64,
+}
+
+impl Tech {
+    /// The paper's 70 nm, 5 GHz technology point.
+    pub const fn micro2003_70nm() -> Self {
+        Tech {
+            clock_ghz: 5.0,
+            wire_ps_per_mm: 250.0,
+            wire_nj_per_mm: 0.46,
+            nuca_hop_nj: 0.29,
+            nuca_hop_cycles: 3,
+        }
+    }
+
+    /// Clock cycle time in picoseconds.
+    pub fn cycle_ps(&self) -> f64 {
+        1000.0 / self.clock_ghz
+    }
+
+    /// Converts a delay in ps to a (ceiling) number of cycles.
+    pub fn ps_to_cycles(&self, ps: f64) -> u64 {
+        (ps / self.cycle_ps()).ceil() as u64
+    }
+
+    /// Round-trip wire delay in ps for a one-way route of `mm`.
+    pub fn route_ps(&self, mm: f64) -> f64 {
+        2.0 * mm * self.wire_ps_per_mm
+    }
+
+    /// Wire energy in nJ for a route of `mm` (address out + block back).
+    pub fn route_nj(&self, mm: f64) -> f64 {
+        mm * self.wire_nj_per_mm
+    }
+}
+
+impl Default for Tech {
+    fn default() -> Self {
+        Tech::micro2003_70nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_ghz_cycle_is_200ps() {
+        let t = Tech::micro2003_70nm();
+        assert_eq!(t.cycle_ps(), 200.0);
+    }
+
+    #[test]
+    fn ps_to_cycles_ceils() {
+        let t = Tech::micro2003_70nm();
+        assert_eq!(t.ps_to_cycles(0.0), 0);
+        assert_eq!(t.ps_to_cycles(1.0), 1);
+        assert_eq!(t.ps_to_cycles(200.0), 1);
+        assert_eq!(t.ps_to_cycles(201.0), 2);
+    }
+
+    #[test]
+    fn route_delay_is_round_trip() {
+        let t = Tech::micro2003_70nm();
+        assert_eq!(t.route_ps(1.0), 500.0);
+        assert!((t.route_nj(2.0) - 0.92).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_the_paper_point() {
+        assert_eq!(Tech::default(), Tech::micro2003_70nm());
+    }
+}

@@ -1,0 +1,183 @@
+//! Micro-op vocabulary shared between the core model and trace generators.
+
+use simbase::{AccessKind, Addr};
+
+/// Functional-unit class of a micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Simple integer ALU operation (1 cycle).
+    IntAlu,
+    /// Integer multiply/divide (3 cycles).
+    IntMul,
+    /// Floating-point add/compare (2 cycles).
+    FpAlu,
+    /// Floating-point multiply/divide (4 cycles).
+    FpMul,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch (1 cycle to resolve once inputs are ready).
+    Branch,
+}
+
+impl OpClass {
+    /// Execution latency in cycles once operands are ready (memory ops
+    /// excluded — their latency comes from the memory system).
+    pub const fn latency(self) -> u64 {
+        match self {
+            OpClass::IntAlu | OpClass::Branch | OpClass::Store => 1,
+            OpClass::FpAlu => 2,
+            OpClass::IntMul => 3,
+            OpClass::FpMul => 4,
+            OpClass::Load => 0, // determined by the memory system
+        }
+    }
+
+    /// True for loads and stores.
+    pub const fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+}
+
+/// One instruction of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOp {
+    /// Functional class.
+    pub class: OpClass,
+    /// Program counter (drives instruction fetch).
+    pub pc: Addr,
+    /// Effective address for loads/stores.
+    pub mem_addr: Option<Addr>,
+    /// Backward dependency distances: this op reads the results of the
+    /// `dep1`-th and `dep2`-th most recent older ops (0 = no dependency).
+    pub dep1: u8,
+    /// Second source dependency distance (0 = none).
+    pub dep2: u8,
+    /// Branch outcome (meaningful only for [`OpClass::Branch`]).
+    pub taken: bool,
+}
+
+impl MicroOp {
+    /// An independent single-cycle ALU op at `pc`.
+    pub fn alu(pc: Addr) -> Self {
+        MicroOp {
+            class: OpClass::IntAlu,
+            pc,
+            mem_addr: None,
+            dep1: 0,
+            dep2: 0,
+            taken: false,
+        }
+    }
+
+    /// A load from `addr` at `pc` with dependency distance `dep1`.
+    pub fn load(pc: Addr, addr: Addr, dep1: u8) -> Self {
+        MicroOp {
+            class: OpClass::Load,
+            pc,
+            mem_addr: Some(addr),
+            dep1,
+            dep2: 0,
+            taken: false,
+        }
+    }
+
+    /// A store to `addr` at `pc`.
+    pub fn store(pc: Addr, addr: Addr, dep1: u8) -> Self {
+        MicroOp {
+            class: OpClass::Store,
+            pc,
+            mem_addr: Some(addr),
+            dep1,
+            dep2: 0,
+            taken: false,
+        }
+    }
+
+    /// A conditional branch at `pc` with the given outcome.
+    pub fn branch(pc: Addr, taken: bool) -> Self {
+        MicroOp {
+            class: OpClass::Branch,
+            pc,
+            mem_addr: None,
+            dep1: 1,
+            dep2: 0,
+            taken,
+        }
+    }
+
+    /// The access kind of a memory op.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-memory ops.
+    pub fn access_kind(&self) -> AccessKind {
+        match self.class {
+            OpClass::Load => AccessKind::Read,
+            OpClass::Store => AccessKind::Write,
+            _ => panic!("access_kind on non-memory op"),
+        }
+    }
+}
+
+/// A source of micro-ops (implemented by the workload generators).
+pub trait TraceSource {
+    /// Produces the next instruction of the trace.
+    fn next_op(&mut self) -> MicroOp;
+}
+
+impl<F: FnMut() -> MicroOp> TraceSource for F {
+    fn next_op(&mut self) -> MicroOp {
+        self()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies() {
+        assert_eq!(OpClass::IntAlu.latency(), 1);
+        assert_eq!(OpClass::FpMul.latency(), 4);
+        assert_eq!(OpClass::Load.latency(), 0);
+    }
+
+    #[test]
+    fn mem_classification() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::Branch.is_mem());
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        let l = MicroOp::load(Addr::new(4), Addr::new(0x100), 2);
+        assert_eq!(l.class, OpClass::Load);
+        assert_eq!(l.mem_addr, Some(Addr::new(0x100)));
+        assert_eq!(l.dep1, 2);
+        assert_eq!(l.access_kind(), AccessKind::Read);
+        let s = MicroOp::store(Addr::new(8), Addr::new(0x200), 0);
+        assert_eq!(s.access_kind(), AccessKind::Write);
+        let b = MicroOp::branch(Addr::new(12), true);
+        assert!(b.taken);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-memory")]
+    fn access_kind_panics_for_alu() {
+        MicroOp::alu(Addr::new(0)).access_kind();
+    }
+
+    #[test]
+    fn closures_are_trace_sources() {
+        let mut n = 0u64;
+        let mut src = move || {
+            n += 4;
+            MicroOp::alu(Addr::new(n))
+        };
+        assert_eq!(TraceSource::next_op(&mut src).pc, Addr::new(4));
+        assert_eq!(TraceSource::next_op(&mut src).pc, Addr::new(8));
+    }
+}

@@ -1,0 +1,127 @@
+//! Wattch-like processor energy: per-event constants for everything
+//! outside the lower-level cache.
+//!
+//! Wattch charges each pipeline structure per activation; this module
+//! collapses those charges into per-committed-event constants calibrated
+//! for a 5-GHz, 8-wide core at 70 nm. Only *relative* energy across cache
+//! organizations matters for the paper's Figure 11 (energy-delay), and the
+//! non-L2 charges below are identical across organizations by
+//! construction — exactly as in the paper, where Wattch models the core
+//! identically and only the Cacti-derived cache energies differ.
+
+use cpu::CoreResult;
+use simbase::EnergyNj;
+
+/// Per-event energy constants (nJ) for the out-of-order engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreEnergyModel {
+    /// Fetch/decode/rename/RUU/commit plus clock tree, per committed
+    /// instruction.
+    pub per_instruction: f64,
+    /// Extra per integer ALU/multiply op.
+    pub per_int_op: f64,
+    /// Extra per floating-point op.
+    pub per_fp_op: f64,
+    /// Branch predictor + BTB per branch.
+    pub per_branch: f64,
+    /// Squashed work per misprediction.
+    pub per_mispredict: f64,
+    /// One L1 port access (half of Table 2's two-port 0.57 nJ).
+    pub per_l1_access: f64,
+    /// One off-chip DRAM block transfer.
+    pub per_memory_access: f64,
+}
+
+impl CoreEnergyModel {
+    /// The calibrated 70-nm / 5-GHz constants.
+    pub fn micro2003() -> Self {
+        CoreEnergyModel {
+            per_instruction: 1.2,
+            per_int_op: 0.4,
+            per_fp_op: 0.9,
+            per_branch: 0.3,
+            per_mispredict: 8.0,
+            per_l1_access: 0.285,
+            per_memory_access: 30.0,
+        }
+    }
+
+    /// Core (non-cache) energy of a run.
+    pub fn core_energy(&self, r: &CoreResult) -> EnergyNj {
+        EnergyNj::new(
+            self.per_instruction * r.instructions as f64
+                + self.per_int_op * r.int_ops as f64
+                + self.per_fp_op * r.fp_ops as f64
+                + self.per_branch * r.branches as f64
+                + self.per_mispredict * r.mispredicts as f64,
+        )
+    }
+
+    /// L1 energy given total L1 (I + D) accesses.
+    pub fn l1_energy(&self, l1_accesses: u64) -> EnergyNj {
+        EnergyNj::new(self.per_l1_access) * l1_accesses
+    }
+
+    /// Off-chip energy given total memory accesses.
+    pub fn memory_energy(&self, accesses: u64) -> EnergyNj {
+        EnergyNj::new(self.per_memory_access) * accesses
+    }
+}
+
+impl Default for CoreEnergyModel {
+    fn default() -> Self {
+        Self::micro2003()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> CoreResult {
+        CoreResult {
+            instructions: 1000,
+            cycles: 1500,
+            loads: 250,
+            stores: 100,
+            branches: 120,
+            mispredicts: 10,
+            int_ops: 400,
+            fp_ops: 130,
+        }
+    }
+
+    #[test]
+    fn core_energy_sums_components() {
+        let m = CoreEnergyModel::micro2003();
+        let e = m.core_energy(&result()).nj();
+        let expect = 1.2 * 1000.0 + 0.4 * 400.0 + 0.9 * 130.0 + 0.3 * 120.0 + 8.0 * 10.0;
+        assert!((e - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fp_heavy_runs_cost_more() {
+        let m = CoreEnergyModel::micro2003();
+        let mut fp = result();
+        fp.fp_ops = 500;
+        fp.int_ops = 30;
+        assert!(m.core_energy(&fp).nj() > m.core_energy(&result()).nj());
+    }
+
+    #[test]
+    fn l1_energy_is_per_port_access() {
+        let m = CoreEnergyModel::micro2003();
+        assert!((m.l1_energy(2).nj() - 0.57).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_dwarfs_l1_per_event() {
+        let m = CoreEnergyModel::micro2003();
+        assert!(m.per_memory_access > 50.0 * m.per_l1_access);
+    }
+
+    #[test]
+    fn default_is_micro2003() {
+        assert_eq!(CoreEnergyModel::default(), CoreEnergyModel::micro2003());
+    }
+}

@@ -1,0 +1,1014 @@
+//! One experiment per paper table and figure.
+//!
+//! Every experiment returns a plain data structure with a `render()`
+//! method producing the text table the `repro` binary prints. Full-system
+//! runs are shared through a [`Sweep`] cache so, e.g., Figure 6 and
+//! Figure 9 reuse the same base-case runs.
+
+use crate::report::{f2, pct, rel, TextTable};
+use crate::runner::{run_app, AppRun, L2Kind, Scale};
+use cachemodel::catalog::{self, DnucaGeometry, NuRapidGeometry};
+use nuca::SearchPolicy;
+use nurapid::{DistanceVictimPolicy, NuRapidConfig, PromotionPolicy};
+use simbase::stats::GeoMean;
+use simbase::Capacity;
+use std::collections::HashMap;
+use workloads::profiles::{BenchProfile, LoadClass, ROSTER};
+
+/// A cache of full-system runs keyed by `(application, configuration)`.
+#[derive(Debug)]
+pub struct Sweep {
+    scale: Scale,
+    apps: Vec<BenchProfile>,
+    cache: HashMap<(&'static str, &'static str), AppRun>,
+}
+
+impl Sweep {
+    /// A sweep over the full 15-application roster.
+    pub fn new(scale: Scale) -> Self {
+        Sweep {
+            scale,
+            apps: ROSTER.to_vec(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// A sweep over a subset of applications (for tests and benches).
+    pub fn with_apps(scale: Scale, apps: Vec<BenchProfile>) -> Self {
+        assert!(!apps.is_empty(), "sweep needs at least one application");
+        Sweep {
+            scale,
+            apps,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The applications in this sweep.
+    pub fn apps(&self) -> &[BenchProfile] {
+        &self.apps
+    }
+
+    /// Runs (or returns the cached run of) `app` on the configuration
+    /// named `key`.
+    pub fn run(&mut self, app: BenchProfile, key: &'static str) -> &AppRun {
+        let scale = self.scale;
+        self.cache
+            .entry((app.name, key))
+            .or_insert_with(|| run_app(app, &kind_of(key), scale))
+    }
+
+    /// Number of distinct runs performed so far.
+    pub fn runs(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// Resolves a configuration key to its organization.
+///
+/// # Panics
+///
+/// Panics on an unknown key.
+pub fn kind_of(key: &str) -> L2Kind {
+    match key {
+        "base" => L2Kind::Base,
+        "nf2" => L2Kind::NuRapid(NuRapidConfig::micro2003(2)),
+        "nf4" => L2Kind::NuRapid(NuRapidConfig::micro2003(4)),
+        "nf8" => L2Kind::NuRapid(NuRapidConfig::micro2003(8)),
+        "dm4" => L2Kind::NuRapid(
+            NuRapidConfig::micro2003(4).with_promotion(PromotionPolicy::DemotionOnly),
+        ),
+        "fs4" => {
+            L2Kind::NuRapid(NuRapidConfig::micro2003(4).with_promotion(PromotionPolicy::Fastest))
+        }
+        "id4" => L2Kind::NuRapid(NuRapidConfig::micro2003(4).with_ideal()),
+        "lru-dm" => L2Kind::NuRapid(
+            NuRapidConfig::micro2003(4)
+                .with_promotion(PromotionPolicy::DemotionOnly)
+                .with_distance_victim(DistanceVictimPolicy::Lru),
+        ),
+        "lru-nf" => L2Kind::NuRapid(
+            NuRapidConfig::micro2003(4).with_distance_victim(DistanceVictimPolicy::Lru),
+        ),
+        "clock-dm" => L2Kind::NuRapid(
+            NuRapidConfig::micro2003(4)
+                .with_promotion(PromotionPolicy::DemotionOnly)
+                .with_distance_victim(DistanceVictimPolicy::ClockApprox),
+        ),
+        "clock-nf" => L2Kind::NuRapid(
+            NuRapidConfig::micro2003(4)
+                .with_distance_victim(DistanceVictimPolicy::ClockApprox),
+        ),
+        "sa4" => L2Kind::Coupled(4),
+        "nf4-r256" => L2Kind::NuRapid(NuRapidConfig::micro2003(4).with_frames_per_region(256)),
+        "nf4-r64" => L2Kind::NuRapid(NuRapidConfig::micro2003(4).with_frames_per_region(64)),
+        "dn-perf" => L2Kind::Dnuca(SearchPolicy::SsPerformance),
+        "dn-energy" => L2Kind::Dnuca(SearchPolicy::SsEnergy),
+        other => panic!("unknown configuration key {other:?}"),
+    }
+}
+
+/// Geometric mean of `values`.
+fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut g = GeoMean::new();
+    for v in values {
+        g.add(v);
+    }
+    g.get()
+}
+
+// ---------------------------------------------------------------------------
+// Table 2
+// ---------------------------------------------------------------------------
+
+/// Table 2: per-operation cache energies in nJ, straight from the
+/// analytical model.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// `(operation description, energy in nJ)` rows.
+    pub rows: Vec<(String, f64)>,
+}
+
+/// Regenerates Table 2.
+pub fn table2() -> Table2 {
+    let cap = Capacity::from_mib(8);
+    let g4 = NuRapidGeometry::micro2003(cap, 4);
+    let g8 = NuRapidGeometry::micro2003(cap, 8);
+    let dn = DnucaGeometry::micro2003(cap);
+    let nj = |g: &NuRapidGeometry, d: usize| (g.tag_energy() + g.dgroup_access_energy(d)).nj();
+    let far_bank = dn.n_banks() - 1;
+    Table2 {
+        rows: vec![
+            ("Tag + access: closest of 4, 2-MB d-groups".into(), nj(&g4, 0)),
+            ("Tag + access: farthest of 4, 2-MB d-groups".into(), nj(&g4, 3)),
+            ("Tag + access: closest of 8, 1-MB d-groups".into(), nj(&g8, 0)),
+            ("Tag + access: farthest of 8, 1-MB d-groups".into(), nj(&g8, 7)),
+            (
+                "Tag + access: closest 64-KB NUCA d-group".into(),
+                dn.bank_access_energy(0).nj(),
+            ),
+            (
+                "Tag + access: farthest 64-KB NUCA d-group (incl routing)".into(),
+                dn.bank_access_energy(far_bank).nj(),
+            ),
+            (
+                "Access 7-bit-per-entry, 16-way NUCA sm-search array".into(),
+                catalog::smart_search_energy().nj(),
+            ),
+            (
+                "Tag + access: 2 ports of low-latency 64-KB 2-way L1 cache".into(),
+                catalog::l1_two_port_energy().nj(),
+            ),
+        ],
+    }
+}
+
+impl Table2 {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["Operation", "Energy (nJ)"]);
+        for (op, e) in &self.rows {
+            t.row(vec![op.clone(), f2(*e)]);
+        }
+        t.render()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 3
+// ---------------------------------------------------------------------------
+
+/// Table 3: base-case characterization of the roster.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// `(name, class, ipc, apki)` per application.
+    pub rows: Vec<(&'static str, LoadClass, f64, f64)>,
+}
+
+/// Regenerates Table 3 on the base hierarchy.
+pub fn table3(sweep: &mut Sweep) -> Table3 {
+    let apps = sweep.apps().to_vec();
+    let rows = apps
+        .into_iter()
+        .map(|p| {
+            let r = sweep.run(p, "base");
+            (p.name, p.class, r.ipc(), r.apki())
+        })
+        .collect();
+    Table3 { rows }
+}
+
+impl Table3 {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["Benchmark", "Class", "IPC", "L2 accesses / 1K inst"]);
+        for &(name, class, ipc, apki) in &self.rows {
+            let c = match class {
+                LoadClass::HighLoad => "high",
+                LoadClass::LowLoad => "low",
+            };
+            t.row(vec![name.to_string(), c.into(), f2(ipc), format!("{apki:.1}")]);
+        }
+        t.render()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 4
+// ---------------------------------------------------------------------------
+
+/// One Table 4 row: `(min, mean, max)` D-NUCA latency for a megabyte.
+pub type DnucaMbLatency = (u64, f64, u64);
+
+/// Table 4: per-megabyte access latencies of every organization.
+#[derive(Debug, Clone)]
+pub struct Table4 {
+    /// For each of the 8 MB (nearest first): latency in the 2/4/8-d-group
+    /// NuRAPIDs and `(min, mean, max)` for D-NUCA.
+    pub rows: Vec<(u64, u64, u64, DnucaMbLatency)>,
+}
+
+/// Regenerates Table 4 from the analytical model.
+pub fn table4() -> Table4 {
+    let cap = Capacity::from_mib(8);
+    let g2 = NuRapidGeometry::micro2003(cap, 2);
+    let g4 = NuRapidGeometry::micro2003(cap, 4);
+    let g8 = NuRapidGeometry::micro2003(cap, 8);
+    let dn = DnucaGeometry::micro2003(cap);
+    Table4 {
+        rows: (0..8)
+            .map(|mb| {
+                (
+                    g2.latency_of_mb(mb),
+                    g4.latency_of_mb(mb),
+                    g8.latency_of_mb(mb),
+                    dn.latency_of_mb(mb),
+                )
+            })
+            .collect(),
+    }
+}
+
+impl Table4 {
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Capacity",
+            "2 d-groups",
+            "4 d-groups",
+            "8 d-groups",
+            "D-NUCA (range, avg)",
+        ]);
+        for (mb, &(l2, l4, l8, (dmin, davg, dmax))) in self.rows.iter().enumerate() {
+            t.row(vec![
+                format!("MB {}", mb + 1),
+                l2.to_string(),
+                l4.to_string(),
+                l8.to_string(),
+                format!("{dmin}-{dmax} ({davg:.0})"),
+            ]);
+        }
+        t.render()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distribution figures (4, 5, 7) share one shape
+// ---------------------------------------------------------------------------
+
+/// Per-configuration access distribution: `(group_fracs, miss_frac)`.
+pub type Distribution = (Vec<f64>, f64);
+
+/// A d-group access distribution comparison across configurations: for
+/// each application and configuration, the per-group access fractions and
+/// the miss fraction.
+#[derive(Debug, Clone)]
+pub struct DistFigure {
+    /// Figure label.
+    pub title: &'static str,
+    /// Configuration keys, in display order.
+    pub configs: Vec<&'static str>,
+    /// `rows[app][config] = (group_fracs, miss_frac)`.
+    pub rows: Vec<(&'static str, Vec<Distribution>)>,
+}
+
+fn dist_figure(sweep: &mut Sweep, title: &'static str, configs: Vec<&'static str>) -> DistFigure {
+    let apps = sweep.apps().to_vec();
+    let rows = apps
+        .into_iter()
+        .map(|p| {
+            let per_config = configs
+                .iter()
+                .map(|k| {
+                    let r = sweep.run(p, k);
+                    (r.group_fracs.clone(), r.miss_frac)
+                })
+                .collect();
+            (p.name, per_config)
+        })
+        .collect();
+    DistFigure {
+        title,
+        configs,
+        rows,
+    }
+}
+
+impl DistFigure {
+    /// Average fraction of accesses to the fastest d-group for config `i`.
+    pub fn avg_first_group(&self, i: usize) -> f64 {
+        let sum: f64 = self.rows.iter().map(|(_, c)| c[i].0[0]).sum();
+        sum / self.rows.len() as f64
+    }
+
+    /// Average fraction of accesses to the slowest two d-groups for
+    /// config `i` (Figure 4's "last 2 d-groups" comparison).
+    pub fn avg_last_two_groups(&self, i: usize) -> f64 {
+        let sum: f64 = self
+            .rows
+            .iter()
+            .map(|(_, c)| {
+                let g = &c[i].0;
+                g[g.len().saturating_sub(2)..].iter().sum::<f64>()
+            })
+            .sum();
+        sum / self.rows.len() as f64
+    }
+
+    /// Average miss fraction for config `i`.
+    pub fn avg_miss(&self, i: usize) -> f64 {
+        let sum: f64 = self.rows.iter().map(|(_, c)| c[i].1).sum();
+        sum / self.rows.len() as f64
+    }
+
+    /// Renders the figure as a table of `group0/group1/... (miss)` cells.
+    pub fn render(&self) -> String {
+        let mut header = vec!["App".to_string()];
+        header.extend(self.configs.iter().map(|c| c.to_string()));
+        let mut t = TextTable::new(header);
+        let fmt = |fracs: &Distribution| {
+            let groups: Vec<String> = fracs.0.iter().map(|f| format!("{:.0}", f * 100.0)).collect();
+            format!("{} m{:.0}", groups.join("/"), fracs.1 * 100.0)
+        };
+        for (name, per_config) in &self.rows {
+            let mut row = vec![name.to_string()];
+            row.extend(per_config.iter().map(fmt));
+            t.row(row);
+        }
+        let mut avg = vec!["AVERAGE".to_string()];
+        for i in 0..self.configs.len() {
+            avg.push(format!(
+                "g0 {} miss {}",
+                pct(self.avg_first_group(i)),
+                pct(self.avg_miss(i))
+            ));
+        }
+        t.row(avg);
+        format!("{}\n{}", self.title, t.render())
+    }
+}
+
+impl DistFigure {
+    /// Renders the figure as tab-separated values for plotting: one row
+    /// per application, `config:group` columns plus `config:miss`.
+    pub fn render_tsv(&self) -> String {
+        let mut out = String::from("app");
+        for (i, c) in self.configs.iter().enumerate() {
+            let n = self.rows[0].1[i].0.len();
+            for g in 0..n {
+                out.push_str(&format!("\t{c}:g{g}"));
+            }
+            out.push_str(&format!("\t{c}:miss"));
+        }
+        out.push('\n');
+        for (name, per_config) in &self.rows {
+            out.push_str(name);
+            for (fracs, miss) in per_config {
+                for f in fracs {
+                    out.push_str(&format!("\t{f:.4}"));
+                }
+                out.push_str(&format!("\t{miss:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Figure 4: set-associative vs distance-associative placement.
+pub fn fig4(sweep: &mut Sweep) -> DistFigure {
+    dist_figure(
+        sweep,
+        "Figure 4: distribution of d-group accesses, set-associative (sa4) \
+         vs distance-associative (nf4) placement",
+        vec!["sa4", "nf4"],
+    )
+}
+
+/// Figure 5: demotion-only vs next-fastest vs fastest promotion.
+pub fn fig5(sweep: &mut Sweep) -> DistFigure {
+    dist_figure(
+        sweep,
+        "Figure 5: distribution of d-group accesses for NuRAPID promotion \
+         policies (demotion-only / next-fastest / fastest)",
+        vec!["dm4", "nf4", "fs4"],
+    )
+}
+
+/// Figure 7: 2 vs 4 vs 8 d-groups.
+pub fn fig7(sweep: &mut Sweep) -> DistFigure {
+    dist_figure(
+        sweep,
+        "Figure 7: distribution of d-group accesses for 2-, 4-, and \
+         8-d-group NuRAPIDs",
+        vec!["nf2", "nf4", "nf8"],
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Performance figures (6, 8, 9) share one shape
+// ---------------------------------------------------------------------------
+
+/// Relative performance of several configurations against the base case.
+#[derive(Debug, Clone)]
+pub struct PerfFigure {
+    /// Figure label.
+    pub title: &'static str,
+    /// Configuration keys, in display order.
+    pub configs: Vec<&'static str>,
+    /// `rows[app] = (name, class, [ipc_config / ipc_base])`.
+    pub rows: Vec<(&'static str, LoadClass, Vec<f64>)>,
+}
+
+fn perf_figure(sweep: &mut Sweep, title: &'static str, configs: Vec<&'static str>) -> PerfFigure {
+    let apps = sweep.apps().to_vec();
+    let rows = apps
+        .into_iter()
+        .map(|p| {
+            let base_ipc = sweep.run(p, "base").ipc();
+            let rels = configs
+                .iter()
+                .map(|k| sweep.run(p, k).ipc() / base_ipc)
+                .collect();
+            (p.name, p.class, rels)
+        })
+        .collect();
+    PerfFigure {
+        title,
+        configs,
+        rows,
+    }
+}
+
+impl PerfFigure {
+    /// Geometric-mean relative performance of config `i` over all apps.
+    pub fn overall(&self, i: usize) -> f64 {
+        geomean(self.rows.iter().map(|(_, _, r)| r[i]))
+    }
+
+    /// Geometric mean over one load class.
+    pub fn class_mean(&self, i: usize, class: LoadClass) -> f64 {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|(_, c, _)| *c == class)
+            .map(|(_, _, r)| r[i])
+            .collect();
+        if vals.is_empty() {
+            1.0
+        } else {
+            geomean(vals)
+        }
+    }
+
+    /// Best per-app relative performance of config `i`.
+    pub fn max(&self, i: usize) -> f64 {
+        self.rows
+            .iter()
+            .map(|(_, _, r)| r[i])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut header = vec!["App".to_string()];
+        header.extend(self.configs.iter().map(|c| c.to_string()));
+        let mut t = TextTable::new(header);
+        for (name, _, rels) in &self.rows {
+            let mut row = vec![name.to_string()];
+            row.extend(rels.iter().map(|r| rel(*r)));
+            t.row(row);
+        }
+        for (label, class) in [("HIGH-LOAD", LoadClass::HighLoad), ("LOW-LOAD", LoadClass::LowLoad)]
+        {
+            let mut row = vec![label.to_string()];
+            row.extend((0..self.configs.len()).map(|i| rel(self.class_mean(i, class))));
+            t.row(row);
+        }
+        let mut row = vec!["OVERALL".to_string()];
+        row.extend((0..self.configs.len()).map(|i| rel(self.overall(i))));
+        t.row(row);
+        format!("{}\n{}", self.title, t.render())
+    }
+}
+
+impl PerfFigure {
+    /// Renders the figure as tab-separated values for plotting.
+    pub fn render_tsv(&self) -> String {
+        let mut out = String::from("app");
+        for c in &self.configs {
+            out.push_str(&format!("\t{c}"));
+        }
+        out.push('\n');
+        for (name, _, rels) in &self.rows {
+            out.push_str(name);
+            for r in rels {
+                out.push_str(&format!("\t{r:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Figure 6: performance of the NuRAPID policies and the ideal case,
+/// relative to the base L2/L3 hierarchy.
+pub fn fig6(sweep: &mut Sweep) -> PerfFigure {
+    perf_figure(
+        sweep,
+        "Figure 6: performance of NuRAPID policies relative to the base \
+         L2/L3 hierarchy (demotion-only / next-fastest / fastest / ideal)",
+        vec!["dm4", "nf4", "fs4", "id4"],
+    )
+}
+
+/// Figure 8: performance of 2-, 4-, and 8-d-group NuRAPIDs.
+pub fn fig8(sweep: &mut Sweep) -> PerfFigure {
+    perf_figure(
+        sweep,
+        "Figure 8: performance of 2-, 4-, and 8-d-group NuRAPIDs relative \
+         to the base L2/L3 hierarchy",
+        vec!["nf2", "nf4", "nf8"],
+    )
+}
+
+/// Figure 9: NuRAPID vs D-NUCA (ss-performance).
+pub fn fig9(sweep: &mut Sweep) -> PerfFigure {
+    perf_figure(
+        sweep,
+        "Figure 9: D-NUCA (ss-performance) and 4-/8-d-group NuRAPIDs \
+         relative to the base L2/L3 hierarchy",
+        vec!["dn-perf", "nf4", "nf8"],
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Section 5.3.1: random vs true-LRU distance replacement
+// ---------------------------------------------------------------------------
+
+/// §5.3.1: average fastest-d-group access fraction for random vs
+/// approximate-LRU (CLOCK) vs true-LRU distance replacement under the
+/// demotion-only and next-fastest policies.
+#[derive(Debug, Clone)]
+pub struct LruStudy {
+    /// `(policy, random frac, clock frac, lru frac)` rows.
+    pub rows: Vec<(&'static str, f64, f64, f64)>,
+}
+
+/// Regenerates the §5.3.1 comparison (extended with the approximate-LRU
+/// middle ground the paper mentions but does not measure).
+pub fn sec531(sweep: &mut Sweep) -> LruStudy {
+    let apps = sweep.apps().to_vec();
+    let avg_g0 = |sweep: &mut Sweep, key: &'static str| {
+        let sum: f64 = apps
+            .iter()
+            .map(|&p| sweep.run(p, key).group_fracs[0])
+            .sum();
+        sum / apps.len() as f64
+    };
+    LruStudy {
+        rows: vec![
+            (
+                "demotion-only",
+                avg_g0(sweep, "dm4"),
+                avg_g0(sweep, "clock-dm"),
+                avg_g0(sweep, "lru-dm"),
+            ),
+            (
+                "next-fastest",
+                avg_g0(sweep, "nf4"),
+                avg_g0(sweep, "clock-nf"),
+                avg_g0(sweep, "lru-nf"),
+            ),
+        ],
+    }
+}
+
+impl LruStudy {
+    /// Renders the study.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Promotion policy",
+            "Random: d-group-0 accesses",
+            "Approx-LRU (clock): d-group-0 accesses",
+            "True-LRU: d-group-0 accesses",
+        ]);
+        for &(policy, random, clock, lru) in &self.rows {
+            t.row(vec![policy.to_string(), pct(random), pct(clock), pct(lru)]);
+        }
+        format!(
+            "Section 5.3.1: random vs approximate-LRU vs true-LRU distance replacement\n{}",
+            t.render()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 (reconstructed): L2 dynamic energy
+// ---------------------------------------------------------------------------
+
+/// Figure 10: L2 dynamic energy per kilo-instruction for the base
+/// hierarchy, D-NUCA (ss-energy), and NuRAPID, plus the d-group-access
+/// comparison behind the paper's "61% fewer d-group accesses" claim.
+#[derive(Debug, Clone)]
+pub struct EnergyFigure {
+    /// `(name, base nJ/KI, dnuca nJ/KI, nurapid nJ/KI, dnuca d-group
+    /// accesses per demand access, nurapid d-group accesses per demand
+    /// access)`.
+    pub rows: Vec<(&'static str, f64, f64, f64, f64, f64)>,
+}
+
+/// Regenerates the energy comparison.
+pub fn fig10(sweep: &mut Sweep) -> EnergyFigure {
+    let apps = sweep.apps().to_vec();
+    let rows = apps
+        .into_iter()
+        .map(|p| {
+            let per_ki = |r: &AppRun| r.l2_energy.nj() * 1000.0 / r.core.instructions as f64;
+            let per_access =
+                |r: &AppRun| r.dgroup_accesses as f64 / r.l2_accesses.max(1) as f64;
+            let base = per_ki(sweep.run(p, "base"));
+            let dn = sweep.run(p, "dn-energy");
+            let (dn_e, dn_a) = (per_ki(dn), per_access(dn));
+            let nr = sweep.run(p, "nf4");
+            let (nr_e, nr_a) = (per_ki(nr), per_access(nr));
+            (p.name, base, dn_e, nr_e, dn_a, nr_a)
+        })
+        .collect();
+    EnergyFigure { rows }
+}
+
+impl EnergyFigure {
+    /// NuRAPID's average L2-energy reduction relative to D-NUCA
+    /// (the paper reports 77%).
+    pub fn energy_reduction_vs_dnuca(&self) -> f64 {
+        let dn: f64 = self.rows.iter().map(|r| r.2).sum();
+        let nr: f64 = self.rows.iter().map(|r| r.3).sum();
+        1.0 - nr / dn
+    }
+
+    /// NuRAPID's average reduction in d-group accesses relative to D-NUCA
+    /// (the paper reports 61%).
+    pub fn access_reduction_vs_dnuca(&self) -> f64 {
+        let dn: f64 = self.rows.iter().map(|r| r.4).sum();
+        let nr: f64 = self.rows.iter().map(|r| r.5).sum();
+        1.0 - nr / dn
+    }
+
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "App",
+            "base nJ/KI",
+            "D-NUCA(ss-e) nJ/KI",
+            "NuRAPID nJ/KI",
+            "D-NUCA dgrp-acc/acc",
+            "NuRAPID dgrp-acc/acc",
+        ]);
+        for &(name, b, d, n, da, na) in &self.rows {
+            t.row(vec![
+                name.to_string(),
+                f2(b),
+                f2(d),
+                f2(n),
+                f2(da),
+                f2(na),
+            ]);
+        }
+        format!(
+            "Figure 10 (reconstructed): L2 dynamic energy\n{}\
+             NuRAPID L2 energy reduction vs D-NUCA: {}\n\
+             NuRAPID d-group access reduction vs D-NUCA: {}\n",
+            t.render(),
+            pct(self.energy_reduction_vs_dnuca()),
+            pct(self.access_reduction_vs_dnuca()),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 (reconstructed): processor energy-delay
+// ---------------------------------------------------------------------------
+
+/// Figure 11: processor energy-delay relative to the base hierarchy.
+#[derive(Debug, Clone)]
+pub struct EdpFigure {
+    /// `(name, dnuca-best EDP / base EDP, nurapid EDP / base EDP)`.
+    pub rows: Vec<(&'static str, f64, f64)>,
+}
+
+/// Regenerates the energy-delay comparison. D-NUCA gets its best foot
+/// forward: the lower energy-delay of its two policies per application.
+pub fn fig11(sweep: &mut Sweep) -> EdpFigure {
+    let apps = sweep.apps().to_vec();
+    let rows = apps
+        .into_iter()
+        .map(|p| {
+            let base = sweep.run(p, "base").edp();
+            let dn = sweep
+                .run(p, "dn-perf")
+                .edp()
+                .min(sweep.run(p, "dn-energy").edp());
+            let nr = sweep.run(p, "nf4").edp();
+            (p.name, dn / base, nr / base)
+        })
+        .collect();
+    EdpFigure { rows }
+}
+
+impl EdpFigure {
+    /// Geometric-mean relative EDP of NuRAPID (the paper reports ~0.93,
+    /// i.e. a 7% reduction).
+    pub fn nurapid_mean(&self) -> f64 {
+        geomean(self.rows.iter().map(|r| r.2))
+    }
+
+    /// Geometric-mean relative EDP of D-NUCA.
+    pub fn dnuca_mean(&self) -> f64 {
+        geomean(self.rows.iter().map(|r| r.1))
+    }
+
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["App", "D-NUCA (best) EDP", "NuRAPID EDP"]);
+        for &(name, dn, nr) in &self.rows {
+            t.row(vec![name.to_string(), rel(dn), rel(nr)]);
+        }
+        t.row(vec![
+            "GEOMEAN".to_string(),
+            rel(self.dnuca_mean()),
+            rel(self.nurapid_mean()),
+        ]);
+        format!(
+            "Figure 11 (reconstructed): processor energy-delay relative to base\n{}",
+            t.render()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section 2.4.3 ablation: pointer restriction
+// ---------------------------------------------------------------------------
+
+/// Pointer-restriction ablation (DESIGN.md §5.6): placement flexibility vs
+/// pointer width. Compares the fully flexible NuRAPID against versions
+/// restricted to 256 and 64 candidate frames per d-group.
+#[derive(Debug, Clone)]
+pub struct RestrictionAblation {
+    /// `(label, forward-pointer bits, avg d-group-0 fraction, geometric-
+    /// mean relative performance vs base)`.
+    pub rows: Vec<(&'static str, u32, f64, f64)>,
+}
+
+/// Regenerates the pointer-restriction ablation.
+pub fn restriction_ablation(sweep: &mut Sweep) -> RestrictionAblation {
+    use nurapid::pointers::PointerScheme;
+    let cap = Capacity::from_mib(8);
+    let apps = sweep.apps().to_vec();
+    let mut rows = Vec::new();
+    for (label, key, scheme) in [
+        (
+            "flexible",
+            "nf4",
+            PointerScheme::flexible(cap, 128, 4),
+        ),
+        (
+            "256 frames/region",
+            "nf4-r256",
+            PointerScheme::restricted(cap, 128, 4, 256),
+        ),
+        (
+            "64 frames/region",
+            "nf4-r64",
+            PointerScheme::restricted(cap, 128, 4, 64),
+        ),
+    ] {
+        let mut g0 = 0.0;
+        let mut rel_perf = Vec::new();
+        for &p in &apps {
+            let base_ipc = sweep.run(p, "base").ipc();
+            let r = sweep.run(p, key);
+            g0 += r.group_fracs[0];
+            rel_perf.push(r.ipc() / base_ipc);
+        }
+        rows.push((
+            label,
+            scheme.forward_pointer_bits(),
+            g0 / apps.len() as f64,
+            geomean(rel_perf),
+        ));
+    }
+    RestrictionAblation { rows }
+}
+
+impl RestrictionAblation {
+    /// Renders the ablation.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Placement",
+            "Fwd-pointer bits",
+            "d-group-0 accesses",
+            "Rel. performance",
+        ]);
+        for &(label, bits, g0, perf) in &self.rows {
+            t.row(vec![label.to_string(), bits.to_string(), pct(g0), rel(perf)]);
+        }
+        format!(
+            "Section 2.4.3 ablation: pointer restriction vs placement flexibility
+{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::profiles::by_name;
+
+    fn tiny_sweep() -> Sweep {
+        Sweep::with_apps(
+            Scale {
+                warmup: 40_000,
+                measure: 60_000,
+            },
+            vec![by_name("galgel").unwrap(), by_name("wupwise").unwrap()],
+        )
+    }
+
+    #[test]
+    fn table2_hits_paper_anchors() {
+        let t = table2();
+        assert_eq!(t.rows.len(), 8);
+        // Paper values: 0.42, 3.3, 0.40, 4.6, 0.18, -, 0.19, 0.57.
+        assert!((t.rows[0].1 - 0.42).abs() / 0.42 < 0.3);
+        assert!((t.rows[1].1 - 3.3).abs() / 3.3 < 0.3);
+        assert!((t.rows[6].1 - 0.19).abs() < 1e-9);
+        assert!((t.rows[7].1 - 0.57).abs() < 1e-9);
+        assert!(t.render().contains("sm-search"));
+    }
+
+    #[test]
+    fn table4_matches_paper_structure() {
+        let t = table4();
+        assert_eq!(t.rows.len(), 8);
+        // Fastest MB: 19 / 14 / 12 cycles.
+        assert_eq!((t.rows[0].0, t.rows[0].1, t.rows[0].2), (19, 14, 12));
+        // D-NUCA MB1 average near 7.
+        assert!((t.rows[0].3 .1 - 7.0).abs() < 2.0);
+        let r = t.render();
+        assert!(r.contains("MB 1") && r.contains("D-NUCA"));
+    }
+
+    #[test]
+    fn fig4_shows_placement_advantage() {
+        let mut s = tiny_sweep();
+        let f = fig4(&mut s);
+        // Distance-associative placement (index 1) must put more accesses
+        // in the fastest d-group than set-associative (index 0).
+        assert!(
+            f.avg_first_group(1) > f.avg_first_group(0),
+            "d-a {} vs s-a {}",
+            f.avg_first_group(1),
+            f.avg_first_group(0)
+        );
+        assert!(f.render().contains("AVERAGE"));
+    }
+
+    #[test]
+    fn fig5_orders_policies() {
+        let mut s = tiny_sweep();
+        let f = fig5(&mut s);
+        // demotion-only (0) < next-fastest (1); fastest (2) comparable to
+        // next-fastest.
+        assert!(f.avg_first_group(0) < f.avg_first_group(1));
+        assert!((f.avg_first_group(2) - f.avg_first_group(1)).abs() < 0.1);
+        // Miss fractions identical across policies (distance replacement
+        // never evicts).
+        assert!((f.avg_miss(0) - f.avg_miss(1)).abs() < 1e-12);
+        assert!((f.avg_miss(1) - f.avg_miss(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig7_orders_dgroup_counts() {
+        let mut s = tiny_sweep();
+        let f = fig7(&mut s);
+        // Fewer, larger d-groups hold more of the working set.
+        assert!(f.avg_first_group(0) >= f.avg_first_group(1));
+        assert!(f.avg_first_group(1) >= f.avg_first_group(2));
+    }
+
+    #[test]
+    fn fig6_ideal_is_upper_bound() {
+        let mut s = tiny_sweep();
+        let f = fig6(&mut s);
+        // ideal (3) >= next-fastest (1) >= demotion-only (0) on average.
+        assert!(f.overall(3) >= f.overall(1) - 1e-9);
+        assert!(f.overall(1) >= f.overall(0) - 0.02);
+        assert!(f.render().contains("OVERALL"));
+    }
+
+    #[test]
+    fn sweep_caches_runs() {
+        let mut s = tiny_sweep();
+        let _ = fig5(&mut s);
+        let n = s.runs();
+        let _ = fig6(&mut s); // reuses dm4/nf4/fs4; adds base + id4
+        assert_eq!(s.runs(), n + 4);
+    }
+
+    #[test]
+    fn fig10_nurapid_beats_dnuca_energy() {
+        let mut s = tiny_sweep();
+        let f = fig10(&mut s);
+        assert!(
+            f.energy_reduction_vs_dnuca() > 0.3,
+            "reduction {}",
+            f.energy_reduction_vs_dnuca()
+        );
+        assert!(f.access_reduction_vs_dnuca() > 0.2);
+        assert!(f.render().contains("Figure 10"));
+    }
+
+    #[test]
+    fn fig11_nurapid_improves_edp() {
+        let mut s = tiny_sweep();
+        let f = fig11(&mut s);
+        assert!(f.nurapid_mean() < 1.0, "EDP {}", f.nurapid_mean());
+        assert!(f.render().contains("GEOMEAN"));
+    }
+
+    #[test]
+    fn sec531_lru_vs_random() {
+        let mut s = tiny_sweep();
+        let l = sec531(&mut s);
+        assert_eq!(l.rows.len(), 2);
+        // Under demotion-only, LRU must beat random clearly; under
+        // next-fastest the gap shrinks (promotion compensates).
+        let dm_gap = l.rows[0].2 - l.rows[0].1;
+        let nf_gap = l.rows[1].2 - l.rows[1].1;
+        assert!(dm_gap > nf_gap - 0.02, "dm {dm_gap} vs nf {nf_gap}");
+        assert!(l.render().contains("5.3.1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown configuration")]
+    fn unknown_key_panics() {
+        let _ = kind_of("warp-drive");
+    }
+
+    #[test]
+    fn restriction_ablation_orders_flexibility() {
+        let mut s = tiny_sweep();
+        let a = restriction_ablation(&mut s);
+        assert_eq!(a.rows.len(), 3);
+        // Pointer bits shrink with restriction.
+        assert!(a.rows[0].1 > a.rows[1].1);
+        assert!(a.rows[1].1 > a.rows[2].1);
+        // Flexibility can only help the fast-group fraction (within noise).
+        assert!(a.rows[0].2 >= a.rows[2].2 - 0.05);
+        assert!(a.render().contains("2.4.3"));
+    }
+
+    #[test]
+    fn tsv_rendering_is_machine_readable() {
+        let mut s = tiny_sweep();
+        let d = fig5(&mut s).render_tsv();
+        let lines: Vec<&str> = d.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 apps");
+        let cols = lines[0].split('\t').count();
+        assert_eq!(lines[1].split('\t').count(), cols);
+        // 3 configs x (4 groups + miss) + app column.
+        assert_eq!(cols, 1 + 3 * 5);
+        let p = fig8(&mut s).render_tsv();
+        assert!(p.starts_with("app\tnf2\tnf4\tnf8\n"));
+    }
+
+    #[test]
+    fn table3_reports_roster() {
+        let mut s = tiny_sweep();
+        let t = table3(&mut s);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows.iter().all(|r| r.2 > 0.0));
+        assert!(t.render().contains("galgel"));
+    }
+}

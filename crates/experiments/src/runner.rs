@@ -1,0 +1,356 @@
+//! Full-system run machinery: one application through one lower-level
+//! cache organization, with warm-up.
+
+use cpu::uop::TraceSource;
+use cpu::{CoreParams, CoreResult, OooCore};
+use energy::core::CoreEnergyModel;
+use energy::EnergyTally;
+use memsys::hierarchy::BaseHierarchy;
+use memsys::l1::CoreMemSystem;
+use memsys::lower::LowerCache;
+use nuca::{DnucaCache, DnucaConfig, SearchPolicy};
+use nurapid::coupled::CoupledCache;
+use nurapid::{NuRapidCache, NuRapidConfig};
+use simbase::EnergyNj;
+use workloads::{BenchProfile, TraceGenerator};
+
+/// Which lower-level cache organization to simulate.
+#[derive(Debug, Clone)]
+pub enum L2Kind {
+    /// Conventional 1-MB L2 + 8-MB L3 (the base case).
+    Base,
+    /// NuRAPID with the given configuration.
+    NuRapid(NuRapidConfig),
+    /// The Figure 4 set-associative-placement ablation with this many
+    /// d-groups.
+    Coupled(usize),
+    /// D-NUCA with the given search policy.
+    Dnuca(SearchPolicy),
+}
+
+/// Instruction budget for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Warm-up instructions (caches filled, statistics then reset) —
+    /// the stand-in for the paper's 5 B-instruction fast-forward.
+    pub warmup: u64,
+    /// Measured instructions.
+    pub measure: u64,
+}
+
+impl Scale {
+    /// The default reproduction scale (used for EXPERIMENTS.md).
+    pub fn full() -> Self {
+        Scale {
+            warmup: 1_000_000,
+            measure: 2_000_000,
+        }
+    }
+
+    /// A fast scale for tests and Criterion benches.
+    pub fn quick() -> Self {
+        Scale {
+            warmup: 150_000,
+            measure: 250_000,
+        }
+    }
+}
+
+/// The measured results of one application on one organization.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// Application name.
+    pub name: &'static str,
+    /// Measured-phase core results.
+    pub core: CoreResult,
+    /// L2 accesses during the measured phase.
+    pub l2_accesses: u64,
+    /// L2 misses during the measured phase.
+    pub l2_misses: u64,
+    /// Fraction of L2 accesses hitting each d-group / bank-position-MB
+    /// (empty for the base hierarchy).
+    pub group_fracs: Vec<f64>,
+    /// Fraction of L2 accesses that missed.
+    pub miss_frac: f64,
+    /// Total data-array (d-group or bank) accesses including swap and
+    /// search traffic (0 for the base hierarchy).
+    pub dgroup_accesses: u64,
+    /// Block movements (promotions + demotions or bubble swaps).
+    pub swaps: u64,
+    /// Dynamic L2 energy over the measured phase.
+    pub l2_energy: EnergyNj,
+    /// Full-system energy tally over the measured phase.
+    pub energy: EnergyTally,
+}
+
+impl AppRun {
+    /// Measured IPC.
+    pub fn ipc(&self) -> f64 {
+        self.core.ipc()
+    }
+
+    /// L2 accesses per kilo-instruction (Table 3's metric).
+    pub fn apki(&self) -> f64 {
+        1000.0 * self.l2_accesses as f64 / self.core.instructions.max(1) as f64
+    }
+
+    /// Energy-delay product (relative unit).
+    pub fn edp(&self) -> f64 {
+        self.energy.energy_delay(self.core.cycles)
+    }
+}
+
+/// Runs `profile` on the organization `kind` at `scale`.
+pub fn run_app(profile: BenchProfile, kind: &L2Kind, scale: Scale) -> AppRun {
+    match kind {
+        L2Kind::Base => {
+            let lower = BaseHierarchy::micro2003();
+            let (core, mem) = drive(profile, lower, scale);
+            let h = mem.lower();
+            let mem_accesses = h.memory_accesses();
+            let l2_energy = energy::l2::base_energy(h);
+            finish_run(
+                profile.name,
+                core,
+                mem.l1_accesses(),
+                mem_accesses,
+                h.l2_accesses(),
+                h.l2_accesses() - h.l2_hits(),
+                Vec::new(),
+                1.0 - h.l2_hits() as f64 / h.l2_accesses().max(1) as f64,
+                0,
+                0,
+                l2_energy,
+            )
+        }
+        L2Kind::NuRapid(cfg) => {
+            let lower = NuRapidCache::new(cfg.clone());
+            let (core, mem) = drive(profile, lower, scale);
+            let c = mem.lower();
+            let s = c.stats();
+            let l2_energy = energy::l2::nurapid_energy(s, c.geometry());
+            let group_fracs = (0..s.n_dgroups()).map(|g| s.group_access_frac(g)).collect();
+            finish_run(
+                profile.name,
+                core,
+                mem.l1_accesses(),
+                s.memory_reads.get() + s.writebacks.get(),
+                s.accesses.get(),
+                s.misses.get(),
+                group_fracs,
+                s.miss_frac(),
+                s.total_dgroup_accesses(),
+                s.total_moves(),
+                l2_energy,
+            )
+        }
+        L2Kind::Coupled(n) => {
+            let lower = CoupledCache::micro2003(*n);
+            let (core, mem) = drive(profile, lower, scale);
+            let c = mem.lower();
+            let s = c.stats();
+            let l2_energy = energy::l2::nurapid_energy(s, c.geometry());
+            let group_fracs = (0..s.n_dgroups()).map(|g| s.group_access_frac(g)).collect();
+            finish_run(
+                profile.name,
+                core,
+                mem.l1_accesses(),
+                s.memory_reads.get() + s.writebacks.get(),
+                s.accesses.get(),
+                s.misses.get(),
+                group_fracs,
+                s.miss_frac(),
+                s.total_dgroup_accesses(),
+                s.total_moves(),
+                l2_energy,
+            )
+        }
+        L2Kind::Dnuca(policy) => {
+            let lower = DnucaCache::new(DnucaConfig::micro2003(*policy));
+            let (core, mem) = drive(profile, lower, scale);
+            let c = mem.lower();
+            let s = c.stats();
+            let l2_energy = energy::l2::dnuca_energy(s, c.geometry());
+            let group_fracs = (0..8).map(|p| s.position_access_frac(p)).collect();
+            finish_run(
+                profile.name,
+                core,
+                mem.l1_accesses(),
+                s.memory_reads.get() + s.writebacks.get(),
+                s.accesses.get(),
+                s.misses.get(),
+                group_fracs,
+                s.miss_frac(),
+                s.total_bank_accesses(),
+                s.swaps.get(),
+                l2_energy,
+            )
+        }
+    }
+}
+
+/// Runs the trace through the core, handling prefill, warm-up, and stat
+/// resets.
+fn drive<L: LowerCache + ExperimentCache>(
+    profile: BenchProfile,
+    mut lower: L,
+    scale: Scale,
+) -> (CoreResult, CoreMemSystem<L>) {
+    let mut gen = TraceGenerator::new(profile, 0x5eed);
+    lower.prefill_dyn();
+    let mem = CoreMemSystem::micro2003(lower);
+    let mut core = OooCore::new(CoreParams::micro2003(), mem);
+    for _ in 0..scale.warmup {
+        let op = gen.next_op();
+        core.execute(op);
+    }
+    let snapshot = core.finish();
+    core.mem_mut().reset_stats();
+    core.mem_mut().lower_mut().reset_stats_dyn();
+    for _ in 0..scale.measure {
+        let op = gen.next_op();
+        core.execute(op);
+    }
+    let result = core.finish().since(&snapshot);
+    (result, core.into_mem())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_run(
+    name: &'static str,
+    core: CoreResult,
+    l1_accesses: u64,
+    mem_accesses: u64,
+    l2_accesses: u64,
+    l2_misses: u64,
+    group_fracs: Vec<f64>,
+    miss_frac: f64,
+    dgroup_accesses: u64,
+    swaps: u64,
+    l2_energy: EnergyNj,
+) -> AppRun {
+    let m = CoreEnergyModel::micro2003();
+    let energy = EnergyTally {
+        core: m.core_energy(&core),
+        l1: m.l1_energy(l1_accesses),
+        l2: l2_energy,
+        memory: m.memory_energy(mem_accesses),
+    };
+    AppRun {
+        name,
+        core,
+        l2_accesses,
+        l2_misses,
+        group_fracs,
+        miss_frac,
+        dgroup_accesses,
+        swaps,
+        l2_energy,
+        energy,
+    }
+}
+
+/// Warm-up support: every lower-level cache can pre-fill to steady-state
+/// occupancy and zero its statistics.
+trait ExperimentCache {
+    fn prefill_dyn(&mut self);
+    fn reset_stats_dyn(&mut self);
+}
+
+impl ExperimentCache for BaseHierarchy {
+    fn prefill_dyn(&mut self) {
+        self.prefill();
+    }
+    fn reset_stats_dyn(&mut self) {
+        self.reset_stats();
+    }
+}
+
+impl ExperimentCache for NuRapidCache {
+    fn prefill_dyn(&mut self) {
+        self.prefill();
+    }
+    fn reset_stats_dyn(&mut self) {
+        self.reset_stats();
+    }
+}
+
+impl ExperimentCache for CoupledCache {
+    fn prefill_dyn(&mut self) {
+        self.prefill();
+    }
+    fn reset_stats_dyn(&mut self) {
+        self.reset_stats();
+    }
+}
+
+impl ExperimentCache for DnucaCache {
+    fn prefill_dyn(&mut self) {
+        self.prefill();
+    }
+    fn reset_stats_dyn(&mut self) {
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::profiles::by_name;
+
+    fn tiny() -> Scale {
+        Scale {
+            warmup: 30_000,
+            measure: 60_000,
+        }
+    }
+
+    #[test]
+    fn base_run_produces_sane_numbers() {
+        let r = run_app(by_name("applu").unwrap(), &L2Kind::Base, tiny());
+        assert_eq!(r.core.instructions, 60_000);
+        assert!(r.ipc() > 0.05 && r.ipc() < 8.0, "ipc={}", r.ipc());
+        assert!(r.apki() > 1.0, "high-load app must reach the L2: {}", r.apki());
+        assert!(r.energy.total().nj() > 0.0);
+        assert!(r.group_fracs.is_empty());
+    }
+
+    #[test]
+    fn nurapid_run_reports_group_fractions() {
+        let r = run_app(
+            by_name("galgel").unwrap(),
+            &L2Kind::NuRapid(NuRapidConfig::micro2003(4)),
+            tiny(),
+        );
+        assert_eq!(r.group_fracs.len(), 4);
+        let total: f64 = r.group_fracs.iter().sum::<f64>() + r.miss_frac;
+        assert!((total - 1.0).abs() < 1e-9, "fractions sum to 1, got {total}");
+        assert!(r.group_fracs[0] > 0.3, "galgel's 1-MB hot set is fast");
+    }
+
+    #[test]
+    fn dnuca_run_reports_position_fractions() {
+        let r = run_app(
+            by_name("galgel").unwrap(),
+            &L2Kind::Dnuca(SearchPolicy::SsPerformance),
+            tiny(),
+        );
+        assert_eq!(r.group_fracs.len(), 8);
+        assert!(r.dgroup_accesses > r.l2_accesses, "multicast searches many banks");
+    }
+
+    #[test]
+    fn low_load_app_rarely_reaches_l2() {
+        let r = run_app(by_name("wupwise").unwrap(), &L2Kind::Base, tiny());
+        assert!(r.apki() < 15.0, "low-load apki={}", r.apki());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let k = L2Kind::NuRapid(NuRapidConfig::micro2003(4));
+        let a = run_app(by_name("parser").unwrap(), &k, tiny());
+        let b = run_app(by_name("parser").unwrap(), &k, tiny());
+        assert_eq!(a.core.cycles, b.core.cycles);
+        assert_eq!(a.l2_accesses, b.l2_accesses);
+    }
+}

@@ -1,0 +1,119 @@
+//! D-NUCA bank layout: many small d-groups (paper Figure 3(a)).
+//!
+//! The best-performing D-NUCA divides an 8-MB cache into 128 × 64-KB banks,
+//! each with its own tag array, reached over a switched network. Each bank
+//! is a cluster of four 16-KB subarrays; network latency is counted in
+//! switch hops from the core to the bank's position.
+
+use crate::LShapeFloorplan;
+use simbase::Capacity;
+
+/// Placement of D-NUCA's small banks over the floorplan.
+#[derive(Debug, Clone)]
+pub struct BankPlan {
+    /// Per-bank mean route distance in mm (banks sorted nearest-first).
+    route_mm: Vec<f64>,
+    /// Per-bank network hop count from the core.
+    hops: Vec<u32>,
+    bank_capacity: Capacity,
+}
+
+impl BankPlan {
+    /// Lays `n_banks` equal banks over the floorplan, nearest-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_banks` is zero or does not evenly divide the subarray
+    /// count.
+    pub fn partition(fp: &LShapeFloorplan, n_banks: usize) -> Self {
+        assert!(n_banks > 0, "need at least one bank");
+        let total = fp.n_subarrays();
+        assert!(
+            total.is_multiple_of(n_banks),
+            "{n_banks} banks must evenly divide {total} subarrays"
+        );
+        let per = total / n_banks;
+        // One switch per bank cluster: hop pitch calibrated so the
+        // per-megabyte average D-NUCA latencies land on Table 4's 7..29
+        // cycle ramp.
+        let hop_mm = fp.grid().subarray_mm() * 1.75;
+        let mut route_mm = Vec::with_capacity(n_banks);
+        let mut hops = Vec::with_capacity(n_banks);
+        for b in 0..n_banks {
+            let mm = fp.grid().mean_route_mm(b * per, (b + 1) * per);
+            route_mm.push(mm);
+            hops.push((mm / hop_mm).round() as u32);
+        }
+        BankPlan {
+            route_mm,
+            hops,
+            bank_capacity: Capacity::from_bytes(per as u64 * fp.subarray_bytes()),
+        }
+    }
+
+    /// Number of banks.
+    pub fn n_banks(&self) -> usize {
+        self.route_mm.len()
+    }
+
+    /// Capacity of each bank.
+    pub fn bank_capacity(&self) -> Capacity {
+        self.bank_capacity
+    }
+
+    /// Route distance of bank `b` (nearest-first order) in mm.
+    pub fn route_mm(&self, b: usize) -> f64 {
+        self.route_mm[b]
+    }
+
+    /// Switched-network hop count to bank `b`.
+    pub fn hops(&self, b: usize) -> u32 {
+        self.hops[b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan128() -> BankPlan {
+        let fp = LShapeFloorplan::micro2003(Capacity::from_mib(8));
+        BankPlan::partition(&fp, 128)
+    }
+
+    #[test]
+    fn dnuca_has_128_64kb_banks() {
+        let p = plan128();
+        assert_eq!(p.n_banks(), 128);
+        assert_eq!(p.bank_capacity(), Capacity::from_kib(64));
+    }
+
+    #[test]
+    fn bank_distances_are_non_decreasing() {
+        let p = plan128();
+        for b in 1..p.n_banks() {
+            assert!(p.route_mm(b) >= p.route_mm(b - 1));
+        }
+    }
+
+    #[test]
+    fn closest_bank_is_adjacent_and_cheap() {
+        let p = plan128();
+        assert!(p.route_mm(0) < 0.5, "closest bank at {} mm", p.route_mm(0));
+        assert_eq!(p.hops(0), 0);
+    }
+
+    #[test]
+    fn farthest_bank_needs_many_hops() {
+        let p = plan128();
+        let far = p.hops(127);
+        assert!(far >= 8, "farthest bank only {far} hops");
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide")]
+    fn uneven_bank_partition_panics() {
+        let fp = LShapeFloorplan::micro2003(Capacity::from_mib(8));
+        let _ = BankPlan::partition(&fp, 100);
+    }
+}

@@ -1,0 +1,202 @@
+//! Section 3.1 layout considerations: spare subarrays for hard errors and
+//! block-bit spreading for soft-error (ECC) tolerance.
+//!
+//! The paper argues that large d-groups retain the conventional-cache
+//! advantages of (a) sharing a few spare subarrays across many blocks and
+//! (b) spreading each block's bits over many subarrays so one particle
+//! strike corrupts at most the number of bits ECC can repair. NUCA's 64-KB
+//! d-groups cannot share spares across d-groups because the groups neither
+//! share row addresses nor have equal latency.
+
+use crate::grid::SubarrayId;
+
+/// How a block's bits are spread over the subarrays of one d-group.
+#[derive(Debug, Clone)]
+pub struct BitSpread {
+    subarrays: Vec<SubarrayId>,
+    bits_per_subarray: u32,
+}
+
+impl BitSpread {
+    /// Spreads a block of `block_bits` over `subarrays`, as evenly as
+    /// possible (paper: Itanium II spreads each block over many of its 135
+    /// subarrays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subarrays` is empty or `block_bits` is zero.
+    pub fn even(subarrays: Vec<SubarrayId>, block_bits: u32) -> Self {
+        assert!(!subarrays.is_empty(), "need at least one subarray");
+        assert!(block_bits > 0, "block must have bits");
+        let bits_per_subarray = block_bits.div_ceil(subarrays.len() as u32);
+        BitSpread {
+            subarrays,
+            bits_per_subarray,
+        }
+    }
+
+    /// Subarrays holding this block's bits.
+    pub fn subarrays(&self) -> &[SubarrayId] {
+        &self.subarrays
+    }
+
+    /// Bits of the block held in each subarray.
+    pub fn bits_per_subarray(&self) -> u32 {
+        self.bits_per_subarray
+    }
+
+    /// True if a single-subarray failure corrupts at most `ecc_bits`
+    /// correctable bits of this block.
+    pub fn tolerates_strike(&self, ecc_bits: u32) -> bool {
+        self.bits_per_subarray <= ecc_bits
+    }
+}
+
+/// Spare-subarray bookkeeping for one latency-uniform region (a NuRAPID
+/// d-group, or a whole conventional cache).
+///
+/// Spares can only replace subarrays within the same region, because a spare
+/// must share row addresses and access latency with the subarray it stands
+/// in for (Section 3.2's argument for why NUCA's tiny d-groups cannot share
+/// spares).
+#[derive(Debug, Clone)]
+pub struct SpareMap {
+    region: Vec<SubarrayId>,
+    spares: Vec<SubarrayId>,
+    remapped: Vec<(SubarrayId, SubarrayId)>,
+}
+
+/// Error returned when a defective subarray cannot be remapped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemapError {
+    /// The subarray is not part of this region.
+    NotInRegion(SubarrayId),
+    /// All spares in the region are already in use.
+    OutOfSpares,
+    /// The subarray was already remapped.
+    AlreadyRemapped(SubarrayId),
+}
+
+impl std::fmt::Display for RemapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemapError::NotInRegion(s) => write!(f, "subarray {s} is not in this region"),
+            RemapError::OutOfSpares => write!(f, "no spare subarrays remain"),
+            RemapError::AlreadyRemapped(s) => write!(f, "subarray {s} already remapped"),
+        }
+    }
+}
+
+impl std::error::Error for RemapError {}
+
+impl SpareMap {
+    /// Creates a spare map: `region` data subarrays protected by `spares`
+    /// (the Itanium II L3 has 2 spares for 135 subarrays).
+    pub fn new(region: Vec<SubarrayId>, spares: Vec<SubarrayId>) -> Self {
+        SpareMap {
+            region,
+            spares,
+            remapped: Vec::new(),
+        }
+    }
+
+    /// Number of unused spares.
+    pub fn spares_left(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Permanently remaps a defective subarray onto a spare (the on-die
+    /// fuse programming step of chip test).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RemapError`] if the subarray is foreign, already remapped,
+    /// or no spares remain.
+    pub fn remap(&mut self, defective: SubarrayId) -> Result<SubarrayId, RemapError> {
+        if !self.region.contains(&defective) {
+            return Err(RemapError::NotInRegion(defective));
+        }
+        if self.remapped.iter().any(|&(d, _)| d == defective) {
+            return Err(RemapError::AlreadyRemapped(defective));
+        }
+        let spare = self.spares.pop().ok_or(RemapError::OutOfSpares)?;
+        self.remapped.push((defective, spare));
+        Ok(spare)
+    }
+
+    /// Resolves a subarray through any remapping.
+    pub fn resolve(&self, s: SubarrayId) -> SubarrayId {
+        self.remapped
+            .iter()
+            .find(|&&(d, _)| d == s)
+            .map(|&(_, spare)| spare)
+            .unwrap_or(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(r: std::ops::Range<usize>) -> Vec<SubarrayId> {
+        r.map(SubarrayId).collect()
+    }
+
+    #[test]
+    fn even_spread_over_128_subarrays() {
+        // A 128-byte block (1024 bits + ECC) over a 128-subarray d-group:
+        // 8 bits per subarray.
+        let s = BitSpread::even(ids(0..128), 1024);
+        assert_eq!(s.bits_per_subarray(), 8);
+        assert!(s.tolerates_strike(8));
+        assert!(!s.tolerates_strike(7));
+        assert_eq!(s.subarrays().len(), 128);
+    }
+
+    #[test]
+    fn nuca_small_dgroup_concentrates_bits() {
+        // NUCA's 64-KB d-group is only 4 subarrays: 256 bits per subarray,
+        // far beyond typical ECC reach.
+        let s = BitSpread::even(ids(0..4), 1024);
+        assert_eq!(s.bits_per_subarray(), 256);
+        assert!(!s.tolerates_strike(8));
+    }
+
+    #[test]
+    fn uneven_division_rounds_up() {
+        let s = BitSpread::even(ids(0..3), 10);
+        assert_eq!(s.bits_per_subarray(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn spread_requires_subarrays() {
+        let _ = BitSpread::even(vec![], 10);
+    }
+
+    #[test]
+    fn spare_remap_and_resolve() {
+        let mut m = SpareMap::new(ids(0..8), ids(8..10));
+        assert_eq!(m.spares_left(), 2);
+        let spare = m.remap(SubarrayId(3)).unwrap();
+        assert_eq!(m.resolve(SubarrayId(3)), spare);
+        assert_eq!(m.resolve(SubarrayId(4)), SubarrayId(4));
+        assert_eq!(m.spares_left(), 1);
+    }
+
+    #[test]
+    fn spare_remap_errors() {
+        let mut m = SpareMap::new(ids(0..4), ids(4..5));
+        assert_eq!(
+            m.remap(SubarrayId(99)),
+            Err(RemapError::NotInRegion(SubarrayId(99)))
+        );
+        m.remap(SubarrayId(0)).unwrap();
+        assert_eq!(
+            m.remap(SubarrayId(0)),
+            Err(RemapError::AlreadyRemapped(SubarrayId(0)))
+        );
+        assert_eq!(m.remap(SubarrayId(1)), Err(RemapError::OutOfSpares));
+        assert_eq!(m.remap(SubarrayId(99)).unwrap_err().to_string(), "subarray sub99 is not in this region");
+    }
+}

@@ -1,0 +1,416 @@
+//! L1 instruction and data caches plus the MSHR front end.
+//!
+//! Table 1: both L1s are 64-KB 2-way with 32-B blocks and a 3-cycle
+//! pipelined hit; the data cache has 8 MSHRs. L1 misses are converted to
+//! the lower cache's 128-B block framing. The real CPU demand on the
+//! lower-level cache is filtered through these structures, which is the
+//! paper's argument (problem 4) that lower-level bandwidth demand is low.
+
+use crate::lower::LowerCache;
+use crate::mshr::{MshrFile, MshrOutcome};
+use crate::replacement::PolicyKind;
+use crate::setassoc::SetAssocCache;
+use simbase::rng::SimRng;
+use simbase::stats::Counter;
+use simbase::{AccessKind, Addr, BlockAddr, BlockGeometry, Capacity, Cycle};
+
+/// L1 configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct L1Params {
+    /// Capacity (64 KB in the paper).
+    pub capacity: Capacity,
+    /// Associativity (2 in the paper).
+    pub assoc: u32,
+    /// Block size in bytes (32 in the paper).
+    pub block_bytes: u64,
+    /// Hit latency in cycles (3 in the paper).
+    pub hit_latency: u64,
+    /// Number of MSHRs (8 for the data cache).
+    pub mshrs: usize,
+}
+
+impl L1Params {
+    /// The paper's L1 configuration (Table 1).
+    pub fn micro2003() -> Self {
+        L1Params {
+            capacity: Capacity::from_kib(64),
+            assoc: 2,
+            block_bytes: 32,
+            hit_latency: 3,
+            mshrs: 8,
+        }
+    }
+}
+
+/// Outcome of a data access through the L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataOutcome {
+    /// When the load value is available (or the store is complete in L1).
+    pub complete_at: Cycle,
+    /// Whether the access hit in the L1.
+    pub l1_hit: bool,
+}
+
+/// The core-side memory system: L1 I/D caches and MSHRs in front of a
+/// pluggable lower-level cache.
+///
+/// # Examples
+///
+/// ```
+/// use memsys::hierarchy::BaseHierarchy;
+/// use memsys::l1::CoreMemSystem;
+/// use simbase::{AccessKind, Addr, Cycle};
+///
+/// let mut mem = CoreMemSystem::micro2003(BaseHierarchy::micro2003());
+/// mem.data_access(Addr::new(0x1000), AccessKind::Read, Cycle::ZERO);
+/// // Same 32-B line: a 3-cycle L1 hit.
+/// let out = mem.data_access(Addr::new(0x1008), AccessKind::Read, Cycle::new(100));
+/// assert!(out.l1_hit);
+/// assert_eq!(out.complete_at, Cycle::new(103));
+/// ```
+#[derive(Debug)]
+pub struct CoreMemSystem<L> {
+    icache: SetAssocCache,
+    dcache: SetAssocCache,
+    dmshr: MshrFile,
+    lower: L,
+    l1_geom: BlockGeometry,
+    lower_geom: BlockGeometry,
+    hit_latency: u64,
+    i_accesses: Counter,
+    i_hits: Counter,
+    d_accesses: Counter,
+    d_hits: Counter,
+    d_writebacks: Counter,
+}
+
+impl<L: LowerCache> CoreMemSystem<L> {
+    /// Builds the core memory system with the paper's L1 parameters over
+    /// `lower`.
+    pub fn micro2003(lower: L) -> Self {
+        Self::new(L1Params::micro2003(), lower, SimRng::seeded(0x4c31))
+    }
+
+    /// Builds the core memory system with explicit L1 parameters.
+    pub fn new(params: L1Params, lower: L, mut rng: SimRng) -> Self {
+        let lower_block = lower.block_bytes();
+        assert!(
+            lower_block >= params.block_bytes,
+            "lower-level blocks must be at least L1-sized"
+        );
+        CoreMemSystem {
+            icache: SetAssocCache::new(
+                params.capacity,
+                params.block_bytes,
+                params.assoc,
+                PolicyKind::Lru,
+                rng.fork(1),
+            ),
+            dcache: SetAssocCache::new(
+                params.capacity,
+                params.block_bytes,
+                params.assoc,
+                PolicyKind::Lru,
+                rng.fork(2),
+            ),
+            dmshr: MshrFile::new(params.mshrs),
+            lower,
+            l1_geom: BlockGeometry::new(params.block_bytes),
+            lower_geom: BlockGeometry::new(lower_block),
+            hit_latency: params.hit_latency,
+            i_accesses: Counter::new(),
+            i_hits: Counter::new(),
+            d_accesses: Counter::new(),
+            d_hits: Counter::new(),
+            d_writebacks: Counter::new(),
+        }
+    }
+
+    /// Converts an L1 (32-B) block to the lower cache's (128-B) framing.
+    fn to_lower_block(&self, l1_block: BlockAddr) -> BlockAddr {
+        let addr = self.l1_geom.base_of(l1_block);
+        self.lower_geom.block_of(addr)
+    }
+
+    /// Instruction fetch of the block containing `pc`; returns when the
+    /// fetch completes.
+    pub fn fetch(&mut self, pc: Addr, now: Cycle) -> Cycle {
+        self.i_accesses.inc();
+        let block = self.l1_geom.block_of(pc);
+        if self.icache.access(block, AccessKind::Read).is_hit() {
+            self.i_hits.inc();
+            return now + self.hit_latency;
+        }
+        let out = self
+            .lower
+            .access(self.to_lower_block(block), AccessKind::Read, now + self.hit_latency);
+        // Instruction lines are never dirty; evictions are silent.
+        let _ = self.icache.fill(block, false);
+        out.complete_at
+    }
+
+    /// Data access (load or store) to `addr`; returns the completion time
+    /// and whether the L1 hit.
+    pub fn data_access(&mut self, addr: Addr, kind: AccessKind, now: Cycle) -> DataOutcome {
+        self.d_accesses.inc();
+        let block = self.l1_geom.block_of(addr);
+        if self.dcache.access(block, kind).is_hit() {
+            self.d_hits.inc();
+            return DataOutcome {
+                complete_at: now + self.hit_latency,
+                l1_hit: true,
+            };
+        }
+        // L1 miss: go through the MSHRs.
+        let mut issue_at = now + self.hit_latency;
+        loop {
+            match self.dmshr.on_miss(block, issue_at) {
+                MshrOutcome::Allocated => break,
+                MshrOutcome::Merged(fill_at) => {
+                    return DataOutcome {
+                        complete_at: fill_at.max(issue_at),
+                        l1_hit: false,
+                    }
+                }
+                MshrOutcome::Full(retry_at) => {
+                    // Structural stall: wait for the earliest entry.
+                    issue_at = retry_at + 1;
+                }
+            }
+        }
+        let out = self
+            .lower
+            .access(self.to_lower_block(block), kind, issue_at);
+        self.dmshr.set_fill_time(block, out.complete_at);
+        // Fill the L1 (write-allocate); spill any dirty victim.
+        if let Some(ev) = self.dcache.fill(block, kind.is_write()) {
+            if ev.dirty {
+                self.d_writebacks.inc();
+                let _ = self.lower.access(
+                    self.to_lower_block(ev.block),
+                    AccessKind::Write,
+                    out.complete_at,
+                );
+            }
+        }
+        DataOutcome {
+            complete_at: out.complete_at,
+            l1_hit: false,
+        }
+    }
+
+    /// The lower-level cache under study.
+    pub fn lower(&self) -> &L {
+        &self.lower
+    }
+
+    /// Mutable access to the lower-level cache.
+    pub fn lower_mut(&mut self) -> &mut L {
+        &mut self.lower
+    }
+
+    /// Consumes the system, returning the lower-level cache.
+    pub fn into_lower(self) -> L {
+        self.lower
+    }
+
+    /// Instruction-fetch accesses.
+    pub fn i_accesses(&self) -> u64 {
+        self.i_accesses.get()
+    }
+
+    /// Instruction-fetch L1 hits.
+    pub fn i_hits(&self) -> u64 {
+        self.i_hits.get()
+    }
+
+    /// Data accesses.
+    pub fn d_accesses(&self) -> u64 {
+        self.d_accesses.get()
+    }
+
+    /// Data L1 hits.
+    pub fn d_hits(&self) -> u64 {
+        self.d_hits.get()
+    }
+
+    /// Dirty L1 lines written back to the lower cache.
+    pub fn d_writebacks(&self) -> u64 {
+        self.d_writebacks.get()
+    }
+
+    /// Combined L1 accesses (for energy accounting).
+    pub fn l1_accesses(&self) -> u64 {
+        self.i_accesses.get() + self.d_accesses.get()
+    }
+
+    /// Zeroes the L1 counters (contents and MSHR state are kept). Used
+    /// after warm-up.
+    pub fn reset_stats(&mut self) {
+        self.i_accesses = Counter::new();
+        self.i_hits = Counter::new();
+        self.d_accesses = Counter::new();
+        self.d_hits = Counter::new();
+        self.d_writebacks = Counter::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::LowerOutcome;
+
+    /// Lower level with fixed latency that records presented accesses.
+    #[derive(Debug)]
+    struct Probe {
+        latency: u64,
+        log: Vec<(BlockAddr, AccessKind)>,
+    }
+
+    impl Probe {
+        fn new(latency: u64) -> Self {
+            Probe {
+                latency,
+                log: Vec::new(),
+            }
+        }
+    }
+
+    impl LowerCache for Probe {
+        fn access(&mut self, block: BlockAddr, kind: AccessKind, now: Cycle) -> LowerOutcome {
+            self.log.push((block, kind));
+            LowerOutcome {
+                complete_at: now + self.latency,
+                hit: true,
+            }
+        }
+        fn accesses(&self) -> u64 {
+            self.log.len() as u64
+        }
+        fn misses(&self) -> u64 {
+            0
+        }
+        fn block_bytes(&self) -> u64 {
+            128
+        }
+    }
+
+    fn sys() -> CoreMemSystem<Probe> {
+        CoreMemSystem::micro2003(Probe::new(14))
+    }
+
+    #[test]
+    fn l1_hit_is_three_cycles() {
+        let mut s = sys();
+        s.data_access(Addr::new(0x100), AccessKind::Read, Cycle::ZERO);
+        let out = s.data_access(Addr::new(0x104), AccessKind::Read, Cycle::new(10));
+        assert!(out.l1_hit, "same 32-B block must hit");
+        assert_eq!(out.complete_at, Cycle::new(13));
+        assert_eq!(s.d_hits(), 1);
+    }
+
+    #[test]
+    fn l1_miss_latency_includes_l1_lookup_plus_lower() {
+        let mut s = sys();
+        let out = s.data_access(Addr::new(0x100), AccessKind::Read, Cycle::ZERO);
+        assert!(!out.l1_hit);
+        assert_eq!(out.complete_at, Cycle::new(3 + 14));
+    }
+
+    #[test]
+    fn lower_sees_128b_blocks() {
+        let mut s = sys();
+        s.data_access(Addr::new(0x100), AccessKind::Read, Cycle::ZERO);
+        // 0x100 >> 7 == 2.
+        assert_eq!(s.lower().log[0].0, BlockAddr::from_index(2));
+    }
+
+    #[test]
+    fn adjacent_l1_blocks_in_same_lower_block_are_separate_misses() {
+        let mut s = sys();
+        s.data_access(Addr::new(0x100), AccessKind::Read, Cycle::ZERO);
+        s.data_access(Addr::new(0x120), AccessKind::Read, Cycle::new(100));
+        assert_eq!(s.lower().accesses(), 2, "32-B framing, no spatial merge");
+    }
+
+    #[test]
+    fn merged_miss_does_not_reaccess_lower() {
+        let mut s = sys();
+        // Two accesses to the same L1 block back-to-back: the second merges
+        // into the first's MSHR entry (the first has not filled yet at t=1).
+        s.data_access(Addr::new(0x100), AccessKind::Read, Cycle::ZERO);
+        let out = s.data_access(Addr::new(0x100), AccessKind::Read, Cycle::new(1));
+        // L1 fill already happened in this simplified model, so the second
+        // access hits in L1 instead; either way lower sees one access.
+        assert_eq!(s.lower().accesses(), 1);
+        assert!(out.complete_at.raw() <= 17);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut s = sys();
+        // 64KB 2-way 32B: 1024 sets. Write a block, then evict it with two
+        // conflicting fills.
+        let stride = 1024 * 32;
+        s.data_access(Addr::new(0x40), AccessKind::Write, Cycle::ZERO);
+        s.data_access(Addr::new(0x40 + stride), AccessKind::Read, Cycle::new(100));
+        s.data_access(Addr::new(0x40 + 2 * stride), AccessKind::Read, Cycle::new(200));
+        assert_eq!(s.d_writebacks(), 1);
+        assert!(
+            s.lower().log.iter().any(|&(_, k)| k.is_write()),
+            "writeback must reach the lower cache as a write"
+        );
+    }
+
+    #[test]
+    fn fetch_hits_after_first_fill() {
+        let mut s = sys();
+        let t1 = s.fetch(Addr::new(0x2000), Cycle::ZERO);
+        assert_eq!(t1, Cycle::new(17));
+        let t2 = s.fetch(Addr::new(0x2004), Cycle::new(20));
+        assert_eq!(t2, Cycle::new(23), "same line: 3-cycle hit");
+        assert_eq!(s.i_hits(), 1);
+        assert_eq!(s.i_accesses(), 2);
+    }
+
+    #[test]
+    fn icache_and_dcache_are_independent() {
+        let mut s = sys();
+        s.fetch(Addr::new(0x3000), Cycle::ZERO);
+        let out = s.data_access(Addr::new(0x3000), AccessKind::Read, Cycle::new(50));
+        assert!(!out.l1_hit, "I-fill must not warm the D-cache");
+    }
+
+    #[test]
+    fn l1_accesses_sums_both_sides() {
+        let mut s = sys();
+        s.fetch(Addr::new(0), Cycle::ZERO);
+        s.data_access(Addr::new(0), AccessKind::Read, Cycle::ZERO);
+        assert_eq!(s.l1_accesses(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least L1-sized")]
+    fn lower_blocks_must_cover_l1_blocks() {
+        #[derive(Debug)]
+        struct Tiny;
+        impl LowerCache for Tiny {
+            fn access(&mut self, _b: BlockAddr, _k: AccessKind, now: Cycle) -> LowerOutcome {
+                LowerOutcome {
+                    complete_at: now,
+                    hit: true,
+                }
+            }
+            fn accesses(&self) -> u64 {
+                0
+            }
+            fn misses(&self) -> u64 {
+                0
+            }
+            fn block_bytes(&self) -> u64 {
+                16
+            }
+        }
+        let _ = CoreMemSystem::new(L1Params::micro2003(), Tiny, SimRng::seeded(0));
+    }
+}

@@ -1,0 +1,104 @@
+//! The seam between the core-side memory system and the lower-level cache
+//! under study.
+//!
+//! The paper evaluates three lower-level organizations behind identical
+//! L1s: the conventional L2/L3 hierarchy (base case), D-NUCA, and
+//! NuRAPID. All three implement [`LowerCache`] so the same CPU model
+//! drives each one.
+
+use simbase::{AccessKind, BlockAddr, Cycle};
+
+/// Result of a lower-level cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerOutcome {
+    /// When the requested block is available at the L1 fill port.
+    pub complete_at: Cycle,
+    /// Whether the access hit somewhere on chip (any level below L1).
+    pub hit: bool,
+}
+
+/// A lower-level cache organization (everything between the L1s and main
+/// memory).
+pub trait LowerCache {
+    /// Performs an access to `block` (in the lower cache's own block
+    /// framing) starting at `now`, returning when it completes.
+    fn access(&mut self, block: BlockAddr, kind: AccessKind, now: Cycle) -> LowerOutcome;
+
+    /// Total accesses presented to this cache.
+    fn accesses(&self) -> u64;
+
+    /// Accesses that missed on chip and went to memory.
+    fn misses(&self) -> u64;
+
+    /// Block size of this cache in bytes.
+    fn block_bytes(&self) -> u64;
+
+    /// Miss ratio (0.0 when no accesses have occurred).
+    fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial LowerCache for exercising the trait's provided methods.
+    struct Fixed {
+        accesses: u64,
+        misses: u64,
+    }
+
+    impl LowerCache for Fixed {
+        fn access(&mut self, _block: BlockAddr, _kind: AccessKind, now: Cycle) -> LowerOutcome {
+            self.accesses += 1;
+            LowerOutcome {
+                complete_at: now + 10,
+                hit: true,
+            }
+        }
+        fn accesses(&self) -> u64 {
+            self.accesses
+        }
+        fn misses(&self) -> u64 {
+            self.misses
+        }
+        fn block_bytes(&self) -> u64 {
+            128
+        }
+    }
+
+    #[test]
+    fn miss_ratio_handles_zero_accesses() {
+        let f = Fixed {
+            accesses: 0,
+            misses: 0,
+        };
+        assert_eq!(f.miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_divides() {
+        let f = Fixed {
+            accesses: 8,
+            misses: 2,
+        };
+        assert_eq!(f.miss_ratio(), 0.25);
+    }
+
+    #[test]
+    fn access_advances_counters() {
+        let mut f = Fixed {
+            accesses: 0,
+            misses: 0,
+        };
+        let out = f.access(BlockAddr::from_index(1), AccessKind::Read, Cycle::new(5));
+        assert_eq!(out.complete_at, Cycle::new(15));
+        assert!(out.hit);
+        assert_eq!(f.accesses(), 1);
+    }
+}

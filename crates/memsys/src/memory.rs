@@ -1,0 +1,125 @@
+//! Main-memory model.
+//!
+//! Table 1: memory latency is 130 cycles plus 4 cycles per 8 bytes
+//! transferred. For the evaluation's 128-B blocks that is 130 + 64 = 194
+//! cycles per block fill. A single channel serializes transfers, so
+//! back-to-back misses queue behind one another's burst.
+
+use simbase::stats::Counter;
+use simbase::{Cycle, EnergyNj};
+
+/// The off-chip memory channel.
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    base_latency: u64,
+    cycles_per_8b: u64,
+    channel_free_at: Cycle,
+    accesses: Counter,
+    busy_cycles: u64,
+}
+
+impl MainMemory {
+    /// The paper's memory: 130 cycles + 4 cycles per 8 bytes.
+    pub fn micro2003() -> Self {
+        Self::new(130, 4)
+    }
+
+    /// Creates a memory with explicit latency parameters.
+    pub fn new(base_latency: u64, cycles_per_8b: u64) -> Self {
+        MainMemory {
+            base_latency,
+            cycles_per_8b,
+            channel_free_at: Cycle::ZERO,
+            accesses: Counter::new(),
+            busy_cycles: 0,
+        }
+    }
+
+    /// Latency in cycles to transfer `bytes` once the channel is free.
+    pub fn transfer_latency(&self, bytes: u64) -> u64 {
+        self.base_latency + self.cycles_per_8b * bytes.div_ceil(8)
+    }
+
+    /// Requests a `bytes`-sized transfer at `now`; returns the completion
+    /// time, accounting for channel contention.
+    pub fn access(&mut self, bytes: u64, now: Cycle) -> Cycle {
+        self.accesses.inc();
+        let start = now.max(self.channel_free_at);
+        let burst = self.cycles_per_8b * bytes.div_ceil(8);
+        let done = start + self.base_latency + burst;
+        // The channel is occupied for the burst portion only; the access
+        // latency (row activation etc.) overlaps with other requests.
+        self.channel_free_at = start + burst;
+        self.busy_cycles += burst;
+        done
+    }
+
+    /// Total accesses served.
+    pub fn accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    /// Zeroes the access and busy counters (channel timing state is kept).
+    pub fn reset_counters(&mut self) {
+        self.accesses = Counter::new();
+        self.busy_cycles = 0;
+    }
+
+    /// Total cycles the channel spent bursting data.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Energy of one off-chip block transfer (DRAM access estimate; the
+    /// paper reports cache energy, memory energy only matters for the
+    /// full-processor energy-delay figure).
+    pub fn access_energy(&self) -> EnergyNj {
+        EnergyNj::new(30.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_block_fill_is_194_cycles() {
+        let m = MainMemory::micro2003();
+        assert_eq!(m.transfer_latency(128), 194);
+        assert_eq!(m.transfer_latency(8), 134);
+    }
+
+    #[test]
+    fn uncontended_access_completes_at_now_plus_latency() {
+        let mut m = MainMemory::micro2003();
+        let done = m.access(128, Cycle::new(10));
+        assert_eq!(done, Cycle::new(10 + 194));
+        assert_eq!(m.accesses(), 1);
+    }
+
+    #[test]
+    fn back_to_back_bursts_queue() {
+        let mut m = MainMemory::micro2003();
+        let d1 = m.access(128, Cycle::new(0));
+        let d2 = m.access(128, Cycle::new(0));
+        assert_eq!(d1, Cycle::new(194));
+        // Second access starts its burst after the first burst (64 cycles).
+        assert_eq!(d2, Cycle::new(64 + 194));
+        assert_eq!(m.busy_cycles(), 128);
+    }
+
+    #[test]
+    fn idle_channel_does_not_delay_later_access() {
+        let mut m = MainMemory::micro2003();
+        m.access(128, Cycle::new(0));
+        let d = m.access(128, Cycle::new(10_000));
+        assert_eq!(d, Cycle::new(10_000 + 194));
+    }
+
+    #[test]
+    fn partial_words_round_up() {
+        let m = MainMemory::micro2003();
+        assert_eq!(m.transfer_latency(1), 134);
+        assert_eq!(m.transfer_latency(9), 138);
+    }
+}

@@ -1,0 +1,243 @@
+//! Replacement policies for set-associative structures.
+//!
+//! The paper uses true LRU for *data replacement* (choosing the block to
+//! evict from a set, Section 2.4.2) and notes that true LRU over thousands
+//! of frames is impractical for *distance replacement*, motivating random
+//! selection with promotion to compensate. This module provides the
+//! per-set policies (true LRU, tree pseudo-LRU, random); the d-group-scale
+//! victim selectors live with the NuRAPID cache itself.
+
+use simbase::rng::SimRng;
+
+/// Which victim-selection policy a [`SetPolicy`] applies within a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// True least-recently-used: O(assoc) state per set.
+    Lru,
+    /// Tree pseudo-LRU: one bit per internal node, O(assoc) bits total.
+    /// Requires power-of-two associativity.
+    TreePlru,
+    /// Uniform random victim.
+    Random,
+}
+
+/// Per-set replacement state for a cache with fixed associativity.
+#[derive(Debug, Clone)]
+pub enum SetPolicy {
+    /// Recency order per set: `order[set]` lists ways from MRU to LRU.
+    Lru { order: Vec<Vec<u8>> },
+    /// PLRU tree bits per set (assoc-1 bits packed into a u32).
+    TreePlru { bits: Vec<u32>, assoc: u32 },
+    /// Random selection with a deterministic stream.
+    Random { rng: SimRng, assoc: u32 },
+}
+
+impl SetPolicy {
+    /// Creates policy state for `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc` is 0, exceeds 255, or (for [`PolicyKind::TreePlru`])
+    /// is not a power of two.
+    pub fn new(kind: PolicyKind, sets: usize, assoc: u32, rng: SimRng) -> Self {
+        assert!(assoc > 0 && assoc <= 255, "associativity {assoc} out of range");
+        match kind {
+            PolicyKind::Lru => SetPolicy::Lru {
+                order: (0..sets)
+                    .map(|_| (0..assoc as u8).collect())
+                    .collect(),
+            },
+            PolicyKind::TreePlru => {
+                assert!(
+                    assoc.is_power_of_two(),
+                    "tree PLRU requires power-of-two associativity, got {assoc}"
+                );
+                SetPolicy::TreePlru {
+                    bits: vec![0; sets],
+                    assoc,
+                }
+            }
+            PolicyKind::Random => SetPolicy::Random { rng, assoc },
+        }
+    }
+
+    /// Records a use of `way` in `set` (moves it to MRU).
+    pub fn touch(&mut self, set: usize, way: u32) {
+        match self {
+            SetPolicy::Lru { order } => {
+                let o = &mut order[set];
+                let pos = o
+                    .iter()
+                    .position(|&w| w as u32 == way)
+                    .expect("way must exist in LRU order");
+                let w = o.remove(pos);
+                o.insert(0, w);
+            }
+            SetPolicy::TreePlru { bits, assoc } => {
+                // Walk from root to the leaf for `way`, setting each bit to
+                // point *away* from the touched way.
+                let mut node = 0u32; // index within the implicit tree
+                let mut lo = 0u32;
+                let mut hi = *assoc;
+                let b = &mut bits[set];
+                // Bit convention: 1 means the next victim lies in the LEFT
+                // subtree, 0 means the RIGHT subtree.
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if way < mid {
+                        *b &= !(1 << node); // touched left -> victim right
+                        hi = mid;
+                        node = 2 * node + 1;
+                    } else {
+                        *b |= 1 << node; // touched right -> victim left
+                        lo = mid;
+                        node = 2 * node + 2;
+                    }
+                }
+            }
+            SetPolicy::Random { .. } => {}
+        }
+    }
+
+    /// Chooses a victim way in `set` without updating recency state.
+    pub fn victim(&mut self, set: usize) -> u32 {
+        match self {
+            SetPolicy::Lru { order } => *order[set].last().expect("non-empty set") as u32,
+            SetPolicy::TreePlru { bits, assoc } => {
+                let mut node = 0u32;
+                let mut lo = 0u32;
+                let mut hi = *assoc;
+                let b = bits[set];
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if b & (1 << node) != 0 {
+                        hi = mid;
+                        node = 2 * node + 1;
+                    } else {
+                        lo = mid;
+                        node = 2 * node + 2;
+                    }
+                }
+                lo
+            }
+            SetPolicy::Random { rng, assoc } => rng.below(*assoc as u64) as u32,
+        }
+    }
+
+    /// True-LRU position of `way` within `set` (0 = MRU); only meaningful
+    /// for [`PolicyKind::Lru`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-LRU policies.
+    pub fn lru_position(&self, set: usize, way: u32) -> usize {
+        match self {
+            SetPolicy::Lru { order } => order[set]
+                .iter()
+                .position(|&w| w as u32 == way)
+                .expect("way must exist"),
+            _ => panic!("lru_position is only defined for the LRU policy"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seeded(1)
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut p = SetPolicy::new(PolicyKind::Lru, 1, 4, rng());
+        // Touch 0,1,2,3 in order: LRU is 0.
+        for w in 0..4 {
+            p.touch(0, w);
+        }
+        assert_eq!(p.victim(0), 0);
+        p.touch(0, 0);
+        assert_eq!(p.victim(0), 1);
+    }
+
+    #[test]
+    fn lru_positions_track_recency() {
+        let mut p = SetPolicy::new(PolicyKind::Lru, 1, 4, rng());
+        for w in [2u32, 0, 3] {
+            p.touch(0, w);
+        }
+        assert_eq!(p.lru_position(0, 3), 0);
+        assert_eq!(p.lru_position(0, 0), 1);
+        assert_eq!(p.lru_position(0, 2), 2);
+        assert_eq!(p.lru_position(0, 1), 3);
+    }
+
+    #[test]
+    fn lru_sets_are_independent() {
+        let mut p = SetPolicy::new(PolicyKind::Lru, 2, 2, rng());
+        p.touch(0, 1);
+        assert_eq!(p.victim(0), 0);
+        assert_eq!(p.victim(1), 1, "set 1 untouched: initial order preserved");
+    }
+
+    #[test]
+    fn tree_plru_never_evicts_most_recent() {
+        let mut p = SetPolicy::new(PolicyKind::TreePlru, 1, 8, rng());
+        for w in 0..8u32 {
+            p.touch(0, w);
+            assert_ne!(p.victim(0), w, "PLRU must not pick the way just touched");
+        }
+    }
+
+    #[test]
+    fn tree_plru_cycles_through_ways() {
+        // Repeatedly touch the victim: every way must eventually be chosen.
+        let mut p = SetPolicy::new(PolicyKind::TreePlru, 1, 4, rng());
+        let mut seen = [false; 4];
+        for _ in 0..16 {
+            let v = p.victim(0);
+            seen[v as usize] = true;
+            p.touch(0, v);
+        }
+        assert!(seen.iter().all(|&s| s), "seen={seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn tree_plru_rejects_non_power_of_two() {
+        let _ = SetPolicy::new(PolicyKind::TreePlru, 1, 6, rng());
+    }
+
+    #[test]
+    fn random_victims_cover_all_ways() {
+        let mut p = SetPolicy::new(PolicyKind::Random, 1, 4, rng());
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[p.victim(0) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_is_deterministic_given_seed() {
+        let mut a = SetPolicy::new(PolicyKind::Random, 1, 8, SimRng::seeded(9));
+        let mut b = SetPolicy::new(PolicyKind::Random, 1, 8, SimRng::seeded(9));
+        for _ in 0..50 {
+            assert_eq!(a.victim(0), b.victim(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only defined for the LRU policy")]
+    fn lru_position_panics_for_random() {
+        let p = SetPolicy::new(PolicyKind::Random, 1, 4, rng());
+        let _ = p.lru_position(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_assoc_panics() {
+        let _ = SetPolicy::new(PolicyKind::Lru, 1, 0, rng());
+    }
+}

@@ -1,0 +1,357 @@
+//! A generic set-associative cache tag store.
+//!
+//! Used directly for the L1s and the conventional L2/L3, and as the
+//! centralized tag array of NuRAPID (which extends each entry with a
+//! forward pointer) and the per-bank tag arrays of D-NUCA.
+
+use crate::replacement::{PolicyKind, SetPolicy};
+use simbase::rng::SimRng;
+use simbase::{AccessKind, BlockAddr, Capacity};
+
+/// Location of a block within the cache: `(set, way)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WayRef {
+    /// Set index.
+    pub set: usize,
+    /// Way within the set.
+    pub way: u32,
+}
+
+/// Result of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The block is present at this location.
+    Hit(WayRef),
+    /// The block is absent.
+    Miss,
+}
+
+impl Lookup {
+    /// True for [`Lookup::Hit`].
+    pub const fn is_hit(self) -> bool {
+        matches!(self, Lookup::Hit(_))
+    }
+}
+
+/// A block displaced by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The displaced block.
+    pub block: BlockAddr,
+    /// Whether the displaced block was dirty (needs writeback).
+    pub dirty: bool,
+    /// Where the displaced block lived.
+    pub from: WayRef,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    block: BlockAddr,
+    valid: bool,
+    dirty: bool,
+}
+
+const INVALID: Line = Line {
+    block: BlockAddr::from_index(u64::MAX),
+    valid: false,
+    dirty: false,
+};
+
+/// A set-associative cache directory with writeback dirty tracking.
+///
+/// This structure tracks *presence* (tags), not data contents or timing;
+/// timing is layered on by the owning cache model.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    lines: Vec<Line>, // sets * assoc, row-major by set
+    policy: SetPolicy,
+    sets: usize,
+    assoc: u32,
+}
+
+impl SetAssocCache {
+    /// Builds a cache directory of `capacity` with `block_bytes` blocks and
+    /// `assoc` ways, using `policy` for victim selection within sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible into
+    /// a power-of-two number of sets).
+    pub fn new(
+        capacity: Capacity,
+        block_bytes: u64,
+        assoc: u32,
+        policy: PolicyKind,
+        rng: SimRng,
+    ) -> Self {
+        assert!(assoc > 0, "associativity must be positive");
+        let blocks = capacity.bytes() / block_bytes;
+        assert!(
+            blocks.is_multiple_of(assoc as u64),
+            "capacity must divide into whole sets"
+        );
+        let sets = (blocks / assoc as u64) as usize;
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
+        SetAssocCache {
+            lines: vec![INVALID; sets * assoc as usize],
+            policy: SetPolicy::new(policy, sets, assoc, rng),
+            sets,
+            assoc,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Set index for `block`.
+    pub fn set_of(&self, block: BlockAddr) -> usize {
+        (block.index() % self.sets as u64) as usize
+    }
+
+    fn line(&self, r: WayRef) -> &Line {
+        &self.lines[r.set * self.assoc as usize + r.way as usize]
+    }
+
+    fn line_mut(&mut self, r: WayRef) -> &mut Line {
+        &mut self.lines[r.set * self.assoc as usize + r.way as usize]
+    }
+
+    /// Looks up `block` without changing any state (a pure probe).
+    pub fn probe(&self, block: BlockAddr) -> Lookup {
+        let set = self.set_of(block);
+        for way in 0..self.assoc {
+            let l = self.line(WayRef { set, way });
+            if l.valid && l.block == block {
+                return Lookup::Hit(WayRef { set, way });
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// Looks up `block`; on a hit, updates recency and (for writes) the
+    /// dirty bit.
+    pub fn access(&mut self, block: BlockAddr, kind: AccessKind) -> Lookup {
+        match self.probe(block) {
+            Lookup::Hit(r) => {
+                self.policy.touch(r.set, r.way);
+                if kind.is_write() {
+                    self.line_mut(r).dirty = true;
+                }
+                Lookup::Hit(r)
+            }
+            Lookup::Miss => Lookup::Miss,
+        }
+    }
+
+    /// Fills `block` into its set, evicting a victim if the set is full.
+    /// The filled block becomes MRU; `dirty` seeds its dirty bit
+    /// (write-allocate stores fill dirty).
+    ///
+    /// Returns the eviction, if any. Filling a block that is already
+    /// present is a logic error and panics.
+    pub fn fill(&mut self, block: BlockAddr, dirty: bool) -> Option<Eviction> {
+        assert!(
+            !self.probe(block).is_hit(),
+            "fill of already-present block {block}"
+        );
+        let set = self.set_of(block);
+        // Prefer an invalid way.
+        let mut target = None;
+        for way in 0..self.assoc {
+            if !self.line(WayRef { set, way }).valid {
+                target = Some(WayRef { set, way });
+                break;
+            }
+        }
+        let (r, evicted) = match target {
+            Some(r) => (r, None),
+            None => {
+                let way = self.policy.victim(set);
+                let r = WayRef { set, way };
+                let old = *self.line(r);
+                (
+                    r,
+                    Some(Eviction {
+                        block: old.block,
+                        dirty: old.dirty,
+                        from: r,
+                    }),
+                )
+            }
+        };
+        *self.line_mut(r) = Line {
+            block,
+            valid: true,
+            dirty,
+        };
+        self.policy.touch(r.set, r.way);
+        evicted
+    }
+
+    /// Invalidates `block` if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<bool> {
+        match self.probe(block) {
+            Lookup::Hit(r) => {
+                let dirty = self.line(r).dirty;
+                *self.line_mut(r) = INVALID;
+                Some(dirty)
+            }
+            Lookup::Miss => None,
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// The block resident at `r`, if any.
+    pub fn block_at(&self, r: WayRef) -> Option<BlockAddr> {
+        let l = self.line(r);
+        l.valid.then_some(l.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(cap_kib: u64, assoc: u32) -> SetAssocCache {
+        SetAssocCache::new(
+            Capacity::from_kib(cap_kib),
+            64,
+            assoc,
+            PolicyKind::Lru,
+            SimRng::seeded(1),
+        )
+    }
+
+    fn blk(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = cache(64, 2); // 64KB / 64B / 2-way = 512 sets
+        assert_eq!(c.sets(), 512);
+        assert_eq!(c.assoc(), 2);
+        assert_eq!(c.set_of(blk(513)), 1);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = cache(64, 2);
+        assert_eq!(c.access(blk(7), AccessKind::Read), Lookup::Miss);
+        assert_eq!(c.fill(blk(7), false), None);
+        assert!(c.access(blk(7), AccessKind::Read).is_hit());
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn conflicting_fills_evict_lru() {
+        let mut c = cache(64, 2);
+        let s = c.sets() as u64;
+        // Three blocks in the same set of a 2-way cache.
+        c.fill(blk(0), false);
+        c.fill(blk(s), false);
+        c.access(blk(0), AccessKind::Read); // 0 becomes MRU; LRU is s
+        let ev = c.fill(blk(2 * s), false).expect("must evict");
+        assert_eq!(ev.block, blk(s));
+        assert!(!ev.dirty);
+        assert!(c.probe(blk(0)).is_hit());
+        assert!(!c.probe(blk(s)).is_hit());
+    }
+
+    #[test]
+    fn write_sets_dirty_and_eviction_reports_it() {
+        let mut c = cache(64, 2);
+        let s = c.sets() as u64;
+        c.fill(blk(0), false);
+        c.access(blk(0), AccessKind::Write);
+        c.fill(blk(s), false);
+        c.access(blk(s), AccessKind::Read); // 0 is LRU now
+        let ev = c.fill(blk(2 * s), false).expect("evicts block 0");
+        assert_eq!(ev.block, blk(0));
+        assert!(ev.dirty, "written block must evict dirty");
+    }
+
+    #[test]
+    fn fill_dirty_seeds_dirty_bit() {
+        let mut c = cache(64, 2);
+        c.fill(blk(0), true);
+        assert_eq!(c.invalidate(blk(0)), Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "already-present")]
+    fn double_fill_panics() {
+        let mut c = cache(64, 2);
+        c.fill(blk(1), false);
+        c.fill(blk(1), false);
+    }
+
+    #[test]
+    fn invalidate_returns_dirtiness() {
+        let mut c = cache(64, 2);
+        c.fill(blk(3), true);
+        assert_eq!(c.invalidate(blk(3)), Some(true));
+        assert_eq!(c.invalidate(blk(3)), None);
+        assert!(!c.probe(blk(3)).is_hit());
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_recency() {
+        let mut c = cache(64, 2);
+        let s = c.sets() as u64;
+        c.fill(blk(0), false);
+        c.fill(blk(s), false); // LRU = 0
+        let _ = c.probe(blk(0)); // pure probe: 0 stays LRU
+        let ev = c.fill(blk(2 * s), false).unwrap();
+        assert_eq!(ev.block, blk(0));
+    }
+
+    #[test]
+    fn block_at_reports_contents() {
+        let mut c = cache(64, 2);
+        c.fill(blk(9), false);
+        let r = match c.probe(blk(9)) {
+            Lookup::Hit(r) => r,
+            Lookup::Miss => panic!("expected hit"),
+        };
+        assert_eq!(c.block_at(r), Some(blk(9)));
+        assert_eq!(c.block_at(WayRef { set: r.set, way: 1 - r.way }), None);
+    }
+
+    #[test]
+    fn fills_prefer_invalid_ways() {
+        let mut c = cache(64, 4);
+        let s = c.sets() as u64;
+        for i in 0..4 {
+            assert_eq!(c.fill(blk(i * s), false), None, "way {i} should be free");
+        }
+        assert!(c.fill(blk(4 * s), false).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = SetAssocCache::new(
+            Capacity::from_bytes(3 * 64 * 2),
+            64,
+            2,
+            PolicyKind::Lru,
+            SimRng::seeded(1),
+        );
+    }
+}

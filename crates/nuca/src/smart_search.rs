@@ -1,0 +1,177 @@
+//! The smart-search (ss) array: partial tags cached near the core.
+//!
+//! D-NUCA's ss policies keep the 7 *least-significant* tag bits of every
+//! block in a small array by the processor (Section 4: "We use the least
+//! significant tag bits to decrease the probability of false hits").
+//! A lookup compares the requested block's partial tag against all ways of
+//! its set: matching positions are candidates (possibly false hits); no
+//! match anywhere guarantees a miss, which lets ss-performance start the
+//! memory access early.
+
+use simbase::BlockAddr;
+
+/// Number of partial-tag bits cached per block (paper Section 4).
+pub const PARTIAL_TAG_BITS: u32 = 7;
+
+/// The smart-search array for one cache: `sets × ways` 7-bit partial tags.
+#[derive(Debug, Clone)]
+pub struct SmartSearchArray {
+    tags: Vec<u8>, // sets * ways
+    valid: Vec<bool>,
+    sets: usize,
+    ways: u32,
+    set_bits: u32,
+}
+
+impl SmartSearchArray {
+    /// Creates an array for `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: u32) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        SmartSearchArray {
+            tags: vec![0; sets * ways as usize],
+            valid: vec![false; sets * ways as usize],
+            sets,
+            ways,
+            set_bits: sets.trailing_zeros(),
+        }
+    }
+
+    /// The partial tag of `block`: its least-significant tag bits (the
+    /// bits just above the set index).
+    pub fn partial_tag(&self, block: BlockAddr) -> u8 {
+        ((block.index() >> self.set_bits) & ((1 << PARTIAL_TAG_BITS) - 1)) as u8
+    }
+
+    /// Set index of `block`.
+    pub fn set_of(&self, block: BlockAddr) -> usize {
+        (block.index() % self.sets as u64) as usize
+    }
+
+    fn idx(&self, set: usize, way: u32) -> usize {
+        set * self.ways as usize + way as usize
+    }
+
+    /// Looks up `block`: returns the ways whose partial tags match
+    /// (candidate locations; a superset of the true location).
+    pub fn lookup(&self, block: BlockAddr) -> Vec<u32> {
+        let set = self.set_of(block);
+        let pt = self.partial_tag(block);
+        (0..self.ways)
+            .filter(|&w| {
+                let i = self.idx(set, w);
+                self.valid[i] && self.tags[i] == pt
+            })
+            .collect()
+    }
+
+    /// Records `block` as resident in `way` of its set.
+    pub fn insert(&mut self, block: BlockAddr, way: u32) {
+        let set = self.set_of(block);
+        let pt = self.partial_tag(block);
+        let i = self.idx(set, way);
+        self.tags[i] = pt;
+        self.valid[i] = true;
+    }
+
+    /// Invalidates `way` of `block`'s set.
+    pub fn invalidate(&mut self, block: BlockAddr, way: u32) {
+        let set = self.set_of(block);
+        let i = self.idx(set, way);
+        self.valid[i] = false;
+    }
+
+    /// Swaps the recorded contents of two ways of `block`'s set (mirrors a
+    /// bubble swap in the banks).
+    pub fn swap(&mut self, block: BlockAddr, way_a: u32, way_b: u32) {
+        let set = self.set_of(block);
+        let (a, b) = (self.idx(set, way_a), self.idx(set, way_b));
+        self.tags.swap(a, b);
+        self.valid.swap(a, b);
+    }
+
+    /// Total storage in bits (the paper's 7 bits per block).
+    pub fn storage_bits(&self) -> u64 {
+        self.tags.len() as u64 * PARTIAL_TAG_BITS as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn resident_block_is_always_a_candidate() {
+        let mut s = SmartSearchArray::new(16, 4);
+        s.insert(blk(0x123), 2);
+        assert!(s.lookup(blk(0x123)).contains(&2));
+    }
+
+    #[test]
+    fn empty_array_reports_no_candidates() {
+        let s = SmartSearchArray::new(16, 4);
+        assert!(s.lookup(blk(99)).is_empty());
+    }
+
+    #[test]
+    fn false_hits_happen_when_partial_tags_collide() {
+        let mut s = SmartSearchArray::new(16, 4);
+        // Two blocks in the same set whose tags agree in the low 7 bits:
+        // tag differs only above bit 7.
+        let a = blk(5); // set 5, tag 0
+        let b = blk(5 + 16 * (1 << PARTIAL_TAG_BITS) as u64); // same set, same partial tag
+        assert_eq!(s.partial_tag(a), s.partial_tag(b));
+        s.insert(a, 0);
+        // Looking up b finds way 0 as a (false) candidate.
+        assert_eq!(s.lookup(b), vec![0]);
+    }
+
+    #[test]
+    fn different_partial_tags_do_not_collide() {
+        let mut s = SmartSearchArray::new(16, 4);
+        let a = blk(5);
+        let c = blk(5 + 16); // same set, partial tag 1
+        assert_ne!(s.partial_tag(a), s.partial_tag(c));
+        s.insert(a, 0);
+        assert!(s.lookup(c).is_empty());
+    }
+
+    #[test]
+    fn invalidate_removes_candidate() {
+        let mut s = SmartSearchArray::new(16, 4);
+        s.insert(blk(7), 1);
+        s.invalidate(blk(7), 1);
+        assert!(s.lookup(blk(7)).is_empty());
+    }
+
+    #[test]
+    fn swap_mirrors_bank_movement() {
+        let mut s = SmartSearchArray::new(16, 4);
+        s.insert(blk(3), 3);
+        s.swap(blk(3), 3, 0);
+        assert_eq!(s.lookup(blk(3)), vec![0]);
+    }
+
+    #[test]
+    fn storage_matches_seven_bits_per_block() {
+        // The paper's 8-MB/128-B/16-way cache: 4096 sets x 16 ways x 7 bits
+        // = 56 KB of partial tags.
+        let s = SmartSearchArray::new(4096, 16);
+        assert_eq!(s.storage_bits(), 4096 * 16 * 7);
+        assert_eq!(s.storage_bits() / 8 / 1024, 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = SmartSearchArray::new(10, 4);
+    }
+}

@@ -1,0 +1,447 @@
+//! The set-associative-placement ablation (paper Figure 4).
+//!
+//! Section 5.2.1 compares decoupled distance-associative placement against
+//! a non-uniform cache whose data placement is *coupled* to tag placement:
+//! each way of a set maps to a fixed d-group (an 8-way cache over 4
+//! d-groups has exactly 2 ways of every set in each d-group). To isolate
+//! the placement effect, this cache uses the same initial-placement
+//! (fastest first), demotion, and next-fastest promotion machinery as
+//! NuRAPID — but every movement is confined to the blocks of one set, as
+//! in D-NUCA's bubble replacement with fastest-first initial placement.
+
+use crate::port::PortSchedule;
+use crate::stats::NuRapidStats;
+use cachemodel::catalog::{NuRapidGeometry, BLOCK_BYTES};
+use memsys::lower::{LowerCache, LowerOutcome};
+use memsys::memory::MainMemory;
+use simbase::{AccessKind, BlockAddr, Capacity, Cycle};
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    block: BlockAddr,
+    dirty: bool,
+    valid: bool,
+    /// Recency stamp for set-wide LRU data replacement.
+    last_use: u64,
+}
+
+const EMPTY: Slot = Slot {
+    block: BlockAddr::from_index(u64::MAX),
+    dirty: false,
+    valid: false,
+    last_use: 0,
+};
+
+/// A non-uniform cache with set-associative (coupled) placement.
+///
+/// Slot `s` of every set lives in d-group `s / (assoc / n_dgroups)`;
+/// moving a block between d-groups means moving it between slots of its
+/// own set.
+#[derive(Debug)]
+pub struct CoupledCache {
+    slots: Vec<Slot>, // sets * assoc
+    sets: usize,
+    assoc: u32,
+    ways_per_group: u32,
+    geo: NuRapidGeometry,
+    memory: MainMemory,
+    stats: NuRapidStats,
+    port: PortSchedule,
+    use_clock: u64,
+}
+
+impl CoupledCache {
+    /// Builds the Figure 4 comparison cache: same geometry as the
+    /// corresponding NuRAPID (8 MB, 8-way, `n_dgroups` d-groups at the
+    /// paper's configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_dgroups` does not divide the associativity.
+    pub fn micro2003(n_dgroups: usize) -> Self {
+        Self::new(Capacity::from_mib(8), 8, n_dgroups)
+    }
+
+    /// Builds a coupled-placement cache with explicit parameters.
+    pub fn new(capacity: Capacity, assoc: u32, n_dgroups: usize) -> Self {
+        assert!(
+            n_dgroups > 0 && (assoc as usize).is_multiple_of(n_dgroups),
+            "{n_dgroups} d-groups must divide {assoc} ways"
+        );
+        let geo = NuRapidGeometry::new(
+            cachemodel::Tech::micro2003_70nm(),
+            capacity,
+            assoc,
+            n_dgroups,
+        );
+        let blocks = capacity.bytes() / BLOCK_BYTES;
+        let sets = (blocks / assoc as u64) as usize;
+        CoupledCache {
+            slots: vec![EMPTY; sets * assoc as usize],
+            sets,
+            assoc,
+            ways_per_group: assoc / n_dgroups as u32,
+            geo,
+            memory: MainMemory::micro2003(),
+            stats: NuRapidStats::new(n_dgroups),
+            port: PortSchedule::new(),
+            use_clock: 0,
+        }
+    }
+
+    /// Accumulated statistics (same shape as NuRAPID's for Figure 4).
+    pub fn stats(&self) -> &NuRapidStats {
+        &self.stats
+    }
+
+    /// Zeroes the statistics (cache contents are kept); see
+    /// [`crate::cache::NuRapidCache::reset_stats`].
+    pub fn reset_stats(&mut self) {
+        let n = self.stats.n_dgroups();
+        self.stats = NuRapidStats::new(n);
+    }
+
+    /// The physical geometry.
+    pub fn geometry(&self) -> &NuRapidGeometry {
+        &self.geo
+    }
+
+    /// Fills every slot with placeholder blocks (steady-state occupancy);
+    /// see [`crate::cache::NuRapidCache::prefill`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is not empty.
+    pub fn prefill(&mut self) {
+        let sets = self.sets as u64;
+        // Reserved region, rounded to a multiple of the set count so each
+        // placeholder lands in its intended set.
+        let base = (u64::MAX / 256) / sets * sets;
+        for set in 0..self.sets {
+            for w in 0..self.assoc {
+                let block = BlockAddr::from_index(base + set as u64 + w as u64 * sets);
+                let slot = self.slot_mut(set, w);
+                assert!(!slot.valid, "prefill on a non-empty cache");
+                *slot = Slot {
+                    block,
+                    dirty: false,
+                    valid: true,
+                    last_use: 0,
+                };
+            }
+        }
+    }
+
+    /// d-group of slot index `s` within a set.
+    fn group_of_slot(&self, s: u32) -> usize {
+        (s / self.ways_per_group) as usize
+    }
+
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block.index() % self.sets as u64) as usize
+    }
+
+    fn slot(&self, set: usize, s: u32) -> &Slot {
+        &self.slots[set * self.assoc as usize + s as usize]
+    }
+
+    fn slot_mut(&mut self, set: usize, s: u32) -> &mut Slot {
+        &mut self.slots[set * self.assoc as usize + s as usize]
+    }
+
+    /// LRU-valid slot among the slots of `group` in `set`, if any valid.
+    fn group_lru_slot(&self, set: usize, group: usize) -> Option<u32> {
+        let lo = group as u32 * self.ways_per_group;
+        (lo..lo + self.ways_per_group)
+            .filter(|&s| self.slot(set, s).valid)
+            .min_by_key(|&s| self.slot(set, s).last_use)
+    }
+
+    /// Free slot in `group` of `set`, if any.
+    fn group_free_slot(&self, set: usize, group: usize) -> Option<u32> {
+        let lo = group as u32 * self.ways_per_group;
+        (lo..lo + self.ways_per_group).find(|&s| !self.slot(set, s).valid)
+    }
+
+    /// Swap/move accounting between two groups.
+    fn count_move(&mut self, from: usize, to: usize) -> u64 {
+        self.stats.group_reads.record(from);
+        self.stats.group_writes.record(to);
+        self.stats.tag_writes.inc();
+        2 * self.geo.array_occupancy_cycles()
+    }
+
+    /// Places the contents of slot-held block `incoming` into `group`,
+    /// demoting group by group within the set until a free slot absorbs
+    /// the chain. Returns (slot chosen for incoming, swap cycles).
+    fn place_in_group(&mut self, set: usize, group: usize, incoming: Slot) -> u64 {
+        let mut carry = incoming;
+        let mut g = group;
+        let mut cycles = 0;
+        loop {
+            assert!(g < self.stats.n_dgroups(), "demotion ran off the set");
+            if let Some(s) = self.group_free_slot(set, g) {
+                *self.slot_mut(set, s) = carry;
+                self.stats.group_writes.record(g);
+                cycles += self.geo.array_occupancy_cycles();
+                return cycles;
+            }
+            let victim_slot = self
+                .group_lru_slot(set, g)
+                .expect("full group has valid slots");
+            let victim = *self.slot(set, victim_slot);
+            *self.slot_mut(set, victim_slot) = carry;
+            cycles += self.count_move(g, g); // read victim + write carry in g
+            carry = victim;
+            self.stats.demotions.inc();
+            g += 1;
+        }
+    }
+
+    /// Demand access; same contract as NuRAPID's.
+    pub fn access_block(&mut self, block: BlockAddr, kind: AccessKind, now: Cycle) -> LowerOutcome {
+        self.use_clock += 1;
+        self.stats.accesses.inc();
+        self.stats.tag_probes.inc();
+        let set = self.set_of(block);
+
+        // Probe all ways.
+        let hit_slot = (0..self.assoc)
+            .find(|&s| self.slot(set, s).valid && self.slot(set, s).block == block);
+
+        if let Some(s) = hit_slot {
+            let g = self.group_of_slot(s);
+            self.stats.group_hits.record(g);
+            self.stats.group_reads.record(g);
+            let clock = self.use_clock;
+            {
+                let sl = self.slot_mut(set, s);
+                sl.last_use = clock;
+                if kind.is_write() {
+                    sl.dirty = true;
+                }
+            }
+            let latency = self.geo.dgroup_latency_cycles(g);
+            // Next-fastest promotion, confined to this set: swap with the
+            // LRU block of the adjacent faster group.
+            let mut swap_cycles = 0;
+            if g > 0 {
+                let here = *self.slot(set, s);
+                let target = g - 1;
+                if let Some(free) = self.group_free_slot(set, target) {
+                    *self.slot_mut(set, free) = here;
+                    *self.slot_mut(set, s) = EMPTY;
+                    swap_cycles += self.count_move(g, target);
+                } else {
+                    let victim_slot = self
+                        .group_lru_slot(set, target)
+                        .expect("full group");
+                    let victim = *self.slot(set, victim_slot);
+                    *self.slot_mut(set, victim_slot) = here;
+                    *self.slot_mut(set, s) = victim;
+                    swap_cycles += self.count_move(g, target);
+                    swap_cycles += self.count_move(target, g);
+                    self.stats.demotions.inc();
+                }
+                self.stats.promotions.inc();
+            }
+            let start = self
+                .port
+                .reserve(now, self.geo.array_occupancy_cycles() + swap_cycles);
+            return LowerOutcome {
+                complete_at: start + latency,
+                hit: true,
+            };
+        }
+
+        // Miss.
+        self.stats.misses.inc();
+        self.stats.memory_reads.inc();
+        let probe_start = self.port.reserve(now, self.geo.tag_latency_cycles());
+        let mem_start = probe_start + self.geo.tag_latency_cycles();
+        let mem_done = self.memory.access(BLOCK_BYTES, mem_start);
+
+        // Data replacement: evict the set-wide LRU block (conventional),
+        // freeing its slot.
+        let any_free = (0..self.assoc).any(|s| !self.slot(set, s).valid);
+        if !any_free {
+            let victim_slot = (0..self.assoc)
+                .min_by_key(|&s| self.slot(set, s).last_use)
+                .expect("non-empty set");
+            let v = *self.slot(set, victim_slot);
+            if v.dirty {
+                self.stats.writebacks.inc();
+                let _ = self.memory.access(BLOCK_BYTES, mem_done);
+            }
+            *self.slot_mut(set, victim_slot) = EMPTY;
+        }
+        // Initial placement in the fastest group, demoting within the set.
+        let incoming = Slot {
+            block,
+            dirty: kind.is_write(),
+            valid: true,
+            last_use: self.use_clock,
+        };
+        let fill_cycles = self.place_in_group(set, 0, incoming);
+        if fill_cycles > 0 {
+            let _ = self.port.reserve(mem_done, fill_cycles);
+        }
+        LowerOutcome {
+            complete_at: mem_done,
+            hit: false,
+        }
+    }
+}
+
+impl LowerCache for CoupledCache {
+    fn access(&mut self, block: BlockAddr, kind: AccessKind, now: Cycle) -> LowerOutcome {
+        self.access_block(block, kind, now)
+    }
+
+    fn accesses(&self) -> u64 {
+        self.stats.accesses.get()
+    }
+
+    fn misses(&self) -> u64 {
+        self.stats.misses.get()
+    }
+
+    fn block_bytes(&self) -> u64 {
+        BLOCK_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{NuRapidCache, NuRapidConfig};
+
+    fn blk(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    fn small() -> CoupledCache {
+        CoupledCache::new(Capacity::from_mib(1), 8, 4)
+    }
+
+    #[test]
+    fn hot_set_cannot_fit_all_ways_in_fastest_group() {
+        // The core limitation the paper identifies: with 8 ways over 4
+        // d-groups, only 2 ways of a set can be fast. Touch 8 blocks of
+        // one set, then re-touch: at most 2 hit in d-group 0.
+        let mut c = small();
+        let sets = c.sets as u64;
+        let mut t = Cycle::ZERO;
+        for w in 0..8u64 {
+            let out = c.access_block(blk(1 + w * sets), AccessKind::Read, t);
+            t = out.complete_at + 100;
+        }
+        for w in 0..8u64 {
+            let out = c.access_block(blk(1 + w * sets), AccessKind::Read, t);
+            assert!(out.hit);
+            t = out.complete_at + 100;
+        }
+        let g0 = c.stats().group_hits.count(0);
+        assert!(g0 <= 2, "coupled placement allowed {g0} fast hits");
+        assert_eq!(c.stats().group_hits.total(), 8);
+    }
+
+    #[test]
+    fn decoupled_placement_beats_coupled_on_hot_sets() {
+        // Figure 4's claim, in miniature.
+        let mut coupled = small();
+        let mut cfg = NuRapidConfig::micro2003(4);
+        cfg.capacity = Capacity::from_mib(1);
+        let mut decoupled = NuRapidCache::new(cfg);
+
+        let sets = coupled.sets as u64;
+        let mut t = Cycle::ZERO;
+        for rep in 0..4u64 {
+            for w in 0..8u64 {
+                let b = blk(1 + w * sets);
+                let o1 = coupled.access_block(b, AccessKind::Read, t);
+                let o2 = decoupled.access_block(b, AccessKind::Read, t);
+                t = o1.complete_at.max(o2.complete_at) + 100;
+                let _ = rep;
+            }
+        }
+        let frac_coupled = coupled.stats().group_access_frac(0);
+        let frac_decoupled = decoupled.stats().group_access_frac(0);
+        assert!(
+            frac_decoupled > frac_coupled,
+            "decoupled {frac_decoupled} must beat coupled {frac_coupled}"
+        );
+    }
+
+    #[test]
+    fn miss_rates_match_nurapid() {
+        // Both caches use 8-way tags with LRU data replacement, so their
+        // miss streams must be identical.
+        let mut coupled = small();
+        let mut cfg = NuRapidConfig::micro2003(4);
+        cfg.capacity = Capacity::from_mib(1);
+        let mut decoupled = NuRapidCache::new(cfg);
+        let mut t = Cycle::ZERO;
+        for i in 0..30_000u64 {
+            let b = blk((i * 37) % 16_384);
+            let o1 = coupled.access_block(b, AccessKind::Read, t);
+            let o2 = decoupled.access_block(b, AccessKind::Read, t);
+            assert_eq!(o1.hit, o2.hit, "access {i} diverged");
+            t = o1.complete_at.max(o2.complete_at) + 10;
+        }
+        assert_eq!(coupled.stats().misses.get(), decoupled.stats().misses.get());
+    }
+
+    #[test]
+    fn cold_miss_then_fast_hit() {
+        let mut c = small();
+        let out = c.access_block(blk(5), AccessKind::Read, Cycle::ZERO);
+        assert!(!out.hit);
+        let hit = c.access_block(blk(5), AccessKind::Read, Cycle::new(2_000));
+        assert!(hit.hit);
+        assert_eq!(
+            hit.complete_at - Cycle::new(2_000),
+            c.geometry().dgroup_latency_cycles(0)
+        );
+    }
+
+    #[test]
+    fn promotion_happens_within_the_set() {
+        let mut c = small();
+        let sets = c.sets as u64;
+        let mut t = Cycle::ZERO;
+        // Fill group 0 of set 1 (2 ways), then one more: a block demotes
+        // to group 1.
+        for w in 0..3u64 {
+            let out = c.access_block(blk(1 + w * sets), AccessKind::Read, t);
+            t = out.complete_at + 100;
+        }
+        assert!(c.stats().demotions.get() >= 1);
+        // A hit on the demoted block promotes it back.
+        let demoted = blk(1); // first block placed, demoted by the chain
+        let before = c.stats().promotions.get();
+        let out = c.access_block(demoted, AccessKind::Read, t);
+        assert!(out.hit);
+        assert!(c.stats().promotions.get() > before);
+    }
+
+    #[test]
+    fn dirty_evictions_write_back() {
+        let mut c = small();
+        let sets = c.sets as u64;
+        let mut t = Cycle::ZERO;
+        c.access_block(blk(1), AccessKind::Write, t);
+        t = Cycle::new(50_000);
+        for w in 1..9u64 {
+            let out = c.access_block(blk(1 + w * sets), AccessKind::Read, t);
+            t = out.complete_at + 100;
+        }
+        assert_eq!(c.stats().writebacks.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn groups_must_divide_ways() {
+        let _ = CoupledCache::new(Capacity::from_mib(1), 8, 3);
+    }
+}

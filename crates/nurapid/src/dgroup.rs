@@ -1,0 +1,518 @@
+//! The distance-group data arrays: frames, reverse pointers, free-frame
+//! tracking, and distance-replacement victim selection.
+//!
+//! A d-group is thousands of frames (16 K in a 2-MB d-group with 128-B
+//! blocks). With fully flexible distance associativity any block may
+//! occupy any frame; with the Section 2.4.3 *pointer restriction* the
+//! d-group is partitioned into regions of candidate frames (e.g. 256
+//! frames per region) and each block maps to one region, shrinking the
+//! forward/reverse pointers. Victim selection for distance replacement is
+//! random or true LRU ([`crate::policy::DistanceVictimPolicy`]); LRU is
+//! tracked with intrusive doubly-linked lists so demotions stay O(1).
+
+use crate::policy::DistanceVictimPolicy;
+use crate::tag::TagRef;
+use simbase::rng::SimRng;
+
+const NIL: u32 = u32::MAX;
+
+/// Intrusive LRU list over local frame indices of one region.
+#[derive(Debug, Clone)]
+struct FrameLru {
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    head: u32, // MRU
+    tail: u32, // LRU
+    linked: Vec<bool>,
+}
+
+impl FrameLru {
+    fn new(n: usize) -> Self {
+        FrameLru {
+            prev: vec![NIL; n],
+            next: vec![NIL; n],
+            head: NIL,
+            tail: NIL,
+            linked: vec![false; n],
+        }
+    }
+
+    fn push_mru(&mut self, f: u32) {
+        debug_assert!(!self.linked[f as usize], "frame {f} already linked");
+        self.prev[f as usize] = NIL;
+        self.next[f as usize] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = f;
+        }
+        self.head = f;
+        if self.tail == NIL {
+            self.tail = f;
+        }
+        self.linked[f as usize] = true;
+    }
+
+    fn unlink(&mut self, f: u32) {
+        debug_assert!(self.linked[f as usize], "frame {f} not linked");
+        let (p, n) = (self.prev[f as usize], self.next[f as usize]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        } else {
+            self.tail = p;
+        }
+        self.linked[f as usize] = false;
+    }
+
+    fn touch(&mut self, f: u32) {
+        self.unlink(f);
+        self.push_mru(f);
+    }
+
+    fn lru(&self) -> Option<u32> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+}
+
+/// Per-region free list and recency state.
+#[derive(Debug, Clone)]
+struct Region {
+    /// Free *local* frame indices.
+    free: Vec<u32>,
+    lru: FrameLru,
+    /// CLOCK reference bits and sweep hand (approximate LRU).
+    referenced: Vec<bool>,
+    hand: u32,
+}
+
+/// One distance-group's data array, optionally partitioned into placement
+/// regions (Section 2.4.3).
+#[derive(Debug, Clone)]
+pub struct DGroupArray {
+    /// Reverse pointer per frame; `None` = free.
+    frames: Vec<Option<TagRef>>,
+    regions: Vec<Region>,
+    /// Frames per region (`n_frames` when unrestricted).
+    frames_per_region: u32,
+    policy: DistanceVictimPolicy,
+    rng: SimRng,
+}
+
+impl DGroupArray {
+    /// Creates a fully flexible d-group of `n_frames` empty frames
+    /// (a single region spanning the whole group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_frames` is zero.
+    pub fn new(n_frames: usize, policy: DistanceVictimPolicy, rng: SimRng) -> Self {
+        Self::with_regions(n_frames, 1, policy, rng)
+    }
+
+    /// Creates a d-group partitioned into `n_regions` equal placement
+    /// regions; region `r` owns the contiguous frames
+    /// `[r · n/R, (r+1) · n/R)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_frames` is zero or `n_regions` does not evenly divide
+    /// it.
+    pub fn with_regions(
+        n_frames: usize,
+        n_regions: usize,
+        policy: DistanceVictimPolicy,
+        rng: SimRng,
+    ) -> Self {
+        assert!(n_frames > 0, "d-group needs at least one frame");
+        assert!(
+            n_regions > 0 && n_frames.is_multiple_of(n_regions),
+            "{n_regions} regions must evenly divide {n_frames} frames"
+        );
+        let fpr = n_frames / n_regions;
+        let regions = (0..n_regions)
+            .map(|_| Region {
+                free: (0..fpr as u32).rev().collect(),
+                lru: FrameLru::new(fpr),
+                referenced: vec![false; fpr],
+                hand: 0,
+            })
+            .collect();
+        DGroupArray {
+            frames: vec![None; n_frames],
+            regions,
+            frames_per_region: fpr as u32,
+            policy,
+            rng,
+        }
+    }
+
+    /// Total frames.
+    pub fn n_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of placement regions (1 when unrestricted).
+    pub fn n_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The region a frame belongs to.
+    pub fn region_of_frame(&self, frame: u32) -> usize {
+        (frame / self.frames_per_region) as usize
+    }
+
+    fn global(&self, region: usize, local: u32) -> u32 {
+        region as u32 * self.frames_per_region + local
+    }
+
+    fn local(&self, frame: u32) -> u32 {
+        frame % self.frames_per_region
+    }
+
+    /// Occupied frames (including frames in transient limbo during a
+    /// demotion chain).
+    pub fn occupied(&self) -> usize {
+        self.frames.len() - self.regions.iter().map(|r| r.free.len()).sum::<usize>()
+    }
+
+    /// True if every frame of `region` is occupied.
+    pub fn is_full(&self, region: usize) -> bool {
+        self.regions[region].free.is_empty()
+    }
+
+    /// Takes a free frame in `region` if one exists.
+    pub fn take_free(&mut self, region: usize) -> Option<u32> {
+        let local = self.regions[region].free.pop()?;
+        Some(self.global(region, local))
+    }
+
+    /// Installs a block's data in `frame` with reverse pointer `owner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is occupied.
+    pub fn install(&mut self, frame: u32, owner: TagRef) {
+        let slot = &mut self.frames[frame as usize];
+        assert!(slot.is_none(), "install into occupied frame {frame}");
+        *slot = Some(owner);
+        let (r, l) = (self.region_of_frame(frame), self.local(frame));
+        self.regions[r].lru.push_mru(l);
+    }
+
+    /// Removes the block in `frame`, returning its reverse pointer; the
+    /// frame does NOT go on the free list (the caller immediately reuses
+    /// it, as in a demotion chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is free.
+    pub fn remove(&mut self, frame: u32) -> TagRef {
+        let owner = self.frames[frame as usize]
+            .take()
+            .expect("remove from free frame");
+        let (r, l) = (self.region_of_frame(frame), self.local(frame));
+        self.regions[r].lru.unlink(l);
+        owner
+    }
+
+    /// Removes the block in `frame` and returns the frame to its region's
+    /// free list (used when a block is evicted from the cache entirely).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is free.
+    pub fn release(&mut self, frame: u32) -> TagRef {
+        let owner = self.remove(frame);
+        let (r, l) = (self.region_of_frame(frame), self.local(frame));
+        self.regions[r].free.push(l);
+        owner
+    }
+
+    /// Records a hit on `frame` for recency tracking.
+    pub fn touch(&mut self, frame: u32) {
+        let (r, l) = (self.region_of_frame(frame), self.local(frame));
+        match self.policy {
+            DistanceVictimPolicy::Lru => self.regions[r].lru.touch(l),
+            DistanceVictimPolicy::ClockApprox => {
+                self.regions[r].referenced[l as usize] = true;
+            }
+            DistanceVictimPolicy::Random => {}
+        }
+    }
+
+    /// Reverse pointer of `frame`, if occupied.
+    pub fn owner(&self, frame: u32) -> Option<TagRef> {
+        self.frames[frame as usize]
+    }
+
+    /// Updates the reverse pointer of an occupied `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is free.
+    pub fn set_owner(&mut self, frame: u32, owner: TagRef) {
+        let slot = &mut self.frames[frame as usize];
+        assert!(slot.is_some(), "set_owner on free frame {frame}");
+        *slot = Some(owner);
+    }
+
+    /// Chooses a distance-replacement victim frame within `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region has free frames (callers must consume free
+    /// frames first — victimizing while space exists is a policy bug).
+    pub fn choose_victim(&mut self, region: usize) -> u32 {
+        assert!(
+            self.is_full(region),
+            "choose_victim with {} free frames in region {region}",
+            self.regions[region].free.len()
+        );
+        let local = match self.policy {
+            DistanceVictimPolicy::Random => {
+                self.rng.below(self.frames_per_region as u64) as u32
+            }
+            DistanceVictimPolicy::Lru => {
+                self.regions[region].lru.lru().expect("non-empty region")
+            }
+            DistanceVictimPolicy::ClockApprox => {
+                // Second-chance sweep: clear reference bits until an
+                // unreferenced frame is found. Terminates within two laps.
+                let fpr = self.frames_per_region;
+                let reg = &mut self.regions[region];
+                loop {
+                    let l = reg.hand;
+                    reg.hand = (reg.hand + 1) % fpr;
+                    if reg.referenced[l as usize] {
+                        reg.referenced[l as usize] = false;
+                    } else {
+                        break l;
+                    }
+                }
+            }
+        };
+        self.global(region, local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(set: u32, way: u8) -> TagRef {
+        TagRef { set, way }
+    }
+
+    fn group(n: usize, policy: DistanceVictimPolicy) -> DGroupArray {
+        DGroupArray::new(n, policy, SimRng::seeded(7))
+    }
+
+    #[test]
+    fn free_frames_are_consumed_before_victims() {
+        let mut g = group(4, DistanceVictimPolicy::Random);
+        assert_eq!(g.occupied(), 0);
+        for i in 0..4 {
+            let f = g.take_free(0).expect("free frame");
+            g.install(f, tr(i, 0));
+        }
+        assert!(g.is_full(0));
+        assert_eq!(g.take_free(0), None);
+        assert_eq!(g.occupied(), 4);
+    }
+
+    #[test]
+    fn install_remove_roundtrip() {
+        let mut g = group(4, DistanceVictimPolicy::Lru);
+        let f = g.take_free(0).unwrap();
+        g.install(f, tr(9, 3));
+        assert_eq!(g.owner(f), Some(tr(9, 3)));
+        assert_eq!(g.remove(f), tr(9, 3));
+        assert_eq!(g.owner(f), None);
+        // Frame not on free list after remove: it stays in limbo.
+        assert_eq!(g.occupied(), 1);
+    }
+
+    #[test]
+    fn release_returns_frame_to_free_list() {
+        let mut g = group(2, DistanceVictimPolicy::Random);
+        let f0 = g.take_free(0).unwrap();
+        let f1 = g.take_free(0).unwrap();
+        g.install(f0, tr(0, 0));
+        g.install(f1, tr(1, 0));
+        g.release(f0);
+        assert_eq!(g.occupied(), 1);
+        assert_eq!(g.take_free(0), Some(f0));
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_installed_or_touched() {
+        let mut g = group(3, DistanceVictimPolicy::Lru);
+        let f: Vec<u32> = (0..3).map(|_| g.take_free(0).unwrap()).collect();
+        for (i, &fi) in f.iter().enumerate() {
+            g.install(fi, tr(i as u32, 0));
+        }
+        assert_eq!(g.choose_victim(0), f[0]);
+        g.touch(f[0]); // now f[1] is LRU
+        assert_eq!(g.choose_victim(0), f[1]);
+    }
+
+    #[test]
+    fn random_victims_are_deterministic_and_in_range() {
+        let mut a = group(16, DistanceVictimPolicy::Random);
+        let mut b = group(16, DistanceVictimPolicy::Random);
+        for i in 0..16 {
+            let fa = a.take_free(0).unwrap();
+            a.install(fa, tr(i, 0));
+            let fb = b.take_free(0).unwrap();
+            b.install(fb, tr(i, 0));
+        }
+        for _ in 0..32 {
+            let va = a.choose_victim(0);
+            assert_eq!(va, b.choose_victim(0));
+            assert!((va as usize) < 16);
+        }
+    }
+
+    #[test]
+    fn touch_is_noop_under_random_policy() {
+        let mut g = group(2, DistanceVictimPolicy::Random);
+        let f = g.take_free(0).unwrap();
+        g.install(f, tr(0, 0));
+        g.touch(f);
+        let f2 = g.take_free(0).unwrap();
+        g.install(f2, tr(1, 0));
+        assert!(g.is_full(0));
+    }
+
+    #[test]
+    fn set_owner_updates_reverse_pointer() {
+        let mut g = group(2, DistanceVictimPolicy::Random);
+        let f = g.take_free(0).unwrap();
+        g.install(f, tr(0, 0));
+        g.set_owner(f, tr(5, 1));
+        assert_eq!(g.owner(f), Some(tr(5, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied frame")]
+    fn double_install_panics() {
+        let mut g = group(2, DistanceVictimPolicy::Random);
+        let f = g.take_free(0).unwrap();
+        g.install(f, tr(0, 0));
+        g.install(f, tr(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "free frames")]
+    fn victim_with_free_space_panics() {
+        let mut g = group(2, DistanceVictimPolicy::Random);
+        let f = g.take_free(0).unwrap();
+        g.install(f, tr(0, 0));
+        let _ = g.choose_victim(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "free frame")]
+    fn remove_free_frame_panics() {
+        let mut g = group(2, DistanceVictimPolicy::Random);
+        g.remove(0);
+    }
+
+    // ---- Region (pointer-restriction) behavior --------------------------
+
+    #[test]
+    fn regions_partition_the_frames() {
+        let g = DGroupArray::with_regions(16, 4, DistanceVictimPolicy::Random, SimRng::seeded(1));
+        assert_eq!(g.n_regions(), 4);
+        assert_eq!(g.region_of_frame(0), 0);
+        assert_eq!(g.region_of_frame(3), 0);
+        assert_eq!(g.region_of_frame(4), 1);
+        assert_eq!(g.region_of_frame(15), 3);
+    }
+
+    #[test]
+    fn take_free_respects_regions() {
+        let mut g =
+            DGroupArray::with_regions(8, 2, DistanceVictimPolicy::Random, SimRng::seeded(2));
+        // Exhaust region 0 (frames 0..4); region 1 still has room.
+        for i in 0..4 {
+            let f = g.take_free(0).unwrap();
+            assert_eq!(g.region_of_frame(f), 0);
+            g.install(f, tr(i, 0));
+        }
+        assert!(g.is_full(0));
+        assert!(!g.is_full(1));
+        assert_eq!(g.take_free(0), None);
+        let f = g.take_free(1).unwrap();
+        assert_eq!(g.region_of_frame(f), 1);
+    }
+
+    #[test]
+    fn victims_come_from_the_requested_region() {
+        let mut g =
+            DGroupArray::with_regions(8, 2, DistanceVictimPolicy::Random, SimRng::seeded(3));
+        for i in 0..4 {
+            let f = g.take_free(1).unwrap();
+            g.install(f, tr(i, 0));
+        }
+        for _ in 0..16 {
+            let v = g.choose_victim(1);
+            assert_eq!(g.region_of_frame(v), 1);
+        }
+    }
+
+    #[test]
+    fn region_lru_is_tracked_locally() {
+        let mut g = DGroupArray::with_regions(8, 2, DistanceVictimPolicy::Lru, SimRng::seeded(4));
+        let f: Vec<u32> = (0..4).map(|_| g.take_free(1).unwrap()).collect();
+        for (i, &fi) in f.iter().enumerate() {
+            g.install(fi, tr(i as u32, 0));
+        }
+        assert_eq!(g.choose_victim(1), f[0]);
+        g.touch(f[0]);
+        assert_eq!(g.choose_victim(1), f[1]);
+    }
+
+    #[test]
+    fn clock_spares_recently_referenced_frames() {
+        let mut g = DGroupArray::new(4, DistanceVictimPolicy::ClockApprox, SimRng::seeded(6));
+        let f: Vec<u32> = (0..4).map(|_| g.take_free(0).unwrap()).collect();
+        for (i, &fi) in f.iter().enumerate() {
+            g.install(fi, tr(i as u32, 0));
+        }
+        // Reference frames 1 and 2: the sweep must pick 0 (unreferenced).
+        g.touch(f[1]);
+        g.touch(f[2]);
+        assert_eq!(g.choose_victim(0), f[0]);
+        // Hand has passed 0; 1's bit gets cleared next, then 3 is chosen
+        // (never referenced).
+        assert_eq!(g.choose_victim(0), f[3]);
+        // Third sweep: every bit was cleared along the way and the hand
+        // wrapped to frame 0.
+        assert_eq!(g.choose_victim(0), f[0]);
+    }
+
+    #[test]
+    fn clock_terminates_when_everything_is_referenced() {
+        let mut g = DGroupArray::new(8, DistanceVictimPolicy::ClockApprox, SimRng::seeded(6));
+        for i in 0..8 {
+            let f = g.take_free(0).unwrap();
+            g.install(f, tr(i, 0));
+            g.touch(f);
+        }
+        // All bits set: the sweep clears a full lap and returns the hand's
+        // first frame on the second lap.
+        let v = g.choose_victim(0);
+        assert!((v as usize) < 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide")]
+    fn regions_must_divide_frames() {
+        let _ =
+            DGroupArray::with_regions(10, 3, DistanceVictimPolicy::Random, SimRng::seeded(5));
+    }
+}

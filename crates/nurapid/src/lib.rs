@@ -1,0 +1,59 @@
+//! NuRAPID: **N**on-**u**niform access with **R**eplacement **A**nd
+//! **P**lacement us**I**ng **D**istance associativity — the paper's
+//! contribution.
+//!
+//! NuRAPID is a large lower-level cache (8 MB, 8-way in the evaluation)
+//! whose data placement is decoupled from tag placement:
+//!
+//! * a centralized, set-associative [`tag::TagArray`] is probed first
+//!   (sequential tag-data access); each entry carries a **forward pointer**
+//!   naming an arbitrary frame in one of a few large distance-groups;
+//! * the [`dgroup::DGroupArray`]s hold the data; each occupied frame
+//!   carries a **reverse pointer** back to its tag entry, so a frame can be
+//!   demoted to a slower d-group by updating one forward pointer;
+//! * *data replacement* (eviction, per-set LRU in the tag array) is fully
+//!   decoupled from *distance replacement* (demoting a frame within the
+//!   data arrays, random or LRU victim over the entire d-group);
+//! * new blocks are placed directly in the **fastest** d-group
+//!   (Section 2.1), and the [`policy::PromotionPolicy`] re-promotes blocks
+//!   on hits to slower d-groups.
+//!
+//! [`NuRapidCache`] assembles these pieces behind [`memsys`]'s
+//! [`LowerCache`](memsys::lower::LowerCache) interface with the paper's
+//! one-ported, non-banked timing: any outstanding swaps must complete
+//! before a new access begins (Section 2.3).
+//!
+//! The [`coupled`] module implements the set-associative-placement
+//! ablation of Figure 4: identical machinery, but data placement is
+//! coupled to tag placement (each way maps to a fixed d-group).
+//!
+//! # Examples
+//!
+//! ```
+//! use nurapid::{NuRapidCache, NuRapidConfig};
+//! use memsys::lower::LowerCache;
+//! use simbase::{AccessKind, BlockAddr, Cycle};
+//!
+//! let mut cache = NuRapidCache::new(NuRapidConfig::micro2003(4));
+//! // Cold miss: goes to memory, then fills the fastest d-group.
+//! let miss = cache.access(BlockAddr::from_index(7), AccessKind::Read, Cycle::ZERO);
+//! assert!(!miss.hit);
+//! // Re-access (after the fill drains): hits in d-group 0 at the paper's
+//! // 14-cycle latency.
+//! let hit = cache.access(BlockAddr::from_index(7), AccessKind::Read, Cycle::new(1_000));
+//! assert!(hit.hit);
+//! assert_eq!(hit.complete_at, Cycle::new(1_014));
+//! ```
+
+pub mod cache;
+pub mod coupled;
+pub mod dgroup;
+pub mod pointers;
+pub mod policy;
+pub mod port;
+pub mod stats;
+pub mod tag;
+
+pub use cache::{NuRapidCache, NuRapidConfig};
+pub use policy::{DistanceVictimPolicy, PromotionPolicy};
+pub use stats::NuRapidStats;

@@ -1,0 +1,358 @@
+//! The centralized set-associative tag array with forward pointers.
+//!
+//! A tag match works exactly as in a conventional set-associative cache
+//! with sequential tag-data access, but a successful match additionally
+//! returns the entry's **forward pointer** — the (d-group, frame) where the
+//! block's data lives (paper Figure 1). Data replacement (eviction) is
+//! per-set true LRU (Section 2.4.2).
+
+use simbase::{AccessKind, BlockAddr};
+
+/// A forward pointer: where a block's data lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FramePtr {
+    /// d-group index (0 = fastest).
+    pub group: u8,
+    /// Frame index within the d-group.
+    pub frame: u32,
+}
+
+/// A reverse pointer: which tag entry owns a frame (paper Figure 1's
+/// "set i way j" annotation on each data frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TagRef {
+    /// Set index in the tag array.
+    pub set: u32,
+    /// Way within the set.
+    pub way: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TagEntry {
+    block: BlockAddr,
+    ptr: FramePtr,
+    dirty: bool,
+    valid: bool,
+}
+
+/// Result of a tag probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagLookup {
+    /// Block present: its location in the tag array and its forward pointer.
+    Hit { at: TagRef, ptr: FramePtr },
+    /// Block absent.
+    Miss,
+}
+
+/// The eviction produced by making room for a new tag entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagEviction {
+    /// The evicted block.
+    pub block: BlockAddr,
+    /// Whether it was dirty (needs writeback to memory).
+    pub dirty: bool,
+    /// The frame its data occupied, which becomes free.
+    pub freed: FramePtr,
+}
+
+/// The centralized tag array.
+#[derive(Debug, Clone)]
+pub struct TagArray {
+    entries: Vec<TagEntry>, // sets * assoc
+    lru: Vec<Vec<u8>>,      // per-set MRU..LRU order
+    sets: usize,
+    assoc: u32,
+}
+
+impl TagArray {
+    /// Creates a tag array with `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `assoc` is 0 or > 255.
+    pub fn new(sets: usize, assoc: u32) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(assoc > 0 && assoc <= 255, "associativity out of range");
+        TagArray {
+            entries: vec![
+                TagEntry {
+                    block: BlockAddr::from_index(u64::MAX),
+                    ptr: FramePtr { group: 0, frame: 0 },
+                    dirty: false,
+                    valid: false,
+                };
+                sets * assoc as usize
+            ],
+            lru: (0..sets).map(|_| (0..assoc as u8).collect()).collect(),
+            sets,
+            assoc,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Set index of `block`.
+    pub fn set_of(&self, block: BlockAddr) -> u32 {
+        (block.index() % self.sets as u64) as u32
+    }
+
+    fn idx(&self, r: TagRef) -> usize {
+        r.set as usize * self.assoc as usize + r.way as usize
+    }
+
+    /// Probes the tag array for `block`; on a hit updates per-set LRU and,
+    /// for writes, the dirty bit.
+    pub fn access(&mut self, block: BlockAddr, kind: AccessKind) -> TagLookup {
+        let set = self.set_of(block);
+        for way in 0..self.assoc as u8 {
+            let r = TagRef { set, way };
+            let i = self.idx(r);
+            if self.entries[i].valid && self.entries[i].block == block {
+                if kind.is_write() {
+                    self.entries[i].dirty = true;
+                }
+                self.touch(r);
+                return TagLookup::Hit {
+                    at: r,
+                    ptr: self.entries[i].ptr,
+                };
+            }
+        }
+        TagLookup::Miss
+    }
+
+    /// Pure probe without state updates.
+    pub fn probe(&self, block: BlockAddr) -> Option<(TagRef, FramePtr)> {
+        let set = self.set_of(block);
+        for way in 0..self.assoc as u8 {
+            let r = TagRef { set, way };
+            let i = self.idx(r);
+            if self.entries[i].valid && self.entries[i].block == block {
+                return Some((r, self.entries[i].ptr));
+            }
+        }
+        None
+    }
+
+    fn touch(&mut self, r: TagRef) {
+        let order = &mut self.lru[r.set as usize];
+        let pos = order
+            .iter()
+            .position(|&w| w == r.way)
+            .expect("way in order list");
+        let w = order.remove(pos);
+        order.insert(0, w);
+    }
+
+    /// Allocates a tag entry for `block`, evicting the set's LRU block if
+    /// the set is full (conventional data replacement, Section 2.2 step 2).
+    ///
+    /// The new entry's forward pointer is `ptr` (where the caller will
+    /// place the data); `dirty` seeds its dirty bit. Returns the location
+    /// of the new entry and any eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is already present.
+    pub fn allocate(
+        &mut self,
+        block: BlockAddr,
+        ptr: FramePtr,
+        dirty: bool,
+    ) -> (TagRef, Option<TagEviction>) {
+        assert!(
+            self.probe(block).is_none(),
+            "allocate of already-present block {block}"
+        );
+        let set = self.set_of(block);
+        // Prefer an invalid way.
+        let mut target = None;
+        for way in 0..self.assoc as u8 {
+            let r = TagRef { set, way };
+            if !self.entries[self.idx(r)].valid {
+                target = Some(r);
+                break;
+            }
+        }
+        let (r, evicted) = match target {
+            Some(r) => (r, None),
+            None => {
+                let way = *self.lru[set as usize].last().expect("non-empty order");
+                let r = TagRef { set, way };
+                let old = self.entries[self.idx(r)];
+                (
+                    r,
+                    Some(TagEviction {
+                        block: old.block,
+                        dirty: old.dirty,
+                        freed: old.ptr,
+                    }),
+                )
+            }
+        };
+        let i = self.idx(r);
+        self.entries[i] = TagEntry {
+            block,
+            ptr,
+            dirty,
+            valid: true,
+        };
+        self.touch(r);
+        (r, evicted)
+    }
+
+    /// Rewrites the forward pointer of the entry at `r` (a demotion or
+    /// promotion moved its data; paper Figure 2 step 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` names an invalid entry.
+    pub fn set_ptr(&mut self, r: TagRef, ptr: FramePtr) {
+        let i = self.idx(r);
+        assert!(self.entries[i].valid, "set_ptr on invalid entry");
+        self.entries[i].ptr = ptr;
+    }
+
+    /// The forward pointer of the entry at `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` names an invalid entry.
+    pub fn ptr_of(&self, r: TagRef) -> FramePtr {
+        let e = &self.entries[self.idx(r)];
+        assert!(e.valid, "ptr_of on invalid entry");
+        e.ptr
+    }
+
+    /// The block held by the entry at `r`, if valid.
+    pub fn block_at(&self, r: TagRef) -> Option<BlockAddr> {
+        let e = &self.entries[self.idx(r)];
+        e.valid.then_some(e.block)
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    fn fp(group: u8, frame: u32) -> FramePtr {
+        FramePtr { group, frame }
+    }
+
+    #[test]
+    fn allocate_then_hit_returns_forward_pointer() {
+        let mut t = TagArray::new(16, 4);
+        let (r, ev) = t.allocate(blk(5), fp(0, 99), false);
+        assert!(ev.is_none());
+        match t.access(blk(5), AccessKind::Read) {
+            TagLookup::Hit { at, ptr } => {
+                assert_eq!(at, r);
+                assert_eq!(ptr, fp(0, 99));
+            }
+            TagLookup::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn full_set_evicts_lru() {
+        let mut t = TagArray::new(4, 2);
+        // Blocks 0, 4, 8 share set 0 in a 4-set array.
+        t.allocate(blk(0), fp(0, 0), false);
+        t.allocate(blk(4), fp(0, 1), false);
+        t.access(blk(0), AccessKind::Read); // 4 becomes LRU
+        let (_, ev) = t.allocate(blk(8), fp(0, 2), false);
+        let ev = ev.expect("set full");
+        assert_eq!(ev.block, blk(4));
+        assert_eq!(ev.freed, fp(0, 1), "eviction frees the victim's frame");
+        assert!(!ev.dirty);
+    }
+
+    #[test]
+    fn write_dirties_and_eviction_reports_it() {
+        let mut t = TagArray::new(4, 1);
+        t.allocate(blk(0), fp(1, 7), false);
+        t.access(blk(0), AccessKind::Write);
+        let (_, ev) = t.allocate(blk(4), fp(0, 0), false);
+        assert!(ev.expect("1-way set").dirty);
+    }
+
+    #[test]
+    fn allocate_dirty_seeds_dirty_bit() {
+        let mut t = TagArray::new(4, 1);
+        t.allocate(blk(0), fp(0, 0), true);
+        let (_, ev) = t.allocate(blk(4), fp(0, 1), false);
+        assert!(ev.expect("evicts").dirty);
+    }
+
+    #[test]
+    fn set_ptr_redirects_data_location() {
+        let mut t = TagArray::new(4, 2);
+        let (r, _) = t.allocate(blk(3), fp(0, 10), false);
+        t.set_ptr(r, fp(2, 55));
+        assert_eq!(t.ptr_of(r), fp(2, 55));
+        match t.access(blk(3), AccessKind::Read) {
+            TagLookup::Hit { ptr, .. } => assert_eq!(ptr, fp(2, 55)),
+            TagLookup::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn probe_is_pure() {
+        let mut t = TagArray::new(4, 2);
+        t.allocate(blk(0), fp(0, 0), false);
+        t.allocate(blk(4), fp(0, 1), false);
+        // probe must not promote block 0 to MRU.
+        assert!(t.probe(blk(0)).is_some());
+        let (_, ev) = t.allocate(blk(8), fp(0, 2), false);
+        assert_eq!(ev.expect("full set").block, blk(0));
+    }
+
+    #[test]
+    fn block_at_and_occupancy() {
+        let mut t = TagArray::new(4, 2);
+        assert_eq!(t.occupancy(), 0);
+        let (r, _) = t.allocate(blk(9), fp(0, 1), false);
+        assert_eq!(t.block_at(r), Some(blk(9)));
+        assert_eq!(t.occupancy(), 1);
+        assert_eq!(t.block_at(TagRef { set: r.set, way: 1 - r.way }), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-present")]
+    fn double_allocate_panics() {
+        let mut t = TagArray::new(4, 2);
+        t.allocate(blk(1), fp(0, 0), false);
+        t.allocate(blk(1), fp(0, 1), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid entry")]
+    fn set_ptr_on_invalid_panics() {
+        let mut t = TagArray::new(4, 2);
+        t.set_ptr(TagRef { set: 0, way: 0 }, fp(0, 0));
+    }
+
+    #[test]
+    fn set_mapping_wraps() {
+        let t = TagArray::new(8, 2);
+        assert_eq!(t.set_of(blk(3)), 3);
+        assert_eq!(t.set_of(blk(11)), 3);
+    }
+}

@@ -1,0 +1,191 @@
+//! Deterministic random number generation for reproducible simulations.
+//!
+//! Every stochastic component in the workspace (workload generators, random
+//! distance replacement, branch outcome draws) takes a [`SimRng`] so that
+//! experiment results are bit-reproducible given a seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A small, fast, seedable RNG used throughout the simulators.
+///
+/// Wraps [`rand::rngs::SmallRng`] so the concrete algorithm can change
+/// without touching downstream crates.
+///
+/// # Examples
+///
+/// ```
+/// use simbase::rng::SimRng;
+/// let mut a = SimRng::seeded(7);
+/// let mut b = SimRng::seeded(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng(SmallRng);
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        SimRng(SmallRng::seed_from_u64(seed))
+    }
+
+    /// Derives an independent child RNG, labeled by `stream`.
+    ///
+    /// Useful for giving each benchmark or cache component its own stream so
+    /// adding draws in one component does not perturb another.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base = self.0.gen::<u64>();
+        SimRng::seeded(base ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.0.gen_range(0..bound)
+    }
+
+    /// Uniform draw in `[0, bound)` as `usize`.
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform draw in `[0.0, 1.0)`.
+    pub fn unit(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Geometric-ish draw: number of failures before a success with
+    /// probability `p`, capped at `cap`.
+    pub fn geometric(&mut self, p: f64, cap: u64) -> u64 {
+        let p = p.clamp(1e-9, 1.0);
+        let mut n = 0;
+        while n < cap && !self.chance(p) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Draws an index from a cumulative weight table.
+    ///
+    /// `cdf` must be non-decreasing and end at a positive total; the draw is
+    /// uniform over `[0, total)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cdf` is empty or its last element is not positive.
+    pub fn from_cdf(&mut self, cdf: &[f64]) -> usize {
+        let total = *cdf.last().expect("cdf must be non-empty");
+        assert!(total > 0.0, "cdf total must be positive");
+        let x = self.unit() * total;
+        match cdf.binary_search_by(|v| v.partial_cmp(&x).expect("cdf values must be comparable")) {
+            Ok(i) => (i + 1).min(cdf.len() - 1),
+            Err(i) => i.min(cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let mut root1 = SimRng::seeded(1);
+        let mut root2 = SimRng::seeded(1);
+        let mut c1 = root1.fork(9);
+        let mut c2 = root2.fork(9);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        // A different stream label diverges.
+        let mut root3 = SimRng::seeded(1);
+        let mut c3 = root3.fork(10);
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::seeded(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn below_zero_panics() {
+        SimRng::seeded(0).below(0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seeded(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // Out-of-range p values are clamped rather than panicking.
+        assert!(r.chance(2.0));
+        assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    fn chance_frequency_roughly_matches_p() {
+        let mut r = SimRng::seeded(11);
+        let hits = (0..20_000).filter(|_| r.chance(0.3)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn geometric_capped() {
+        let mut r = SimRng::seeded(13);
+        for _ in 0..100 {
+            assert!(r.geometric(0.01, 5) <= 5);
+        }
+        // With p=1 the draw is always 0.
+        assert_eq!(r.geometric(1.0, 100), 0);
+    }
+
+    #[test]
+    fn from_cdf_distributes_by_weight() {
+        let mut r = SimRng::seeded(17);
+        let cdf = [0.1, 0.1, 1.0]; // weights 0.1, 0.0, 0.9
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[r.from_cdf(&cdf)] += 1;
+        }
+        assert!(counts[1] == 0, "zero-weight bucket must never be drawn");
+        assert!(counts[2] > counts[0] * 5);
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn index_covers_all_buckets() {
+        let mut r = SimRng::seeded(19);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.index(4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

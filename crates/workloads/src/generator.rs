@@ -1,0 +1,450 @@
+//! The trace generator: turns a [`BenchProfile`] into a deterministic
+//! micro-op stream.
+//!
+//! Address streams are a three-component mixture:
+//!
+//! * **recent-line reuse** — re-touching one of the last few cache lines,
+//!   absorbed by the L1 (sets the L2 access rate);
+//! * **hot region** — uniform traffic over a multi-megabyte reused
+//!   footprint with a skewed inner core, the component whose residency in
+//!   the fast d-groups the paper's policies fight over;
+//! * **streaming region** — sequential bursts over a large cold footprint
+//!   (compulsory L2 misses and d-group pollution).
+//!
+//! Instruction fetch walks a loop over the profile's code footprint, and
+//! branch outcomes are drawn with per-site bias so the hybrid predictor
+//! sees realistic (mostly predictable, occasionally not) streams.
+
+use crate::profiles::BenchProfile;
+use cpu::uop::{MicroOp, OpClass, TraceSource};
+use simbase::rng::SimRng;
+use simbase::Addr;
+
+/// Virtual-address bases for the three data regions and code.
+const CODE_BASE: u64 = 0x0040_0000;
+const HOT_BASE: u64 = 0x4000_0000;
+const STREAM_BASE: u64 = 0x8000_0000;
+
+/// Recently-touched lines remembered for L1-reuse draws.
+const RECENT_LINES: usize = 8;
+
+/// A deterministic micro-op generator for one benchmark.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{profiles, TraceGenerator};
+/// use cpu::uop::TraceSource;
+///
+/// let mcf = profiles::by_name("mcf").expect("in the roster");
+/// let mut gen = TraceGenerator::new(mcf, 1);
+/// let ops: Vec<_> = (0..1000).map(|_| gen.next_op()).collect();
+/// // Same profile + seed => the same trace.
+/// let mut again = TraceGenerator::new(mcf, 1);
+/// assert!(ops.iter().all(|op| *op == again.next_op()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: BenchProfile,
+    rng: SimRng,
+    /// Instruction counter (drives the PC loop and branch placement).
+    i: u64,
+    /// Instructions in the code loop.
+    loop_len: u64,
+    /// Ring of recently-touched line addresses.
+    recent: [u64; RECENT_LINES],
+    recent_n: usize,
+    /// Current streaming position (bytes from STREAM_BASE).
+    stream_pos: u64,
+    /// Remaining lines in the current streaming burst.
+    burst_left: u32,
+    /// Whether the previous op was a load whose value the next op consumes.
+    chain_next: bool,
+    /// Remaining blocks of the initialization sweep over the hot region
+    /// (programs touch their data structures once while building them;
+    /// this also guarantees the hot region is warm before measurement).
+    init_left: u64,
+    /// Instructions since the last fresh hot-region load (for load-to-load
+    /// chaining), saturating at 255.
+    since_hot_load: u8,
+    /// Whether the generator is inside a burst of new-line accesses.
+    /// Memory traffic that escapes the L1 is bursty: programs alternate
+    /// compute phases (register/L1 traffic) with data-structure traversal
+    /// phases (several new lines close together). Burstiness is what lets
+    /// dependent lower-level accesses sit within the 64-entry window.
+    in_new_burst: bool,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile` with the given seed.
+    pub fn new(profile: BenchProfile, seed: u64) -> Self {
+        let loop_len = (profile.code_footprint.bytes() / 4).max(64);
+        TraceGenerator {
+            profile,
+            rng: SimRng::seeded(seed ^ fxhash(profile.name)),
+            i: 0,
+            loop_len,
+            recent: [HOT_BASE; RECENT_LINES],
+            recent_n: 0,
+            stream_pos: 0,
+            burst_left: 0,
+            chain_next: false,
+            init_left: profile.hot_footprint.bytes() / 128,
+            since_hot_load: u8::MAX,
+            in_new_burst: false,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &BenchProfile {
+        &self.profile
+    }
+
+    fn pc(&self) -> Addr {
+        Addr::new(CODE_BASE + (self.i % self.loop_len) * 4)
+    }
+
+    fn remember(&mut self, line: u64) {
+        self.recent[self.recent_n % RECENT_LINES] = line;
+        self.recent_n += 1;
+    }
+
+    /// Draws the next data line address (32-B aligned), returning the line
+    /// and whether it is a *fresh hot-region* reference (a likely
+    /// lower-level-cache access on the program's critical path).
+    fn data_line(&mut self) -> (u64, bool) {
+        let p = self.profile;
+        // Initialization sweep: one touch per 128-B block of the hot
+        // region, sequential, at full memory-op rate.
+        if self.init_left > 0 {
+            let blocks = p.hot_footprint.bytes() / 128;
+            let idx = blocks - self.init_left;
+            self.init_left -= 1;
+            let line = Self::hot_addr(p, idx * 4);
+            self.remember(line);
+            return (line, false);
+        }
+        // Two-state burst process with long-run new-line fraction
+        // (1 - l1_reuse): reuse runs (L1 hits) alternate with short bursts
+        // of new lines (mean burst ~2.9 lines).
+        const STAY_IN_BURST: f64 = 0.65;
+        if self.in_new_burst {
+            if !self.rng.chance(STAY_IN_BURST) {
+                self.in_new_burst = false;
+            }
+        } else {
+            let mean_burst = 1.0 / (1.0 - STAY_IN_BURST);
+            let enter = (1.0 - p.l1_reuse) / (mean_burst * p.l1_reuse.max(0.01));
+            if self.recent_n > 0 && !self.rng.chance(enter) {
+                // Stay in the reuse run: L1 hit.
+                let k = self.recent_n.min(RECENT_LINES);
+                return (self.recent[self.rng.index(k)], false);
+            }
+            self.in_new_burst = true;
+        }
+        let (line, fresh_hot) = if self.rng.chance(p.hot_frac) {
+            // Hot region: three-tier skew (Zipf-like), so reuse intervals
+            // span from tens of thousands of instructions (the inner core,
+            // which any organization keeps close) to millions (the outer
+            // region, where placement policy decides who wins).
+            let lines = p.hot_footprint.bytes() / 32;
+            let tier = self.rng.unit();
+            let idx = if tier < 0.50 {
+                self.rng.below((lines / 16).max(1))
+            } else if tier < 0.88 {
+                self.rng.below((lines / 4).max(1))
+            } else {
+                self.rng.below(lines / 2)
+            };
+            (Self::hot_addr(p, idx), true)
+        } else {
+            // Streaming: a burst of 128-B-strided touches (one per L2
+            // block, the worst case for the lower-level cache), jumping to
+            // a random position when the burst ends.
+            if self.burst_left == 0 {
+                self.burst_left = 1 + self.rng.below(2 * p.spatial_run as u64) as u32;
+                let blocks = p.stream_footprint.bytes() / 128;
+                self.stream_pos = self.rng.below(blocks) * 128;
+            }
+            self.burst_left -= 1;
+            let line = STREAM_BASE + self.stream_pos;
+            self.stream_pos = (self.stream_pos + 128) % p.stream_footprint.bytes();
+            (line, false)
+        };
+        self.remember(line);
+        (line, fresh_hot)
+    }
+
+    /// Maps a 32-B line index within the hot region to its address.
+    ///
+    /// The hottest eighth of the region is laid out with *folded* set
+    /// bits, concentrating it into ~1/25 as many cache sets (about five
+    /// live hot blocks per set). This models the paper's hot sets
+    /// (Section 2.1: "the tendency of individual sets to be hot with many
+    /// accesses to many ways over a short period") — the pressure that
+    /// coupled placement cannot serve from the fastest d-group but
+    /// distance-associative placement can.
+    fn hot_addr(p: BenchProfile, idx: u64) -> u64 {
+        const L2_SETS: u64 = 8192;
+        let block = idx / 4;
+        let within = idx % 4;
+        let region_blocks = p.hot_footprint.bytes() / 128;
+        let fold_range = region_blocks / 8;
+        if block < fold_range {
+            // Fold into `sets` set-residues, keeping blocks distinct.
+            let sets = (region_blocks / 40).max(16);
+            let aliased = (block % sets) + (block / sets) * L2_SETS;
+            HOT_BASE + (aliased * 4 + within) * 32
+        } else {
+            HOT_BASE + idx * 32
+        }
+    }
+
+    /// Dependency distance for a register source: short geometric within
+    /// the window, or none.
+    fn dep(&mut self) -> u8 {
+        if self.rng.chance(0.15) {
+            0
+        } else {
+            1 + self.rng.geometric(0.45, 20) as u8
+        }
+    }
+}
+
+fn fxhash(s: &str) -> u64 {
+    s.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        })
+}
+
+impl TraceSource for TraceGenerator {
+    fn next_op(&mut self) -> MicroOp {
+        self.i += 1;
+        let pc = self.pc();
+        let p = self.profile;
+        self.since_hot_load = self.since_hot_load.saturating_add(1);
+
+        let chained = std::mem::take(&mut self.chain_next);
+
+        // Branch sites are periodic in the loop body.
+        if self.i.is_multiple_of(p.branch_every as u64) {
+            let mut op = MicroOp::branch(pc, self.rng.chance(p.branch_bias));
+            op.dep1 = if chained { 1 } else { self.dep() };
+            return op;
+        }
+
+        let roll = self.rng.unit();
+        if roll < p.load_frac {
+            let (line, fresh_hot) = self.data_line();
+            let addr = Addr::new(line + self.rng.below(4) * 8);
+            let mut op = MicroOp::load(pc, addr, 0);
+            // Pointer chasing: this load's address came from a recent load.
+            op.dep1 = if self.rng.chance(p.dep_load_frac) {
+                1 + self.rng.geometric(0.5, 3) as u8
+            } else {
+                self.dep()
+            };
+            // Fresh hot-region loads walk linked/indexed structures: each
+            // depends on the previous one (the address came from its
+            // value), putting the lower-level cache's hit latency on the
+            // program's critical path — the paper's operative assumption.
+            if fresh_hot {
+                if self.since_hot_load < 60 {
+                    op.dep1 = self.since_hot_load;
+                }
+                self.since_hot_load = 0;
+                self.chain_next = true;
+            } else if self.rng.chance(p.dep_load_frac) {
+                self.chain_next = true;
+            }
+            op
+        } else if roll < p.load_frac + p.store_frac {
+            let (line, _) = self.data_line();
+            let addr = Addr::new(line + self.rng.below(4) * 8);
+            let mut op = MicroOp::store(pc, addr, 0);
+            op.dep1 = if chained { 1 } else { self.dep() };
+            op
+        } else {
+            let mut op = MicroOp::alu(pc);
+            op.class = if p.fp && self.rng.chance(0.55) {
+                if self.rng.chance(0.4) {
+                    OpClass::FpMul
+                } else {
+                    OpClass::FpAlu
+                }
+            } else if self.rng.chance(0.05) {
+                OpClass::IntMul
+            } else {
+                OpClass::IntAlu
+            };
+            op.dep1 = if chained { 1 } else { self.dep() };
+            op.dep2 = self.dep();
+            op
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{by_name, ROSTER};
+
+    fn gen(name: &str) -> TraceGenerator {
+        TraceGenerator::new(by_name(name).unwrap(), 1)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = gen("applu");
+        let mut b = gen("applu");
+        for _ in 0..1000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn different_apps_produce_different_streams() {
+        let mut a = gen("applu");
+        let mut b = gen("mcf");
+        let same = (0..1000).filter(|_| a.next_op() == b.next_op()).count();
+        assert!(same < 100, "streams should diverge, {same} identical");
+    }
+
+    #[test]
+    fn instruction_mix_tracks_profile() {
+        let p = by_name("equake").unwrap();
+        let mut g = TraceGenerator::new(p, 3);
+        let n = 100_000;
+        let mut loads = 0;
+        let mut stores = 0;
+        let mut branches = 0;
+        for _ in 0..n {
+            match g.next_op().class {
+                OpClass::Load => loads += 1,
+                OpClass::Store => stores += 1,
+                OpClass::Branch => branches += 1,
+                _ => {}
+            }
+        }
+        let lf = loads as f64 / n as f64;
+        let sf = stores as f64 / n as f64;
+        let bf = branches as f64 / n as f64;
+        // Branches displace some of the mix; allow tolerance.
+        assert!((lf - p.load_frac).abs() < 0.05, "load frac {lf}");
+        assert!((sf - p.store_frac).abs() < 0.04, "store frac {sf}");
+        assert!((bf - 1.0 / p.branch_every as f64).abs() < 0.02, "branch frac {bf}");
+    }
+
+    #[test]
+    fn memory_addresses_stay_in_their_regions() {
+        for p in ROSTER {
+            let mut g = TraceGenerator::new(p, 9);
+            for _ in 0..20_000 {
+                let op = g.next_op();
+                if let Some(a) = op.mem_addr {
+                    let a = a.raw();
+                    // The folded hot-set mapping spreads the hottest
+                    // eighth over up to 40 set-strides of 8192 blocks.
+                    let hot_span = p.hot_footprint.bytes() + 41 * 8192 * 128;
+                    let in_hot = (HOT_BASE..HOT_BASE + hot_span).contains(&a);
+                    let in_stream = (STREAM_BASE
+                        ..STREAM_BASE + p.stream_footprint.bytes() + 32)
+                        .contains(&a);
+                    assert!(in_hot || in_stream, "{}: stray address {a:#x}", p.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pcs_walk_the_code_loop() {
+        let p = by_name("gcc").unwrap();
+        let mut g = TraceGenerator::new(p, 5);
+        let span = p.code_footprint.bytes();
+        for _ in 0..10_000 {
+            let pc = g.next_op().pc.raw();
+            assert!((CODE_BASE..CODE_BASE + span).contains(&pc));
+        }
+    }
+
+    #[test]
+    fn fp_apps_emit_fp_ops() {
+        let mut g = gen("swim");
+        let fp = (0..10_000)
+            .filter(|_| {
+                matches!(g.next_op().class, OpClass::FpAlu | OpClass::FpMul)
+            })
+            .count();
+        assert!(fp > 1000, "fp app must emit fp ops, got {fp}");
+        let mut g = gen("mcf");
+        let fp = (0..10_000)
+            .filter(|_| {
+                matches!(g.next_op().class, OpClass::FpAlu | OpClass::FpMul)
+            })
+            .count();
+        assert_eq!(fp, 0, "int app must not emit fp ops");
+    }
+
+    #[test]
+    fn pointer_chasers_chain_dependencies() {
+        // mcf's dep_load_frac (0.45) must yield more tightly-dependent
+        // loads than swim's (0.06); fresh hot-region loads chain in both.
+        let chain_rate = |name: &str| {
+            let mut g = gen(name);
+            let mut loads = 0;
+            let mut chained = 0;
+            for _ in 0..50_000 {
+                let op = g.next_op();
+                if op.class == OpClass::Load {
+                    loads += 1;
+                    if op.dep1 > 0 && op.dep1 <= 4 {
+                        chained += 1;
+                    }
+                }
+            }
+            chained as f64 / loads as f64
+        };
+        let mcf = chain_rate("mcf");
+        let swim = chain_rate("swim");
+        assert!(mcf > swim + 0.05, "mcf {mcf} vs swim {swim}");
+        assert!(mcf > 0.3, "pointer chaser must chain often: {mcf}");
+    }
+
+    #[test]
+    fn streaming_bursts_are_sequential() {
+        // With hot_frac forced to 0 and l1_reuse 0, consecutive lines
+        // should often differ by exactly 32 bytes.
+        let mut p = by_name("swim").unwrap();
+        p.hot_frac = 0.0;
+        p.l1_reuse = 0.0;
+        let mut g = TraceGenerator::new(p, 11);
+        let mut prev = None;
+        let mut seq = 0;
+        let mut total = 0;
+        let mut skip_init = 70_000; // skip the initialization sweep
+        while skip_init > 0 {
+            let op = g.next_op();
+            if op.mem_addr.is_some() {
+                skip_init -= 1;
+            }
+        }
+        for _ in 0..50_000 {
+            let op = g.next_op();
+            if let Some(a) = op.mem_addr {
+                let line = a.raw() & !31;
+                if let Some(pl) = prev {
+                    total += 1;
+                    if line == pl + 128 || line == pl {
+                        seq += 1;
+                    }
+                }
+                prev = Some(line);
+            }
+        }
+        assert!(
+            seq as f64 / total as f64 > 0.7,
+            "streaming must be mostly sequential: {seq}/{total}"
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Compact binary trace recording and replay.
+//!
+//! Synthetic generation is cheap, but recorded traces make runs exactly
+//! repeatable across generator changes and let external traces (e.g.
+//! converted SimpleScalar EIO traces) drive the same simulators. Each
+//! micro-op encodes to a fixed 20-byte record.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cpu::uop::{MicroOp, OpClass, TraceSource};
+use simbase::Addr;
+
+/// Bytes per encoded micro-op.
+pub const RECORD_BYTES: usize = 20;
+
+const FLAG_TAKEN: u8 = 1 << 0;
+const FLAG_HAS_ADDR: u8 = 1 << 1;
+
+fn class_code(c: OpClass) -> u8 {
+    match c {
+        OpClass::IntAlu => 0,
+        OpClass::IntMul => 1,
+        OpClass::FpAlu => 2,
+        OpClass::FpMul => 3,
+        OpClass::Load => 4,
+        OpClass::Store => 5,
+        OpClass::Branch => 6,
+    }
+}
+
+fn code_class(code: u8) -> Option<OpClass> {
+    Some(match code {
+        0 => OpClass::IntAlu,
+        1 => OpClass::IntMul,
+        2 => OpClass::FpAlu,
+        3 => OpClass::FpMul,
+        4 => OpClass::Load,
+        5 => OpClass::Store,
+        6 => OpClass::Branch,
+        _ => return None,
+    })
+}
+
+/// Appends one micro-op to `buf` in the fixed record format.
+pub fn write_op(buf: &mut BytesMut, op: &MicroOp) {
+    buf.put_u8(class_code(op.class));
+    buf.put_u8(op.dep1);
+    buf.put_u8(op.dep2);
+    let mut flags = 0;
+    if op.taken {
+        flags |= FLAG_TAKEN;
+    }
+    if op.mem_addr.is_some() {
+        flags |= FLAG_HAS_ADDR;
+    }
+    buf.put_u8(flags);
+    buf.put_u64_le(op.pc.raw());
+    buf.put_u64_le(op.mem_addr.map_or(0, Addr::raw));
+}
+
+/// Error decoding a trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeTraceError {
+    /// The buffer did not hold a whole record.
+    Truncated,
+    /// An unknown op-class code was encountered.
+    BadClass(u8),
+}
+
+impl std::fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeTraceError::Truncated => write!(f, "trace record truncated"),
+            DecodeTraceError::BadClass(c) => write!(f, "unknown op-class code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeTraceError {}
+
+/// Decodes one micro-op from the front of `buf`.
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError`] if fewer than [`RECORD_BYTES`] remain or
+/// the class code is invalid.
+pub fn read_op(buf: &mut Bytes) -> Result<MicroOp, DecodeTraceError> {
+    if buf.remaining() < RECORD_BYTES {
+        return Err(DecodeTraceError::Truncated);
+    }
+    let code = buf.get_u8();
+    let class = code_class(code).ok_or(DecodeTraceError::BadClass(code))?;
+    let dep1 = buf.get_u8();
+    let dep2 = buf.get_u8();
+    let flags = buf.get_u8();
+    let pc = Addr::new(buf.get_u64_le());
+    let addr_raw = buf.get_u64_le();
+    Ok(MicroOp {
+        class,
+        pc,
+        mem_addr: (flags & FLAG_HAS_ADDR != 0).then_some(Addr::new(addr_raw)),
+        dep1,
+        dep2,
+        taken: flags & FLAG_TAKEN != 0,
+    })
+}
+
+/// Records `n` ops from `src` into a trace buffer.
+pub fn record<S: TraceSource>(src: &mut S, n: u64) -> Bytes {
+    let mut buf = BytesMut::with_capacity(n as usize * RECORD_BYTES);
+    for _ in 0..n {
+        write_op(&mut buf, &src.next_op());
+    }
+    buf.freeze()
+}
+
+/// A recorded trace replayed as a [`TraceSource`]; wraps around at the
+/// end so it can drive arbitrarily long runs.
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    data: Bytes,
+    cursor: Bytes,
+}
+
+impl RecordedTrace {
+    /// Wraps a trace buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty or not a whole number of records.
+    pub fn new(data: Bytes) -> Self {
+        assert!(!data.is_empty(), "trace must contain at least one record");
+        assert!(
+            data.len().is_multiple_of(RECORD_BYTES),
+            "trace length {} is not a multiple of the {}-byte record",
+            data.len(),
+            RECORD_BYTES
+        );
+        RecordedTrace {
+            cursor: data.clone(),
+            data,
+        }
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.data.len() / RECORD_BYTES
+    }
+
+    /// True if the trace holds no records (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl TraceSource for RecordedTrace {
+    fn next_op(&mut self) -> MicroOp {
+        if self.cursor.remaining() < RECORD_BYTES {
+            self.cursor = self.data.clone();
+        }
+        read_op(&mut self.cursor).expect("validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::profiles::by_name;
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let mut gen = TraceGenerator::new(by_name("mcf").unwrap(), 3);
+        let originals: Vec<MicroOp> = (0..500).map(|_| gen.next_op()).collect();
+        let mut buf = BytesMut::new();
+        for op in &originals {
+            write_op(&mut buf, op);
+        }
+        let mut bytes = buf.freeze();
+        for want in &originals {
+            let got = read_op(&mut bytes).expect("whole record");
+            assert_eq!(&got, want);
+        }
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn record_produces_fixed_size_output() {
+        let mut gen = TraceGenerator::new(by_name("swim").unwrap(), 1);
+        let trace = record(&mut gen, 100);
+        assert_eq!(trace.len(), 100 * RECORD_BYTES);
+    }
+
+    #[test]
+    fn replay_matches_the_generator() {
+        let app = by_name("galgel").unwrap();
+        let mut gen = TraceGenerator::new(app, 7);
+        let trace = record(&mut gen, 300);
+        let mut replay = RecordedTrace::new(trace);
+        assert_eq!(replay.len(), 300);
+        let mut fresh = TraceGenerator::new(app, 7);
+        for i in 0..300 {
+            assert_eq!(replay.next_op(), fresh.next_op(), "op {i} diverged");
+        }
+    }
+
+    #[test]
+    fn replay_wraps_around() {
+        let mut gen = TraceGenerator::new(by_name("vpr").unwrap(), 9);
+        let trace = record(&mut gen, 10);
+        let mut replay = RecordedTrace::new(trace);
+        let first: Vec<MicroOp> = (0..10).map(|_| replay.next_op()).collect();
+        let second: Vec<MicroOp> = (0..10).map(|_| replay.next_op()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn truncated_record_errors() {
+        let mut short = Bytes::from_static(&[0u8; RECORD_BYTES - 1]);
+        assert_eq!(read_op(&mut short), Err(DecodeTraceError::Truncated));
+    }
+
+    #[test]
+    fn bad_class_errors() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(99); // invalid class
+        buf.put_slice(&[0u8; RECORD_BYTES - 1]);
+        let mut b = buf.freeze();
+        assert!(matches!(read_op(&mut b), Err(DecodeTraceError::BadClass(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn ragged_trace_panics() {
+        let _ = RecordedTrace::new(Bytes::from_static(&[0u8; RECORD_BYTES + 3]));
+    }
+
+    #[test]
+    fn recorded_trace_drives_a_core() {
+        use cpu::{CoreParams, OooCore};
+        use memsys::hierarchy::BaseHierarchy;
+        use memsys::l1::CoreMemSystem;
+        let mut gen = TraceGenerator::new(by_name("parser").unwrap(), 5);
+        let trace = record(&mut gen, 2_000);
+        let mut replay = RecordedTrace::new(trace);
+        let mem = CoreMemSystem::micro2003(BaseHierarchy::micro2003());
+        let mut core = OooCore::new(CoreParams::micro2003(), mem);
+        core.run(&mut replay, 4_000); // wraps once
+        assert_eq!(core.instructions(), 4_000);
+        assert!(core.cycles() > 0);
+    }
+}
