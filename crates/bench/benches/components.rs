@@ -1,8 +1,8 @@
 //! Component microbenchmarks: throughput of the simulator's hot paths and
 //! the DESIGN.md ablations (pointer restriction, promotion policies,
-//! smart-search policies).
+//! smart-search policies). Runs on the in-tree `simkit` wall-clock
+//! harness; each benchmark prints a human line plus a JSON line.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cpu::uop::TraceSource;
 use cpu::{CoreParams, OooCore};
 use memsys::hierarchy::BaseHierarchy;
@@ -12,10 +12,12 @@ use nuca::{DnucaCache, DnucaConfig, SearchPolicy};
 use nurapid::pointers::PointerScheme;
 use nurapid::{NuRapidCache, NuRapidConfig, PromotionPolicy};
 use simbase::{AccessKind, BlockAddr, Capacity, Cycle};
-use std::hint::black_box;
-use std::time::Duration;
+use simkit::bench::{black_box, BenchRunner};
 use workloads::profiles::by_name;
 use workloads::TraceGenerator;
+
+const WARMUP: u32 = 3;
+const ITERS: u32 = 20;
 
 /// Drives `n` mixed accesses through a lower-level cache.
 fn drive<C: LowerCache>(c: &mut C, n: u64) -> u64 {
@@ -35,99 +37,82 @@ fn drive<C: LowerCache>(c: &mut C, n: u64) -> u64 {
     hits
 }
 
-fn bench_caches(c: &mut Criterion) {
-    c.bench_function("nurapid_access_path", |b| {
-        let mut cache = NuRapidCache::new(NuRapidConfig::micro2003(4));
-        cache.prefill();
-        b.iter(|| black_box(drive(&mut cache, 5_000)))
+fn bench_caches(b: &mut BenchRunner) {
+    let mut nurapid = NuRapidCache::new(NuRapidConfig::micro2003(4));
+    nurapid.prefill();
+    b.bench("nurapid_access_path", WARMUP, ITERS, || {
+        black_box(drive(&mut nurapid, 5_000))
     });
-    c.bench_function("nurapid_fastest_promotion", |b| {
-        let mut cache = NuRapidCache::new(
-            NuRapidConfig::micro2003(4).with_promotion(PromotionPolicy::Fastest),
-        );
-        cache.prefill();
-        b.iter(|| black_box(drive(&mut cache, 5_000)))
+
+    let mut fastest = NuRapidCache::new(
+        NuRapidConfig::micro2003(4).with_promotion(PromotionPolicy::Fastest),
+    );
+    fastest.prefill();
+    b.bench("nurapid_fastest_promotion", WARMUP, ITERS, || {
+        black_box(drive(&mut fastest, 5_000))
     });
-    c.bench_function("dnuca_ss_performance_path", |b| {
-        let mut cache = DnucaCache::new(DnucaConfig::micro2003(SearchPolicy::SsPerformance));
-        cache.prefill();
-        b.iter(|| black_box(drive(&mut cache, 5_000)))
+
+    let mut dn_perf = DnucaCache::new(DnucaConfig::micro2003(SearchPolicy::SsPerformance));
+    dn_perf.prefill();
+    b.bench("dnuca_ss_performance_path", WARMUP, ITERS, || {
+        black_box(drive(&mut dn_perf, 5_000))
     });
-    c.bench_function("dnuca_ss_energy_path", |b| {
-        let mut cache = DnucaCache::new(DnucaConfig::micro2003(SearchPolicy::SsEnergy));
-        cache.prefill();
-        b.iter(|| black_box(drive(&mut cache, 5_000)))
+
+    let mut dn_energy = DnucaCache::new(DnucaConfig::micro2003(SearchPolicy::SsEnergy));
+    dn_energy.prefill();
+    b.bench("dnuca_ss_energy_path", WARMUP, ITERS, || {
+        black_box(drive(&mut dn_energy, 5_000))
     });
-    c.bench_function("base_hierarchy_path", |b| {
-        let mut cache = BaseHierarchy::micro2003();
-        cache.prefill();
-        b.iter(|| black_box(drive(&mut cache, 5_000)))
+
+    let mut base = BaseHierarchy::micro2003();
+    base.prefill();
+    b.bench("base_hierarchy_path", WARMUP, ITERS, || {
+        black_box(drive(&mut base, 5_000))
     });
 }
 
-fn bench_core(c: &mut Criterion) {
-    c.bench_function("trace_generator", |b| {
-        let mut gen = TraceGenerator::new(by_name("equake").unwrap(), 1);
-        b.iter(|| {
-            let mut x = 0u64;
-            for _ in 0..10_000 {
-                x ^= gen.next_op().pc.raw();
-            }
-            black_box(x)
-        })
+fn bench_core(b: &mut BenchRunner) {
+    let mut gen = TraceGenerator::new(by_name("equake").unwrap(), 1);
+    b.bench("trace_generator", WARMUP, ITERS, || {
+        let mut x = 0u64;
+        for _ in 0..10_000 {
+            x ^= gen.next_op().pc.raw();
+        }
+        black_box(x)
     });
-    c.bench_function("ooo_core_full_system", |b| {
-        let mut gen = TraceGenerator::new(by_name("equake").unwrap(), 2);
-        let mem = CoreMemSystem::micro2003(BaseHierarchy::micro2003());
-        let mut core = OooCore::new(CoreParams::micro2003(), mem);
-        b.iter(|| {
-            for _ in 0..10_000 {
-                let op = gen.next_op();
-                core.execute(op);
-            }
-            black_box(core.cycles())
-        })
+
+    let mut gen2 = TraceGenerator::new(by_name("equake").unwrap(), 2);
+    let mem = CoreMemSystem::micro2003(BaseHierarchy::micro2003());
+    let mut core = OooCore::new(CoreParams::micro2003(), mem);
+    b.bench("ooo_core_full_system", WARMUP, ITERS, || {
+        for _ in 0..10_000 {
+            let op = gen2.next_op();
+            core.execute(op);
+        }
+        black_box(core.cycles())
     });
 }
 
-fn bench_ablations(c: &mut Criterion) {
+fn bench_ablations(b: &mut BenchRunner) {
     // DESIGN.md §5.6: pointer restriction trades flexibility for pointer
     // bits — the bench reports the sizing arithmetic cost (trivial) and
     // documents the overhead figures as side effects.
-    c.bench_function("ablation_pointer_restriction", |b| {
-        b.iter(|| {
-            let cap = Capacity::from_mib(8);
-            let flexible = PointerScheme::flexible(cap, 128, 4);
-            let restricted = PointerScheme::restricted(cap, 128, 4, 256);
-            black_box((
-                flexible.forward_pointer_bits(),
-                restricted.forward_pointer_bits(),
-                flexible.forward_overhead(cap),
-            ))
-        })
+    b.bench("ablation_pointer_restriction", WARMUP, ITERS, || {
+        let cap = Capacity::from_mib(8);
+        let flexible = PointerScheme::flexible(cap, 128, 4);
+        let restricted = PointerScheme::restricted(cap, 128, 4, 256);
+        black_box((
+            flexible.forward_pointer_bits(),
+            restricted.forward_pointer_bits(),
+            flexible.forward_overhead(cap),
+        ))
     });
 }
 
-fn short() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3))
+fn main() {
+    let mut b = BenchRunner::new("components");
+    bench_caches(&mut b);
+    bench_core(&mut b);
+    bench_ablations(&mut b);
+    b.finish();
 }
-
-criterion_group! {
-    name = caches;
-    config = short();
-    targets = bench_caches
-}
-criterion_group! {
-    name = core;
-    config = short();
-    targets = bench_core
-}
-criterion_group! {
-    name = ablations;
-    config = short();
-    targets = bench_ablations
-}
-criterion_main!(caches, core, ablations);

@@ -1,133 +1,84 @@
-//! One Criterion benchmark per paper table and figure: each bench
-//! regenerates its experiment end-to-end at the bench scale, so `cargo
-//! bench` demonstrates (and times) the machinery behind every artifact.
+//! One benchmark per paper table and figure: each bench regenerates its
+//! experiment end-to-end at the bench scale, so `cargo bench` demonstrates
+//! (and times) the machinery behind every artifact. Runs on the in-tree
+//! `simkit` wall-clock harness.
 
 use bench::bench_sweep;
-use criterion::{criterion_group, criterion_main, Criterion};
 use experiments::exps;
-use std::hint::black_box;
-use std::time::Duration;
+use simkit::bench::{black_box, BenchRunner};
 
-fn cfg(c: &mut Criterion) -> &mut Criterion {
-    c
-}
+const WARMUP: u32 = 1;
+const ITERS: u32 = 10;
 
-fn bench_tables(c: &mut Criterion) {
-    let c = cfg(c);
-    c.bench_function("table2_energy_model", |b| {
-        b.iter(|| black_box(exps::table2()).rows.len())
+fn bench_tables(b: &mut BenchRunner) {
+    b.bench("table2_energy_model", WARMUP, ITERS, || {
+        black_box(exps::table2()).rows.len()
     });
-    c.bench_function("table4_latency_model", |b| {
-        b.iter(|| black_box(exps::table4()).rows.len())
+    b.bench("table4_latency_model", WARMUP, ITERS, || {
+        black_box(exps::table4()).rows.len()
     });
-    c.bench_function("table3_base_characterization", |b| {
-        b.iter(|| {
-            let mut s = bench_sweep();
-            black_box(exps::table3(&mut s)).rows.len()
-        })
+    b.bench("table3_base_characterization", WARMUP, ITERS, || {
+        let mut s = bench_sweep();
+        black_box(exps::table3(&mut s)).rows.len()
     });
 }
 
-fn bench_placement(c: &mut Criterion) {
-    let c = cfg(c);
-    c.bench_function("fig4_placement", |b| {
-        b.iter(|| {
-            let mut s = bench_sweep();
-            black_box(exps::fig4(&mut s)).avg_first_group(1)
-        })
+fn bench_placement(b: &mut BenchRunner) {
+    b.bench("fig4_placement", WARMUP, ITERS, || {
+        let mut s = bench_sweep();
+        black_box(exps::fig4(&mut s)).avg_first_group(1)
     });
-    c.bench_function("fig5_promotion_policies", |b| {
-        b.iter(|| {
-            let mut s = bench_sweep();
-            black_box(exps::fig5(&mut s)).avg_first_group(1)
-        })
+    b.bench("fig5_promotion_policies", WARMUP, ITERS, || {
+        let mut s = bench_sweep();
+        black_box(exps::fig5(&mut s)).avg_first_group(1)
     });
-    c.bench_function("sec531_lru_vs_random", |b| {
-        b.iter(|| {
-            let mut s = bench_sweep();
-            black_box(exps::sec531(&mut s)).rows.len()
-        })
+    b.bench("sec531_lru_vs_random", WARMUP, ITERS, || {
+        let mut s = bench_sweep();
+        black_box(exps::sec531(&mut s)).rows.len()
     });
 }
 
-fn bench_dgroups(c: &mut Criterion) {
-    let c = cfg(c);
-    c.bench_function("fig7_dgroup_count_distribution", |b| {
-        b.iter(|| {
-            let mut s = bench_sweep();
-            black_box(exps::fig7(&mut s)).avg_first_group(0)
-        })
+fn bench_dgroups(b: &mut BenchRunner) {
+    b.bench("fig7_dgroup_count_distribution", WARMUP, ITERS, || {
+        let mut s = bench_sweep();
+        black_box(exps::fig7(&mut s)).avg_first_group(0)
     });
-    c.bench_function("fig8_dgroup_count_performance", |b| {
-        b.iter(|| {
-            let mut s = bench_sweep();
-            black_box(exps::fig8(&mut s)).overall(1)
-        })
+    b.bench("fig8_dgroup_count_performance", WARMUP, ITERS, || {
+        let mut s = bench_sweep();
+        black_box(exps::fig8(&mut s)).overall(1)
     });
 }
 
-fn bench_performance(c: &mut Criterion) {
-    let c = cfg(c);
-    c.bench_function("fig6_policy_performance", |b| {
-        b.iter(|| {
-            let mut s = bench_sweep();
-            black_box(exps::fig6(&mut s)).overall(1)
-        })
+fn bench_performance(b: &mut BenchRunner) {
+    b.bench("fig6_policy_performance", WARMUP, ITERS, || {
+        let mut s = bench_sweep();
+        black_box(exps::fig6(&mut s)).overall(1)
     });
-    c.bench_function("fig9_vs_dnuca", |b| {
-        b.iter(|| {
+    b.bench("fig9_vs_dnuca", WARMUP, ITERS, || {
+        let mut s = bench_sweep();
+        black_box(exps::fig9(&mut s)).overall(1)
+    });
+}
+
+fn bench_energy(b: &mut BenchRunner) {
+    b.bench("fig10_l2_energy", WARMUP, ITERS, || {
+        let mut s = bench_sweep();
+        black_box(exps::fig10(&mut s)).energy_reduction_vs_dnuca()
+    });
+    b.bench("fig11_energy_delay", WARMUP, ITERS, || {
+        black_box({
             let mut s = bench_sweep();
-            black_box(exps::fig9(&mut s)).overall(1)
+            exps::fig11(&mut s).nurapid_mean()
         })
     });
 }
 
-fn bench_energy(c: &mut Criterion) {
-    let c = cfg(c);
-    c.bench_function("fig10_l2_energy", |b| {
-        b.iter(|| {
-            let mut s = bench_sweep();
-            black_box(exps::fig10(&mut s)).energy_reduction_vs_dnuca()
-        })
-    });
-    c.bench_function("fig11_energy_delay", |b| {
-        b.iter(|| {
-            let mut s = bench_sweep();
-            black_box(exps::fig11(&mut s)).nurapid_mean()
-        })
-    });
+fn main() {
+    let mut b = BenchRunner::new("experiments");
+    bench_tables(&mut b);
+    bench_placement(&mut b);
+    bench_dgroups(&mut b);
+    bench_performance(&mut b);
+    bench_energy(&mut b);
+    b.finish();
 }
-
-fn short() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(3))
-}
-
-criterion_group! {
-    name = tables;
-    config = short();
-    targets = bench_tables
-}
-criterion_group! {
-    name = placement;
-    config = short();
-    targets = bench_placement
-}
-criterion_group! {
-    name = dgroups;
-    config = short();
-    targets = bench_dgroups
-}
-criterion_group! {
-    name = performance;
-    config = short();
-    targets = bench_performance
-}
-criterion_group! {
-    name = energy;
-    config = short();
-    targets = bench_energy
-}
-criterion_main!(tables, placement, dgroups, performance, energy);

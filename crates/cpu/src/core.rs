@@ -93,7 +93,7 @@ impl FuPool {
 }
 
 /// Aggregate results of a simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoreResult {
     /// Committed instructions.
     pub instructions: u64,

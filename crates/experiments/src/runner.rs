@@ -57,7 +57,7 @@ impl Scale {
 }
 
 /// The measured results of one application on one organization.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppRun {
     /// Application name.
     pub name: &'static str,

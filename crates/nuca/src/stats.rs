@@ -4,7 +4,7 @@
 use simbase::stats::{BucketDist, Counter};
 
 /// Statistics of one D-NUCA cache instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DnucaStats {
     /// Demand hits per bank position (0 = closest).
     pub position_hits: BucketDist,

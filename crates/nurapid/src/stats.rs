@@ -8,7 +8,7 @@
 use simbase::stats::{BucketDist, Counter};
 
 /// Statistics of one NuRAPID cache instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NuRapidStats {
     /// Demand accesses per d-group (hits only).
     pub group_hits: BucketDist,

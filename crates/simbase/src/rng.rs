@@ -3,14 +3,30 @@
 //! Every stochastic component in the workspace (workload generators, random
 //! distance replacement, branch outcome draws) takes a [`SimRng`] so that
 //! experiment results are bit-reproducible given a seed.
+//!
+//! The generator is an in-tree **xoshiro256++** (Blackman & Vigna) seeded
+//! through **splitmix64**, so the workspace carries no external RNG
+//! dependency and the stream is pinned forever by the golden-value tests
+//! below: any refactor that changes a single draw fails loudly instead of
+//! silently invalidating every recorded experiment.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// splitmix64 step: advances `state` and returns the next output.
+///
+/// Used to expand a 64-bit seed into the 256-bit xoshiro state (the
+/// construction recommended by the xoshiro authors: never seed a generator
+/// with correlated words).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// A small, fast, seedable RNG used throughout the simulators.
 ///
-/// Wraps [`rand::rngs::SmallRng`] so the concrete algorithm can change
-/// without touching downstream crates.
+/// Implements xoshiro256++ directly so the concrete stream is owned by this
+/// workspace and cannot drift with a dependency upgrade.
 ///
 /// # Examples
 ///
@@ -21,12 +37,21 @@ use rand::{Rng, RngCore, SeedableRng};
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
 #[derive(Debug, Clone)]
-pub struct SimRng(SmallRng);
+pub struct SimRng {
+    s: [u64; 4],
+}
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
-        SimRng(SmallRng::seed_from_u64(seed))
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
     }
 
     /// Derives an independent child RNG, labeled by `stream`.
@@ -34,18 +59,29 @@ impl SimRng {
     /// Useful for giving each benchmark or cache component its own stream so
     /// adding draws in one component does not perturb another.
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        let base = self.0.gen::<u64>();
+        let base = self.next_u64();
         SimRng::seeded(base ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
 
-    /// Uniform draw in `[0, bound)`.
+    /// Uniform draw in `[0, bound)`, unbiased (Lemire's widening-multiply
+    /// rejection method).
     ///
     /// # Panics
     ///
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.0.gen_range(0..bound)
+        let mut m = u128::from(self.next_u64()) * u128::from(bound);
+        let mut low = m as u64;
+        if low < bound {
+            // Threshold = 2^64 mod bound; redrawing below it removes bias.
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                m = u128::from(self.next_u64()) * u128::from(bound);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform draw in `[0, bound)` as `usize`.
@@ -53,9 +89,9 @@ impl SimRng {
         self.below(bound as u64) as usize
     }
 
-    /// Uniform draw in `[0.0, 1.0)`.
+    /// Uniform draw in `[0.0, 1.0)` with 53 bits of precision.
     pub fn unit(&mut self) -> f64 {
-        self.0.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -63,9 +99,21 @@ impl SimRng {
         self.unit() < p.clamp(0.0, 1.0)
     }
 
-    /// Raw 64-bit draw.
+    /// Raw 64-bit draw: one xoshiro256++ step.
     pub fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Geometric-ish draw: number of failures before a success with
@@ -102,6 +150,74 @@ impl SimRng {
 mod tests {
     use super::*;
 
+    /// Pins the exact output stream of `SimRng::seeded(42)`. If this test
+    /// fails, every recorded experiment result in the repo is invalidated —
+    /// do not update the constants without bumping the experiment records.
+    #[test]
+    fn golden_first_16_draws_seed_42() {
+        // Independently checkable: xoshiro256++ over the splitmix64(42)
+        // expansion. Generated once by this implementation and frozen.
+        let mut r = SimRng::seeded(42);
+        let got: Vec<u64> = (0..16).map(|_| r.next_u64()).collect();
+        let want = golden_stream(42, 16);
+        assert_eq!(got, want, "seed-42 stream drifted");
+    }
+
+    /// Reference re-derivation of the stream from first principles, kept
+    /// separate from the production code path so a bug in `next_u64` cannot
+    /// hide in its own golden values.
+    fn golden_stream(seed: u64, n: usize) -> Vec<u64> {
+        let mut sm = seed;
+        let mut step = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut s = [step(), step(), step(), step()];
+        (0..n)
+            .map(|_| {
+                let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+                let t = s[1] << 17;
+                s[2] ^= s[0];
+                s[3] ^= s[1];
+                s[1] ^= s[2];
+                s[0] ^= s[3];
+                s[2] ^= t;
+                s[3] = s[3].rotate_left(45);
+                out
+            })
+            .collect()
+    }
+
+    /// Hard-frozen first four draws for two seeds, as literal constants,
+    /// so even a simultaneous bug in implementation and reference cannot
+    /// slip through a refactor unnoticed.
+    #[test]
+    fn golden_literals_are_frozen() {
+        let mut r0 = SimRng::seeded(0);
+        assert_eq!(
+            [r0.next_u64(), r0.next_u64(), r0.next_u64(), r0.next_u64()],
+            [
+                0x53175d61490b23df,
+                0x61da6f3dc380d507,
+                0x5c0fdf91ec9a7bfc,
+                0x02eebf8c3bbe5e1a,
+            ]
+        );
+        let mut r1 = SimRng::seeded(1);
+        assert_eq!(
+            [r1.next_u64(), r1.next_u64(), r1.next_u64(), r1.next_u64()],
+            [
+                0xcfc5d07f6f03c29b,
+                0xbf424132963fe08d,
+                0x19a37d5757aaf520,
+                0xbf08119f05cd56d6,
+            ]
+        );
+    }
+
     #[test]
     fn seeded_is_deterministic() {
         let mut a = SimRng::seeded(42);
@@ -125,6 +241,20 @@ mod tests {
     }
 
     #[test]
+    fn fork_streams_do_not_correlate() {
+        // Children forked under different labels share no draws with each
+        // other or the parent over a long window.
+        let mut root = SimRng::seeded(77);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let draws_a: std::collections::BTreeSet<u64> = (0..512).map(|_| a.next_u64()).collect();
+        let overlap = (0..512).filter(|_| draws_a.contains(&b.next_u64())).count();
+        assert_eq!(overlap, 0, "fork streams collided");
+        let parent_hits = (0..512).filter(|_| draws_a.contains(&root.next_u64())).count();
+        assert_eq!(parent_hits, 0, "fork correlated with parent");
+    }
+
+    #[test]
     fn below_respects_bound() {
         let mut r = SimRng::seeded(3);
         for _ in 0..1000 {
@@ -133,9 +263,30 @@ mod tests {
     }
 
     #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SimRng::seeded(23);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((8_000..12_000).contains(&c), "bucket {i}: {c}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "positive")]
     fn below_zero_panics() {
         SimRng::seeded(0).below(0);
+    }
+
+    #[test]
+    fn unit_stays_in_range() {
+        let mut r = SimRng::seeded(29);
+        for _ in 0..10_000 {
+            let x = r.unit();
+            assert!((0.0..1.0).contains(&x), "unit draw {x} out of range");
+        }
     }
 
     #[test]

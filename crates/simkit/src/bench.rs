@@ -1,0 +1,244 @@
+//! Wall-clock benchmark harness: warmup + N timed iterations, robust
+//! summary statistics, JSON-line output.
+//!
+//! A bench target is a plain `harness = false` binary:
+//!
+//! ```no_run
+//! let mut b = simkit::bench::BenchRunner::new("components");
+//! b.bench("hot_path", 3, 20, || {
+//!     std::hint::black_box((0..1000).sum::<u64>())
+//! });
+//! b.finish();
+//! ```
+//!
+//! Each benchmark prints a human-readable line and a machine-readable JSON
+//! line (`{"name":...,"iters":...,"median_ns":...,"p95_ns":...}`). When
+//! `SIMKIT_BENCH_DIR` is set, the JSON lines are also appended to
+//! `BENCH_<runner>.json` in that directory, one line per benchmark, so a
+//! sweep over configurations accumulates a comparable record.
+//!
+//! `SIMKIT_BENCH_ITERS` overrides every benchmark's iteration count
+//! (e.g. `SIMKIT_BENCH_ITERS=1` for a smoke pass in CI).
+
+use std::hint::black_box as std_black_box;
+use std::io::Write;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] so bench files need only simkit.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Summary of one benchmark: nanosecond statistics over the timed
+/// iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Fastest iteration.
+    pub min_ns: u64,
+    /// Arithmetic mean.
+    pub mean_ns: u64,
+    /// Median (p50).
+    pub median_ns: u64,
+    /// 95th percentile.
+    pub p95_ns: u64,
+    /// Slowest iteration.
+    pub max_ns: u64,
+}
+
+impl BenchReport {
+    /// One JSON object on one line; stable key order.
+    pub fn json_line(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+            self.name, self.iters, self.min_ns, self.mean_ns, self.median_ns, self.p95_ns, self.max_ns
+        )
+    }
+}
+
+/// Computes the summary over raw per-iteration samples.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn summarize(name: &str, samples: &mut [u64]) -> BenchReport {
+    assert!(!samples.is_empty(), "no samples for {name}");
+    samples.sort_unstable();
+    let n = samples.len();
+    let pct = |p: f64| samples[(((n - 1) as f64) * p).round() as usize];
+    BenchReport {
+        name: name.to_string(),
+        iters: n as u32,
+        min_ns: samples[0],
+        mean_ns: samples.iter().sum::<u64>() / n as u64,
+        median_ns: pct(0.5),
+        p95_ns: pct(0.95),
+        max_ns: samples[n - 1],
+    }
+}
+
+/// Runs a group of benchmarks and accumulates their reports.
+pub struct BenchRunner {
+    group: String,
+    reports: Vec<BenchReport>,
+    filter: Option<String>,
+}
+
+impl BenchRunner {
+    /// Creates a runner for a named group (conventionally the bench-target
+    /// name). Any non-flag CLI argument becomes a substring filter, so
+    /// `cargo bench --bench components hot` runs only matching benchmarks.
+    pub fn new(group: &str) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        BenchRunner {
+            group: group.to_string(),
+            reports: Vec::new(),
+            filter,
+        }
+    }
+
+    /// Times `f`: `warmup` untimed iterations, then `iters` timed ones.
+    ///
+    /// Returns the report (also retained for [`BenchRunner::finish`]), or
+    /// `None` when the benchmark is filtered out.
+    pub fn bench<R>(
+        &mut self,
+        name: &str,
+        warmup: u32,
+        iters: u32,
+        mut f: impl FnMut() -> R,
+    ) -> Option<BenchReport> {
+        if let Some(fil) = &self.filter {
+            if !name.contains(fil.as_str()) {
+                return None;
+            }
+        }
+        let iters = env_iters().unwrap_or(iters).max(1);
+        for _ in 0..warmup.min(iters) {
+            std_black_box(f());
+        }
+        let mut samples = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            std_black_box(f());
+            samples.push(t0.elapsed().as_nanos() as u64);
+        }
+        let report = summarize(name, &mut samples);
+        println!(
+            "{:40} {:>6} iters  median {:>12}  p95 {:>12}",
+            report.name,
+            report.iters,
+            human_ns(report.median_ns),
+            human_ns(report.p95_ns),
+        );
+        println!("{}", report.json_line());
+        self.reports.push(report.clone());
+        Some(report)
+    }
+
+    /// Writes the accumulated JSON lines to `BENCH_<group>.json` if
+    /// `SIMKIT_BENCH_DIR` is set, and returns the reports.
+    pub fn finish(self) -> Vec<BenchReport> {
+        if self.reports.is_empty() {
+            if let Some(fil) = &self.filter {
+                eprintln!(
+                    "simkit bench: no benchmark in group '{}' matches filter '{fil}'",
+                    self.group
+                );
+            }
+            return self.reports;
+        }
+        if let Ok(dir) = std::env::var("SIMKIT_BENCH_DIR") {
+            let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.group));
+            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path)
+            {
+                for r in &self.reports {
+                    let _ = writeln!(file, "{}", r.json_line());
+                }
+            }
+        }
+        self.reports
+    }
+}
+
+fn env_iters() -> Option<u32> {
+    std::env::var("SIMKIT_BENCH_ITERS").ok()?.parse().ok()
+}
+
+fn human_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns} ns"),
+        10_000..=9_999_999 => format!("{:.1} us", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_orders_statistics() {
+        let mut samples = vec![50, 10, 30, 20, 40];
+        let r = summarize("s", &mut samples);
+        assert_eq!(r.iters, 5);
+        assert_eq!(r.min_ns, 10);
+        assert_eq!(r.median_ns, 30);
+        assert_eq!(r.max_ns, 50);
+        assert_eq!(r.mean_ns, 30);
+        assert!(r.p95_ns >= r.median_ns);
+        assert!(r.p95_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn json_line_is_one_parseable_object() {
+        let mut samples = vec![100, 200, 300];
+        let line = summarize("encode", &mut samples).json_line();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        for key in ["\"name\":\"encode\"", "\"iters\":3", "\"median_ns\":200", "\"p95_ns\":"] {
+            assert!(line.contains(key), "{line} missing {key}");
+        }
+    }
+
+    #[test]
+    fn bench_produces_monotone_sane_report() {
+        let mut b = BenchRunner::new("selftest");
+        let r = b
+            .bench("spin", 1, 5, || {
+                let mut x = 0u64;
+                for i in 0..10_000 {
+                    x = x.wrapping_add(black_box(i));
+                }
+                x
+            })
+            .expect("not filtered");
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p95_ns);
+        assert!(r.p95_ns <= r.max_ns);
+        assert!(r.min_ns > 0, "a 10k-add loop cannot take zero time");
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn summarize_rejects_empty() {
+        let _ = summarize("empty", &mut []);
+    }
+
+    #[test]
+    fn unmatched_filter_skips_and_finishes_empty() {
+        let mut b = BenchRunner {
+            group: "selftest".to_string(),
+            reports: Vec::new(),
+            filter: Some("no-such-bench".to_string()),
+        };
+        assert!(b.bench("spin", 0, 1, || 0u64).is_none());
+        assert!(b.finish().is_empty());
+    }
+}

@@ -3,9 +3,10 @@
 //! Synthetic generation is cheap, but recorded traces make runs exactly
 //! repeatable across generator changes and let external traces (e.g.
 //! converted SimpleScalar EIO traces) drive the same simulators. Each
-//! micro-op encodes to a fixed 20-byte record.
+//! micro-op encodes to a fixed 20-byte record. Encoding and decoding are
+//! hand-rolled over plain byte slices so the format carries no external
+//! dependency — the byte layout is pinned by the round-trip tests below.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cpu::uop::{MicroOp, OpClass, TraceSource};
 use simbase::Addr;
 
@@ -40,11 +41,12 @@ fn code_class(code: u8) -> Option<OpClass> {
     })
 }
 
-/// Appends one micro-op to `buf` in the fixed record format.
-pub fn write_op(buf: &mut BytesMut, op: &MicroOp) {
-    buf.put_u8(class_code(op.class));
-    buf.put_u8(op.dep1);
-    buf.put_u8(op.dep2);
+/// Appends one micro-op to `buf` in the fixed record format:
+/// class, dep1, dep2, flags, then little-endian `pc` and `mem_addr`.
+pub fn write_op(buf: &mut Vec<u8>, op: &MicroOp) {
+    buf.push(class_code(op.class));
+    buf.push(op.dep1);
+    buf.push(op.dep2);
     let mut flags = 0;
     if op.taken {
         flags |= FLAG_TAKEN;
@@ -52,9 +54,9 @@ pub fn write_op(buf: &mut BytesMut, op: &MicroOp) {
     if op.mem_addr.is_some() {
         flags |= FLAG_HAS_ADDR;
     }
-    buf.put_u8(flags);
-    buf.put_u64_le(op.pc.raw());
-    buf.put_u64_le(op.mem_addr.map_or(0, Addr::raw));
+    buf.push(flags);
+    buf.extend_from_slice(&op.pc.raw().to_le_bytes());
+    buf.extend_from_slice(&op.mem_addr.map_or(0, Addr::raw).to_le_bytes());
 }
 
 /// Error decoding a trace record.
@@ -77,23 +79,27 @@ impl std::fmt::Display for DecodeTraceError {
 
 impl std::error::Error for DecodeTraceError {}
 
-/// Decodes one micro-op from the front of `buf`.
+/// Decodes one micro-op from the front of `buf`, advancing it past the
+/// record on success.
 ///
 /// # Errors
 ///
 /// Returns [`DecodeTraceError`] if fewer than [`RECORD_BYTES`] remain or
 /// the class code is invalid.
-pub fn read_op(buf: &mut Bytes) -> Result<MicroOp, DecodeTraceError> {
-    if buf.remaining() < RECORD_BYTES {
+pub fn read_op(buf: &mut &[u8]) -> Result<MicroOp, DecodeTraceError> {
+    if buf.len() < RECORD_BYTES {
         return Err(DecodeTraceError::Truncated);
     }
-    let code = buf.get_u8();
+    let (record, rest) = buf.split_at(RECORD_BYTES);
+    let code = record[0];
     let class = code_class(code).ok_or(DecodeTraceError::BadClass(code))?;
-    let dep1 = buf.get_u8();
-    let dep2 = buf.get_u8();
-    let flags = buf.get_u8();
-    let pc = Addr::new(buf.get_u64_le());
-    let addr_raw = buf.get_u64_le();
+    let dep1 = record[1];
+    let dep2 = record[2];
+    let flags = record[3];
+    let le_u64 = |b: &[u8]| u64::from_le_bytes(b.try_into().expect("8-byte slice"));
+    let pc = Addr::new(le_u64(&record[4..12]));
+    let addr_raw = le_u64(&record[12..20]);
+    *buf = rest;
     Ok(MicroOp {
         class,
         pc,
@@ -105,20 +111,20 @@ pub fn read_op(buf: &mut Bytes) -> Result<MicroOp, DecodeTraceError> {
 }
 
 /// Records `n` ops from `src` into a trace buffer.
-pub fn record<S: TraceSource>(src: &mut S, n: u64) -> Bytes {
-    let mut buf = BytesMut::with_capacity(n as usize * RECORD_BYTES);
+pub fn record<S: TraceSource>(src: &mut S, n: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(n as usize * RECORD_BYTES);
     for _ in 0..n {
         write_op(&mut buf, &src.next_op());
     }
-    buf.freeze()
+    buf
 }
 
 /// A recorded trace replayed as a [`TraceSource`]; wraps around at the
 /// end so it can drive arbitrarily long runs.
 #[derive(Debug, Clone)]
 pub struct RecordedTrace {
-    data: Bytes,
-    cursor: Bytes,
+    data: Vec<u8>,
+    pos: usize,
 }
 
 impl RecordedTrace {
@@ -127,7 +133,7 @@ impl RecordedTrace {
     /// # Panics
     ///
     /// Panics if the buffer is empty or not a whole number of records.
-    pub fn new(data: Bytes) -> Self {
+    pub fn new(data: Vec<u8>) -> Self {
         assert!(!data.is_empty(), "trace must contain at least one record");
         assert!(
             data.len().is_multiple_of(RECORD_BYTES),
@@ -135,10 +141,7 @@ impl RecordedTrace {
             data.len(),
             RECORD_BYTES
         );
-        RecordedTrace {
-            cursor: data.clone(),
-            data,
-        }
+        RecordedTrace { data, pos: 0 }
     }
 
     /// Number of records in the trace.
@@ -154,10 +157,13 @@ impl RecordedTrace {
 
 impl TraceSource for RecordedTrace {
     fn next_op(&mut self) -> MicroOp {
-        if self.cursor.remaining() < RECORD_BYTES {
-            self.cursor = self.data.clone();
+        if self.data.len() - self.pos < RECORD_BYTES {
+            self.pos = 0;
         }
-        read_op(&mut self.cursor).expect("validated at construction")
+        let mut cursor = &self.data[self.pos..];
+        let op = read_op(&mut cursor).expect("validated at construction");
+        self.pos += RECORD_BYTES;
+        op
     }
 }
 
@@ -171,16 +177,40 @@ mod tests {
     fn roundtrip_preserves_every_field() {
         let mut gen = TraceGenerator::new(by_name("mcf").unwrap(), 3);
         let originals: Vec<MicroOp> = (0..500).map(|_| gen.next_op()).collect();
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         for op in &originals {
             write_op(&mut buf, op);
         }
-        let mut bytes = buf.freeze();
+        let mut cursor = buf.as_slice();
         for want in &originals {
-            let got = read_op(&mut bytes).expect("whole record");
+            let got = read_op(&mut cursor).expect("whole record");
             assert_eq!(&got, want);
         }
-        assert_eq!(bytes.remaining(), 0);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn record_layout_is_pinned() {
+        // The byte layout is a file format: freeze it. One load with every
+        // field exercised.
+        let op = MicroOp {
+            class: OpClass::Load,
+            pc: Addr::new(0x0102_0304_0506_0708),
+            mem_addr: Some(Addr::new(0x1112_1314_1516_1718)),
+            dep1: 9,
+            dep2: 7,
+            taken: true,
+        };
+        let mut buf = Vec::new();
+        write_op(&mut buf, &op);
+        assert_eq!(
+            buf,
+            [
+                4, 9, 7, 3, // class=Load, deps, flags=TAKEN|HAS_ADDR
+                0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // pc LE
+                0x18, 0x17, 0x16, 0x15, 0x14, 0x13, 0x12, 0x11, // addr LE
+            ]
+        );
     }
 
     #[test]
@@ -215,23 +245,28 @@ mod tests {
 
     #[test]
     fn truncated_record_errors() {
-        let mut short = Bytes::from_static(&[0u8; RECORD_BYTES - 1]);
-        assert_eq!(read_op(&mut short), Err(DecodeTraceError::Truncated));
+        let short = [0u8; RECORD_BYTES - 1];
+        let mut cursor = short.as_slice();
+        assert_eq!(read_op(&mut cursor), Err(DecodeTraceError::Truncated));
+        // The cursor is left untouched on error.
+        assert_eq!(cursor.len(), RECORD_BYTES - 1);
     }
 
     #[test]
     fn bad_class_errors() {
-        let mut buf = BytesMut::new();
-        buf.put_u8(99); // invalid class
-        buf.put_slice(&[0u8; RECORD_BYTES - 1]);
-        let mut b = buf.freeze();
-        assert!(matches!(read_op(&mut b), Err(DecodeTraceError::BadClass(_))));
+        let mut buf = vec![99u8]; // invalid class
+        buf.extend_from_slice(&[0u8; RECORD_BYTES - 1]);
+        let mut cursor = buf.as_slice();
+        assert!(matches!(
+            read_op(&mut cursor),
+            Err(DecodeTraceError::BadClass(99))
+        ));
     }
 
     #[test]
     #[should_panic(expected = "multiple")]
     fn ragged_trace_panics() {
-        let _ = RecordedTrace::new(Bytes::from_static(&[0u8; RECORD_BYTES + 3]));
+        let _ = RecordedTrace::new(vec![0u8; RECORD_BYTES + 3]);
     }
 
     #[test]

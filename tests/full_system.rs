@@ -86,6 +86,67 @@ fn runs_are_deterministic_end_to_end() {
     assert!((a.l2_energy.nj() - b.l2_energy.nj()).abs() < 1e-9);
 }
 
+/// Same seed, same config ⇒ **bit-identical** stats structs, not just the
+/// same headline numbers: every counter, every d-group access histogram
+/// bucket, every energy tally field. This is what makes a printed
+/// `SimRng` seed a complete description of an experiment.
+#[test]
+fn same_seed_runs_produce_bit_identical_stats() {
+    // Full-system: the entire AppRun (core result, hit/miss counts,
+    // d-group fractions, energy tallies) compares equal field-for-field,
+    // including exact f64 energy values.
+    let app = by_name("equake").unwrap();
+    for key in ["nf4", "dn-energy", "base"] {
+        let a = run_app(app, &kind_of(key), tiny());
+        let b = run_app(app, &kind_of(key), tiny());
+        assert_eq!(a, b, "{key}: same-seed runs diverged");
+    }
+
+    // Cache-level: drive the raw simulators with identically seeded
+    // generators and compare the whole stats structs (hits, misses,
+    // histograms, swap and traffic counters).
+    use cpu::uop::TraceSource;
+    use simbase::Cycle;
+    use workloads::TraceGenerator;
+    let drive_blocks = |seed: u64| {
+        let mut gen = TraceGenerator::new(by_name("art").unwrap(), seed);
+        (0..30_000)
+            .filter_map(|_| {
+                let op = gen.next_op();
+                op.mem_addr.map(|a| (a, op.access_kind()))
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        drive_blocks(11),
+        drive_blocks(11),
+        "trace generation is the root of run determinism"
+    );
+
+    let geom = simbase::BlockGeometry::new(128);
+    let run_nurapid_stats = || {
+        let mut cache = nurapid::NuRapidCache::new(NuRapidConfig::micro2003(4));
+        let mut t = Cycle::ZERO;
+        for (addr, kind) in drive_blocks(7) {
+            let out = cache.access_block(geom.block_of(addr), kind, t);
+            t = out.complete_at + 1;
+        }
+        cache.stats().clone()
+    };
+    assert_eq!(run_nurapid_stats(), run_nurapid_stats());
+
+    let run_dnuca_stats = || {
+        let mut cache = nuca::DnucaCache::new(nuca::DnucaConfig::micro2003(SearchPolicy::SsEnergy));
+        let mut t = Cycle::ZERO;
+        for (addr, kind) in drive_blocks(7) {
+            let out = cache.access_block(geom.block_of(addr), kind, t);
+            t = out.complete_at + 1;
+        }
+        cache.stats().clone()
+    };
+    assert_eq!(run_dnuca_stats(), run_dnuca_stats());
+}
+
 #[test]
 fn high_load_apps_exceed_low_load_apps_in_apki() {
     let mut sweep = Sweep::with_apps(

@@ -1,21 +1,43 @@
-//! Property-based tests on the core invariants (DESIGN.md §7).
+//! Property-based tests on the core invariants (DESIGN.md §7), running on
+//! the in-tree `simkit` engine — no external test dependencies.
+//!
+//! Each property replays the regression corpus first (including the legacy
+//! `properties.proptest-regressions` file, whose digests are folded into
+//! deterministic replay seeds), then a fixed, name-seeded random sweep.
+//! A failure prints a shrunk counterexample and a `SIMKIT_SEED=0x...`
+//! replay command, and is appended to `tests/simkit-regressions.txt`.
 
-use bytes::BytesMut;
 use memsys::lower::LowerCache;
 use memsys::replacement::{PolicyKind, SetPolicy};
+use nuca::{DnucaCache, DnucaConfig, SearchPolicy};
 use nurapid::coupled::CoupledCache;
 use nurapid::port::PortSchedule;
-use nuca::{DnucaCache, DnucaConfig, SearchPolicy};
-use nurapid::{
-    DistanceVictimPolicy, NuRapidCache, NuRapidConfig, PromotionPolicy,
-};
-use proptest::prelude::*;
+use nurapid::{DistanceVictimPolicy, NuRapidCache, NuRapidConfig, PromotionPolicy};
 use simbase::{AccessKind, BlockAddr, Capacity, Cycle};
+use simkit::prop::{
+    any_bool, any_u64, any_u8, checker, range_u32, range_u64, range_u8, select, vec_of, Checker,
+    VecGen,
+};
+
+/// Every property replays both corpus files before its random sweep: the
+/// new simkit-native file (written on failure) and the legacy proptest one.
+fn prop(name: &str) -> Checker {
+    checker(name)
+        .cases(64)
+        .corpus(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/simkit-regressions.txt"
+        ))
+        .corpus(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/properties.proptest-regressions"
+        ))
+}
 
 /// A random access trace: (block index, is_write) pairs over a bounded
 /// footprint.
-fn trace(max_block: u64) -> impl Strategy<Value = Vec<(u64, bool)>> {
-    prop::collection::vec((0..max_block, any::<bool>()), 1..400)
+fn trace(max_block: u64) -> VecGen<(simkit::prop::U64Range, simkit::prop::AnyBool)> {
+    vec_of((range_u64(0, max_block), any_bool()), 1, 400)
 }
 
 fn small_config(n_dgroups: usize) -> NuRapidConfig {
@@ -36,39 +58,35 @@ fn run_nurapid(cfg: NuRapidConfig, ops: &[(u64, bool)]) -> NuRapidCache {
     cache
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The tag/data bijection holds after any access sequence, for every
-    /// d-group count and policy combination.
-    #[test]
-    fn tag_data_bijection_holds(
-        ops in trace(30_000),
-        n_dgroups in prop::sample::select(vec![2usize, 4, 8]),
-        promo in prop::sample::select(vec![
+/// 1. The tag/data bijection holds after any access sequence, for every
+/// d-group count and policy combination.
+#[test]
+fn tag_data_bijection_holds() {
+    let gen = (
+        trace(30_000),
+        select(vec![2usize, 4, 8]),
+        select(vec![
             PromotionPolicy::DemotionOnly,
             PromotionPolicy::NextFastest,
             PromotionPolicy::Fastest,
         ]),
-        victim in prop::sample::select(vec![
-            DistanceVictimPolicy::Random,
-            DistanceVictimPolicy::Lru,
-        ]),
-    ) {
-        let cfg = small_config(n_dgroups)
-            .with_promotion(promo)
-            .with_distance_victim(victim);
-        let cache = run_nurapid(cfg, &ops);
+        select(vec![DistanceVictimPolicy::Random, DistanceVictimPolicy::Lru]),
+    );
+    prop("tag_data_bijection_holds").check(&gen, |(ops, n_dgroups, promo, victim)| {
+        let cfg = small_config(*n_dgroups)
+            .with_promotion(*promo)
+            .with_distance_victim(*victim);
+        let cache = run_nurapid(cfg, ops);
         cache.check_invariants();
-    }
+    });
+}
 
-    /// Distance replacement never evicts: after touching fewer distinct
-    /// blocks than the cache holds (without set conflicts beyond the
-    /// associativity), every touched block still hits.
-    #[test]
-    fn distance_replacement_never_evicts(
-        seed_ops in trace(6_000),
-    ) {
+/// 2. Distance replacement never evicts: after touching fewer distinct
+/// blocks than the cache holds (without set conflicts beyond the
+/// associativity), every touched block still hits.
+#[test]
+fn distance_replacement_never_evicts() {
+    prop("distance_replacement_never_evicts").check(&trace(6_000), |seed_ops| {
         // 1-MB cache, 4-way, 2048 sets: a footprint of 6000 distinct
         // blocks puts at most ceil(6000/2048)=3 blocks in each set — under
         // the associativity, so data replacement never fires and only
@@ -76,7 +94,7 @@ proptest! {
         let mut cache = NuRapidCache::new(small_config(4));
         let mut t = Cycle::ZERO;
         let mut touched = std::collections::BTreeSet::new();
-        for &(b, w) in &seed_ops {
+        for &(b, w) in seed_ops {
             let kind = if w { AccessKind::Write } else { AccessKind::Read };
             let out = cache.access_block(BlockAddr::from_index(b), kind, t);
             t = out.complete_at + 1;
@@ -84,52 +102,58 @@ proptest! {
         }
         for &b in &touched {
             let out = cache.access_block(BlockAddr::from_index(b), AccessKind::Read, t);
-            prop_assert!(out.hit, "block {b} was lost without eviction pressure");
+            assert!(out.hit, "block {b} was lost without eviction pressure");
             t = out.complete_at + 1;
         }
         cache.check_invariants();
-    }
+    });
+}
 
-    /// Miss counts are identical across promotion policies and
-    /// distance-victim policies (they only move data, never evict).
-    #[test]
-    fn miss_count_policy_invariance(ops in trace(40_000)) {
-        let count = |cfg: NuRapidConfig| run_nurapid(cfg, &ops).stats().misses.get();
+/// 3. Miss counts are identical across promotion policies and
+/// distance-victim policies (they only move data, never evict).
+#[test]
+fn miss_count_policy_invariance() {
+    prop("miss_count_policy_invariance").check(&trace(40_000), |ops| {
+        let count = |cfg: NuRapidConfig| run_nurapid(cfg, ops).stats().misses.get();
         let reference = count(small_config(4));
-        prop_assert_eq!(
+        assert_eq!(
             count(small_config(4).with_promotion(PromotionPolicy::DemotionOnly)),
             reference
         );
-        prop_assert_eq!(
+        assert_eq!(
             count(small_config(4).with_promotion(PromotionPolicy::Fastest)),
             reference
         );
-        prop_assert_eq!(
+        assert_eq!(
             count(small_config(4).with_distance_victim(DistanceVictimPolicy::Lru)),
             reference
         );
-    }
+    });
+}
 
-    /// Hits + misses equals accesses, and group-hit totals equal hits.
-    #[test]
-    fn accounting_identities(ops in trace(20_000)) {
-        let cache = run_nurapid(small_config(4), &ops);
+/// 4. Hits + misses equals accesses, and group-hit totals equal hits.
+#[test]
+fn accounting_identities() {
+    prop("accounting_identities").check(&trace(20_000), |ops| {
+        let cache = run_nurapid(small_config(4), ops);
         let s = cache.stats();
-        prop_assert_eq!(s.group_hits.total() + s.misses.get(), s.accesses.get());
-        prop_assert_eq!(s.tag_probes.get(), s.accesses.get());
+        assert_eq!(s.group_hits.total() + s.misses.get(), s.accesses.get());
+        assert_eq!(s.tag_probes.get(), s.accesses.get());
         // Every promotion and demotion is one read and one write somewhere.
-        prop_assert!(s.group_writes.total() >= s.total_moves());
-    }
+        assert!(s.group_writes.total() >= s.total_moves());
+    });
+}
 
-    /// D-NUCA's smart-search candidates are a superset of the true
-    /// location: a resident block is never missed because of the ss array.
-    #[test]
-    fn dnuca_smart_search_never_causes_false_misses(ops in trace(50_000)) {
+/// 5. D-NUCA's smart-search candidates are a superset of the true
+/// location: a resident block is never missed because of the ss array.
+#[test]
+fn dnuca_smart_search_never_causes_false_misses() {
+    prop("dnuca_smart_search_never_causes_false_misses").check(&trace(50_000), |ops| {
         let mut cache = DnucaCache::new(DnucaConfig::micro2003(SearchPolicy::SsEnergy));
         let mut t = Cycle::ZERO;
         let mut resident = std::collections::BTreeSet::new();
         let mut false_miss = false;
-        for &(b, w) in &ops {
+        for &(b, w) in ops {
             let kind = if w { AccessKind::Write } else { AccessKind::Read };
             let out = cache.access(BlockAddr::from_index(b), kind, t);
             if resident.contains(&b) && !out.hit {
@@ -141,91 +165,121 @@ proptest! {
             resident.insert(b);
             t = out.complete_at + 1;
         }
-        prop_assert!(!false_miss, "smart search produced a false miss");
-    }
+        assert!(!false_miss, "smart search produced a false miss");
+    });
+}
 
-    /// D-NUCA conserves capacity: hits plus misses equals accesses and the
-    /// position-hit histogram sums to the hit count.
-    #[test]
-    fn dnuca_accounting(ops in trace(20_000)) {
+/// 6. D-NUCA conserves capacity: hits plus misses equals accesses and the
+/// position-hit histogram sums to the hit count.
+#[test]
+fn dnuca_accounting() {
+    prop("dnuca_accounting").check(&trace(20_000), |ops| {
         let mut cache = DnucaCache::new(DnucaConfig::micro2003(SearchPolicy::SsPerformance));
         let mut t = Cycle::ZERO;
-        for &(b, w) in &ops {
+        for &(b, w) in ops {
             let kind = if w { AccessKind::Write } else { AccessKind::Read };
             let out = cache.access(BlockAddr::from_index(b), kind, t);
             t = out.complete_at + 1;
         }
         let s = cache.stats();
-        prop_assert_eq!(s.position_hits.total() + s.misses.get(), s.accesses.get());
-        prop_assert_eq!(s.ss_accesses.get(), s.accesses.get());
-    }
+        assert_eq!(s.position_hits.total() + s.misses.get(), s.accesses.get());
+        assert_eq!(s.ss_accesses.get(), s.accesses.get());
+    });
+}
 
-    /// Port reservations never overlap and never start before requested,
-    /// for quasi-monotonic request times (the out-of-order core's issue
-    /// times wander by at most a window's worth of cycles — far less than
-    /// the schedule's 4096-cycle pruning lag).
-    #[test]
-    fn port_reservations_are_disjoint(
-        reqs in prop::collection::vec((0u64..300, 1u64..40), 1..200)
-    ) {
-        let mut port = PortSchedule::new();
-        let mut granted: Vec<(u64, u64)> = Vec::new();
-        for (i, &(jitter, dur)) in reqs.iter().enumerate() {
-            let at = i as u64 * 15 + jitter;
-            let start = port.reserve(Cycle::new(at), dur);
-            prop_assert!(start.raw() >= at, "granted before requested");
-            granted.push((start.raw(), start.raw() + dur));
-        }
-        granted.sort_unstable();
-        for w in granted.windows(2) {
-            prop_assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
-        }
+fn assert_port_reservations_disjoint(reqs: &[(u64, u64)]) {
+    let mut port = PortSchedule::new();
+    let mut granted: Vec<(u64, u64)> = Vec::new();
+    for (i, &(jitter, dur)) in reqs.iter().enumerate() {
+        let at = i as u64 * 15 + jitter;
+        let start = port.reserve(Cycle::new(at), dur);
+        assert!(start.raw() >= at, "granted before requested");
+        granted.push((start.raw(), start.raw() + dur));
     }
+    granted.sort_unstable();
+    for w in granted.windows(2) {
+        assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+    }
+}
 
-    /// Coupled and decoupled placement share the tag organization, so
-    /// their miss streams are identical on any trace.
-    #[test]
-    fn coupled_and_decoupled_miss_identically(ops in trace(40_000)) {
-        let mut decoupled = run_nurapid(small_config(4), &ops);
+/// 7. Port reservations never overlap and never start before requested,
+/// for quasi-monotonic request times (the out-of-order core's issue
+/// times wander by at most a window's worth of cycles — far less than
+/// the schedule's 4096-cycle pruning lag).
+#[test]
+fn port_reservations_are_disjoint() {
+    let gen = vec_of((range_u64(0, 300), range_u64(1, 40)), 1, 200);
+    prop("port_reservations_are_disjoint").check(&gen, |reqs| {
+        assert_port_reservations_disjoint(reqs);
+    });
+}
+
+/// 8. The shrunk counterexample proptest recorded in
+/// `properties.proptest-regressions` (`cc 587c7486...`), pinned verbatim:
+/// a large out-of-order jitter between two early requests once broke the
+/// disjointness of port grants. Kept as an explicit regression because the
+/// legacy digest cannot be mapped back to a generator case without
+/// proptest itself.
+#[test]
+fn port_reservations_proptest_regression_case() {
+    assert_port_reservations_disjoint(&[(178, 8), (4282, 1), (161, 18)]);
+}
+
+/// 9. Coupled and decoupled placement share the tag organization, so
+/// their miss streams are identical on any trace.
+#[test]
+fn coupled_and_decoupled_miss_identically() {
+    prop("coupled_and_decoupled_miss_identically").check(&trace(40_000), |ops| {
+        let decoupled = run_nurapid(small_config(4), ops);
         let mut coupled = CoupledCache::new(Capacity::from_mib(1), 4, 4);
         let mut t = Cycle::ZERO;
-        for &(b, w) in &ops {
+        for &(b, w) in ops {
             let kind = if w { AccessKind::Write } else { AccessKind::Read };
             let out = coupled.access_block(BlockAddr::from_index(b), kind, t);
             t = out.complete_at + 1;
         }
-        prop_assert_eq!(
-            coupled.stats().misses.get(),
-            decoupled.stats().misses.get()
-        );
-        let _ = &mut decoupled;
-    }
+        assert_eq!(coupled.stats().misses.get(), decoupled.stats().misses.get());
+    });
+}
 
-    /// Tree PLRU never victimizes the way touched most recently.
-    #[test]
-    fn tree_plru_spares_the_mru_way(
-        touches in prop::collection::vec(0u32..8, 1..200)
-    ) {
+/// 10. Tree PLRU never victimizes the way touched most recently.
+#[test]
+fn tree_plru_spares_the_mru_way() {
+    prop("tree_plru_spares_the_mru_way").check(&vec_of(range_u32(0, 8), 1, 200), |touches| {
         let mut p = SetPolicy::new(PolicyKind::TreePlru, 1, 8, simbase::rng::SimRng::seeded(1));
-        for &w in &touches {
+        for &w in touches {
             p.touch(0, w);
-            prop_assert_ne!(p.victim(0), w);
+            assert_ne!(p.victim(0), w);
         }
-    }
+    });
+}
 
-    /// Trace encoding round-trips arbitrary well-formed micro-ops.
-    #[test]
-    fn trace_records_roundtrip(
-        ops in prop::collection::vec(
-            (0u8..7, any::<u8>(), any::<u8>(), any::<bool>(), any::<u64>(), any::<u64>()),
-            1..100
-        )
-    ) {
-        use cpu::uop::{MicroOp, OpClass};
-        use workloads::tracefile::{read_op, write_op};
+/// 11. Trace encoding round-trips arbitrary well-formed micro-ops.
+#[test]
+fn trace_records_roundtrip() {
+    use cpu::uop::{MicroOp, OpClass};
+    use workloads::tracefile::{read_op, write_op};
+    let gen = vec_of(
+        (
+            range_u8(0, 7),
+            any_u8(),
+            any_u8(),
+            any_bool(),
+            any_u64(),
+            any_u64(),
+        ),
+        1,
+        100,
+    );
+    prop("trace_records_roundtrip").check(&gen, |ops| {
         let classes = [
-            OpClass::IntAlu, OpClass::IntMul, OpClass::FpAlu, OpClass::FpMul,
-            OpClass::Load, OpClass::Store, OpClass::Branch,
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::FpAlu,
+            OpClass::FpMul,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Branch,
         ];
         let originals: Vec<MicroOp> = ops
             .iter()
@@ -241,24 +295,27 @@ proptest! {
                 }
             })
             .collect();
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         for op in &originals {
             write_op(&mut buf, op);
         }
-        let mut bytes = buf.freeze();
+        let mut cursor = buf.as_slice();
         for want in &originals {
-            prop_assert_eq!(&read_op(&mut bytes).unwrap(), want);
+            assert_eq!(&read_op(&mut cursor).unwrap(), want);
         }
-    }
+        assert!(cursor.is_empty());
+    });
+}
 
-    /// Completion times never precede request times, in any organization.
-    #[test]
-    fn time_flows_forward(ops in trace(10_000)) {
+/// 12. Completion times never precede request times, in any organization.
+#[test]
+fn time_flows_forward() {
+    prop("time_flows_forward").check(&trace(10_000), |ops| {
         let mut nurapid = NuRapidCache::new(small_config(2));
         let mut dnuca = DnucaCache::new(DnucaConfig::micro2003(SearchPolicy::SsEnergy));
         let mut base = memsys::hierarchy::BaseHierarchy::micro2003();
         let mut t = Cycle::ZERO;
-        for &(b, w) in &ops {
+        for &(b, w) in ops {
             let kind = if w { AccessKind::Write } else { AccessKind::Read };
             let block = BlockAddr::from_index(b);
             for out in [
@@ -266,9 +323,9 @@ proptest! {
                 dnuca.access(block, kind, t),
                 LowerCache::access(&mut base, block, kind, t),
             ] {
-                prop_assert!(out.complete_at > t);
+                assert!(out.complete_at > t);
             }
             t += 3;
         }
-    }
+    });
 }
