@@ -18,57 +18,57 @@ fn bench_tables(b: &mut BenchRunner) {
         black_box(exps::table4()).rows.len()
     });
     b.bench("table3_base_characterization", WARMUP, ITERS, || {
-        let mut s = bench_sweep();
-        black_box(exps::table3(&mut s)).rows.len()
+        let s = bench_sweep();
+        black_box(exps::table3(&s)).rows.len()
     });
 }
 
 fn bench_placement(b: &mut BenchRunner) {
     b.bench("fig4_placement", WARMUP, ITERS, || {
-        let mut s = bench_sweep();
-        black_box(exps::fig4(&mut s)).avg_first_group(1)
+        let s = bench_sweep();
+        black_box(exps::fig4(&s)).avg_first_group(1)
     });
     b.bench("fig5_promotion_policies", WARMUP, ITERS, || {
-        let mut s = bench_sweep();
-        black_box(exps::fig5(&mut s)).avg_first_group(1)
+        let s = bench_sweep();
+        black_box(exps::fig5(&s)).avg_first_group(1)
     });
     b.bench("sec531_lru_vs_random", WARMUP, ITERS, || {
-        let mut s = bench_sweep();
-        black_box(exps::sec531(&mut s)).rows.len()
+        let s = bench_sweep();
+        black_box(exps::sec531(&s)).rows.len()
     });
 }
 
 fn bench_dgroups(b: &mut BenchRunner) {
     b.bench("fig7_dgroup_count_distribution", WARMUP, ITERS, || {
-        let mut s = bench_sweep();
-        black_box(exps::fig7(&mut s)).avg_first_group(0)
+        let s = bench_sweep();
+        black_box(exps::fig7(&s)).avg_first_group(0)
     });
     b.bench("fig8_dgroup_count_performance", WARMUP, ITERS, || {
-        let mut s = bench_sweep();
-        black_box(exps::fig8(&mut s)).overall(1)
+        let s = bench_sweep();
+        black_box(exps::fig8(&s)).overall(1)
     });
 }
 
 fn bench_performance(b: &mut BenchRunner) {
     b.bench("fig6_policy_performance", WARMUP, ITERS, || {
-        let mut s = bench_sweep();
-        black_box(exps::fig6(&mut s)).overall(1)
+        let s = bench_sweep();
+        black_box(exps::fig6(&s)).overall(1)
     });
     b.bench("fig9_vs_dnuca", WARMUP, ITERS, || {
-        let mut s = bench_sweep();
-        black_box(exps::fig9(&mut s)).overall(1)
+        let s = bench_sweep();
+        black_box(exps::fig9(&s)).overall(1)
     });
 }
 
 fn bench_energy(b: &mut BenchRunner) {
     b.bench("fig10_l2_energy", WARMUP, ITERS, || {
-        let mut s = bench_sweep();
-        black_box(exps::fig10(&mut s)).energy_reduction_vs_dnuca()
+        let s = bench_sweep();
+        black_box(exps::fig10(&s)).energy_reduction_vs_dnuca()
     });
     b.bench("fig11_energy_delay", WARMUP, ITERS, || {
         black_box({
-            let mut s = bench_sweep();
-            exps::fig11(&mut s).nurapid_mean()
+            let s = bench_sweep();
+            exps::fig11(&s).nurapid_mean()
         })
     });
 }

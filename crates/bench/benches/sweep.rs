@@ -1,0 +1,39 @@
+//! Serial vs parallel sweep wall-clock comparison on the simsched
+//! scheduler: the same 10-job prewarm (2 applications × 5 configuration
+//! families) through 1, 2, and 4 worker threads. Results are
+//! bit-identical across all variants (asserted here on every iteration);
+//! only wall time differs. With `SIMKIT_BENCH_DIR` set, the JSON lines
+//! land in `BENCH_sweep.json` for the record.
+
+use bench::{bench_apps, bench_scale, SWEEP_BENCH_KEYS};
+use experiments::exps::Sweep;
+use simkit::bench::{black_box, BenchRunner};
+
+const WARMUP: u32 = 1;
+const ITERS: u32 = 5;
+
+/// One full prewarm at `threads`, returning a determinism witness (total
+/// cycles over all runs) so the serial/parallel variants can be compared.
+fn sweep_once(threads: usize) -> u64 {
+    let s = Sweep::with_apps(bench_scale(), bench_apps()).with_threads(threads);
+    s.prefetch_all(&SWEEP_BENCH_KEYS);
+    assert_eq!(s.runs(), bench_apps().len() * SWEEP_BENCH_KEYS.len());
+    let s = &s;
+    bench_apps()
+        .iter()
+        .flat_map(|&a| SWEEP_BENCH_KEYS.iter().map(move |&k| s.run(a, k).core.cycles))
+        .sum()
+}
+
+fn main() {
+    let mut b = BenchRunner::new("sweep");
+    let witness = sweep_once(1);
+    for threads in [1usize, 2, 4] {
+        b.bench(&format!("sweep_prewarm_{threads}_threads"), WARMUP, ITERS, || {
+            let w = sweep_once(threads);
+            assert_eq!(w, witness, "{threads}-thread sweep diverged from serial");
+            black_box(w)
+        });
+    }
+    b.finish();
+}

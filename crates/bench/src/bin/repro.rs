@@ -1,23 +1,59 @@
-//! `repro` — regenerates every table and figure of the paper's evaluation.
+//! `repro` — regenerates every table and figure of the paper's evaluation,
+//! scheduling full-system runs on the simsched worker pool.
 //!
 //! ```text
-//! repro [--exp <id>] [--quick]
+//! repro [--exp <id>] [--quick] [--tsv] [--threads N] [--artifacts DIR]
 //!
-//!   --exp    table2 | table3 | table4 | fig4 | fig5 | fig6 | lru |
-//!            fig7 | fig8 | fig9 | fig10 | fig11 | all   (default: all)
-//!   --quick  run at the reduced test scale instead of the full
-//!            reproduction scale
+//!   --exp       table2 | table3 | table4 | fig4 | fig5 | fig6 | lru |
+//!               fig7 | fig8 | fig9 | fig10 | fig11 | restrict | all
+//!               (default: all)
+//!   --quick     run at the reduced test scale instead of the full
+//!               reproduction scale
+//!   --tsv       machine-readable output for the figure experiments
+//!   --threads   worker threads for the run sweep (default:
+//!               $SIMSCHED_THREADS, else the machine's parallelism;
+//!               output is bit-identical for any value)
+//!   --artifacts write every completed run to DIR/runs.jsonl and resume
+//!               from digest-matching records (default: $SIMSCHED_DIR,
+//!               else disabled)
 //! ```
+//!
+//! Tables are always rendered in the same serial order; the thread count
+//! only affects how fast the run store warms up. Progress events go to
+//! stderr, tables to stdout.
 
 use experiments::exps::{self, Sweep};
 use experiments::Scale;
+use simsched::progress::{Counts, Event, EventKind, Outcome};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Experiment ids in rendering order, paired with the configuration keys
+/// each one needs (the prewarm set handed to the worker pool).
+const EXPERIMENTS: &[(&str, &[&str])] = &[
+    ("table2", &[]),
+    ("table4", &[]),
+    ("table3", &["base"]),
+    ("fig4", &["sa4", "nf4"]),
+    ("fig5", &["dm4", "nf4", "fs4"]),
+    ("fig6", &["base", "dm4", "nf4", "fs4", "id4"]),
+    ("lru", &["dm4", "clock-dm", "lru-dm", "nf4", "clock-nf", "lru-nf"]),
+    ("fig7", &["nf2", "nf4", "nf8"]),
+    ("fig8", &["base", "nf2", "nf4", "nf8"]),
+    ("fig9", &["base", "dn-perf", "nf4", "nf8"]),
+    ("fig10", &["base", "dn-energy", "nf4"]),
+    ("fig11", &["base", "dn-perf", "dn-energy", "nf4"]),
+    ("restrict", &["base", "nf4", "nf4-r256", "nf4-r64"]),
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut exp = "all".to_string();
     let mut scale = Scale::full();
     let mut tsv = false;
+    let mut threads = default_threads();
+    let mut artifacts = std::env::var("SIMSCHED_DIR").ok();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -27,6 +63,18 @@ fn main() {
             }
             "--quick" => scale = Scale::quick(),
             "--tsv" => tsv = true,
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing or bad --threads value"));
+            }
+            "--artifacts" => {
+                i += 1;
+                artifacts =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("missing artifact dir")));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -34,26 +82,97 @@ fn main() {
     }
 
     let t0 = Instant::now();
-    let mut sweep = Sweep::new(scale);
+    let counts = Counts::new();
+    let mut sweep = Sweep::new(scale)
+        .with_threads(threads)
+        .with_observer(progress_printer(Arc::clone(&counts)));
+    if let Some(dir) = &artifacts {
+        sweep = match sweep.with_artifacts(dir) {
+            Ok(s) => {
+                eprintln!("[simsched] artifacts: {dir}/runs.jsonl");
+                s
+            }
+            Err(e) => usage(&format!("cannot open artifact dir {dir:?}: {e}")),
+        };
+    }
+
     let ids: Vec<&str> = if exp == "all" {
-        vec![
-            "table2", "table4", "table3", "fig4", "fig5", "fig6", "lru", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "restrict",
-        ]
+        EXPERIMENTS.iter().map(|&(id, _)| id).collect()
     } else {
         vec![exp.as_str()]
     };
+
+    // Warm the run store in parallel before rendering anything: the
+    // union of every selected experiment's configurations, in a stable
+    // order, farmed out to the worker pool.
+    let mut keys: Vec<&'static str> = Vec::new();
+    for (id, wanted) in EXPERIMENTS {
+        if ids.contains(id) {
+            for k in wanted.iter() {
+                if !keys.contains(k) {
+                    keys.push(k);
+                }
+            }
+        }
+    }
+    if !keys.is_empty() {
+        eprintln!(
+            "[simsched] {} jobs ({} apps x {} configs) on {} thread{}",
+            sweep.apps().len() * keys.len(),
+            sweep.apps().len(),
+            keys.len(),
+            threads,
+            if threads == 1 { "" } else { "s" }
+        );
+        sweep.prefetch_all(&keys);
+    }
+
     for id in ids {
-        run_one(id, &mut sweep, tsv);
+        run_one(id, &sweep, tsv);
     }
     eprintln!(
-        "[repro] {} full-system runs, {:.1}s",
+        "[repro] {} runs ({} simulated, {} resumed, {} shared hits), {} threads, {:.1}s",
         sweep.runs(),
+        sweep.simulated(),
+        sweep.resumed(),
+        counts.shared.load(Ordering::Relaxed),
+        sweep.threads(),
         t0.elapsed().as_secs_f64()
     );
 }
 
-fn run_one(id: &str, sweep: &mut Sweep, tsv: bool) {
+/// Default worker-thread count: `$SIMSCHED_THREADS`, else the machine's
+/// available parallelism.
+fn default_threads() -> usize {
+    std::env::var("SIMSCHED_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        })
+}
+
+/// An observer that prints real work (simulations and artifact loads) to
+/// stderr as it completes, and counts everything.
+fn progress_printer(counts: Arc<Counts>) -> simsched::progress::Observer {
+    let counting = counts.observer();
+    Arc::new(move |e: &Event| {
+        counting(e);
+        if let EventKind::Finished { outcome, wall_ns } = e.kind {
+            match outcome {
+                Outcome::Simulated => {
+                    eprintln!("[simsched] done {:<18} {:>7.2}s", e.label, wall_ns as f64 / 1e9);
+                }
+                Outcome::Resumed => {
+                    eprintln!("[simsched] resumed {} from artifact", e.label);
+                }
+                Outcome::Shared => {}
+            }
+        }
+    })
+}
+
+fn run_one(id: &str, sweep: &Sweep, tsv: bool) {
     if tsv {
         // Machine-readable output for the distribution and performance
         // figures; other experiments fall through to text.
@@ -98,7 +217,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|all] [--quick] [--tsv]"
+        "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|all] \
+         [--quick] [--tsv] [--threads N] [--artifacts DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -4,7 +4,7 @@ use experiments::exps::Sweep;
 use experiments::Scale;
 use workloads::profiles::{by_name, BenchProfile};
 
-/// Scale used by the Criterion benches: small enough to iterate, large
+/// Scale used by the simkit benches: small enough to iterate, large
 /// enough to exercise every code path (warm caches, swaps, misses).
 pub fn bench_scale() -> Scale {
     Scale {
@@ -13,7 +13,7 @@ pub fn bench_scale() -> Scale {
     }
 }
 
-/// The two-application subset the Criterion benches sweep (one high-load,
+/// The two-application subset the simkit benches sweep (one high-load,
 /// one low-load).
 pub fn bench_apps() -> Vec<BenchProfile> {
     vec![
@@ -22,10 +22,16 @@ pub fn bench_apps() -> Vec<BenchProfile> {
     ]
 }
 
-/// A sweep sized for benchmarking.
+/// A sweep sized for benchmarking (serial; pipe through
+/// [`Sweep::with_threads`] for the parallel variants).
 pub fn bench_sweep() -> Sweep {
     Sweep::with_apps(bench_scale(), bench_apps())
 }
+
+/// The configuration keys the sweep benches prefetch: one of each
+/// organization family, so the serial-vs-parallel comparison covers the
+/// base hierarchy, NuRAPID, the coupled ablation, and D-NUCA.
+pub const SWEEP_BENCH_KEYS: [&str; 5] = ["base", "dm4", "nf4", "sa4", "dn-energy"];
 
 #[cfg(test)]
 mod tests {
@@ -37,5 +43,13 @@ mod tests {
         assert!(bench_scale().measure > 0);
         let s = bench_sweep();
         assert_eq!(s.apps().len(), 2);
+        assert_eq!(s.threads(), 1);
+    }
+
+    #[test]
+    fn sweep_bench_keys_resolve() {
+        for k in SWEEP_BENCH_KEYS {
+            let _ = experiments::exps::kind_of(k);
+        }
     }
 }

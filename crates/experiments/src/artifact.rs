@@ -1,0 +1,173 @@
+//! JSON codec for [`AppRun`] — the payload of simsched run artifacts.
+//!
+//! Every `f64` is stored as its IEEE-754 **bit pattern** (a `u64` field
+//! named `*_bits`), because a resumed sweep must reproduce results
+//! **bit-identically**: re-parsing a shortest-roundtrip decimal is exact
+//! in theory, but bit patterns make the guarantee structural and the
+//! manifest greppable for exact equality. A few derived, human-readable
+//! fields (`ipc`) are written for manifest readers and ignored by the
+//! decoder.
+
+use crate::runner::AppRun;
+use cpu::CoreResult;
+use energy::EnergyTally;
+use simbase::EnergyNj;
+use simsched::json::Json;
+
+fn f64_bits(v: f64) -> Json {
+    Json::U64(v.to_bits())
+}
+
+fn bits_f64(j: &Json) -> Option<f64> {
+    j.as_u64().map(f64::from_bits)
+}
+
+/// Encodes a run as a JSON object (the artifact payload).
+pub fn encode(run: &AppRun) -> Json {
+    Json::obj(vec![
+        ("app", Json::Str(run.name.to_string())),
+        ("ipc", Json::F64((run.ipc() * 1e4).round() / 1e4)),
+        (
+            "core",
+            Json::obj(vec![
+                ("instructions", Json::U64(run.core.instructions)),
+                ("cycles", Json::U64(run.core.cycles)),
+                ("loads", Json::U64(run.core.loads)),
+                ("stores", Json::U64(run.core.stores)),
+                ("branches", Json::U64(run.core.branches)),
+                ("mispredicts", Json::U64(run.core.mispredicts)),
+                ("int_ops", Json::U64(run.core.int_ops)),
+                ("fp_ops", Json::U64(run.core.fp_ops)),
+            ]),
+        ),
+        ("l2_accesses", Json::U64(run.l2_accesses)),
+        ("l2_misses", Json::U64(run.l2_misses)),
+        (
+            "group_frac_bits",
+            Json::Arr(run.group_fracs.iter().map(|&f| f64_bits(f)).collect()),
+        ),
+        ("miss_frac_bits", f64_bits(run.miss_frac)),
+        ("dgroup_accesses", Json::U64(run.dgroup_accesses)),
+        ("swaps", Json::U64(run.swaps)),
+        ("l2_energy_bits", f64_bits(run.l2_energy.nj())),
+        (
+            "energy_bits",
+            Json::obj(vec![
+                ("core", f64_bits(run.energy.core.nj())),
+                ("l1", f64_bits(run.energy.l1.nj())),
+                ("l2", f64_bits(run.energy.l2.nj())),
+                ("memory", f64_bits(run.energy.memory.nj())),
+            ]),
+        ),
+    ])
+}
+
+/// Decodes a run from an artifact payload. Returns `None` if any field
+/// is missing or ill-typed (the caller then re-simulates), or if the
+/// application name is not in the roster.
+pub fn decode(j: &Json) -> Option<AppRun> {
+    let name = workloads::profiles::by_name(j.field("app")?.as_str()?)?.name;
+    let core = j.field("core")?;
+    let u = |obj: &Json, k: &str| obj.field(k)?.as_u64();
+    let energy = j.field("energy_bits")?;
+    let e = |k: &str| -> Option<EnergyNj> {
+        let nj = bits_f64(energy.field(k)?)?;
+        (nj.is_finite() && nj >= 0.0).then(|| EnergyNj::new(nj))
+    };
+    Some(AppRun {
+        name,
+        core: CoreResult {
+            instructions: u(core, "instructions")?,
+            cycles: u(core, "cycles")?,
+            loads: u(core, "loads")?,
+            stores: u(core, "stores")?,
+            branches: u(core, "branches")?,
+            mispredicts: u(core, "mispredicts")?,
+            int_ops: u(core, "int_ops")?,
+            fp_ops: u(core, "fp_ops")?,
+        },
+        l2_accesses: u(j, "l2_accesses")?,
+        l2_misses: u(j, "l2_misses")?,
+        group_fracs: j
+            .field("group_frac_bits")?
+            .as_arr()?
+            .iter()
+            .map(bits_f64)
+            .collect::<Option<Vec<f64>>>()?,
+        miss_frac: bits_f64(j.field("miss_frac_bits")?)?,
+        dgroup_accesses: u(j, "dgroup_accesses")?,
+        swaps: u(j, "swaps")?,
+        l2_energy: {
+            let nj = bits_f64(j.field("l2_energy_bits")?)?;
+            (nj.is_finite() && nj >= 0.0).then(|| EnergyNj::new(nj))?
+        },
+        energy: EnergyTally {
+            core: e("core")?,
+            l1: e("l1")?,
+            l2: e("l2")?,
+            memory: e("memory")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exps::kind_of;
+    use crate::runner::{run_app, Scale};
+    use workloads::profiles::by_name;
+
+    fn sample() -> AppRun {
+        run_app(
+            by_name("galgel").unwrap(),
+            &kind_of("nf4"),
+            Scale {
+                warmup: 20_000,
+                measure: 30_000,
+            },
+        )
+    }
+
+    #[test]
+    fn encode_decode_is_bit_identical() {
+        let run = sample();
+        let back = decode(&encode(&run)).expect("decodes");
+        // PartialEq on AppRun compares every field, including exact f64s.
+        assert_eq!(run, back);
+    }
+
+    #[test]
+    fn decode_survives_a_disk_roundtrip() {
+        let run = sample();
+        let line = encode(&run).render();
+        let parsed = simsched::json::parse(&line).expect("parses");
+        assert_eq!(decode(&parsed).expect("decodes"), run);
+    }
+
+    #[test]
+    fn corrupt_payloads_decode_to_none() {
+        let run = sample();
+        let mut j = encode(&run);
+        // Unknown app.
+        if let Json::Obj(pairs) = &mut j {
+            pairs[0].1 = Json::Str("not-a-benchmark".into());
+        }
+        assert!(decode(&j).is_none());
+        // Missing field.
+        let mut j = encode(&run);
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "swaps");
+        }
+        assert!(decode(&j).is_none());
+        // Negative energy bit pattern must not panic EnergyNj::new.
+        let mut j = encode(&run);
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "l2_energy_bits" {
+                    *v = Json::U64((-1.0f64).to_bits());
+                }
+            }
+        }
+        assert!(decode(&j).is_none());
+    }
+}

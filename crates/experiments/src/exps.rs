@@ -2,35 +2,57 @@
 //!
 //! Every experiment returns a plain data structure with a `render()`
 //! method producing the text table the `repro` binary prints. Full-system
-//! runs are shared through a [`Sweep`] cache so, e.g., Figure 6 and
-//! Figure 9 reuse the same base-case runs.
+//! runs are shared through the [`Sweep`] run store so, e.g., Figure 6 and
+//! Figure 9 reuse the same base-case runs — including when they request
+//! them concurrently from the simsched worker pool.
 
+use crate::artifact;
 use crate::report::{f2, pct, rel, TextTable};
-use crate::runner::{run_app, AppRun, L2Kind, Scale};
+use crate::runner::{run_app, run_digest, AppRun, L2Kind, Scale};
 use cachemodel::catalog::{self, DnucaGeometry, NuRapidGeometry};
 use nuca::SearchPolicy;
 use nurapid::{DistanceVictimPolicy, NuRapidConfig, PromotionPolicy};
 use simbase::stats::GeoMean;
 use simbase::Capacity;
-use std::collections::HashMap;
+use simsched::progress::{Event, EventKind, Observer, Outcome};
+use simsched::store::RunStore;
+use simsched::{pool, ArtifactStore};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 use workloads::profiles::{BenchProfile, LoadClass, ROSTER};
 
-/// A cache of full-system runs keyed by `(application, configuration)`.
-#[derive(Debug)]
+/// A store of full-system runs keyed by the **digest of the full
+/// configuration** (application profile + organization + scale + seed),
+/// executed through the simsched subsystem.
+///
+/// Compared to the original serial `HashMap` sweep:
+///
+/// - runs execute on up to [`Sweep::with_threads`] worker threads via
+///   [`Sweep::prefetch`], with results independent of thread count;
+/// - every (application, configuration) pair simulates **exactly once**
+///   process-wide, even under concurrent requests (single-flight);
+/// - keys are digests, so two distinct configurations can never alias
+///   through a shared label (the old `(&str, &str)` keying hazard);
+/// - with [`Sweep::with_artifacts`], completed runs are appended to a
+///   JSON-lines manifest and a later sweep *resumes*, loading
+///   digest-matching artifacts instead of re-simulating.
 pub struct Sweep {
     scale: Scale,
     apps: Vec<BenchProfile>,
-    cache: HashMap<(&'static str, &'static str), AppRun>,
+    threads: usize,
+    store: RunStore<u128, AppRun>,
+    artifacts: Option<ArtifactStore>,
+    observer: Option<Observer>,
+    simulated: AtomicU64,
+    resumed: AtomicU64,
 }
 
 impl Sweep {
     /// A sweep over the full 15-application roster.
     pub fn new(scale: Scale) -> Self {
-        Sweep {
-            scale,
-            apps: ROSTER.to_vec(),
-            cache: HashMap::new(),
-        }
+        Sweep::with_apps(scale, ROSTER.to_vec())
     }
 
     /// A sweep over a subset of applications (for tests and benches).
@@ -39,8 +61,37 @@ impl Sweep {
         Sweep {
             scale,
             apps,
-            cache: HashMap::new(),
+            threads: 1,
+            store: RunStore::new(),
+            artifacts: None,
+            observer: None,
+            simulated: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the worker-thread count used by [`Sweep::prefetch`].
+    /// Results are bit-identical for any value; this only changes wall
+    /// time. Defaults to 1 (serial).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a run-artifact directory: completed runs are appended to
+    /// its JSON-lines manifest, and runs whose digest already appears
+    /// there are loaded instead of simulated (resume).
+    pub fn with_artifacts(mut self, dir: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        self.artifacts = Some(ArtifactStore::open(dir)?);
+        Ok(self)
+    }
+
+    /// Installs a progress-event observer (see [`simsched::progress`]).
+    #[must_use]
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// The applications in this sweep.
@@ -48,18 +99,119 @@ impl Sweep {
         &self.apps
     }
 
-    /// Runs (or returns the cached run of) `app` on the configuration
-    /// named `key`.
-    pub fn run(&mut self, app: BenchProfile, key: &'static str) -> &AppRun {
-        let scale = self.scale;
-        self.cache
-            .entry((app.name, key))
-            .or_insert_with(|| run_app(app, &kind_of(key), scale))
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
-    /// Number of distinct runs performed so far.
+    fn emit(&self, label: &str, kind: EventKind) {
+        if let Some(obs) = &self.observer {
+            obs(&Event {
+                label: label.to_string(),
+                kind,
+            });
+        }
+    }
+
+    /// Runs (or returns the stored run of) `app` on the configuration
+    /// named `key`.
+    pub fn run(&self, app: BenchProfile, key: &'static str) -> Arc<AppRun> {
+        self.run_kind(app, key, &kind_of(key))
+    }
+
+    /// Runs `app` on an explicit organization. `label` is only for
+    /// progress display — the store is keyed by the digest of `kind`, so
+    /// two different configurations sharing a label cannot collide.
+    pub fn run_kind(&self, app: BenchProfile, label: &str, kind: &L2Kind) -> Arc<AppRun> {
+        let digest = run_digest(&app, kind, self.scale);
+        let event_label = format!("{label}/{}", app.name);
+        self.emit(&event_label, EventKind::Started);
+        let t0 = Instant::now();
+
+        // `outcome` stays `None` when the single-flight store satisfies
+        // the request from another requester's completed computation.
+        let mut outcome = None;
+        let run = self.store.get_or_compute(digest.raw(), || {
+            if let Some(store) = &self.artifacts {
+                if let Some(run) = store.lookup(&digest.hex()).as_ref().and_then(artifact::decode)
+                {
+                    self.resumed.fetch_add(1, Ordering::Relaxed);
+                    outcome = Some(Outcome::Resumed);
+                    return run;
+                }
+            }
+            let run = run_app(app, kind, self.scale);
+            self.simulated.fetch_add(1, Ordering::Relaxed);
+            if let Some(store) = &self.artifacts {
+                // Best-effort: an unwritable artifact dir degrades to a
+                // plain in-memory sweep rather than failing the run.
+                let _ = store.append(&digest.hex(), artifact::encode(&run));
+            }
+            outcome = Some(Outcome::Simulated);
+            run
+        });
+
+        self.emit(
+            &event_label,
+            EventKind::Finished {
+                outcome: outcome.unwrap_or(Outcome::Shared),
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            },
+        );
+        run
+    }
+
+    /// Executes the given (application, configuration-key) jobs on the
+    /// sweep's worker pool, populating the run store. Figure functions
+    /// called afterwards hit the warm store. Duplicate pairs — and pairs
+    /// racing with figures on other threads — are deduplicated by the
+    /// store's single-flight guarantee.
+    pub fn prefetch(&self, pairs: &[(BenchProfile, &'static str)]) {
+        for (app, key) in pairs {
+            self.emit(&format!("{key}/{}", app.name), EventKind::Queued);
+        }
+        let jobs: Vec<_> = pairs
+            .iter()
+            .map(|&(app, key)| move || drop(self.run(app, key)))
+            .collect();
+        pool::run_jobs(self.threads, jobs);
+    }
+
+    /// Prefetches every application in the sweep on each of `keys`.
+    pub fn prefetch_all(&self, keys: &[&'static str]) {
+        let pairs: Vec<_> = keys
+            .iter()
+            .flat_map(|&k| self.apps.iter().map(move |&a| (a, k)))
+            .collect();
+        self.prefetch(&pairs);
+    }
+
+    /// Number of distinct completed runs in the store (simulated plus
+    /// resumed from artifacts).
     pub fn runs(&self) -> usize {
-        self.cache.len()
+        self.store.completed()
+    }
+
+    /// Number of runs actually simulated by this sweep.
+    pub fn simulated(&self) -> u64 {
+        self.simulated.load(Ordering::Relaxed)
+    }
+
+    /// Number of runs loaded from digest-matching artifacts.
+    pub fn resumed(&self) -> u64 {
+        self.resumed.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sweep")
+            .field("scale", &self.scale)
+            .field("apps", &self.apps.len())
+            .field("threads", &self.threads)
+            .field("runs", &self.runs())
+            .field("artifacts", &self.artifacts.as_ref().map(|a| a.dir().to_path_buf()))
+            .finish()
     }
 }
 
@@ -185,7 +337,7 @@ pub struct Table3 {
 }
 
 /// Regenerates Table 3 on the base hierarchy.
-pub fn table3(sweep: &mut Sweep) -> Table3 {
+pub fn table3(sweep: &Sweep) -> Table3 {
     let apps = sweep.apps().to_vec();
     let rows = apps
         .into_iter()
@@ -291,7 +443,7 @@ pub struct DistFigure {
     pub rows: Vec<(&'static str, Vec<Distribution>)>,
 }
 
-fn dist_figure(sweep: &mut Sweep, title: &'static str, configs: Vec<&'static str>) -> DistFigure {
+fn dist_figure(sweep: &Sweep, title: &'static str, configs: Vec<&'static str>) -> DistFigure {
     let apps = sweep.apps().to_vec();
     let rows = apps
         .into_iter()
@@ -395,7 +547,7 @@ impl DistFigure {
 }
 
 /// Figure 4: set-associative vs distance-associative placement.
-pub fn fig4(sweep: &mut Sweep) -> DistFigure {
+pub fn fig4(sweep: &Sweep) -> DistFigure {
     dist_figure(
         sweep,
         "Figure 4: distribution of d-group accesses, set-associative (sa4) \
@@ -405,7 +557,7 @@ pub fn fig4(sweep: &mut Sweep) -> DistFigure {
 }
 
 /// Figure 5: demotion-only vs next-fastest vs fastest promotion.
-pub fn fig5(sweep: &mut Sweep) -> DistFigure {
+pub fn fig5(sweep: &Sweep) -> DistFigure {
     dist_figure(
         sweep,
         "Figure 5: distribution of d-group accesses for NuRAPID promotion \
@@ -415,7 +567,7 @@ pub fn fig5(sweep: &mut Sweep) -> DistFigure {
 }
 
 /// Figure 7: 2 vs 4 vs 8 d-groups.
-pub fn fig7(sweep: &mut Sweep) -> DistFigure {
+pub fn fig7(sweep: &Sweep) -> DistFigure {
     dist_figure(
         sweep,
         "Figure 7: distribution of d-group accesses for 2-, 4-, and \
@@ -439,7 +591,7 @@ pub struct PerfFigure {
     pub rows: Vec<(&'static str, LoadClass, Vec<f64>)>,
 }
 
-fn perf_figure(sweep: &mut Sweep, title: &'static str, configs: Vec<&'static str>) -> PerfFigure {
+fn perf_figure(sweep: &Sweep, title: &'static str, configs: Vec<&'static str>) -> PerfFigure {
     let apps = sweep.apps().to_vec();
     let rows = apps
         .into_iter()
@@ -532,7 +684,7 @@ impl PerfFigure {
 
 /// Figure 6: performance of the NuRAPID policies and the ideal case,
 /// relative to the base L2/L3 hierarchy.
-pub fn fig6(sweep: &mut Sweep) -> PerfFigure {
+pub fn fig6(sweep: &Sweep) -> PerfFigure {
     perf_figure(
         sweep,
         "Figure 6: performance of NuRAPID policies relative to the base \
@@ -542,7 +694,7 @@ pub fn fig6(sweep: &mut Sweep) -> PerfFigure {
 }
 
 /// Figure 8: performance of 2-, 4-, and 8-d-group NuRAPIDs.
-pub fn fig8(sweep: &mut Sweep) -> PerfFigure {
+pub fn fig8(sweep: &Sweep) -> PerfFigure {
     perf_figure(
         sweep,
         "Figure 8: performance of 2-, 4-, and 8-d-group NuRAPIDs relative \
@@ -552,7 +704,7 @@ pub fn fig8(sweep: &mut Sweep) -> PerfFigure {
 }
 
 /// Figure 9: NuRAPID vs D-NUCA (ss-performance).
-pub fn fig9(sweep: &mut Sweep) -> PerfFigure {
+pub fn fig9(sweep: &Sweep) -> PerfFigure {
     perf_figure(
         sweep,
         "Figure 9: D-NUCA (ss-performance) and 4-/8-d-group NuRAPIDs \
@@ -576,9 +728,9 @@ pub struct LruStudy {
 
 /// Regenerates the §5.3.1 comparison (extended with the approximate-LRU
 /// middle ground the paper mentions but does not measure).
-pub fn sec531(sweep: &mut Sweep) -> LruStudy {
+pub fn sec531(sweep: &Sweep) -> LruStudy {
     let apps = sweep.apps().to_vec();
-    let avg_g0 = |sweep: &mut Sweep, key: &'static str| {
+    let avg_g0 = |sweep: &Sweep, key: &'static str| {
         let sum: f64 = apps
             .iter()
             .map(|&p| sweep.run(p, key).group_fracs[0])
@@ -638,7 +790,7 @@ pub struct EnergyFigure {
 }
 
 /// Regenerates the energy comparison.
-pub fn fig10(sweep: &mut Sweep) -> EnergyFigure {
+pub fn fig10(sweep: &Sweep) -> EnergyFigure {
     let apps = sweep.apps().to_vec();
     let rows = apps
         .into_iter()
@@ -646,11 +798,11 @@ pub fn fig10(sweep: &mut Sweep) -> EnergyFigure {
             let per_ki = |r: &AppRun| r.l2_energy.nj() * 1000.0 / r.core.instructions as f64;
             let per_access =
                 |r: &AppRun| r.dgroup_accesses as f64 / r.l2_accesses.max(1) as f64;
-            let base = per_ki(sweep.run(p, "base"));
+            let base = per_ki(&sweep.run(p, "base"));
             let dn = sweep.run(p, "dn-energy");
-            let (dn_e, dn_a) = (per_ki(dn), per_access(dn));
+            let (dn_e, dn_a) = (per_ki(&dn), per_access(&dn));
             let nr = sweep.run(p, "nf4");
-            let (nr_e, nr_a) = (per_ki(nr), per_access(nr));
+            let (nr_e, nr_a) = (per_ki(&nr), per_access(&nr));
             (p.name, base, dn_e, nr_e, dn_a, nr_a)
         })
         .collect();
@@ -718,7 +870,7 @@ pub struct EdpFigure {
 
 /// Regenerates the energy-delay comparison. D-NUCA gets its best foot
 /// forward: the lower energy-delay of its two policies per application.
-pub fn fig11(sweep: &mut Sweep) -> EdpFigure {
+pub fn fig11(sweep: &Sweep) -> EdpFigure {
     let apps = sweep.apps().to_vec();
     let rows = apps
         .into_iter()
@@ -780,7 +932,7 @@ pub struct RestrictionAblation {
 }
 
 /// Regenerates the pointer-restriction ablation.
-pub fn restriction_ablation(sweep: &mut Sweep) -> RestrictionAblation {
+pub fn restriction_ablation(sweep: &Sweep) -> RestrictionAblation {
     use nurapid::pointers::PointerScheme;
     let cap = Capacity::from_mib(8);
     let apps = sweep.apps().to_vec();
@@ -881,8 +1033,8 @@ mod tests {
 
     #[test]
     fn fig4_shows_placement_advantage() {
-        let mut s = tiny_sweep();
-        let f = fig4(&mut s);
+        let s = tiny_sweep();
+        let f = fig4(&s);
         // Distance-associative placement (index 1) must put more accesses
         // in the fastest d-group than set-associative (index 0).
         assert!(
@@ -896,8 +1048,8 @@ mod tests {
 
     #[test]
     fn fig5_orders_policies() {
-        let mut s = tiny_sweep();
-        let f = fig5(&mut s);
+        let s = tiny_sweep();
+        let f = fig5(&s);
         // demotion-only (0) < next-fastest (1); fastest (2) comparable to
         // next-fastest.
         assert!(f.avg_first_group(0) < f.avg_first_group(1));
@@ -910,8 +1062,8 @@ mod tests {
 
     #[test]
     fn fig7_orders_dgroup_counts() {
-        let mut s = tiny_sweep();
-        let f = fig7(&mut s);
+        let s = tiny_sweep();
+        let f = fig7(&s);
         // Fewer, larger d-groups hold more of the working set.
         assert!(f.avg_first_group(0) >= f.avg_first_group(1));
         assert!(f.avg_first_group(1) >= f.avg_first_group(2));
@@ -919,8 +1071,8 @@ mod tests {
 
     #[test]
     fn fig6_ideal_is_upper_bound() {
-        let mut s = tiny_sweep();
-        let f = fig6(&mut s);
+        let s = tiny_sweep();
+        let f = fig6(&s);
         // ideal (3) >= next-fastest (1) >= demotion-only (0) on average.
         assert!(f.overall(3) >= f.overall(1) - 1e-9);
         assert!(f.overall(1) >= f.overall(0) - 0.02);
@@ -929,17 +1081,81 @@ mod tests {
 
     #[test]
     fn sweep_caches_runs() {
-        let mut s = tiny_sweep();
-        let _ = fig5(&mut s);
+        let s = tiny_sweep();
+        let _ = fig5(&s);
         let n = s.runs();
-        let _ = fig6(&mut s); // reuses dm4/nf4/fs4; adds base + id4
+        let _ = fig6(&s); // reuses dm4/nf4/fs4; adds base + id4
         assert_eq!(s.runs(), n + 4);
+        assert_eq!(s.simulated() as usize, s.runs(), "no artifacts attached");
+    }
+
+    #[test]
+    fn same_label_different_configs_do_not_collide() {
+        // The old sweep keyed runs by (app, label) strings, so two
+        // distinct configurations sharing a label silently aliased. The
+        // digest-keyed store must treat them as distinct runs.
+        let s = tiny_sweep();
+        let app = by_name("galgel").unwrap();
+        let a = s.run_kind(app, "same-label", &L2Kind::NuRapid(NuRapidConfig::micro2003(4)));
+        let b = s.run_kind(
+            app,
+            "same-label",
+            &L2Kind::NuRapid(
+                NuRapidConfig::micro2003(4).with_promotion(PromotionPolicy::DemotionOnly),
+            ),
+        );
+        assert_eq!(s.runs(), 2, "two configs, two runs, despite one label");
+        assert_ne!(
+            a.group_fracs, b.group_fracs,
+            "distinct promotion policies must not share a result"
+        );
+        // Same config under two different labels is still one run.
+        let c = s.run_kind(app, "other-label", &L2Kind::NuRapid(NuRapidConfig::micro2003(4)));
+        assert_eq!(s.runs(), 2);
+        assert_eq!(*a, *c);
+    }
+
+    #[test]
+    fn prefetch_populates_the_store_for_any_thread_count() {
+        let serial = tiny_sweep();
+        let _ = fig5(&serial);
+        for threads in [1, 4] {
+            let s = Sweep::with_apps(
+                Scale {
+                    warmup: 40_000,
+                    measure: 60_000,
+                },
+                vec![by_name("galgel").unwrap(), by_name("wupwise").unwrap()],
+            )
+            .with_threads(threads);
+            s.prefetch_all(&["dm4", "nf4", "fs4"]);
+            assert_eq!(s.runs(), 6);
+            let f = fig5(&s);
+            // Figures rendered from the prefetched store equal the serial
+            // baseline byte-for-byte.
+            assert_eq!(f.render(), fig5(&serial).render(), "threads={threads}");
+            // fig5 added no new runs: everything was prefetched.
+            assert_eq!(s.runs(), 6);
+        }
+    }
+
+    #[test]
+    fn sweep_emits_progress_events() {
+        use simsched::progress::Counts;
+        let counts = Counts::new();
+        let s = tiny_sweep().with_observer(counts.observer());
+        s.prefetch_all(&["nf4"]);
+        let _ = s.run(by_name("galgel").unwrap(), "nf4"); // store hit
+        assert_eq!(counts.queued.load(Ordering::Relaxed), 2);
+        assert_eq!(counts.simulated.load(Ordering::Relaxed), 2);
+        assert_eq!(counts.shared.load(Ordering::Relaxed), 1);
+        assert_eq!(counts.finished(), 3);
     }
 
     #[test]
     fn fig10_nurapid_beats_dnuca_energy() {
-        let mut s = tiny_sweep();
-        let f = fig10(&mut s);
+        let s = tiny_sweep();
+        let f = fig10(&s);
         assert!(
             f.energy_reduction_vs_dnuca() > 0.3,
             "reduction {}",
@@ -951,16 +1167,16 @@ mod tests {
 
     #[test]
     fn fig11_nurapid_improves_edp() {
-        let mut s = tiny_sweep();
-        let f = fig11(&mut s);
+        let s = tiny_sweep();
+        let f = fig11(&s);
         assert!(f.nurapid_mean() < 1.0, "EDP {}", f.nurapid_mean());
         assert!(f.render().contains("GEOMEAN"));
     }
 
     #[test]
     fn sec531_lru_vs_random() {
-        let mut s = tiny_sweep();
-        let l = sec531(&mut s);
+        let s = tiny_sweep();
+        let l = sec531(&s);
         assert_eq!(l.rows.len(), 2);
         // Under demotion-only, LRU must beat random clearly; under
         // next-fastest the gap shrinks (promotion compensates).
@@ -978,8 +1194,8 @@ mod tests {
 
     #[test]
     fn restriction_ablation_orders_flexibility() {
-        let mut s = tiny_sweep();
-        let a = restriction_ablation(&mut s);
+        let s = tiny_sweep();
+        let a = restriction_ablation(&s);
         assert_eq!(a.rows.len(), 3);
         // Pointer bits shrink with restriction.
         assert!(a.rows[0].1 > a.rows[1].1);
@@ -991,22 +1207,22 @@ mod tests {
 
     #[test]
     fn tsv_rendering_is_machine_readable() {
-        let mut s = tiny_sweep();
-        let d = fig5(&mut s).render_tsv();
+        let s = tiny_sweep();
+        let d = fig5(&s).render_tsv();
         let lines: Vec<&str> = d.lines().collect();
         assert_eq!(lines.len(), 3, "header + 2 apps");
         let cols = lines[0].split('\t').count();
         assert_eq!(lines[1].split('\t').count(), cols);
         // 3 configs x (4 groups + miss) + app column.
         assert_eq!(cols, 1 + 3 * 5);
-        let p = fig8(&mut s).render_tsv();
+        let p = fig8(&s).render_tsv();
         assert!(p.starts_with("app\tnf2\tnf4\tnf8\n"));
     }
 
     #[test]
     fn table3_reports_roster() {
-        let mut s = tiny_sweep();
-        let t = table3(&mut s);
+        let s = tiny_sweep();
+        let t = table3(&s);
         assert_eq!(t.rows.len(), 2);
         assert!(t.rows.iter().all(|r| r.2 > 0.0));
         assert!(t.render().contains("galgel"));

@@ -27,8 +27,9 @@
 //! Runs are scaled down from the paper's 5 B-instruction simulations (see
 //! DESIGN.md §3); [`runner::Scale`] picks the instruction budget.
 
+pub mod artifact;
 pub mod exps;
 pub mod report;
 pub mod runner;
 
-pub use runner::{AppRun, L2Kind, Scale};
+pub use runner::{run_digest, AppRun, L2Kind, Scale};

@@ -10,9 +10,14 @@ use memsys::l1::CoreMemSystem;
 use memsys::lower::LowerCache;
 use nuca::{DnucaCache, DnucaConfig, SearchPolicy};
 use nurapid::coupled::CoupledCache;
-use nurapid::{NuRapidCache, NuRapidConfig};
+use nurapid::{DistanceVictimPolicy, NuRapidCache, NuRapidConfig, PromotionPolicy};
+use simbase::digest::{Digest, Hasher128};
 use simbase::EnergyNj;
 use workloads::{BenchProfile, TraceGenerator};
+
+/// Seed of every run's trace generator (fixed: experiments vary the
+/// cache organization, not the workload stream).
+pub const TRACE_SEED: u64 = 0x5eed;
 
 /// Which lower-level cache organization to simulate.
 #[derive(Debug, Clone)]
@@ -47,13 +52,83 @@ impl Scale {
         }
     }
 
-    /// A fast scale for tests and Criterion benches.
+    /// A fast scale for tests and the simkit benches.
     pub fn quick() -> Self {
         Scale {
             warmup: 150_000,
             measure: 250_000,
         }
     }
+}
+
+impl L2Kind {
+    /// Feeds every field of the configuration into `h`, discriminant
+    /// first, so two organizations digest equal iff they simulate
+    /// identically. This — not a label string — keys the run store and
+    /// the on-disk artifacts.
+    pub fn digest_into(&self, h: &mut Hasher128) {
+        match self {
+            L2Kind::Base => h.write_u8(0),
+            L2Kind::NuRapid(c) => {
+                h.write_u8(1);
+                h.write_u64(c.capacity.bytes());
+                h.write_u32(c.assoc);
+                h.write_u64(c.n_dgroups as u64);
+                h.write_u8(match c.promotion {
+                    PromotionPolicy::DemotionOnly => 0,
+                    PromotionPolicy::NextFastest => 1,
+                    PromotionPolicy::Fastest => 2,
+                });
+                h.write_u8(match c.distance_victim {
+                    DistanceVictimPolicy::Random => 0,
+                    DistanceVictimPolicy::Lru => 1,
+                    DistanceVictimPolicy::ClockApprox => 2,
+                });
+                h.write_u64(c.seed);
+                h.write_bool(c.ideal);
+                h.write_opt_u32(c.frames_per_region);
+            }
+            L2Kind::Coupled(n) => {
+                h.write_u8(2);
+                h.write_u64(*n as u64);
+            }
+            L2Kind::Dnuca(policy) => {
+                h.write_u8(3);
+                h.write_u8(match policy {
+                    SearchPolicy::SsPerformance => 0,
+                    SearchPolicy::SsEnergy => 1,
+                });
+            }
+        }
+    }
+}
+
+/// Digest of one schedulable job: the full application profile, the full
+/// cache configuration, the instruction budget, and the trace seed.
+/// Everything that determines an [`AppRun`] bit-for-bit is included, so
+/// equal digests ⇒ interchangeable results (in-process or on disk).
+pub fn run_digest(profile: &BenchProfile, kind: &L2Kind, scale: Scale) -> Digest {
+    let mut h = Hasher128::new();
+    h.write_str("nurapid-run-v1");
+    h.write_str(profile.name);
+    h.write_u8(profile.class as u8);
+    h.write_bool(profile.fp);
+    h.write_f64(profile.load_frac);
+    h.write_f64(profile.store_frac);
+    h.write_u32(profile.branch_every);
+    h.write_f64(profile.branch_bias);
+    h.write_f64(profile.l1_reuse);
+    h.write_u64(profile.hot_footprint.bytes());
+    h.write_f64(profile.hot_frac);
+    h.write_u64(profile.stream_footprint.bytes());
+    h.write_u32(profile.spatial_run);
+    h.write_f64(profile.dep_load_frac);
+    h.write_u64(profile.code_footprint.bytes());
+    kind.digest_into(&mut h);
+    h.write_u64(scale.warmup);
+    h.write_u64(scale.measure);
+    h.write_u64(TRACE_SEED);
+    h.digest()
 }
 
 /// The measured results of one application on one organization.
@@ -196,7 +271,7 @@ fn drive<L: LowerCache + ExperimentCache>(
     mut lower: L,
     scale: Scale,
 ) -> (CoreResult, CoreMemSystem<L>) {
-    let mut gen = TraceGenerator::new(profile, 0x5eed);
+    let mut gen = TraceGenerator::new(profile, TRACE_SEED);
     lower.prefill_dyn();
     let mem = CoreMemSystem::micro2003(lower);
     let mut core = OooCore::new(CoreParams::micro2003(), mem);
@@ -352,5 +427,56 @@ mod tests {
         let b = run_app(by_name("parser").unwrap(), &k, tiny());
         assert_eq!(a.core.cycles, b.core.cycles);
         assert_eq!(a.l2_accesses, b.l2_accesses);
+    }
+
+    #[test]
+    fn run_digest_is_stable_and_total() {
+        let app = by_name("galgel").unwrap();
+        let k = L2Kind::NuRapid(NuRapidConfig::micro2003(4));
+        assert_eq!(run_digest(&app, &k, tiny()), run_digest(&app, &k, tiny()));
+
+        // Every axis of the job identity must move the digest.
+        let base = run_digest(&app, &k, tiny());
+        let variants = [
+            run_digest(&by_name("wupwise").unwrap(), &k, tiny()),
+            run_digest(&app, &L2Kind::Base, tiny()),
+            run_digest(&app, &L2Kind::Coupled(4), tiny()),
+            run_digest(&app, &L2Kind::Dnuca(SearchPolicy::SsEnergy), tiny()),
+            run_digest(&app, &L2Kind::NuRapid(NuRapidConfig::micro2003(8)), tiny()),
+            run_digest(&app, &k, Scale { warmup: 40_000, measure: 60_001 }),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base, *v, "variant {i} aliased the base digest");
+        }
+    }
+
+    #[test]
+    fn run_digest_separates_every_nurapid_knob() {
+        use nurapid::{DistanceVictimPolicy, PromotionPolicy};
+        let app = by_name("galgel").unwrap();
+        let d = |c: NuRapidConfig| run_digest(&app, &L2Kind::NuRapid(c), tiny());
+        let base = NuRapidConfig::micro2003(4);
+        let mut reseeded = base.clone();
+        reseeded.seed ^= 1;
+        let knobs = [
+            d(base.clone().with_promotion(PromotionPolicy::DemotionOnly)),
+            d(base.clone().with_promotion(PromotionPolicy::Fastest)),
+            d(base.clone().with_distance_victim(DistanceVictimPolicy::Lru)),
+            d(base.clone().with_distance_victim(DistanceVictimPolicy::ClockApprox)),
+            d(base.clone().with_ideal()),
+            d(base.clone().with_frames_per_region(256)),
+            d(base.clone().with_frames_per_region(64)),
+            d(reseeded),
+        ];
+        let baseline = d(base);
+        for (i, k) in knobs.iter().enumerate() {
+            assert_ne!(baseline, *k, "knob {i} not captured by the digest");
+        }
+        // And all knob variants are mutually distinct.
+        for i in 0..knobs.len() {
+            for j in i + 1..knobs.len() {
+                assert_ne!(knobs[i], knobs[j], "knobs {i} and {j} collide");
+            }
+        }
     }
 }

@@ -1,0 +1,209 @@
+//! Stable structural digests for experiment configurations.
+//!
+//! The experiment scheduler (`crates/simsched`) keys its run store and
+//! on-disk artifacts by a digest of the *full* configuration — capacity,
+//! associativity, policies, seeds, instruction budget — rather than by a
+//! human-readable label, so two distinct configurations can never alias
+//! (and the same configuration is recognized across processes when a
+//! sweep resumes from artifacts).
+//!
+//! The hash is **FNV-1a over 128 bits** with the standard offset basis
+//! and prime. It is not cryptographic; it only needs to be (a) stable
+//! across runs, platforms, and compiler versions, and (b) wide enough
+//! that accidental collisions among the few hundred configurations a
+//! sweep ever sees are out of the question. Every multi-byte value is
+//! fed in little-endian order, strings are length-prefixed, and floats
+//! are hashed by bit pattern, so the digest is a deterministic function
+//! of structure, not of formatting.
+//!
+//! # Examples
+//!
+//! ```
+//! use simbase::digest::Hasher128;
+//!
+//! let mut h = Hasher128::new();
+//! h.write_str("nf4");
+//! h.write_u64(8 << 20);
+//! let d = h.digest();
+//! assert_eq!(d.hex().len(), 32);
+//!
+//! let mut h2 = Hasher128::new();
+//! h2.write_str("nf4");
+//! h2.write_u64(8 << 20);
+//! assert_eq!(d, h2.digest());
+//! ```
+
+use std::fmt;
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A 128-bit structural digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest(u128);
+
+impl Digest {
+    /// Reconstructs a digest from its raw value.
+    pub const fn from_raw(raw: u128) -> Self {
+        Digest(raw)
+    }
+
+    /// The raw 128-bit value.
+    pub const fn raw(self) -> u128 {
+        self.0
+    }
+
+    /// Lower-case hexadecimal rendering (32 characters, zero-padded) —
+    /// the form used in artifact manifests.
+    pub fn hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the [`Digest::hex`] rendering.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Digest)
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// Streaming FNV-1a 128-bit hasher with typed, framing-safe writers.
+#[derive(Debug, Clone)]
+pub struct Hasher128 {
+    state: u128,
+}
+
+impl Hasher128 {
+    /// A fresh hasher at the FNV offset basis.
+    pub const fn new() -> Self {
+        Hasher128 { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one byte (used for enum discriminants).
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Feeds a `u32` in little-endian order.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64` in little-endian order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` by IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a boolean as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(v as u8);
+    }
+
+    /// Feeds a string, length-prefixed so `("ab", "c")` and `("a", "bc")`
+    /// digest differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds an optional `u32`: presence byte, then the value.
+    pub fn write_opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.write_u8(0),
+            Some(x) => {
+                self.write_u8(1);
+                self.write_u32(x);
+            }
+        }
+    }
+
+    /// The digest of everything written so far.
+    pub const fn digest(&self) -> Digest {
+        Digest(self.state)
+    }
+}
+
+impl Default for Hasher128 {
+    fn default() -> Self {
+        Hasher128::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_digest_is_offset_basis() {
+        assert_eq!(Hasher128::new().digest().raw(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn fnv1a_test_vector() {
+        // FNV-1a 128 of "a": well-known published value.
+        let mut h = Hasher128::new();
+        h.write_bytes(b"a");
+        assert_eq!(
+            h.digest().hex(),
+            "d228cb696f1a8caf78912b704e4a8964"
+        );
+    }
+
+    #[test]
+    fn digests_are_order_and_framing_sensitive() {
+        let d = |parts: &[&str]| {
+            let mut h = Hasher128::new();
+            for p in parts {
+                h.write_str(p);
+            }
+            h.digest()
+        };
+        assert_ne!(d(&["ab", "c"]), d(&["a", "bc"]));
+        assert_ne!(d(&["a", "b"]), d(&["b", "a"]));
+        assert_eq!(d(&["a", "b"]), d(&["a", "b"]));
+    }
+
+    #[test]
+    fn hex_roundtrips() {
+        let mut h = Hasher128::new();
+        h.write_u64(0xdead_beef);
+        h.write_f64(std::f64::consts::PI);
+        h.write_opt_u32(Some(7));
+        h.write_opt_u32(None);
+        let d = h.digest();
+        assert_eq!(Digest::from_hex(&d.hex()), Some(d));
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(""), None);
+    }
+
+    #[test]
+    fn float_bit_patterns_distinguish_zero_signs() {
+        let mut a = Hasher128::new();
+        a.write_f64(0.0);
+        let mut b = Hasher128::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.digest(), b.digest());
+    }
+}

@@ -3,7 +3,8 @@
 //! This crate provides the vocabulary shared by every other crate in the
 //! workspace: physical [`Addr`]esses and block framing, [`Cycle`] timestamps,
 //! [`EnergyNj`] accounting, deterministic random number generation
-//! ([`rng::SimRng`]), and lightweight statistics ([`stats`]).
+//! ([`rng::SimRng`]), stable configuration digests ([`digest`]), and
+//! lightweight statistics ([`stats`]).
 //!
 //! # Examples
 //!
@@ -16,6 +17,7 @@
 //! assert_eq!(Cycle::ZERO + 5, Cycle::new(5));
 //! ```
 
+pub mod digest;
 pub mod rng;
 pub mod stats;
 

@@ -1,0 +1,206 @@
+//! JSON-lines run artifacts with digest-keyed resume.
+//!
+//! An [`ArtifactStore`] owns a directory (conventionally `$SIMSCHED_DIR`)
+//! containing a manifest `runs.jsonl`: one JSON object per completed run,
+//! appended and flushed as each run finishes, so a killed sweep leaves
+//! every *finished* job on disk. Each record carries a `"digest"` field —
+//! the [`simbase::digest::Digest`] hex of the full (application,
+//! configuration, scale) tuple — plus whatever payload the caller stored.
+//!
+//! On open, the store indexes every well-formed existing record by
+//! digest; a resuming sweep asks [`ArtifactStore::lookup`] before
+//! simulating and skips jobs whose digest is already present. Records
+//! whose digest no longer matches any requested job (stale scale, edited
+//! config) are simply never looked up — resume can only ever *skip*
+//! work, not corrupt it. Malformed lines (e.g. a line torn by a kill
+//! mid-write) are counted and ignored, not fatal.
+
+use crate::json::{self, Json};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Name of the manifest file inside the artifact directory.
+pub const MANIFEST: &str = "runs.jsonl";
+
+/// A durable, append-only store of completed-run records.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+    loaded: Mutex<HashMap<String, Json>>,
+    malformed: usize,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the artifact directory and loads the
+    /// existing manifest into the in-memory index.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let manifest = dir.join(MANIFEST);
+
+        let mut loaded = HashMap::new();
+        let mut malformed = 0;
+        if manifest.exists() {
+            let mut text = String::new();
+            File::open(&manifest)?.read_to_string(&mut text)?;
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match json::parse(line) {
+                    Ok(record) => match record.field("digest").and_then(Json::as_str) {
+                        Some(d) => {
+                            loaded.insert(d.to_string(), record);
+                        }
+                        None => malformed += 1,
+                    },
+                    Err(_) => malformed += 1,
+                }
+            }
+        }
+
+        let file = OpenOptions::new().create(true).append(true).open(&manifest)?;
+        Ok(ArtifactStore {
+            dir,
+            writer: Mutex::new(BufWriter::new(file)),
+            loaded: Mutex::new(loaded),
+            malformed,
+        })
+    }
+
+    /// The artifact directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of records loaded from a pre-existing manifest.
+    pub fn loaded_records(&self) -> usize {
+        self.loaded.lock().expect("artifact index poisoned").len()
+    }
+
+    /// Number of unparseable manifest lines skipped at open.
+    pub fn malformed_lines(&self) -> usize {
+        self.malformed
+    }
+
+    /// Returns the stored record for `digest`, if one exists.
+    pub fn lookup(&self, digest: &str) -> Option<Json> {
+        self.loaded
+            .lock()
+            .expect("artifact index poisoned")
+            .get(digest)
+            .cloned()
+    }
+
+    /// Appends a completed-run record and flushes it to disk.
+    ///
+    /// The record must be a JSON object; the `"digest"` field is
+    /// prepended automatically (callers supply only the payload fields).
+    /// The record also enters the in-memory index, so a later `lookup`
+    /// within the same process sees it.
+    pub fn append(&self, digest: &str, payload: Json) -> std::io::Result<()> {
+        let Json::Obj(mut pairs) = payload else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "artifact payload must be a JSON object",
+            ));
+        };
+        pairs.insert(0, ("digest".to_string(), Json::Str(digest.to_string())));
+        let record = Json::Obj(pairs);
+        let line = record.render();
+        {
+            let mut w = self.writer.lock().expect("artifact writer poisoned");
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")?;
+            w.flush()?;
+        }
+        self.loaded
+            .lock()
+            .expect("artifact index poisoned")
+            .insert(digest.to_string(), record);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique scratch directory per test, cleaned up on drop.
+    struct Scratch(PathBuf);
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            static N: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "simsched-test-{}-{tag}-{}",
+                std::process::id(),
+                N.fetch_add(1, Ordering::SeqCst)
+            ));
+            Scratch(dir)
+        }
+    }
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn append_then_reopen_resumes() {
+        let scratch = Scratch::new("roundtrip");
+        {
+            let store = ArtifactStore::open(&scratch.0).unwrap();
+            assert_eq!(store.loaded_records(), 0);
+            store
+                .append("d1", Json::obj(vec![("x", Json::U64(7))]))
+                .unwrap();
+            store
+                .append("d2", Json::obj(vec![("x", Json::U64(8))]))
+                .unwrap();
+            // Visible in-process immediately.
+            assert_eq!(
+                store.lookup("d1").unwrap().field("x").and_then(Json::as_u64),
+                Some(7)
+            );
+        }
+        let store = ArtifactStore::open(&scratch.0).unwrap();
+        assert_eq!(store.loaded_records(), 2);
+        assert_eq!(store.malformed_lines(), 0);
+        assert_eq!(
+            store.lookup("d2").unwrap().field("x").and_then(Json::as_u64),
+            Some(8)
+        );
+        assert!(store.lookup("d3").is_none());
+    }
+
+    #[test]
+    fn torn_lines_are_skipped_not_fatal() {
+        let scratch = Scratch::new("torn");
+        std::fs::create_dir_all(&scratch.0).unwrap();
+        std::fs::write(
+            scratch.0.join(MANIFEST),
+            "{\"digest\":\"ok\",\"x\":1}\n{\"digest\":\"torn\",\"x\"\n{\"no-digest\":1}\n",
+        )
+        .unwrap();
+        let store = ArtifactStore::open(&scratch.0).unwrap();
+        assert_eq!(store.loaded_records(), 1);
+        assert_eq!(store.malformed_lines(), 2);
+        assert!(store.lookup("ok").is_some());
+        // Appending after a torn tail still yields parseable lines.
+        store.append("new", Json::obj(vec![("x", Json::U64(2))])).unwrap();
+        let reopened = ArtifactStore::open(&scratch.0).unwrap();
+        assert_eq!(reopened.loaded_records(), 2);
+    }
+
+    #[test]
+    fn non_object_payload_is_rejected() {
+        let scratch = Scratch::new("reject");
+        let store = ArtifactStore::open(&scratch.0).unwrap();
+        assert!(store.append("d", Json::U64(1)).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Scoped worker pool with deterministic result ordering.
+//!
+//! [`run_jobs`] executes a batch of independent jobs on up to `threads`
+//! OS threads. Workers claim jobs from a shared atomic cursor (so a slow
+//! job never stalls the queue behind it) and deposit each result at the
+//! job's original index; the returned `Vec` is therefore identical for
+//! any thread count, including 1. Panics in a job are propagated to the
+//! caller after the scope joins, as with plain `std::thread::scope`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `jobs` on up to `threads` worker threads and returns their
+/// results in job order.
+///
+/// `threads` is clamped to `[1, jobs.len()]`; passing 1 executes the
+/// batch on the calling thread's scope with no queueing overhead beyond
+/// the atomic cursor. The closure type is boxed-free: any `FnOnce`
+/// returning `T` works.
+///
+/// # Panics
+///
+/// If any job panics, the panic is re-raised on the calling thread after
+/// all workers have stopped claiming new jobs.
+pub fn run_jobs<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, n);
+
+    // Job slots: workers `take()` the closure they claimed. Result slots
+    // are per-index so completion order cannot permute output order.
+    let job_slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let result_slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| -> Result<(), Box<dyn std::any::Any + Send>> {
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return Ok(());
+                    }
+                    let job = job_slots[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job claimed twice");
+                    match catch_unwind(AssertUnwindSafe(job)) {
+                        Ok(v) => *result_slots[i].lock().expect("result slot poisoned") = Some(v),
+                        Err(e) => {
+                            // Stop claiming further work and surface the
+                            // panic to the caller.
+                            cursor.store(n, Ordering::Relaxed);
+                            return Err(e);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            if let Err(e) = h.join().expect("worker thread itself panicked") {
+                panic.get_or_insert(e);
+            }
+        }
+    });
+
+    if let Some(e) = panic {
+        resume_unwind(e);
+    }
+    result_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("job finished without a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out: Vec<u32> = run_jobs(4, Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_keep_job_order_for_any_thread_count() {
+        for threads in [1, 2, 3, 8, 64] {
+            let jobs: Vec<_> = (0u64..40)
+                .map(|i| {
+                    move || {
+                        // Skew run times so completion order differs from
+                        // submission order under real parallelism.
+                        if i % 7 == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        i * 3
+                    }
+                })
+                .collect();
+            let out = run_jobs(threads, jobs);
+            assert_eq!(out, (0u64..40).map(|i| i * 3).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let count = AtomicU64::new(0);
+        let jobs: Vec<_> = (0..100).map(|_| || count.fetch_add(1, Ordering::SeqCst)).collect();
+        let _ = run_jobs(8, jobs);
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_clamped() {
+        let out = run_jobs(1000, vec![|| 1u8, || 2u8]);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_threads_still_executes() {
+        let out = run_jobs(0, vec![|| 41, || 42]);
+        assert_eq!(out, vec![41, 42]);
+    }
+
+    #[test]
+    fn job_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            run_jobs(2, vec![Box::new(|| 1u32) as Box<dyn FnOnce() -> u32 + Send>, Box::new(|| panic!("boom"))]);
+        });
+        assert!(r.is_err());
+    }
+}

@@ -50,7 +50,7 @@ fn main() {
         ("set-assoc placement, 4 d-groups", "sa4"),
         ("D-NUCA ss-performance", "dn-perf"),
     ];
-    let mut sweep = Sweep::with_apps(scale, vec![app]);
+    let sweep = Sweep::with_apps(scale, vec![app]);
     for (label, key) in configs {
         let r = sweep.run(app, key);
         println!(

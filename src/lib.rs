@@ -17,7 +17,9 @@
 //! * [`workloads`] — synthetic SPEC2K-like trace generators;
 //! * [`energy`] — Wattch-like full-system energy accounting;
 //! * [`experiments`] — the harness that regenerates every table and
-//!   figure of the paper's evaluation.
+//!   figure of the paper's evaluation;
+//! * [`simsched`] — the deterministic parallel scheduler the harness
+//!   runs on (worker pool, memoizing run store, resumable artifacts).
 //!
 //! # Quickstart
 //!
@@ -45,4 +47,5 @@ pub use memsys;
 pub use nuca;
 pub use nurapid;
 pub use simbase;
+pub use simsched;
 pub use workloads;

@@ -149,7 +149,7 @@ fn same_seed_runs_produce_bit_identical_stats() {
 
 #[test]
 fn high_load_apps_exceed_low_load_apps_in_apki() {
-    let mut sweep = Sweep::with_apps(
+    let sweep = Sweep::with_apps(
         tiny(),
         vec![
             by_name("applu").unwrap(),
@@ -158,9 +158,9 @@ fn high_load_apps_exceed_low_load_apps_in_apki() {
             by_name("wupwise").unwrap(),
         ],
     );
-    let apki = |s: &mut Sweep, n: &str| s.run(by_name(n).unwrap(), "base").apki();
-    let high = apki(&mut sweep, "applu").min(apki(&mut sweep, "swim"));
-    let low = apki(&mut sweep, "lucas").max(apki(&mut sweep, "wupwise"));
+    let apki = |s: &Sweep, n: &str| s.run(by_name(n).unwrap(), "base").apki();
+    let high = apki(&sweep, "applu").min(apki(&sweep, "swim"));
+    let low = apki(&sweep, "lucas").max(apki(&sweep, "wupwise"));
     assert!(
         high > 2.0 * low,
         "high-load {high} must dwarf low-load {low}"
