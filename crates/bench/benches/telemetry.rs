@@ -1,0 +1,80 @@
+//! Telemetry overhead benchmark: the same NuRAPID access loop with no
+//! sink attached (the default), with an explicitly attached disabled
+//! sink, and with a recording sink plus snapshots. The disabled path is
+//! the one every non-`--telemetry` run pays, so it is asserted to sit
+//! within noise of the detached baseline; the recording figure documents
+//! what `--telemetry` costs. With `SIMKIT_BENCH_DIR` set, the JSON lines
+//! land in `BENCH_telemetry.json` for the record.
+
+use memsys::lower::LowerCache;
+use nurapid::{NuRapidCache, NuRapidConfig};
+use simbase::{AccessKind, BlockAddr, Cycle};
+use simkit::bench::{black_box, BenchRunner};
+use simtel::{Telemetry, TelemetrySink};
+
+const WARMUP: u32 = 3;
+const ITERS: u32 = 20;
+const ACCESSES: u64 = 5_000;
+
+/// Drives `n` mixed accesses through the cache (same loop as the
+/// `components` bench, so figures are comparable across files).
+fn drive(c: &mut NuRapidCache, n: u64) -> u64 {
+    let mut t = Cycle::ZERO;
+    let mut hits = 0;
+    for i in 0..n {
+        let block = BlockAddr::from_index((i * 37) % 20_000);
+        let kind = if i % 5 == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let out = c.access(block, kind, t);
+        hits += out.hit as u64;
+        t = out.complete_at + 10;
+    }
+    hits
+}
+
+fn prefilled() -> NuRapidCache {
+    let mut c = NuRapidCache::new(NuRapidConfig::micro2003(4));
+    c.prefill();
+    c
+}
+
+fn main() {
+    let mut b = BenchRunner::new("telemetry");
+
+    let mut baseline = prefilled();
+    let r_baseline = b.bench("nurapid_no_sink", WARMUP, ITERS, || {
+        black_box(drive(&mut baseline, ACCESSES))
+    });
+
+    let mut disabled = prefilled();
+    disabled.set_telemetry(TelemetrySink::disabled(), 0);
+    let r_disabled = b.bench("nurapid_disabled_sink", WARMUP, ITERS, || {
+        black_box(drive(&mut disabled, ACCESSES))
+    });
+
+    let tel = Telemetry::with_params(512, 10_000);
+    let mut recording = prefilled();
+    recording.set_telemetry(tel.run_sink(), tel.snap_cycles());
+    b.bench("nurapid_recording_sink", WARMUP, ITERS, || {
+        black_box(drive(&mut recording, ACCESSES))
+    });
+
+    // The disabled sink is one `Option` check per event site; anything
+    // beyond measurement noise over the detached baseline is a
+    // regression. Skipped under `SIMKIT_BENCH_ITERS` smoke passes, where
+    // a single sample is all noise.
+    if let (Some(base), Some(dis)) = (&r_baseline, &r_disabled) {
+        if base.iters >= 5 && dis.iters >= 5 {
+            let (b_ns, d_ns) = (base.median_ns, dis.median_ns);
+            assert!(
+                (d_ns as f64) <= 1.5 * b_ns as f64,
+                "disabled-sink path regressed: {d_ns} ns vs {b_ns} ns baseline"
+            );
+        }
+    }
+
+    b.finish();
+}

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro [--exp <id>] [--quick] [--tsv] [--threads N] [--artifacts DIR]
+//!       [--telemetry DIR] [--quiet]
 //!
 //!   --exp       table2 | table3 | table4 | fig4 | fig5 | fig6 | lru |
 //!               fig7 | fig8 | fig9 | fig10 | fig11 | restrict | all
@@ -16,15 +17,24 @@
 //!   --artifacts write every completed run to DIR/runs.jsonl and resume
 //!               from digest-matching records (default: $SIMSCHED_DIR,
 //!               else disabled)
+//!   --telemetry write metrics.json / trace.json / wall.json to DIR
+//!               (default: $SIMTEL_DIR, else disabled); trace.json loads
+//!               in chrome://tracing / Perfetto
+//!   --quiet     suppress stderr progress lines (also $SIMTEL_QUIET);
+//!               with --telemetry, the lines still land on the wall
+//!               channel
 //! ```
 //!
 //! Tables are always rendered in the same serial order; the thread count
 //! only affects how fast the run store warms up. Progress events go to
-//! stderr, tables to stdout.
+//! stderr, tables to stdout. The telemetry artifacts' deterministic
+//! channels (`metrics.json`, `trace.json`) are byte-identical for any
+//! `--threads` value; only `wall.json` varies.
 
 use experiments::exps::{self, Sweep};
 use experiments::Scale;
-use simsched::progress::{Counts, Event, EventKind, Outcome};
+use simsched::progress::{console_observer, Counts};
+use simtel::{Console, Telemetry};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,8 +62,10 @@ fn main() {
     let mut exp = "all".to_string();
     let mut scale = Scale::full();
     let mut tsv = false;
+    let mut quiet = false;
     let mut threads = default_threads();
     let mut artifacts = std::env::var("SIMSCHED_DIR").ok();
+    let mut telemetry_dir = std::env::var("SIMTEL_DIR").ok();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -63,6 +75,7 @@ fn main() {
             }
             "--quick" => scale = Scale::quick(),
             "--tsv" => tsv = true,
+            "--quiet" => quiet = true,
             "--threads" => {
                 i += 1;
                 threads = args
@@ -75,6 +88,11 @@ fn main() {
                 artifacts =
                     Some(args.get(i).cloned().unwrap_or_else(|| usage("missing artifact dir")));
             }
+            "--telemetry" => {
+                i += 1;
+                telemetry_dir =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("missing telemetry dir")));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
@@ -82,14 +100,24 @@ fn main() {
     }
 
     let t0 = Instant::now();
+    let telemetry = telemetry_dir.as_ref().map(|_| Arc::new(Telemetry::from_env()));
+    let mut console = Console::from_env(quiet);
+    if let Some(tel) = &telemetry {
+        console = console.with_mirror(Arc::clone(tel));
+    }
     let counts = Counts::new();
-    let mut sweep = Sweep::new(scale)
-        .with_threads(threads)
-        .with_observer(progress_printer(Arc::clone(&counts)));
+    let mut sweep = Sweep::new(scale).with_threads(threads).with_observer(console_observer(
+        console.clone(),
+        Arc::clone(&counts),
+        telemetry.clone(),
+    ));
+    if let Some(tel) = &telemetry {
+        sweep = sweep.with_telemetry(Arc::clone(tel));
+    }
     if let Some(dir) = &artifacts {
         sweep = match sweep.with_artifacts(dir) {
             Ok(s) => {
-                eprintln!("[simsched] artifacts: {dir}/runs.jsonl");
+                console.status(&format!("[simsched] artifacts: {dir}/runs.jsonl"));
                 s
             }
             Err(e) => usage(&format!("cannot open artifact dir {dir:?}: {e}")),
@@ -116,21 +144,21 @@ fn main() {
         }
     }
     if !keys.is_empty() {
-        eprintln!(
+        console.status(&format!(
             "[simsched] {} jobs ({} apps x {} configs) on {} thread{}",
             sweep.apps().len() * keys.len(),
             sweep.apps().len(),
             keys.len(),
             threads,
             if threads == 1 { "" } else { "s" }
-        );
+        ));
         sweep.prefetch_all(&keys);
     }
 
     for id in ids {
         run_one(id, &sweep, tsv);
     }
-    eprintln!(
+    console.status(&format!(
         "[repro] {} runs ({} simulated, {} resumed, {} shared hits), {} threads, {:.1}s",
         sweep.runs(),
         sweep.simulated(),
@@ -138,7 +166,20 @@ fn main() {
         counts.shared.load(Ordering::Relaxed),
         sweep.threads(),
         t0.elapsed().as_secs_f64()
-    );
+    ));
+    if let (Some(dir), Some(tel)) = (&telemetry_dir, &telemetry) {
+        match tel.write_all(dir) {
+            Ok(()) => console.status(&format!(
+                "[simtel] {} runs, {} wall events -> {dir}/{{metrics,trace,wall}}.json",
+                tel.runs(),
+                tel.wall_events()
+            )),
+            Err(e) => {
+                eprintln!("error: cannot write telemetry to {dir:?}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// Default worker-thread count: `$SIMSCHED_THREADS`, else the machine's
@@ -150,26 +191,6 @@ fn default_threads() -> usize {
         .unwrap_or_else(|| {
             std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
         })
-}
-
-/// An observer that prints real work (simulations and artifact loads) to
-/// stderr as it completes, and counts everything.
-fn progress_printer(counts: Arc<Counts>) -> simsched::progress::Observer {
-    let counting = counts.observer();
-    Arc::new(move |e: &Event| {
-        counting(e);
-        if let EventKind::Finished { outcome, wall_ns } = e.kind {
-            match outcome {
-                Outcome::Simulated => {
-                    eprintln!("[simsched] done {:<18} {:>7.2}s", e.label, wall_ns as f64 / 1e9);
-                }
-                Outcome::Resumed => {
-                    eprintln!("[simsched] resumed {} from artifact", e.label);
-                }
-                Outcome::Shared => {}
-            }
-        }
-    })
 }
 
 fn run_one(id: &str, sweep: &Sweep, tsv: bool) {
@@ -218,7 +239,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|all] \
-         [--quick] [--tsv] [--threads N] [--artifacts DIR]"
+         [--quick] [--tsv] [--threads N] [--artifacts DIR] [--telemetry DIR] [--quiet]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -1,0 +1,66 @@
+//! `telcheck` — validates a `repro --telemetry DIR` output directory.
+//!
+//! ```text
+//! telcheck DIR
+//! ```
+//!
+//! Checks, using only the in-tree parsers:
+//!
+//! - `DIR/metrics.json` parses, carries the `simtel-metrics-v1` schema
+//!   tag, and contains at least one run record;
+//! - `DIR/trace.json` and `DIR/wall.json` are loadable Chrome
+//!   trace-event files ([`simtel::trace::validate_chrome_trace`]).
+//!
+//! Prints a one-line summary per file and exits nonzero on the first
+//! failure, so CI can gate on telemetry format regressions.
+
+use simbase::json::{self, Json};
+use simtel::trace::validate_chrome_trace;
+use std::path::Path;
+use std::process::exit;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir = match (args.next(), args.next()) {
+        (Some(dir), None) => dir,
+        _ => {
+            eprintln!("usage: telcheck DIR");
+            exit(2);
+        }
+    };
+    let dir = Path::new(&dir);
+
+    let metrics = read(dir, "metrics.json");
+    let parsed = json::parse(&metrics).unwrap_or_else(|e| fail("metrics.json", &e));
+    match parsed.field("schema").and_then(Json::as_str) {
+        Some("simtel-metrics-v1") => {}
+        other => fail("metrics.json", &format!("bad schema tag {other:?}")),
+    }
+    let runs = match parsed.field("runs") {
+        Some(Json::Obj(pairs)) => pairs.len(),
+        _ => fail("metrics.json", "missing \"runs\" object"),
+    };
+    if runs == 0 {
+        fail("metrics.json", "no run records");
+    }
+    println!("metrics.json: ok ({runs} runs)");
+
+    for name in ["trace.json", "wall.json"] {
+        let src = read(dir, name);
+        let s = validate_chrome_trace(&src).unwrap_or_else(|e| fail(name, &e));
+        println!(
+            "{name}: ok ({} events: {} spans, {} instants, {} counters, {} metadata)",
+            s.events, s.complete_spans, s.instants, s.counters, s.metadata
+        );
+    }
+}
+
+fn read(dir: &Path, name: &str) -> String {
+    std::fs::read_to_string(dir.join(name))
+        .unwrap_or_else(|e| fail(name, &format!("cannot read: {e}")))
+}
+
+fn fail(file: &str, msg: &str) -> ! {
+    eprintln!("telcheck: {file}: {msg}");
+    exit(1);
+}

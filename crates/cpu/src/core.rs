@@ -6,6 +6,7 @@ use memsys::l1::CoreMemSystem;
 use memsys::lower::LowerCache;
 use simbase::stats::Counter;
 use simbase::{Addr, BlockGeometry, Cycle};
+use simtel::TelemetrySink;
 use std::collections::VecDeque;
 
 /// Core configuration (paper Table 1).
@@ -185,6 +186,9 @@ pub struct OooCore<L> {
     branches: Counter,
     int_ops: Counter,
     fp_ops: Counter,
+    sink: TelemetrySink,
+    snap_every: u64,
+    next_snap: u64,
 }
 
 impl<L: LowerCache> OooCore<L> {
@@ -215,6 +219,37 @@ impl<L: LowerCache> OooCore<L> {
             branches: Counter::new(),
             int_ops: Counter::new(),
             fp_ops: Counter::new(),
+            sink: TelemetrySink::disabled(),
+            snap_every: 0,
+            next_snap: u64::MAX,
+        }
+    }
+
+    /// Attaches a telemetry sink. When `snap_every` is non-zero, the
+    /// core emits a periodic progress snapshot (cumulative IPC as a
+    /// counter track plus an `ipc` gauge) every `snap_every` committed
+    /// cycles. Disabled sinks set the threshold to `u64::MAX`, so the
+    /// hot path pays exactly one compare.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink, snap_every: u64) {
+        self.next_snap = if sink.enabled() && snap_every > 0 {
+            self.last_commit.raw() + snap_every
+        } else {
+            u64::MAX
+        };
+        self.snap_every = snap_every;
+        self.sink = sink;
+    }
+
+    /// Emits the periodic IPC snapshot once commit time passes the next
+    /// snapshot boundary.
+    fn snapshot(&mut self) {
+        let cycles = self.last_commit.raw();
+        let instr = self.instructions.get();
+        let ipc = instr as f64 / cycles.max(1) as f64;
+        self.sink.gauge("cpu.ipc", cycles, ipc);
+        self.sink.counter_track("snap", "cpu_ipc_milli", cycles, (ipc * 1000.0) as u64);
+        while self.next_snap <= cycles {
+            self.next_snap += self.snap_every;
         }
     }
 
@@ -360,6 +395,9 @@ impl<L: LowerCache> OooCore<L> {
             self.lsq_commits.push_back(commit_t);
         }
         self.instructions.inc();
+        if self.last_commit.raw() >= self.next_snap {
+            self.snapshot();
+        }
     }
 
     /// Runs `n` ops from `src`.

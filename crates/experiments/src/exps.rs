@@ -8,7 +8,7 @@
 
 use crate::artifact;
 use crate::report::{f2, pct, rel, TextTable};
-use crate::runner::{run_app, run_digest, AppRun, L2Kind, Scale};
+use crate::runner::{run_app, run_app_telemetry, run_digest, AppRun, L2Kind, Scale};
 use cachemodel::catalog::{self, DnucaGeometry, NuRapidGeometry};
 use nuca::SearchPolicy;
 use nurapid::{DistanceVictimPolicy, NuRapidConfig, PromotionPolicy};
@@ -17,6 +17,7 @@ use simbase::Capacity;
 use simsched::progress::{Event, EventKind, Observer, Outcome};
 use simsched::store::RunStore;
 use simsched::{pool, ArtifactStore};
+use simtel::{Telemetry, TelemetrySink, Value};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -45,6 +46,7 @@ pub struct Sweep {
     store: RunStore<u128, AppRun>,
     artifacts: Option<ArtifactStore>,
     observer: Option<Observer>,
+    telemetry: Option<Arc<Telemetry>>,
     simulated: AtomicU64,
     resumed: AtomicU64,
 }
@@ -65,6 +67,7 @@ impl Sweep {
             store: RunStore::new(),
             artifacts: None,
             observer: None,
+            telemetry: None,
             simulated: AtomicU64::new(0),
             resumed: AtomicU64::new(0),
         }
@@ -91,6 +94,18 @@ impl Sweep {
     #[must_use]
     pub fn with_observer(mut self, observer: Observer) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches a telemetry collector: every simulated run records its
+    /// metrics, cycle-stamped spans, and periodic progress snapshots
+    /// under `label/app`, keyed by the configuration digest. Resumed
+    /// runs record their summary fields only (their spans were not
+    /// replayed). Results are unchanged — telemetry observes the runs,
+    /// it never steers them.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -136,11 +151,28 @@ impl Sweep {
                 if let Some(run) = store.lookup(&digest.hex()).as_ref().and_then(artifact::decode)
                 {
                     self.resumed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tel) = &self.telemetry {
+                        tel.record_run(
+                            &event_label,
+                            &digest.hex(),
+                            run_fields(&run),
+                            &TelemetrySink::disabled(),
+                        );
+                    }
                     outcome = Some(Outcome::Resumed);
                     return run;
                 }
             }
-            let run = run_app(app, kind, self.scale);
+            let run = match &self.telemetry {
+                Some(tel) => {
+                    let sink = tel.run_sink();
+                    let run =
+                        run_app_telemetry(app, kind, self.scale, &sink, tel.snap_cycles());
+                    tel.record_run(&event_label, &digest.hex(), run_fields(&run), &sink);
+                    run
+                }
+                None => run_app(app, kind, self.scale),
+            };
             self.simulated.fetch_add(1, Ordering::Relaxed);
             if let Some(store) = &self.artifacts {
                 // Best-effort: an unwritable artifact dir degrades to a
@@ -213,6 +245,28 @@ impl fmt::Debug for Sweep {
             .field("artifacts", &self.artifacts.as_ref().map(|a| a.dir().to_path_buf()))
             .finish()
     }
+}
+
+/// The summary fields exported to `metrics.json` for one run. The f64
+/// values are the very numbers the printed tables derive from; the JSON
+/// renderer writes them shortest-round-trip, so they re-parse bit-exact.
+fn run_fields(run: &AppRun) -> Vec<(&'static str, Value)> {
+    vec![
+        ("app", Value::Str(run.name.to_string())),
+        ("instructions", Value::U64(run.core.instructions)),
+        ("cycles", Value::U64(run.core.cycles)),
+        ("ipc", Value::F64(run.ipc())),
+        ("apki", Value::F64(run.apki())),
+        ("l2_accesses", Value::U64(run.l2_accesses)),
+        ("l2_misses", Value::U64(run.l2_misses)),
+        ("miss_frac", Value::F64(run.miss_frac)),
+        ("group_fracs", Value::F64s(run.group_fracs.clone())),
+        ("dgroup_accesses", Value::U64(run.dgroup_accesses)),
+        ("swaps", Value::U64(run.swaps)),
+        ("l2_energy_nj", Value::F64(run.l2_energy.nj())),
+        ("total_energy_nj", Value::F64(run.energy.total().nj())),
+        ("edp", Value::F64(run.edp())),
+    ]
 }
 
 /// Resolves a configuration key to its organization.

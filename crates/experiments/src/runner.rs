@@ -13,6 +13,7 @@ use nurapid::coupled::CoupledCache;
 use nurapid::{DistanceVictimPolicy, NuRapidCache, NuRapidConfig, PromotionPolicy};
 use simbase::digest::{Digest, Hasher128};
 use simbase::EnergyNj;
+use simtel::TelemetrySink;
 use workloads::{BenchProfile, TraceGenerator};
 
 /// Seed of every run's trace generator (fixed: experiments vary the
@@ -175,12 +176,29 @@ impl AppRun {
     }
 }
 
-/// Runs `profile` on the organization `kind` at `scale`.
+/// Runs `profile` on the organization `kind` at `scale` with telemetry
+/// disabled (the common path; identical to
+/// [`run_app_telemetry`] with a disabled sink).
 pub fn run_app(profile: BenchProfile, kind: &L2Kind, scale: Scale) -> AppRun {
+    run_app_telemetry(profile, kind, scale, &TelemetrySink::disabled(), 0)
+}
+
+/// Runs `profile` on the organization `kind` at `scale`, recording
+/// metrics, cycle-stamped spans, and periodic progress snapshots (every
+/// `snap_every` cycles) into `sink`. Warm-up telemetry is discarded when
+/// the statistics reset, so the sink reflects the measured phase only —
+/// the same window the printed tables report.
+pub fn run_app_telemetry(
+    profile: BenchProfile,
+    kind: &L2Kind,
+    scale: Scale,
+    sink: &TelemetrySink,
+    snap_every: u64,
+) -> AppRun {
     match kind {
         L2Kind::Base => {
             let lower = BaseHierarchy::micro2003();
-            let (core, mem) = drive(profile, lower, scale);
+            let (core, mem) = drive(profile, lower, scale, sink, snap_every);
             let h = mem.lower();
             let mem_accesses = h.memory_accesses();
             let l2_energy = energy::l2::base_energy(h);
@@ -200,7 +218,7 @@ pub fn run_app(profile: BenchProfile, kind: &L2Kind, scale: Scale) -> AppRun {
         }
         L2Kind::NuRapid(cfg) => {
             let lower = NuRapidCache::new(cfg.clone());
-            let (core, mem) = drive(profile, lower, scale);
+            let (core, mem) = drive(profile, lower, scale, sink, snap_every);
             let c = mem.lower();
             let s = c.stats();
             let l2_energy = energy::l2::nurapid_energy(s, c.geometry());
@@ -221,7 +239,7 @@ pub fn run_app(profile: BenchProfile, kind: &L2Kind, scale: Scale) -> AppRun {
         }
         L2Kind::Coupled(n) => {
             let lower = CoupledCache::micro2003(*n);
-            let (core, mem) = drive(profile, lower, scale);
+            let (core, mem) = drive(profile, lower, scale, sink, snap_every);
             let c = mem.lower();
             let s = c.stats();
             let l2_energy = energy::l2::nurapid_energy(s, c.geometry());
@@ -242,7 +260,7 @@ pub fn run_app(profile: BenchProfile, kind: &L2Kind, scale: Scale) -> AppRun {
         }
         L2Kind::Dnuca(policy) => {
             let lower = DnucaCache::new(DnucaConfig::micro2003(*policy));
-            let (core, mem) = drive(profile, lower, scale);
+            let (core, mem) = drive(profile, lower, scale, sink, snap_every);
             let c = mem.lower();
             let s = c.stats();
             let l2_energy = energy::l2::dnuca_energy(s, c.geometry());
@@ -270,11 +288,16 @@ fn drive<L: LowerCache + ExperimentCache>(
     profile: BenchProfile,
     mut lower: L,
     scale: Scale,
+    sink: &TelemetrySink,
+    snap_every: u64,
 ) -> (CoreResult, CoreMemSystem<L>) {
     let mut gen = TraceGenerator::new(profile, TRACE_SEED);
     lower.prefill_dyn();
-    let mem = CoreMemSystem::micro2003(lower);
+    lower.set_telemetry_dyn(sink, snap_every);
+    let mut mem = CoreMemSystem::micro2003(lower);
+    mem.set_telemetry(sink.clone());
     let mut core = OooCore::new(CoreParams::micro2003(), mem);
+    core.set_telemetry(sink.clone(), snap_every);
     for _ in 0..scale.warmup {
         let op = gen.next_op();
         core.execute(op);
@@ -282,6 +305,9 @@ fn drive<L: LowerCache + ExperimentCache>(
     let snapshot = core.finish();
     core.mem_mut().reset_stats();
     core.mem_mut().lower_mut().reset_stats_dyn();
+    // Telemetry follows the statistics reset: drop the warm-up metrics
+    // and spans so the exported snapshot matches the measured window.
+    sink.reset();
     for _ in 0..scale.measure {
         let op = gen.next_op();
         core.execute(op);
@@ -326,10 +352,11 @@ fn finish_run(
 }
 
 /// Warm-up support: every lower-level cache can pre-fill to steady-state
-/// occupancy and zero its statistics.
+/// occupancy, zero its statistics, and attach a telemetry sink.
 trait ExperimentCache {
     fn prefill_dyn(&mut self);
     fn reset_stats_dyn(&mut self);
+    fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, snap_every: u64);
 }
 
 impl ExperimentCache for BaseHierarchy {
@@ -338,6 +365,9 @@ impl ExperimentCache for BaseHierarchy {
     }
     fn reset_stats_dyn(&mut self) {
         self.reset_stats();
+    }
+    fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, snap_every: u64) {
+        self.set_telemetry(sink.clone(), snap_every);
     }
 }
 
@@ -348,6 +378,9 @@ impl ExperimentCache for NuRapidCache {
     fn reset_stats_dyn(&mut self) {
         self.reset_stats();
     }
+    fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, snap_every: u64) {
+        self.set_telemetry(sink.clone(), snap_every);
+    }
 }
 
 impl ExperimentCache for CoupledCache {
@@ -357,6 +390,9 @@ impl ExperimentCache for CoupledCache {
     fn reset_stats_dyn(&mut self) {
         self.reset_stats();
     }
+    fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, _snap_every: u64) {
+        self.set_telemetry(sink.clone());
+    }
 }
 
 impl ExperimentCache for DnucaCache {
@@ -365,6 +401,9 @@ impl ExperimentCache for DnucaCache {
     }
     fn reset_stats_dyn(&mut self) {
         self.reset_stats();
+    }
+    fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, _snap_every: u64) {
+        self.set_telemetry(sink.clone());
     }
 }
 

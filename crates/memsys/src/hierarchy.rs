@@ -12,6 +12,7 @@ use crate::setassoc::SetAssocCache;
 use simbase::rng::SimRng;
 use simbase::stats::Counter;
 use simbase::{AccessKind, BlockAddr, Capacity, Cycle};
+use simtel::TelemetrySink;
 
 /// Parameters of one conventional cache level.
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +54,9 @@ pub struct BaseHierarchy {
     l3_accesses: Counter,
     l3_hits: Counter,
     writebacks: Counter,
+    sink: TelemetrySink,
+    snap_every: u64,
+    next_snap: u64,
 }
 
 impl BaseHierarchy {
@@ -90,6 +94,33 @@ impl BaseHierarchy {
             l3_accesses: Counter::new(),
             l3_hits: Counter::new(),
             writebacks: Counter::new(),
+            sink: TelemetrySink::disabled(),
+            snap_every: 0,
+            next_snap: u64::MAX,
+        }
+    }
+
+    /// Attaches a telemetry sink, forwarded to the memory channel. When
+    /// `snap_every` is non-zero, a periodic snapshot of the L2 hit rate
+    /// is emitted every `snap_every` cycles as a counter track.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink, snap_every: u64) {
+        self.memory.set_telemetry(sink.clone());
+        self.next_snap = if sink.enabled() && snap_every > 0 { snap_every } else { u64::MAX };
+        self.snap_every = snap_every;
+        self.sink = sink;
+    }
+
+    /// Emits the periodic L2 hit-rate snapshot once `now` passes the
+    /// next snapshot boundary.
+    fn maybe_snapshot(&mut self, now: Cycle) {
+        if now.raw() < self.next_snap {
+            return;
+        }
+        let hit_milli = 1000 * self.l2_hits.get() / self.l2_accesses.get().max(1);
+        self.sink.counter_track("snap", "l2_hit_milli", now.raw(), hit_milli);
+        self.sink.gauge("l2.hit_frac", now.raw(), self.l2_hits.get() as f64 / self.l2_accesses.get().max(1) as f64);
+        while self.next_snap <= now.raw() {
+            self.next_snap += self.snap_every;
         }
     }
 
@@ -186,6 +217,7 @@ impl BaseHierarchy {
 impl LowerCache for BaseHierarchy {
     fn access(&mut self, block: BlockAddr, kind: AccessKind, now: Cycle) -> LowerOutcome {
         self.l2_accesses.inc();
+        self.maybe_snapshot(now);
         if self.l2.access(block, kind).is_hit() {
             self.l2_hits.inc();
             return LowerOutcome {

@@ -13,6 +13,7 @@ use crate::setassoc::SetAssocCache;
 use simbase::rng::SimRng;
 use simbase::stats::Counter;
 use simbase::{AccessKind, Addr, BlockAddr, BlockGeometry, Capacity, Cycle};
+use simtel::TelemetrySink;
 
 /// L1 configuration.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +83,7 @@ pub struct CoreMemSystem<L> {
     d_accesses: Counter,
     d_hits: Counter,
     d_writebacks: Counter,
+    sink: TelemetrySink,
 }
 
 impl<L: LowerCache> CoreMemSystem<L> {
@@ -123,7 +125,14 @@ impl<L: LowerCache> CoreMemSystem<L> {
             d_accesses: Counter::new(),
             d_hits: Counter::new(),
             d_writebacks: Counter::new(),
+            sink: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink: MSHR structural stalls are recorded as
+    /// cycle-stamped spans plus a stall-cycle histogram.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 
     /// Converts an L1 (32-B) block to the lower cache's (128-B) framing.
@@ -174,6 +183,12 @@ impl<L: LowerCache> CoreMemSystem<L> {
                 }
                 MshrOutcome::Full(retry_at) => {
                     // Structural stall: wait for the earliest entry.
+                    if self.sink.enabled() {
+                        let stall = (retry_at + 1).saturating_since(issue_at);
+                        self.sink.count("memsys.mshr_stalls", 1);
+                        self.sink.observe("memsys.mshr_stall_cycles", stall);
+                        self.sink.span("memsys", "mshr_stall", issue_at.raw(), stall);
+                    }
                     issue_at = retry_at + 1;
                 }
             }

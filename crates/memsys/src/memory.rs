@@ -7,6 +7,7 @@
 
 use simbase::stats::Counter;
 use simbase::{Cycle, EnergyNj};
+use simtel::TelemetrySink;
 
 /// The off-chip memory channel.
 #[derive(Debug, Clone)]
@@ -16,6 +17,7 @@ pub struct MainMemory {
     channel_free_at: Cycle,
     accesses: Counter,
     busy_cycles: u64,
+    sink: TelemetrySink,
 }
 
 impl MainMemory {
@@ -32,7 +34,14 @@ impl MainMemory {
             channel_free_at: Cycle::ZERO,
             accesses: Counter::new(),
             busy_cycles: 0,
+            sink: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink: every access records its round-trip
+    /// latency (a histogram sample plus a cycle-stamped span).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
     }
 
     /// Latency in cycles to transfer `bytes` once the channel is free.
@@ -51,6 +60,12 @@ impl MainMemory {
         // latency (row activation etc.) overlaps with other requests.
         self.channel_free_at = start + burst;
         self.busy_cycles += burst;
+        if self.sink.enabled() {
+            let rt = done.saturating_since(now);
+            self.sink.observe("dram.round_trip_cycles", rt);
+            self.sink.count("dram.accesses", 1);
+            self.sink.span("dram", "round_trip", now.raw(), rt);
+        }
         done
     }
 

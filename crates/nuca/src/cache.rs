@@ -7,6 +7,7 @@ use cachemodel::catalog::{self, DnucaGeometry, BLOCK_BYTES};
 use memsys::lower::{LowerCache, LowerOutcome};
 use memsys::memory::MainMemory;
 use simbase::{AccessKind, BlockAddr, Capacity, Cycle};
+use simtel::TelemetrySink;
 
 /// Which of the paper's two separately-optimal D-NUCA policies to run
 /// (Section 5.4: ss-performance for the performance comparison, ss-energy
@@ -101,6 +102,7 @@ pub struct DnucaCache {
     memory: MainMemory,
     stats: DnucaStats,
     use_clock: u64,
+    sink: TelemetrySink,
 }
 
 impl DnucaCache {
@@ -133,7 +135,16 @@ impl DnucaCache {
             geo,
             config,
             use_clock: 0,
+            sink: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink, forwarded to the memory channel. Bubble
+    /// swaps and smart-search probes are counted; swap occupancy is
+    /// emitted as a cycle-stamped span.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.memory.set_telemetry(sink.clone());
+        self.sink = sink;
     }
 
     /// Accumulated statistics.
@@ -236,6 +247,10 @@ impl DnucaCache {
             self.stats.bank_accesses[bank] += 2; // read + write
         }
         self.stats.swaps.inc();
+        if self.sink.enabled() {
+            self.sink.count("dnuca.bubble_swaps", 1);
+            self.sink.span("dnuca", "bubble_swap", t.raw(), 2 * BANK_OCCUPANCY);
+        }
     }
 
     /// Way holding `block` in `set`, if resident.
@@ -321,6 +336,7 @@ impl DnucaCache {
         self.use_clock += 1;
         self.stats.accesses.inc();
         self.stats.ss_accesses.inc();
+        self.sink.count("dnuca.ss_probes", 1);
         let set = self.set_of(block);
         let ss_done = now + catalog::smart_search_latency_cycles();
         let candidates = self.ss.lookup(block);

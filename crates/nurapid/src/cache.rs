@@ -11,6 +11,24 @@ use memsys::lower::{LowerCache, LowerOutcome};
 use memsys::memory::MainMemory;
 use simbase::rng::SimRng;
 use simbase::{AccessKind, BlockAddr, Capacity, Cycle};
+use simtel::TelemetrySink;
+
+/// Static d-group labels so telemetry spans can carry a `&'static str`
+/// name without per-event allocation (the paper evaluates up to 8).
+const DGROUP_SPAN: [&str; 8] = [
+    "dgroup0", "dgroup1", "dgroup2", "dgroup3", "dgroup4", "dgroup5", "dgroup6", "dgroup7",
+];
+/// Counter-track labels for the periodic per-d-group hit-fraction snapshot.
+const DGROUP_SNAP: [&str; 8] = [
+    "dgroup0_hit_milli",
+    "dgroup1_hit_milli",
+    "dgroup2_hit_milli",
+    "dgroup3_hit_milli",
+    "dgroup4_hit_milli",
+    "dgroup5_hit_milli",
+    "dgroup6_hit_milli",
+    "dgroup7_hit_milli",
+];
 
 /// Configuration of a NuRAPID cache.
 #[derive(Debug, Clone)]
@@ -98,6 +116,9 @@ pub struct NuRapidCache {
     port: PortSchedule,
     /// Placement regions per d-group (1 = fully flexible).
     n_regions: usize,
+    sink: TelemetrySink,
+    snap_every: u64,
+    next_snap: u64,
 }
 
 impl NuRapidCache {
@@ -142,6 +163,40 @@ impl NuRapidCache {
             config,
             port: PortSchedule::new(),
             n_regions,
+            sink: TelemetrySink::disabled(),
+            snap_every: 0,
+            next_snap: u64::MAX,
+        }
+    }
+
+    /// Attaches a telemetry sink, forwarded to the memory channel. When
+    /// `snap_every` is non-zero, periodic per-d-group hit-fraction
+    /// snapshots are emitted every `snap_every` cycles as counter tracks.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink, snap_every: u64) {
+        self.memory.set_telemetry(sink.clone());
+        self.next_snap = if sink.enabled() && snap_every > 0 {
+            snap_every
+        } else {
+            u64::MAX
+        };
+        self.snap_every = snap_every;
+        self.sink = sink;
+    }
+
+    /// Emits the periodic per-d-group hit-fraction snapshot once `now`
+    /// passes the next snapshot boundary.
+    fn maybe_snapshot(&mut self, now: Cycle) {
+        if now.raw() < self.next_snap {
+            return;
+        }
+        let total = self.stats.accesses.get().max(1);
+        for g in 0..self.config.n_dgroups.min(DGROUP_SNAP.len()) {
+            let milli = 1000 * self.stats.group_hits.count(g) / total;
+            self.sink.counter_track("snap", DGROUP_SNAP[g], now.raw(), milli);
+            self.sink.gauge(DGROUP_SNAP[g], now.raw(), self.stats.group_access_frac(g));
+        }
+        while self.next_snap <= now.raw() {
+            self.next_snap += self.snap_every;
         }
     }
 
@@ -226,6 +281,7 @@ impl NuRapidCache {
         let mut carry = owner;
         let mut g = target;
         let mut cycles = 0;
+        let mut chain_len = 0u64;
         loop {
             assert!(g < self.dgroups.len(), "demotion chain ran off the end");
             // Either a free frame absorbs the carried block, or this
@@ -258,10 +314,16 @@ impl NuRapidCache {
             self.stats.tag_writes.inc();
             cycles += self.geo.array_occupancy_cycles();
             match displaced {
-                None => return cycles,
+                None => {
+                    if self.sink.enabled() {
+                        self.sink.observe("nurapid.demotion_chain_len", chain_len);
+                    }
+                    return cycles;
+                }
                 Some(victim_owner) => {
                     carry = victim_owner;
                     self.stats.demotions.inc();
+                    chain_len += 1;
                     g += 1;
                 }
             }
@@ -281,6 +343,7 @@ impl NuRapidCache {
         let owner = self.dgroups[g].release(frame);
         debug_assert_eq!(owner, at, "reverse pointer must match the tag hit");
         self.stats.promotions.inc();
+        self.sink.count("nurapid.promotions", 1);
         self.place_with_demotions(owner, target, region)
     }
 
@@ -289,6 +352,8 @@ impl NuRapidCache {
     pub fn access_block(&mut self, block: BlockAddr, kind: AccessKind, now: Cycle) -> LowerOutcome {
         self.stats.accesses.inc();
         self.stats.tag_probes.inc();
+        self.sink.count("nurapid.tag_probes", 1);
+        self.maybe_snapshot(now);
 
         match self.tags.access(block, kind) {
             TagLookup::Hit { at, ptr } => {
@@ -311,6 +376,12 @@ impl NuRapidCache {
                     self.geo.array_occupancy_cycles() + swap_cycles
                 };
                 let start = self.port.reserve(now, occupancy);
+                if self.sink.enabled() {
+                    self.sink.span("nurapid", DGROUP_SPAN[g.min(DGROUP_SPAN.len() - 1)], start.raw(), latency);
+                    if swap_cycles > 0 {
+                        self.sink.span("nurapid", "promotion_swap", start.raw(), swap_cycles);
+                    }
+                }
                 LowerOutcome {
                     complete_at: start + latency,
                     hit: true,
@@ -343,8 +414,11 @@ impl NuRapidCache {
                 // Distance placement: the new block goes to the fastest
                 // d-group, demoting as necessary (Figure 2, steps 3-4).
                 let fill_cycles = self.place_with_demotions(at, 0, self.region_of(block));
-                if !self.config.ideal && fill_cycles > 0 {
-                    let _ = self.port.reserve(mem_done, fill_cycles);
+                if fill_cycles > 0 {
+                    self.sink.span("nurapid", "demotion_chain", mem_done.raw(), fill_cycles);
+                    if !self.config.ideal {
+                        let _ = self.port.reserve(mem_done, fill_cycles);
+                    }
                 }
                 LowerOutcome {
                     complete_at: mem_done,

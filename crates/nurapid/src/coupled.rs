@@ -15,6 +15,7 @@ use cachemodel::catalog::{NuRapidGeometry, BLOCK_BYTES};
 use memsys::lower::{LowerCache, LowerOutcome};
 use memsys::memory::MainMemory;
 use simbase::{AccessKind, BlockAddr, Capacity, Cycle};
+use simtel::TelemetrySink;
 
 #[derive(Debug, Clone, Copy)]
 struct Slot {
@@ -48,6 +49,7 @@ pub struct CoupledCache {
     stats: NuRapidStats,
     port: PortSchedule,
     use_clock: u64,
+    sink: TelemetrySink,
 }
 
 impl CoupledCache {
@@ -86,7 +88,14 @@ impl CoupledCache {
             stats: NuRapidStats::new(n_dgroups),
             port: PortSchedule::new(),
             use_clock: 0,
+            sink: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink, forwarded to the memory channel.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.memory.set_telemetry(sink.clone());
+        self.sink = sink;
     }
 
     /// Accumulated statistics (same shape as NuRAPID's for Figure 4).
@@ -203,6 +212,7 @@ impl CoupledCache {
         self.use_clock += 1;
         self.stats.accesses.inc();
         self.stats.tag_probes.inc();
+        self.sink.count("coupled.tag_probes", 1);
         let set = self.set_of(block);
 
         // Probe all ways.

@@ -3,8 +3,9 @@
 //! This crate provides the vocabulary shared by every other crate in the
 //! workspace: physical [`Addr`]esses and block framing, [`Cycle`] timestamps,
 //! [`EnergyNj`] accounting, deterministic random number generation
-//! ([`rng::SimRng`]), stable configuration digests ([`digest`]), and
-//! lightweight statistics ([`stats`]).
+//! ([`rng::SimRng`]), stable configuration digests ([`digest`]),
+//! lightweight statistics ([`stats`]), and the in-tree JSON value model
+//! ([`json`]) shared by the artifact and telemetry layers.
 //!
 //! # Examples
 //!
@@ -18,6 +19,7 @@
 //! ```
 
 pub mod digest;
+pub mod json;
 pub mod rng;
 pub mod stats;
 

@@ -17,13 +17,16 @@ impl Counter {
     }
 
     /// Increments by one.
+    ///
+    /// Saturates at `u64::MAX`: a runaway multi-billion-event run must
+    /// degrade to a pinned counter, not panic in debug builds.
     pub fn inc(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
-    /// Increments by `n`.
+    /// Increments by `n`, saturating at `u64::MAX`.
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// Current count.
@@ -243,6 +246,18 @@ mod tests {
         assert_eq!(c.frac_of(10), 0.5);
         assert_eq!(c.frac_of(0), 0.0);
         assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX, "inc past MAX must pin, not wrap");
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX, "add past MAX must pin, not wrap");
     }
 
     #[test]

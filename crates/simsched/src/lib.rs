@@ -12,9 +12,10 @@
 //!   every key is computed exactly once even when many threads request it
 //!   concurrently; later requesters block on the first computation
 //!   instead of duplicating it.
-//! - [`json`] — a minimal JSON value model, writer, and parser (integers
-//!   are preserved as `u64`/`i64`, so IEEE-754 bit patterns round-trip
-//!   exactly) for the artifact layer.
+//! - [`json`] — re-export of [`simbase::json`], the minimal JSON value
+//!   model, writer, and parser (integers are preserved as `u64`/`i64`,
+//!   so IEEE-754 bit patterns round-trip exactly) used by the artifact
+//!   layer and by `simtel`'s exporters.
 //! - [`artifact`] — a JSON-lines run manifest keyed by configuration
 //!   digest ([`simbase::digest`]): completed runs are appended as they
 //!   finish, and a later sweep over the same directory **resumes** by
@@ -46,10 +47,11 @@
 //! ```
 
 pub mod artifact;
-pub mod json;
 pub mod pool;
 pub mod progress;
 pub mod store;
+
+pub use simbase::json;
 
 pub use artifact::ArtifactStore;
 pub use pool::run_jobs;

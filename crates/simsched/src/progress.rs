@@ -6,6 +6,7 @@
 //! Events are emitted from worker threads, so observers must be
 //! `Send + Sync`; the provided [`Counts`] observer is lock-free.
 
+use simtel::{Console, Telemetry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -94,6 +95,40 @@ impl Counts {
     }
 }
 
+/// An [`Observer`] that counts every event, routes progress lines
+/// through a [`Console`] (so `--quiet` / `SIMTEL_QUIET` silence stderr
+/// without losing the count summary), and — when a telemetry collector
+/// is attached — records each simulated job as a wall-clock span on the
+/// non-deterministic profiling channel.
+pub fn console_observer(
+    console: Console,
+    counts: Arc<Counts>,
+    telemetry: Option<Arc<Telemetry>>,
+) -> Observer {
+    let counting = counts.observer();
+    Arc::new(move |e: &Event| {
+        counting(e);
+        if let EventKind::Finished { outcome, wall_ns } = e.kind {
+            match outcome {
+                Outcome::Simulated => {
+                    if let Some(tel) = &telemetry {
+                        tel.wall_span("simsched", &e.label, wall_ns);
+                    }
+                    console.status(&format!(
+                        "[simsched] done {:<18} {:>7.2}s",
+                        e.label,
+                        wall_ns as f64 / 1e9
+                    ));
+                }
+                Outcome::Resumed => {
+                    console.status(&format!("[simsched] resumed {} from artifact", e.label));
+                }
+                Outcome::Shared => {}
+            }
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +163,26 @@ mod tests {
         assert_eq!(counts.resumed.load(Ordering::Relaxed), 1);
         assert_eq!(counts.shared.load(Ordering::Relaxed), 1);
         assert_eq!(counts.finished(), 3);
+    }
+
+    #[test]
+    fn console_observer_counts_and_mirrors_to_the_wall_channel() {
+        let counts = Counts::new();
+        let tel = Arc::new(Telemetry::with_params(8, 0));
+        let console = Console::new(true).with_mirror(Arc::clone(&tel));
+        let obs = console_observer(console, Arc::clone(&counts), Some(Arc::clone(&tel)));
+        let fire = |label: &str, outcome| {
+            obs(&Event {
+                label: label.into(),
+                kind: EventKind::Finished { outcome, wall_ns: 2_000_000 },
+            })
+        };
+        fire("nf4/galgel", Outcome::Simulated);
+        fire("base/galgel", Outcome::Resumed);
+        fire("dm4/galgel", Outcome::Shared);
+        assert_eq!(counts.finished(), 3);
+        // One wall span (simulated) + two mirrored status marks
+        // (done + resumed); shared jobs are silent.
+        assert_eq!(tel.wall_events(), 3);
     }
 }

@@ -1,0 +1,215 @@
+//! Log-scaled histogram with quantile estimates.
+//!
+//! Samples land in power-of-two buckets (bucket `i` covers
+//! `[2^(i-1), 2^i)`), so a 65-slot array spans the full `u64` range with
+//! bounded error: every quantile estimate is the upper bound of the
+//! bucket holding the exact order statistic, i.e. **within one bucket of
+//! the exact value** (property-tested). Bucket-wise merge is associative
+//! and commutative, which is what lets shard-per-worker telemetry
+//! aggregate bit-identically regardless of merge order.
+
+/// Number of buckets: one for zero plus one per `u64` bit length.
+pub const N_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHist {
+    buckets: [u64; N_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHist {
+    fn default() -> Self {
+        LogHist::new()
+    }
+}
+
+/// The bucket index of a sample: 0 for 0, else the bit length of `v`.
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl LogHist {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        LogHist {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. Saturating throughout: a runaway run degrades
+    /// to pinned counts rather than panicking.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] = self.buckets[bucket_of(v)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub const fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// The estimated `q`-quantile (`0.0 ..= 1.0`): the inclusive upper
+    /// bound of the bucket containing the exact order statistic of rank
+    /// `ceil(q · count)`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Bucket-wise merge. Associative and commutative, so shard merge
+    /// order never changes the aggregate.
+    pub fn merge(&mut self, other: &LogHist) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..64usize {
+            // The upper bound of bucket i is the last value mapping to it.
+            assert_eq!(bucket_of(upper_bound(i)), i);
+            assert_eq!(bucket_of(upper_bound(i) + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_samples() {
+        let mut h = LogHist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.max(), 1000);
+        // Exact p50 is 500 (bucket 9: 256..=511); the estimate is the
+        // bucket's upper bound.
+        assert_eq!(bucket_of(h.p50()), bucket_of(500));
+        assert_eq!(bucket_of(h.p99()), bucket_of(990));
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let mut h = LogHist::new();
+        assert_eq!(h.quantile(0.5), 0);
+        h.record(7);
+        assert_eq!(h.quantile(0.0), 7);
+        assert_eq!(h.quantile(1.0), 7);
+        // A single sample caps the estimate at the observed max even
+        // though the bucket upper bound is 7.
+        let mut one = LogHist::new();
+        one.record(5);
+        assert_eq!(one.p50(), 5);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one_histogram() {
+        let samples_a = [3u64, 900, 17, 0, u64::MAX];
+        let samples_b = [1u64, 2, 4, 1 << 40];
+        let mut a = LogHist::new();
+        let mut b = LogHist::new();
+        let mut all = LogHist::new();
+        for &s in &samples_a {
+            a.record(s);
+            all.record(s);
+        }
+        for &s in &samples_b {
+            b.record(s);
+            all.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut h = LogHist::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Bounded ring buffer of cycle-stamped span events.
+//!
+//! Every event carries `&'static str` category/name (no allocation on
+//! the hot path) and timestamps in **simulation cycles**, so the stream
+//! is deterministic. When the ring is full the oldest events are
+//! dropped (and counted), bounding memory for arbitrarily long runs.
+
+use std::collections::VecDeque;
+
+/// One cycle-stamped event: a span (`dur > 0`), an instant (`dur == 0`,
+/// no `arg`), or a counter sample (`arg` present — exported as a Chrome
+/// counter track).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Category (Chrome trace `cat`), e.g. `"nurapid"`.
+    pub cat: &'static str,
+    /// Event name, e.g. `"demotion_chain"`.
+    pub name: &'static str,
+    /// Start timestamp in simulation cycles.
+    pub start: u64,
+    /// Duration in simulation cycles (0 for instants and counters).
+    pub dur: u64,
+    /// Counter value for counter-track events.
+    pub arg: Option<u64>,
+}
+
+/// A bounded FIFO of [`SpanEvent`]s.
+#[derive(Debug, Clone, Default)]
+pub struct EventRing {
+    cap: usize,
+    buf: VecDeque<SpanEvent>,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `cap` events (`cap == 0` drops everything).
+    pub fn new(cap: usize) -> Self {
+        EventRing {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, e: SpanEvent) {
+        if self.cap == 0 {
+            self.dropped = self.dropped.saturating_add(1);
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped = self.dropped.saturating_add(1);
+        }
+        self.buf.push_back(e);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events evicted (or refused) because of the bound.
+    pub const fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub const fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Discards all retained events and the drop count (used when the
+    /// measured phase starts after warm-up).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(start: u64) -> SpanEvent {
+        SpanEvent {
+            cat: "t",
+            name: "e",
+            start,
+            dur: 1,
+            arg: None,
+        }
+    }
+
+    #[test]
+    fn bounded_fifo_drops_oldest() {
+        let mut r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let starts: Vec<u64> = r.iter().map(|e| e.start).collect();
+        assert_eq!(starts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_refuses_everything() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = EventRing::new(2);
+        r.push(ev(1));
+        r.push(ev(2));
+        r.push(ev(3));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.capacity(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! The [`TelemetrySink`] handle every simulator component records into.
+//!
+//! A sink is either **disabled** (the default — every record call is a
+//! single `Option` branch, benchmarked to be free) or **recording** into
+//! a shared [`SinkData`] (one metric shard plus one bounded event ring).
+//! Components hold a clone of the sink; the experiment runner drains it
+//! when the run finishes and hands the data to the
+//! [`Telemetry`](crate::telemetry::Telemetry) aggregator.
+//!
+//! Recording is `Mutex`-guarded so the handle is `Send + Sync`, but in
+//! practice each run's sink is only touched by that run's worker thread,
+//! so the lock is always uncontended.
+
+use crate::metrics::MetricSet;
+use crate::ring::{EventRing, SpanEvent};
+use std::sync::{Arc, Mutex};
+
+/// Everything one run records: a metric shard and a span ring.
+#[derive(Debug, Clone, Default)]
+pub struct SinkData {
+    /// Counters, gauges, histograms.
+    pub metrics: MetricSet,
+    /// Cycle-stamped span/instant/counter events.
+    pub ring: EventRing,
+}
+
+/// A cheap, cloneable telemetry handle. `TelemetrySink::disabled()` is
+/// the no-op default; [`TelemetrySink::recording`] captures data.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySink(Option<Arc<Mutex<SinkData>>>);
+
+impl TelemetrySink {
+    /// The no-op sink: every record call returns after one branch.
+    pub const fn disabled() -> Self {
+        TelemetrySink(None)
+    }
+
+    /// A recording sink whose event ring holds at most `ring_cap` events.
+    pub fn recording(ring_cap: usize) -> Self {
+        TelemetrySink(Some(Arc::new(Mutex::new(SinkData {
+            metrics: MetricSet::new(),
+            ring: EventRing::new(ring_cap),
+        }))))
+    }
+
+    /// True when the sink records. Components use this to skip expensive
+    /// derived computations (never required for plain record calls).
+    pub const fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n` to the named counter.
+    pub fn count(&self, name: &'static str, n: u64) {
+        if let Some(s) = &self.0 {
+            s.lock().unwrap().metrics.count(name, n);
+        }
+    }
+
+    /// Records a gauge observation at simulation cycle `stamp`.
+    pub fn gauge(&self, name: &'static str, stamp: u64, value: f64) {
+        if let Some(s) = &self.0 {
+            s.lock().unwrap().metrics.gauge(name, stamp, value);
+        }
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&self, name: &'static str, sample: u64) {
+        if let Some(s) = &self.0 {
+            s.lock().unwrap().metrics.observe(name, sample);
+        }
+    }
+
+    /// Records a cycle-stamped span (`dur` cycles starting at `start`).
+    pub fn span(&self, cat: &'static str, name: &'static str, start: u64, dur: u64) {
+        if let Some(s) = &self.0 {
+            s.lock().unwrap().ring.push(SpanEvent {
+                cat,
+                name,
+                start,
+                dur,
+                arg: None,
+            });
+        }
+    }
+
+    /// Records an instantaneous event at cycle `at`.
+    pub fn instant(&self, cat: &'static str, name: &'static str, at: u64) {
+        self.span(cat, name, at, 0);
+    }
+
+    /// Records a counter-track sample (exported as a Chrome `"C"` event,
+    /// which Perfetto draws as a time-series track).
+    pub fn counter_track(&self, cat: &'static str, name: &'static str, at: u64, value: u64) {
+        if let Some(s) = &self.0 {
+            s.lock().unwrap().ring.push(SpanEvent {
+                cat,
+                name,
+                start: at,
+                dur: 0,
+                arg: Some(value),
+            });
+        }
+    }
+
+    /// Discards everything recorded so far (called when the measured
+    /// phase begins, so warm-up traffic does not pollute the data).
+    pub fn reset(&self) {
+        if let Some(s) = &self.0 {
+            let mut d = s.lock().unwrap();
+            d.metrics = MetricSet::new();
+            d.ring.clear();
+        }
+    }
+
+    /// Takes the recorded data, leaving the sink empty (ring capacity
+    /// preserved). Returns default-empty data for a disabled sink.
+    pub fn drain(&self) -> SinkData {
+        match &self.0 {
+            None => SinkData::default(),
+            Some(s) => {
+                let mut d = s.lock().unwrap();
+                let cap = d.ring.capacity();
+                std::mem::replace(
+                    &mut *d,
+                    SinkData {
+                        metrics: MetricSet::new(),
+                        ring: EventRing::new(cap),
+                    },
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let s = TelemetrySink::disabled();
+        assert!(!s.enabled());
+        s.count("c", 1);
+        s.gauge("g", 1, 1.0);
+        s.observe("h", 1);
+        s.span("cat", "n", 0, 5);
+        let d = s.drain();
+        assert!(d.metrics.is_empty());
+        assert!(d.ring.is_empty());
+    }
+
+    #[test]
+    fn recording_sink_captures_all_kinds() {
+        let s = TelemetrySink::recording(8);
+        assert!(s.enabled());
+        s.count("c", 2);
+        s.count("c", 3);
+        s.gauge("g", 7, 0.5);
+        s.observe("h", 100);
+        s.span("cat", "sp", 10, 4);
+        s.instant("cat", "i", 11);
+        s.counter_track("snap", "ipc_milli", 12, 1500);
+        let d = s.drain();
+        assert_eq!(d.metrics.counters["c"], 5);
+        assert_eq!(d.metrics.gauges["g"].stamp, 7);
+        assert_eq!(d.metrics.hists["h"].count(), 1);
+        assert_eq!(d.ring.len(), 3);
+        let kinds: Vec<(u64, Option<u64>)> = d.ring.iter().map(|e| (e.dur, e.arg)).collect();
+        assert_eq!(kinds, vec![(4, None), (0, None), (0, Some(1500))]);
+        // Drained: a second drain is empty.
+        assert!(s.drain().metrics.is_empty());
+    }
+
+    #[test]
+    fn reset_discards_warmup_traffic() {
+        let s = TelemetrySink::recording(4);
+        s.count("warm", 1);
+        s.span("w", "w", 0, 1);
+        s.reset();
+        s.count("measured", 1);
+        let d = s.drain();
+        assert!(!d.metrics.counters.contains_key("warm"));
+        assert_eq!(d.metrics.counters["measured"], 1);
+        assert!(d.ring.is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_same_data() {
+        let s = TelemetrySink::recording(4);
+        let c = s.clone();
+        c.count("x", 1);
+        s.count("x", 1);
+        assert_eq!(s.drain().metrics.counters["x"], 2);
+    }
+}

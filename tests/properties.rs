@@ -1,4 +1,4 @@
-//! Property-based tests on the core invariants (DESIGN.md §7), running on
+//! Property-based tests on the core invariants (DESIGN.md §9), running on
 //! the in-tree `simkit` engine — no external test dependencies.
 //!
 //! Each property replays the regression corpus first (including the legacy
