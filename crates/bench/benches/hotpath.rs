@@ -1,0 +1,132 @@
+//! Hot-path throughput: raw accesses/sec through every lower-level cache
+//! organization and sim-cycles/sec for the full-system core loop.
+//!
+//! This is the bench the flat-arena rewrite is measured against (DESIGN.md
+//! §10): each benchmark drives a fixed, deterministic access stream through
+//! one cache configuration and times the whole batch, so
+//! `accesses/sec = ACCESSES / (mean_ns / 1e9)`. The stream mixes a hot
+//! working set (hits, promotions) with strided cold scans (misses,
+//! demotion chains, writebacks) to keep every branch of the per-access
+//! path warm. JSON lines land in `BENCH_hotpath.json` when
+//! `SIMKIT_BENCH_DIR` is set; CI compares mean_ns against the committed
+//! baseline in `bench-baselines/`.
+
+use cpu::uop::TraceSource;
+use cpu::{CoreParams, OooCore};
+use memsys::hierarchy::BaseHierarchy;
+use memsys::l1::CoreMemSystem;
+use memsys::lower::LowerCache;
+use nuca::{DnucaCache, DnucaConfig, SearchPolicy};
+use nurapid::coupled::CoupledCache;
+use nurapid::{NuRapidCache, NuRapidConfig};
+use simbase::rng::SimRng;
+use simbase::{AccessKind, BlockAddr, Cycle};
+use simkit::bench::{black_box, BenchRunner};
+use workloads::profiles::by_name;
+use workloads::TraceGenerator;
+
+const WARMUP: u32 = 2;
+const ITERS: u32 = 15;
+/// Cache accesses per timed iteration.
+const ACCESSES: u64 = 100_000;
+/// Micro-ops per timed full-system iteration.
+const UOPS: u64 = 50_000;
+
+/// Drives `n` accesses with a deterministic hot-set + cold-scan mix and
+/// returns (hits, final sim cycle). Roughly 3/4 of accesses fall in a
+/// 4K-block hot set (mostly hits once warm, exercising promotion and the
+/// LRU update path); the rest stride through a 512K-block range (misses,
+/// fills, demotions, evictions).
+fn drive<C: LowerCache>(c: &mut C, n: u64) -> (u64, u64) {
+    let mut rng = SimRng::seeded(0x686f_7470_6174_68);
+    let mut t = Cycle::ZERO;
+    let mut hits = 0;
+    let mut cold = 0u64;
+    for i in 0..n {
+        let block = if rng.below(4) < 3 {
+            BlockAddr::from_index(rng.below(4096))
+        } else {
+            cold = cold.wrapping_add(97);
+            BlockAddr::from_index(4096 + (cold & 0x7_ffff))
+        };
+        let kind = if i % 5 == 0 { AccessKind::Write } else { AccessKind::Read };
+        let out = c.access(block, kind, t);
+        hits += out.hit as u64;
+        t = out.complete_at + 4;
+    }
+    (hits, t.raw())
+}
+
+/// Prints the derived throughput line for a cache bench.
+fn throughput(report: Option<simkit::bench::BenchReport>, per_iter: u64, unit: &str) {
+    if let Some(r) = report {
+        let per_sec = per_iter as f64 / (r.mean_ns as f64 / 1e9);
+        println!("  -> {:.2}M {unit}/sec (mean)", per_sec / 1e6);
+    }
+}
+
+fn bench_caches(b: &mut BenchRunner) {
+    let mut nf4 = NuRapidCache::new(NuRapidConfig::micro2003(4));
+    nf4.prefill();
+    let r = b.bench("hotpath_nurapid_nf4", WARMUP, ITERS, || black_box(drive(&mut nf4, ACCESSES)));
+    throughput(r, ACCESSES, "accesses");
+
+    let mut nf8 = NuRapidCache::new(NuRapidConfig::micro2003(8));
+    nf8.prefill();
+    let r = b.bench("hotpath_nurapid_nf8", WARMUP, ITERS, || black_box(drive(&mut nf8, ACCESSES)));
+    throughput(r, ACCESSES, "accesses");
+
+    let mut dn_perf = DnucaCache::new(DnucaConfig::micro2003(SearchPolicy::SsPerformance));
+    dn_perf.prefill();
+    let r = b.bench("hotpath_dnuca_ss_performance", WARMUP, ITERS, || {
+        black_box(drive(&mut dn_perf, ACCESSES))
+    });
+    throughput(r, ACCESSES, "accesses");
+
+    let mut dn_energy = DnucaCache::new(DnucaConfig::micro2003(SearchPolicy::SsEnergy));
+    dn_energy.prefill();
+    let r = b.bench("hotpath_dnuca_ss_energy", WARMUP, ITERS, || {
+        black_box(drive(&mut dn_energy, ACCESSES))
+    });
+    throughput(r, ACCESSES, "accesses");
+
+    let mut coupled = CoupledCache::micro2003(4);
+    coupled.prefill();
+    let r = b.bench("hotpath_coupled_sa4", WARMUP, ITERS, || {
+        black_box(drive(&mut coupled, ACCESSES))
+    });
+    throughput(r, ACCESSES, "accesses");
+
+    let mut base = BaseHierarchy::micro2003();
+    base.prefill();
+    let r =
+        b.bench("hotpath_base_hierarchy", WARMUP, ITERS, || black_box(drive(&mut base, ACCESSES)));
+    throughput(r, ACCESSES, "accesses");
+}
+
+fn bench_full_system(b: &mut BenchRunner) {
+    // The quick-repro driver loop: trace generator -> OoO core -> L1s ->
+    // NuRAPID. Reports both uops/sec and simulated cycles/sec.
+    let mut gen = TraceGenerator::new(by_name("equake").unwrap(), 7);
+    let mem = CoreMemSystem::micro2003(NuRapidCache::new(NuRapidConfig::micro2003(4)));
+    let mut core = OooCore::new(CoreParams::micro2003(), mem);
+    let mut cycles_per_iter = 0u64;
+    let r = b.bench("hotpath_full_system_nurapid", WARMUP, ITERS, || {
+        let c0 = core.cycles();
+        for _ in 0..UOPS {
+            let op = gen.next_op();
+            core.execute(op);
+        }
+        cycles_per_iter = core.cycles() - c0;
+        black_box(core.cycles())
+    });
+    throughput(r.clone(), UOPS, "uops");
+    throughput(r, cycles_per_iter, "sim-cycles");
+}
+
+fn main() {
+    let mut b = BenchRunner::new("hotpath");
+    bench_caches(&mut b);
+    bench_full_system(&mut b);
+    b.finish();
+}

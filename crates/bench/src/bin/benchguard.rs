@@ -1,0 +1,119 @@
+//! `benchguard` — fails CI when a benchmark's `mean_ns` regresses past a
+//! threshold against a committed baseline.
+//!
+//! ```text
+//! benchguard <baseline.json> <current.json> [--max-regress PCT]
+//! ```
+//!
+//! Both files are simkit bench JSON-lines (`{"name":...,"mean_ns":...}`
+//! per line, as written under `SIMKIT_BENCH_DIR`). Every benchmark named
+//! in the baseline must appear in the current file; if the current file
+//! holds several lines for one name (the harness appends across runs),
+//! the *last* line wins. A benchmark regresses when
+//!
+//! ```text
+//! current.mean_ns > baseline.mean_ns * (1 + PCT/100)
+//! ```
+//!
+//! with PCT defaulting to 25. Improvements and new benchmarks never fail;
+//! a missing or unparsable entry always does. Exit status: 0 clean,
+//! 1 regression, 2 usage/IO error.
+
+use simbase::json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parses a bench JSON-lines file into `name -> mean_ns`, last line per
+/// name winning.
+fn load(path: &str) -> Result<BTreeMap<String, u64>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line)
+            .map_err(|e| format!("{path}:{}: bad JSON: {e}", lineno + 1))?;
+        let name = v
+            .field("name")
+            .and_then(json::Json::as_str)
+            .ok_or_else(|| format!("{path}:{}: missing \"name\"", lineno + 1))?;
+        let mean = v
+            .field("mean_ns")
+            .and_then(json::Json::as_u64)
+            .ok_or_else(|| format!("{path}:{}: missing \"mean_ns\"", lineno + 1))?;
+        out.insert(name.to_string(), mean);
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no benchmark lines"));
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regress = 25.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regress" => {
+                i += 1;
+                max_regress = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(p) => p,
+                    None => return usage("missing or bad --max-regress value"),
+                };
+            }
+            "--help" | "-h" => return usage(""),
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return usage("expected exactly two files: <baseline.json> <current.json>");
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    for (name, &base_mean) in &baseline {
+        let Some(&cur_mean) = current.get(name) else {
+            eprintln!("FAIL {name}: present in baseline, missing from {current_path}");
+            failed = true;
+            continue;
+        };
+        let ratio = cur_mean as f64 / base_mean as f64;
+        let limit = 1.0 + max_regress / 100.0;
+        let verdict = if ratio > limit {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok  "
+        };
+        println!(
+            "{verdict} {name}: baseline {base_mean} ns, current {cur_mean} ns ({:+.1}%)",
+            (ratio - 1.0) * 100.0
+        );
+    }
+    if failed {
+        eprintln!("benchguard: regression beyond {max_regress:.0}% of baseline");
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: benchguard <baseline.json> <current.json> [--max-regress PCT]");
+    ExitCode::from(if err.is_empty() { 0 } else { 2 })
+}

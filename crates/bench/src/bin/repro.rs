@@ -31,31 +31,14 @@
 //! channels (`metrics.json`, `trace.json`) are byte-identical for any
 //! `--threads` value; only `wall.json` varies.
 
-use experiments::exps::{self, Sweep};
+use experiments::exps::Sweep;
+use experiments::repro::{prewarm_keys, render_experiment, render_experiment_tsv, EXPERIMENTS};
 use experiments::Scale;
 use simsched::progress::{console_observer, Counts};
 use simtel::{Console, Telemetry};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
-
-/// Experiment ids in rendering order, paired with the configuration keys
-/// each one needs (the prewarm set handed to the worker pool).
-const EXPERIMENTS: &[(&str, &[&str])] = &[
-    ("table2", &[]),
-    ("table4", &[]),
-    ("table3", &["base"]),
-    ("fig4", &["sa4", "nf4"]),
-    ("fig5", &["dm4", "nf4", "fs4"]),
-    ("fig6", &["base", "dm4", "nf4", "fs4", "id4"]),
-    ("lru", &["dm4", "clock-dm", "lru-dm", "nf4", "clock-nf", "lru-nf"]),
-    ("fig7", &["nf2", "nf4", "nf8"]),
-    ("fig8", &["base", "nf2", "nf4", "nf8"]),
-    ("fig9", &["base", "dn-perf", "nf4", "nf8"]),
-    ("fig10", &["base", "dn-energy", "nf4"]),
-    ("fig11", &["base", "dn-perf", "dn-energy", "nf4"]),
-    ("restrict", &["base", "nf4", "nf4-r256", "nf4-r64"]),
-];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -133,16 +116,7 @@ fn main() {
     // Warm the run store in parallel before rendering anything: the
     // union of every selected experiment's configurations, in a stable
     // order, farmed out to the worker pool.
-    let mut keys: Vec<&'static str> = Vec::new();
-    for (id, wanted) in EXPERIMENTS {
-        if ids.contains(id) {
-            for k in wanted.iter() {
-                if !keys.contains(k) {
-                    keys.push(k);
-                }
-            }
-        }
-    }
+    let keys = prewarm_keys(&ids);
     if !keys.is_empty() {
         console.status(&format!(
             "[simsched] {} jobs ({} apps x {} configs) on {} thread{}",
@@ -197,40 +171,15 @@ fn run_one(id: &str, sweep: &Sweep, tsv: bool) {
     if tsv {
         // Machine-readable output for the distribution and performance
         // figures; other experiments fall through to text.
-        let out = match id {
-            "fig4" => Some(exps::fig4(sweep).render_tsv()),
-            "fig5" => Some(exps::fig5(sweep).render_tsv()),
-            "fig7" => Some(exps::fig7(sweep).render_tsv()),
-            "fig6" => Some(exps::fig6(sweep).render_tsv()),
-            "fig8" => Some(exps::fig8(sweep).render_tsv()),
-            "fig9" => Some(exps::fig9(sweep).render_tsv()),
-            _ => None,
-        };
-        if let Some(out) = out {
+        if let Some(out) = render_experiment_tsv(id, sweep) {
             println!("{out}");
             return;
         }
     }
-    let out = match id {
-        "table2" => format!("Table 2: cache energies (nJ)\n{}", exps::table2().render()),
-        "table3" => format!(
-            "Table 3: applications and base-case characterization\n{}",
-            exps::table3(sweep).render()
-        ),
-        "table4" => format!("Table 4: cache latencies (cycles)\n{}", exps::table4().render()),
-        "fig4" => exps::fig4(sweep).render(),
-        "fig5" => exps::fig5(sweep).render(),
-        "fig6" => exps::fig6(sweep).render(),
-        "lru" => exps::sec531(sweep).render(),
-        "fig7" => exps::fig7(sweep).render(),
-        "fig8" => exps::fig8(sweep).render(),
-        "fig9" => exps::fig9(sweep).render(),
-        "fig10" => exps::fig10(sweep).render(),
-        "fig11" => exps::fig11(sweep).render(),
-        "restrict" => exps::restriction_ablation(sweep).render(),
-        other => usage(&format!("unknown experiment {other:?}")),
-    };
-    println!("{out}");
+    match render_experiment(id, sweep) {
+        Some(out) => println!("{out}"),
+        None => usage(&format!("unknown experiment {id:?}")),
+    }
 }
 
 fn usage(err: &str) -> ! {

@@ -19,7 +19,6 @@ pub const NURAPID_TAG_ENTRY_BITS: u32 = 51 + 16;
 /// and energy plus per-d-group latency and energy.
 #[derive(Debug, Clone)]
 pub struct NuRapidGeometry {
-    tech: Tech,
     capacity: Capacity,
     assoc: u32,
     tag: TagArray,
@@ -28,6 +27,10 @@ pub struct NuRapidGeometry {
     dgroup_latency: Vec<u64>,
     /// Data-array + route energy per d-group access, in nJ.
     dgroup_energy: Vec<EnergyNj>,
+    /// Cached tag-array probe latency, in cycles.
+    tag_latency: u64,
+    /// Cached data-array occupancy per operation, in cycles.
+    array_occupancy: u64,
 }
 
 impl NuRapidGeometry {
@@ -63,14 +66,17 @@ impl NuRapidGeometry {
             dgroup_latency.push(tech.ps_to_cycles(tag_ps + data_ps + tech.route_ps(mm)));
             dgroup_energy.push(EnergyNj::new(data_nj + tech.route_nj(mm)));
         }
+        let tag_latency = tag.probe_cycles(&tech);
+        let array_occupancy = (tech.ps_to_cycles(data_ps) / 2).max(2);
         NuRapidGeometry {
-            tech,
             capacity,
             assoc,
             tag,
             plan,
             dgroup_latency,
             dgroup_energy,
+            tag_latency,
+            array_occupancy,
         }
     }
 
@@ -102,7 +108,7 @@ impl NuRapidGeometry {
 
     /// Probe latency of the centralized tag array, in cycles.
     pub fn tag_latency_cycles(&self) -> u64 {
-        self.tag.probe_cycles(&self.tech)
+        self.tag_latency
     }
 
     /// Energy of one tag-array probe.
@@ -135,11 +141,7 @@ impl NuRapidGeometry {
     /// time, floor two cycles. This is what one operation holds the single
     /// port for.
     pub fn array_occupancy_cycles(&self) -> u64 {
-        (self
-            .tech
-            .ps_to_cycles(sram::data_access_ps(self.plan.dgroup_capacity()))
-            / 2)
-        .max(2)
+        self.array_occupancy
     }
 
     /// Latency (cycles) of the d-group holding the `mb`-th megabyte

@@ -54,6 +54,7 @@ impl CoreParams {
 /// the out-of-order engine are non-monotonic within roughly a window's
 /// worth of cycles; the ring must comfortably exceed that span.
 const FU_RING: usize = 1024;
+const _: () = assert!(FU_RING.is_power_of_two(), "ring index uses a mask");
 
 /// A pool of `n` pipelined functional units: each unit accepts one
 /// operation per cycle. Occupancy is tracked per cycle (not as a
@@ -79,7 +80,7 @@ impl FuPool {
     fn issue(&mut self, at: Cycle) -> Cycle {
         let mut c = at.raw();
         loop {
-            let slot = &mut self.ring[(c % FU_RING as u64) as usize];
+            let slot = &mut self.ring[(c & (FU_RING as u64 - 1)) as usize];
             if slot.0 != c {
                 // Slot belonged to a far-away cycle: repurpose it.
                 *slot = (c, 0);

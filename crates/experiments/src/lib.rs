@@ -30,6 +30,7 @@
 pub mod artifact;
 pub mod exps;
 pub mod report;
+pub mod repro;
 pub mod runner;
 
 pub use runner::{run_digest, AppRun, L2Kind, Scale};

@@ -1,0 +1,97 @@
+//! The canonical reproduction report: experiment order, headers, and
+//! rendering shared by the `repro` binary and the golden-snapshot guard
+//! test.
+//!
+//! The `repro` binary's stdout is a promise: `tests/golden/repro_quick.txt`
+//! pins the `--quick` report byte-for-byte, and the differential test
+//! layer relies on that pin to prove hot-path rewrites change nothing
+//! observable. Keeping the experiment list and per-experiment rendering
+//! here — rather than duplicated in the binary and the test — means the
+//! two cannot drift apart.
+
+use crate::exps::{self, Sweep};
+
+/// Experiment ids in rendering order, paired with the configuration keys
+/// each one needs (the prewarm set handed to the worker pool).
+pub const EXPERIMENTS: &[(&str, &[&str])] = &[
+    ("table2", &[]),
+    ("table4", &[]),
+    ("table3", &["base"]),
+    ("fig4", &["sa4", "nf4"]),
+    ("fig5", &["dm4", "nf4", "fs4"]),
+    ("fig6", &["base", "dm4", "nf4", "fs4", "id4"]),
+    ("lru", &["dm4", "clock-dm", "lru-dm", "nf4", "clock-nf", "lru-nf"]),
+    ("fig7", &["nf2", "nf4", "nf8"]),
+    ("fig8", &["base", "nf2", "nf4", "nf8"]),
+    ("fig9", &["base", "dn-perf", "nf4", "nf8"]),
+    ("fig10", &["base", "dn-energy", "nf4"]),
+    ("fig11", &["base", "dn-perf", "dn-energy", "nf4"]),
+    ("restrict", &["base", "nf4", "nf4-r256", "nf4-r64"]),
+];
+
+/// The union of every listed experiment's configuration keys, in first-use
+/// order — the prewarm set for [`Sweep::prefetch_all`].
+pub fn prewarm_keys(ids: &[&str]) -> Vec<&'static str> {
+    let mut keys: Vec<&'static str> = Vec::new();
+    for (id, wanted) in EXPERIMENTS {
+        if ids.contains(id) {
+            for k in wanted.iter() {
+                if !keys.contains(k) {
+                    keys.push(k);
+                }
+            }
+        }
+    }
+    keys
+}
+
+/// Renders one experiment exactly as `repro` prints it (text mode).
+/// Returns `None` for an unknown id.
+pub fn render_experiment(id: &str, sweep: &Sweep) -> Option<String> {
+    Some(match id {
+        "table2" => format!("Table 2: cache energies (nJ)\n{}", exps::table2().render()),
+        "table3" => format!(
+            "Table 3: applications and base-case characterization\n{}",
+            exps::table3(sweep).render()
+        ),
+        "table4" => format!("Table 4: cache latencies (cycles)\n{}", exps::table4().render()),
+        "fig4" => exps::fig4(sweep).render(),
+        "fig5" => exps::fig5(sweep).render(),
+        "fig6" => exps::fig6(sweep).render(),
+        "lru" => exps::sec531(sweep).render(),
+        "fig7" => exps::fig7(sweep).render(),
+        "fig8" => exps::fig8(sweep).render(),
+        "fig9" => exps::fig9(sweep).render(),
+        "fig10" => exps::fig10(sweep).render(),
+        "fig11" => exps::fig11(sweep).render(),
+        "restrict" => exps::restriction_ablation(sweep).render(),
+        _ => return None,
+    })
+}
+
+/// Renders one experiment's machine-readable TSV, for the experiments
+/// that have one. Returns `None` when the id has no TSV form (callers
+/// fall back to [`render_experiment`]).
+pub fn render_experiment_tsv(id: &str, sweep: &Sweep) -> Option<String> {
+    Some(match id {
+        "fig4" => exps::fig4(sweep).render_tsv(),
+        "fig5" => exps::fig5(sweep).render_tsv(),
+        "fig6" => exps::fig6(sweep).render_tsv(),
+        "fig7" => exps::fig7(sweep).render_tsv(),
+        "fig8" => exps::fig8(sweep).render_tsv(),
+        "fig9" => exps::fig9(sweep).render_tsv(),
+        _ => return None,
+    })
+}
+
+/// The complete text report — every experiment in [`EXPERIMENTS`] order,
+/// each followed by the newline `println!` appends — byte-identical to
+/// the `repro` binary's stdout for the same scale.
+pub fn render_report(sweep: &Sweep) -> String {
+    let mut out = String::new();
+    for &(id, _) in EXPERIMENTS {
+        out.push_str(&render_experiment(id, sweep).expect("known id"));
+        out.push('\n');
+    }
+    out
+}

@@ -29,5 +29,7 @@ pub mod l1;
 pub mod lower;
 pub mod memory;
 pub mod mshr;
+pub mod naive;
+pub mod packed_lru;
 pub mod replacement;
 pub mod setassoc;

@@ -7,6 +7,7 @@
 //! per-set policies (true LRU, tree pseudo-LRU, random); the d-group-scale
 //! victim selectors live with the NuRAPID cache itself.
 
+use crate::packed_lru::LruTable;
 use simbase::rng::SimRng;
 
 /// Which victim-selection policy a [`SetPolicy`] applies within a set.
@@ -24,8 +25,9 @@ pub enum PolicyKind {
 /// Per-set replacement state for a cache with fixed associativity.
 #[derive(Debug, Clone)]
 pub enum SetPolicy {
-    /// Recency order per set: `order[set]` lists ways from MRU to LRU.
-    Lru { order: Vec<Vec<u8>> },
+    /// Recency order per set, nibble-packed into one `u64` per set when
+    /// `assoc <= 16` (see [`crate::packed_lru`]).
+    Lru { order: LruTable },
     /// PLRU tree bits per set (assoc-1 bits packed into a u32).
     TreePlru { bits: Vec<u32>, assoc: u32 },
     /// Random selection with a deterministic stream.
@@ -42,11 +44,7 @@ impl SetPolicy {
     pub fn new(kind: PolicyKind, sets: usize, assoc: u32, rng: SimRng) -> Self {
         assert!(assoc > 0 && assoc <= 255, "associativity {assoc} out of range");
         match kind {
-            PolicyKind::Lru => SetPolicy::Lru {
-                order: (0..sets)
-                    .map(|_| (0..assoc as u8).collect())
-                    .collect(),
-            },
+            PolicyKind::Lru => SetPolicy::Lru { order: LruTable::new(sets, assoc) },
             PolicyKind::TreePlru => {
                 assert!(
                     assoc.is_power_of_two(),
@@ -62,17 +60,10 @@ impl SetPolicy {
     }
 
     /// Records a use of `way` in `set` (moves it to MRU).
+    #[inline]
     pub fn touch(&mut self, set: usize, way: u32) {
         match self {
-            SetPolicy::Lru { order } => {
-                let o = &mut order[set];
-                let pos = o
-                    .iter()
-                    .position(|&w| w as u32 == way)
-                    .expect("way must exist in LRU order");
-                let w = o.remove(pos);
-                o.insert(0, w);
-            }
+            SetPolicy::Lru { order } => order.touch(set, way),
             SetPolicy::TreePlru { bits, assoc } => {
                 // Walk from root to the leaf for `way`, setting each bit to
                 // point *away* from the touched way.
@@ -100,9 +91,10 @@ impl SetPolicy {
     }
 
     /// Chooses a victim way in `set` without updating recency state.
+    #[inline]
     pub fn victim(&mut self, set: usize) -> u32 {
         match self {
-            SetPolicy::Lru { order } => *order[set].last().expect("non-empty set") as u32,
+            SetPolicy::Lru { order } => order.victim(set),
             SetPolicy::TreePlru { bits, assoc } => {
                 let mut node = 0u32;
                 let mut lo = 0u32;
@@ -132,10 +124,7 @@ impl SetPolicy {
     /// Panics for non-LRU policies.
     pub fn lru_position(&self, set: usize, way: u32) -> usize {
         match self {
-            SetPolicy::Lru { order } => order[set]
-                .iter()
-                .position(|&w| w as u32 == way)
-                .expect("way must exist"),
+            SetPolicy::Lru { order } => order.position_of(set, way),
             _ => panic!("lru_position is only defined for the LRU policy"),
         }
     }

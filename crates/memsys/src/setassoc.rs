@@ -44,29 +44,28 @@ pub struct Eviction {
     pub from: WayRef,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    block: BlockAddr,
-    valid: bool,
-    dirty: bool,
-}
-
-const INVALID: Line = Line {
-    block: BlockAddr::from_index(u64::MAX),
-    valid: false,
-    dirty: false,
-};
+/// Per-line status bits, packed into one byte in the [`SetAssocCache`]
+/// flags arena.
+const VALID: u8 = 1 << 0;
+const DIRTY: u8 = 1 << 1;
 
 /// A set-associative cache directory with writeback dirty tracking.
 ///
 /// This structure tracks *presence* (tags), not data contents or timing;
 /// timing is layered on by the owning cache model.
+///
+/// Layout (DESIGN.md §9): struct-of-arrays — one flat `Vec<u64>` of block
+/// indices and one flat `Vec<u8>` of valid/dirty flags, both row-major by
+/// set — so a set probe is a short contiguous scan of `assoc` u64s, and
+/// set selection is a single mask (set counts are asserted power-of-two).
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    lines: Vec<Line>, // sets * assoc, row-major by set
+    blocks: Vec<u64>, // sets * assoc block indices, row-major by set
+    flags: Vec<u8>,   // parallel VALID | DIRTY bits
     policy: SetPolicy,
     sets: usize,
     assoc: u32,
+    set_mask: u64, // sets - 1
 }
 
 impl SetAssocCache {
@@ -96,10 +95,12 @@ impl SetAssocCache {
             "set count must be a power of two, got {sets}"
         );
         SetAssocCache {
-            lines: vec![INVALID; sets * assoc as usize],
+            blocks: vec![u64::MAX; sets * assoc as usize],
+            flags: vec![0; sets * assoc as usize],
             policy: SetPolicy::new(policy, sets, assoc, rng),
             sets,
             assoc,
+            set_mask: sets as u64 - 1,
         }
     }
 
@@ -114,24 +115,25 @@ impl SetAssocCache {
     }
 
     /// Set index for `block`.
+    #[inline]
     pub fn set_of(&self, block: BlockAddr) -> usize {
-        (block.index() % self.sets as u64) as usize
+        (block.index() & self.set_mask) as usize
     }
 
-    fn line(&self, r: WayRef) -> &Line {
-        &self.lines[r.set * self.assoc as usize + r.way as usize]
-    }
-
-    fn line_mut(&mut self, r: WayRef) -> &mut Line {
-        &mut self.lines[r.set * self.assoc as usize + r.way as usize]
+    #[inline]
+    fn slot(&self, r: WayRef) -> usize {
+        r.set * self.assoc as usize + r.way as usize
     }
 
     /// Looks up `block` without changing any state (a pure probe).
+    #[inline]
     pub fn probe(&self, block: BlockAddr) -> Lookup {
         let set = self.set_of(block);
+        let base = set * self.assoc as usize;
+        let idx = block.index();
         for way in 0..self.assoc {
-            let l = self.line(WayRef { set, way });
-            if l.valid && l.block == block {
+            let i = base + way as usize;
+            if self.flags[i] & VALID != 0 && self.blocks[i] == idx {
                 return Lookup::Hit(WayRef { set, way });
             }
         }
@@ -140,12 +142,14 @@ impl SetAssocCache {
 
     /// Looks up `block`; on a hit, updates recency and (for writes) the
     /// dirty bit.
+    #[inline]
     pub fn access(&mut self, block: BlockAddr, kind: AccessKind) -> Lookup {
         match self.probe(block) {
             Lookup::Hit(r) => {
                 self.policy.touch(r.set, r.way);
                 if kind.is_write() {
-                    self.line_mut(r).dirty = true;
+                    let i = self.slot(r);
+                    self.flags[i] |= DIRTY;
                 }
                 Lookup::Hit(r)
             }
@@ -160,41 +164,42 @@ impl SetAssocCache {
     /// Returns the eviction, if any. Filling a block that is already
     /// present is a logic error and panics.
     pub fn fill(&mut self, block: BlockAddr, dirty: bool) -> Option<Eviction> {
-        assert!(
+        // The caller owns the probe-then-fill protocol; re-probing here is
+        // redundant work on the hot path, so it is a debug-only guard.
+        debug_assert!(
             !self.probe(block).is_hit(),
             "fill of already-present block {block}"
         );
         let set = self.set_of(block);
-        // Prefer an invalid way.
+        let base = set * self.assoc as usize;
+        // Prefer an invalid way (first in way order, matching the scan the
+        // AoS implementation performed).
         let mut target = None;
         for way in 0..self.assoc {
-            if !self.line(WayRef { set, way }).valid {
-                target = Some(WayRef { set, way });
+            if self.flags[base + way as usize] & VALID == 0 {
+                target = Some(way);
                 break;
             }
         }
-        let (r, evicted) = match target {
-            Some(r) => (r, None),
+        let (way, evicted) = match target {
+            Some(way) => (way, None),
             None => {
                 let way = self.policy.victim(set);
-                let r = WayRef { set, way };
-                let old = *self.line(r);
+                let i = base + way as usize;
                 (
-                    r,
+                    way,
                     Some(Eviction {
-                        block: old.block,
-                        dirty: old.dirty,
-                        from: r,
+                        block: BlockAddr::from_index(self.blocks[i]),
+                        dirty: self.flags[i] & DIRTY != 0,
+                        from: WayRef { set, way },
                     }),
                 )
             }
         };
-        *self.line_mut(r) = Line {
-            block,
-            valid: true,
-            dirty,
-        };
-        self.policy.touch(r.set, r.way);
+        let i = base + way as usize;
+        self.blocks[i] = block.index();
+        self.flags[i] = VALID | if dirty { DIRTY } else { 0 };
+        self.policy.touch(set, way);
         evicted
     }
 
@@ -202,8 +207,10 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<bool> {
         match self.probe(block) {
             Lookup::Hit(r) => {
-                let dirty = self.line(r).dirty;
-                *self.line_mut(r) = INVALID;
+                let i = self.slot(r);
+                let dirty = self.flags[i] & DIRTY != 0;
+                self.blocks[i] = u64::MAX;
+                self.flags[i] = 0;
                 Some(dirty)
             }
             Lookup::Miss => None,
@@ -212,13 +219,13 @@ impl SetAssocCache {
 
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.flags.iter().filter(|&&f| f & VALID != 0).count()
     }
 
     /// The block resident at `r`, if any.
     pub fn block_at(&self, r: WayRef) -> Option<BlockAddr> {
-        let l = self.line(r);
-        l.valid.then_some(l.block)
+        let i = self.slot(r);
+        (self.flags[i] & VALID != 0).then(|| BlockAddr::from_index(self.blocks[i]))
     }
 }
 

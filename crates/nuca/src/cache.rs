@@ -1,5 +1,12 @@
 //! The assembled D-NUCA cache: banked tag/data, bubble promotion, and the
 //! ss-performance / ss-energy search policies.
+//!
+//! Slot metadata is kept struct-of-arrays (block indices, valid/dirty
+//! flags, and recency clocks in separate flat vectors) so the per-access
+//! way scans touch densely packed words, and the set → bank mapping is a
+//! precomputed table. The access path performs no heap allocation:
+//! smart-search candidates travel as a way bitmask and the multicast /
+//! serial-probe loops walk positions directly.
 
 use crate::smart_search::SmartSearchArray;
 use crate::stats::DnucaStats;
@@ -51,20 +58,10 @@ impl DnucaConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    block: BlockAddr,
-    dirty: bool,
-    valid: bool,
-    last_use: u64,
-}
-
-const EMPTY: Slot = Slot {
-    block: BlockAddr::from_index(u64::MAX),
-    dirty: false,
-    valid: false,
-    last_use: 0,
-};
+/// Slot flag: the way holds a block.
+const VALID: u8 = 1 << 0;
+/// Slot flag: the block has been written since it was filled.
+const DIRTY: u8 = 1 << 1;
 
 /// Cycles a bank is occupied by a full (tag + data) access.
 const BANK_OCCUPANCY: u64 = 3;
@@ -90,11 +87,22 @@ const SEARCH_OCCUPANCY: u64 = 2;
 pub struct DnucaCache {
     config: DnucaConfig,
     geo: DnucaGeometry,
-    /// `sets × assoc` slots; way `w` of a set lives at bank position
-    /// `w / ways_per_position`.
-    slots: Vec<Slot>,
+    /// `sets × assoc` block indices; way `w` of a set lives at bank
+    /// position `w / ways_per_position`. `u64::MAX` in empty slots.
+    blocks: Vec<u64>,
+    /// `sets × assoc` VALID/DIRTY flags.
+    flags: Vec<u8>,
+    /// `sets × assoc` recency clocks (larger = more recently used).
+    last_use: Vec<u64>,
     sets: usize,
+    set_mask: u64,
     ways_per_position: u32,
+    /// `log2(ways_per_position)` when it is a power of two.
+    wpp_shift: Option<u32>,
+    /// Bank index by `bank_set * n_positions + position`.
+    bank_lut: Vec<u32>,
+    /// `n_bank_sets - 1` when the bank-set count is a power of two.
+    bank_set_mask: Option<usize>,
     ss: SmartSearchArray,
     /// Per-bank busy-until times (bank contention; the network itself has
     /// infinite bandwidth per Section 4).
@@ -124,10 +132,28 @@ impl DnucaCache {
         );
         let blocks = config.capacity.bytes() / BLOCK_BYTES;
         let sets = (blocks / config.assoc as u64) as usize;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        let n_bank_sets = geo.n_bank_sets();
+        let mut bank_lut = Vec::with_capacity(n_bank_sets * config.n_positions);
+        for bs in 0..n_bank_sets {
+            for p in 0..config.n_positions {
+                bank_lut.push(geo.bank_index(bs, p) as u32);
+            }
+        }
+        let ways_per_position = config.assoc / config.n_positions as u32;
+        let n_slots = sets * config.assoc as usize;
         DnucaCache {
-            slots: vec![EMPTY; sets * config.assoc as usize],
+            blocks: vec![u64::MAX; n_slots],
+            flags: vec![0; n_slots],
+            last_use: vec![0; n_slots],
             sets,
-            ways_per_position: config.assoc / config.n_positions as u32,
+            set_mask: sets as u64 - 1,
+            ways_per_position,
+            wpp_shift: ways_per_position
+                .is_power_of_two()
+                .then(|| ways_per_position.trailing_zeros()),
+            bank_lut,
+            bank_set_mask: n_bank_sets.is_power_of_two().then(|| n_bank_sets - 1),
             ss: SmartSearchArray::new(sets, config.assoc),
             bank_busy: vec![Cycle::ZERO; config.n_banks],
             memory: MainMemory::micro2003(),
@@ -182,46 +208,58 @@ impl DnucaCache {
         for set in 0..self.sets {
             for w in 0..self.config.assoc {
                 let block = BlockAddr::from_index(base + set as u64 + w as u64 * sets);
-                {
-                    let slot = self.slot_mut(set, w);
-                    assert!(!slot.valid, "prefill on a non-empty cache");
-                    *slot = Slot {
-                        block,
-                        dirty: false,
-                        valid: true,
-                        last_use: 0,
-                    };
-                }
+                let i = self.slot_idx(set, w);
+                assert!(self.flags[i] & VALID == 0, "prefill on a non-empty cache");
+                self.blocks[i] = block.index();
+                self.flags[i] = VALID;
+                self.last_use[i] = 0;
                 self.ss.insert(block, w);
             }
         }
     }
 
     fn set_of(&self, block: BlockAddr) -> usize {
-        (block.index() % self.sets as u64) as usize
+        (block.index() & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn slot_idx(&self, set: usize, w: u32) -> usize {
+        set * self.config.assoc as usize + w as usize
+    }
+
+    #[inline]
+    fn bank_set_of(&self, set: usize) -> usize {
+        match self.bank_set_mask {
+            Some(m) => set & m,
+            None => set % self.geo.n_bank_sets(),
+        }
     }
 
     /// The bank holding way `w` of `set`.
+    #[inline]
     fn bank_of(&self, set: usize, w: u32) -> usize {
-        let bank_set = set % self.geo.n_bank_sets();
-        let position = (w / self.ways_per_position) as usize;
-        self.geo.bank_index(bank_set, position)
+        let bank_set = self.bank_set_of(set);
+        let position = self.position_of_way(w);
+        self.bank_lut[bank_set * self.config.n_positions + position] as usize
     }
 
+    #[inline]
     fn position_of_way(&self, w: u32) -> usize {
-        (w / self.ways_per_position) as usize
+        match self.wpp_shift {
+            Some(s) => (w >> s) as usize,
+            None => (w / self.ways_per_position) as usize,
+        }
     }
 
-    fn slot(&self, set: usize, w: u32) -> &Slot {
-        &self.slots[set * self.config.assoc as usize + w as usize]
-    }
-
-    fn slot_mut(&mut self, set: usize, w: u32) -> &mut Slot {
-        &mut self.slots[set * self.config.assoc as usize + w as usize]
+    /// True if way `w` of `set` holds a block (for tests).
+    #[cfg(test)]
+    fn valid_at(&self, set: usize, w: u32) -> bool {
+        self.flags[self.slot_idx(set, w)] & VALID != 0
     }
 
     /// A full bank access starting no earlier than `t`: waits for the bank,
     /// occupies it, and returns the completion time.
+    #[inline]
     fn bank_access(&mut self, bank: usize, t: Cycle) -> Cycle {
         let start = t.max(self.bank_busy[bank]);
         self.bank_busy[bank] = start + BANK_OCCUPANCY;
@@ -230,6 +268,7 @@ impl DnucaCache {
     }
 
     /// A tag-only search of a bank (multicast leg or false-hit probe).
+    #[inline]
     fn bank_search(&mut self, bank: usize, t: Cycle) -> Cycle {
         let start = t.max(self.bank_busy[bank]);
         self.bank_busy[bank] = start + SEARCH_OCCUPANCY;
@@ -254,22 +293,40 @@ impl DnucaCache {
     }
 
     /// Way holding `block` in `set`, if resident.
+    #[inline]
     fn find(&self, set: usize, block: BlockAddr) -> Option<u32> {
-        (0..self.config.assoc).find(|&w| {
-            let s = self.slot(set, w);
-            s.valid && s.block == block
-        })
+        let base = set * self.config.assoc as usize;
+        let target = block.index();
+        for w in 0..self.config.assoc {
+            let i = base + w as usize;
+            if self.flags[i] & VALID != 0 && self.blocks[i] == target {
+                return Some(w);
+            }
+        }
+        None
     }
 
-    /// LRU way within the position `p` of `set` (both ways valid assumed).
+    /// LRU way within the position `p` of `set` (the first way with the
+    /// smallest `(valid, last_use)` key, so invalid slots win first —
+    /// identical to a `min_by_key` over the position's ways).
     fn lru_way_at_position(&self, set: usize, p: usize) -> u32 {
         let lo = p as u32 * self.ways_per_position;
-        (lo..lo + self.ways_per_position)
-            .min_by_key(|&w| {
-                let s = self.slot(set, w);
-                (s.valid, s.last_use) // invalid slots sort first
-            })
-            .expect("position has ways")
+        let mut best = lo;
+        let mut best_key = self.recency_key(set, lo);
+        for w in lo + 1..lo + self.ways_per_position {
+            let key = self.recency_key(set, w);
+            if key < best_key {
+                best = w;
+                best_key = key;
+            }
+        }
+        best
+    }
+
+    #[inline]
+    fn recency_key(&self, set: usize, w: u32) -> (bool, u64) {
+        let i = self.slot_idx(set, w);
+        (self.flags[i] & VALID != 0, self.last_use[i])
     }
 
     /// Bubble promotion: swap the block at way `w` with the LRU way of the
@@ -280,12 +337,11 @@ impl DnucaCache {
             return;
         }
         let other = self.lru_way_at_position(set, p - 1);
-        let (a, b) = (
-            set * self.config.assoc as usize + w as usize,
-            set * self.config.assoc as usize + other as usize,
-        );
-        self.slots.swap(a, b);
-        let moved = self.slot(set, other).block;
+        let (a, b) = (self.slot_idx(set, w), self.slot_idx(set, other));
+        self.blocks.swap(a, b);
+        self.flags.swap(a, b);
+        self.last_use.swap(a, b);
+        let moved = BlockAddr::from_index(self.blocks[b]);
         self.ss.swap(moved, w, other);
         let bank_w = self.bank_of(set, w);
         let bank_o = self.bank_of(set, other);
@@ -306,21 +362,18 @@ impl DnucaCache {
         let set = self.set_of(block);
         let slowest = self.config.n_positions - 1;
         let victim_way = self.lru_way_at_position(set, slowest);
-        let victim = *self.slot(set, victim_way);
-        if victim.valid {
-            self.ss.invalidate(victim.block, victim_way);
-            if victim.dirty {
+        let vi = self.slot_idx(set, victim_way);
+        if self.flags[vi] & VALID != 0 {
+            let victim_block = BlockAddr::from_index(self.blocks[vi]);
+            self.ss.invalidate(victim_block, victim_way);
+            if self.flags[vi] & DIRTY != 0 {
                 self.stats.writebacks.inc();
                 let _ = self.memory.access(BLOCK_BYTES, mem_done);
             }
         }
-        let clock = self.use_clock;
-        *self.slot_mut(set, victim_way) = Slot {
-            block,
-            dirty: kind.is_write(),
-            valid: true,
-            last_use: clock,
-        };
+        self.blocks[vi] = block.index();
+        self.flags[vi] = VALID | if kind.is_write() { DIRTY } else { 0 };
+        self.last_use[vi] = self.use_clock;
         self.ss.insert(block, victim_way);
         // The fill is a full access to the slowest bank.
         let bank = self.bank_of(set, victim_way);
@@ -328,6 +381,16 @@ impl DnucaCache {
         LowerOutcome {
             complete_at: mem_done,
             hit: false,
+        }
+    }
+
+    /// Marks way `w` of `set` touched by this access (recency + dirtying).
+    #[inline]
+    fn touch_hit(&mut self, set: usize, w: u32, kind: AccessKind) {
+        let i = self.slot_idx(set, w);
+        self.last_use[i] = self.use_clock;
+        if kind.is_write() {
+            self.flags[i] |= DIRTY;
         }
     }
 
@@ -339,20 +402,20 @@ impl DnucaCache {
         self.sink.count("dnuca.ss_probes", 1);
         let set = self.set_of(block);
         let ss_done = now + catalog::smart_search_latency_cycles();
-        let candidates = self.ss.lookup(block);
+        let candidates = self.ss.lookup_mask(block);
         let hit_way = self.find(set, block);
 
         match self.config.policy {
             SearchPolicy::SsPerformance => {
                 // Multicast: every bank position of this set is searched.
-                let bank_set_banks: Vec<usize> = (0..self.config.n_positions)
-                    .map(|p| self.geo.bank_index(set % self.geo.n_bank_sets(), p))
-                    .collect();
+                let bank_set = self.bank_set_of(set);
+                let hit_position = hit_way.map(|w| self.position_of_way(w));
                 let mut slowest_search = now;
-                for (p, &bank) in bank_set_banks.iter().enumerate() {
-                    if hit_way.map(|w| self.position_of_way(w)) == Some(p) {
+                for p in 0..self.config.n_positions {
+                    if hit_position == Some(p) {
                         continue; // the hit bank does a full access below
                     }
+                    let bank = self.bank_lut[bank_set * self.config.n_positions + p] as usize;
                     let done = self.bank_search(bank, now);
                     slowest_search = slowest_search.max(done);
                 }
@@ -360,14 +423,7 @@ impl DnucaCache {
                     Some(w) => {
                         let p = self.position_of_way(w);
                         self.stats.position_hits.record(p);
-                        let clock = self.use_clock;
-                        {
-                            let s = self.slot_mut(set, w);
-                            s.last_use = clock;
-                            if kind.is_write() {
-                                s.dirty = true;
-                            }
-                        }
+                        self.touch_hit(set, w, kind);
                         let bank = self.bank_of(set, w);
                         let done = self.bank_access(bank, now);
                         self.bubble_promote(set, w, done);
@@ -380,11 +436,11 @@ impl DnucaCache {
                         // Early miss if the ss array had no candidates;
                         // otherwise the (false) candidates must be ruled
                         // out by the multicast search.
-                        let detect_at = if candidates.is_empty() {
+                        let detect_at = if candidates == 0 {
                             self.stats.early_misses.inc();
                             ss_done
                         } else {
-                            self.stats.false_hits.add(candidates.len() as u64);
+                            self.stats.false_hits.add(candidates.count_ones() as u64);
                             slowest_search
                         };
                         self.handle_miss(block, kind, detect_at)
@@ -393,42 +449,38 @@ impl DnucaCache {
             }
             SearchPolicy::SsEnergy => {
                 // Probe only candidate positions, nearest first, serially.
-                let mut positions: Vec<usize> = candidates
-                    .iter()
-                    .map(|&w| self.position_of_way(w))
-                    .collect();
-                positions.sort_unstable();
-                positions.dedup();
-                let mut t = ss_done;
-                for p in positions {
-                    let bank = self.geo.bank_index(set % self.geo.n_bank_sets(), p);
-                    match hit_way {
-                        Some(w) if self.position_of_way(w) == p => {
-                            self.stats.position_hits.record(p);
-                            let clock = self.use_clock;
-                            {
-                                let s = self.slot_mut(set, w);
-                                s.last_use = clock;
-                                if kind.is_write() {
-                                    s.dirty = true;
-                                }
-                            }
-                            let done = self.bank_access(bank, t);
-                            self.bubble_promote(set, w, done);
-                            return LowerOutcome {
-                                complete_at: done,
-                                hit: true,
-                            };
-                        }
-                        _ => {
-                            // False hit: the partial tag matched but the
-                            // block is not here.
-                            self.stats.false_hits.inc();
-                            t = self.bank_search(bank, t);
-                        }
-                    }
+                let mut position_mask = 0u64;
+                let mut m = candidates;
+                while m != 0 {
+                    position_mask |= 1 << self.position_of_way(m.trailing_zeros());
+                    m &= m - 1;
                 }
-                if candidates.is_empty() {
+                let bank_set = self.bank_set_of(set);
+                let hit_position = hit_way.map(|w| self.position_of_way(w));
+                let mut t = ss_done;
+                for p in 0..self.config.n_positions {
+                    if position_mask >> p & 1 == 0 {
+                        continue;
+                    }
+                    if hit_position == Some(p) {
+                        let w = hit_way.expect("hit_position implies hit_way");
+                        self.stats.position_hits.record(p);
+                        self.touch_hit(set, w, kind);
+                        let bank = self.bank_lut[bank_set * self.config.n_positions + p] as usize;
+                        let done = self.bank_access(bank, t);
+                        self.bubble_promote(set, w, done);
+                        return LowerOutcome {
+                            complete_at: done,
+                            hit: true,
+                        };
+                    }
+                    // False hit: the partial tag matched but the block is
+                    // not here.
+                    self.stats.false_hits.inc();
+                    let bank = self.bank_lut[bank_set * self.config.n_positions + p] as usize;
+                    t = self.bank_search(bank, t);
+                }
+                if candidates == 0 {
                     self.stats.early_misses.inc();
                 }
                 self.handle_miss(block, kind, t)
@@ -531,7 +583,7 @@ mod tests {
         }
         // Count blocks now resident at position 0 of that set.
         let set = c.set_of(blk(1));
-        let fast = (0..2u32).filter(|&w| c.slot(set, w).valid).count();
+        let fast = (0..2u32).filter(|&w| c.valid_at(set, w)).count();
         assert!(fast <= 2);
         // And the hits must be spread over positions, not all fast.
         let f0 = c.stats().position_access_frac(0);

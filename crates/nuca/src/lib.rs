@@ -38,6 +38,7 @@
 //! ```
 
 pub mod cache;
+pub mod naive;
 pub mod smart_search;
 pub mod stats;
 

@@ -13,13 +13,22 @@ use simbase::BlockAddr;
 /// Number of partial-tag bits cached per block (paper Section 4).
 pub const PARTIAL_TAG_BITS: u32 = 7;
 
+/// Entry bit marking the way occupied; the low 7 bits hold the partial
+/// tag, so one byte encodes the whole entry and a single compare against
+/// `VALID | tag` decides a match.
+const VALID: u8 = 0x80;
+
 /// The smart-search array for one cache: `sets × ways` 7-bit partial tags.
+///
+/// Entries are packed one byte per way (valid bit + tag), and lookups
+/// return a way bitmask rather than an allocated list — the hot path runs
+/// one probe per access and must not touch the allocator.
 #[derive(Debug, Clone)]
 pub struct SmartSearchArray {
-    tags: Vec<u8>, // sets * ways
-    valid: Vec<bool>,
-    sets: usize,
+    /// `sets * ways` packed entries: `VALID | partial_tag`, or 0 if empty.
+    entries: Vec<u8>,
     ways: u32,
+    set_mask: u64,
     set_bits: u32,
 }
 
@@ -28,15 +37,16 @@ impl SmartSearchArray {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` is not a power of two or `ways` is zero.
+    /// Panics if `sets` is not a power of two or `ways` is zero or exceeds
+    /// 64 (lookups report candidates as a `u64` way mask).
     pub fn new(sets: usize, ways: u32) -> Self {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(ways > 0, "need at least one way");
+        assert!(ways <= 64, "way mask is 64 bits");
         SmartSearchArray {
-            tags: vec![0; sets * ways as usize],
-            valid: vec![false; sets * ways as usize],
-            sets,
+            entries: vec![0; sets * ways as usize],
             ways,
+            set_mask: sets as u64 - 1,
             set_bits: sets.trailing_zeros(),
         }
     }
@@ -49,54 +59,67 @@ impl SmartSearchArray {
 
     /// Set index of `block`.
     pub fn set_of(&self, block: BlockAddr) -> usize {
-        (block.index() % self.sets as u64) as usize
+        (block.index() & self.set_mask) as usize
     }
 
+    #[inline]
     fn idx(&self, set: usize, way: u32) -> usize {
         set * self.ways as usize + way as usize
     }
 
-    /// Looks up `block`: returns the ways whose partial tags match
-    /// (candidate locations; a superset of the true location).
+    /// Looks up `block`: returns a bitmask of the ways whose partial tags
+    /// match (candidate locations; a superset of the true location). Bit
+    /// `w` set means way `w` is a candidate.
+    #[inline]
+    pub fn lookup_mask(&self, block: BlockAddr) -> u64 {
+        let probe = VALID | self.partial_tag(block);
+        let base = self.set_of(block) * self.ways as usize;
+        let mut mask = 0u64;
+        for w in 0..self.ways as usize {
+            mask |= ((self.entries[base + w] == probe) as u64) << w;
+        }
+        mask
+    }
+
+    /// Looks up `block` as an ascending list of candidate ways (the
+    /// list-building convenience over [`Self::lookup_mask`]).
     pub fn lookup(&self, block: BlockAddr) -> Vec<u32> {
-        let set = self.set_of(block);
-        let pt = self.partial_tag(block);
-        (0..self.ways)
-            .filter(|&w| {
-                let i = self.idx(set, w);
-                self.valid[i] && self.tags[i] == pt
-            })
-            .collect()
+        let mut mask = self.lookup_mask(block);
+        let mut ways = Vec::with_capacity(mask.count_ones() as usize);
+        while mask != 0 {
+            ways.push(mask.trailing_zeros());
+            mask &= mask - 1;
+        }
+        ways
     }
 
     /// Records `block` as resident in `way` of its set.
+    #[inline]
     pub fn insert(&mut self, block: BlockAddr, way: u32) {
-        let set = self.set_of(block);
-        let pt = self.partial_tag(block);
-        let i = self.idx(set, way);
-        self.tags[i] = pt;
-        self.valid[i] = true;
+        let entry = VALID | self.partial_tag(block);
+        let i = self.idx(self.set_of(block), way);
+        self.entries[i] = entry;
     }
 
     /// Invalidates `way` of `block`'s set.
+    #[inline]
     pub fn invalidate(&mut self, block: BlockAddr, way: u32) {
-        let set = self.set_of(block);
-        let i = self.idx(set, way);
-        self.valid[i] = false;
+        let i = self.idx(self.set_of(block), way);
+        self.entries[i] = 0;
     }
 
     /// Swaps the recorded contents of two ways of `block`'s set (mirrors a
     /// bubble swap in the banks).
+    #[inline]
     pub fn swap(&mut self, block: BlockAddr, way_a: u32, way_b: u32) {
         let set = self.set_of(block);
         let (a, b) = (self.idx(set, way_a), self.idx(set, way_b));
-        self.tags.swap(a, b);
-        self.valid.swap(a, b);
+        self.entries.swap(a, b);
     }
 
     /// Total storage in bits (the paper's 7 bits per block).
     pub fn storage_bits(&self) -> u64 {
-        self.tags.len() as u64 * PARTIAL_TAG_BITS as u64
+        self.entries.len() as u64 * PARTIAL_TAG_BITS as u64
     }
 }
 
@@ -119,6 +142,7 @@ mod tests {
     fn empty_array_reports_no_candidates() {
         let s = SmartSearchArray::new(16, 4);
         assert!(s.lookup(blk(99)).is_empty());
+        assert_eq!(s.lookup_mask(blk(99)), 0);
     }
 
     #[test]
@@ -132,6 +156,7 @@ mod tests {
         s.insert(a, 0);
         // Looking up b finds way 0 as a (false) candidate.
         assert_eq!(s.lookup(b), vec![0]);
+        assert_eq!(s.lookup_mask(b), 1);
     }
 
     #[test]
@@ -158,6 +183,17 @@ mod tests {
         s.insert(blk(3), 3);
         s.swap(blk(3), 3, 0);
         assert_eq!(s.lookup(blk(3)), vec![0]);
+    }
+
+    #[test]
+    fn mask_and_list_views_agree() {
+        let mut s = SmartSearchArray::new(16, 8);
+        for w in [1u32, 4, 6] {
+            s.insert(blk(9), w);
+        }
+        let mask = s.lookup_mask(blk(9));
+        assert_eq!(mask, (1 << 1) | (1 << 4) | (1 << 6));
+        assert_eq!(s.lookup(blk(9)), vec![1, 4, 6]);
     }
 
     #[test]

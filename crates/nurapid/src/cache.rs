@@ -116,6 +116,9 @@ pub struct NuRapidCache {
     port: PortSchedule,
     /// Placement regions per d-group (1 = fully flexible).
     n_regions: usize,
+    /// `n_regions - 1` when the region count is a power of two (it is in
+    /// every paper configuration), so [`Self::region_of`] is a mask.
+    region_mask: Option<u64>,
     sink: TelemetrySink,
     snap_every: u64,
     next_snap: u64,
@@ -163,6 +166,7 @@ impl NuRapidCache {
             config,
             port: PortSchedule::new(),
             n_regions,
+            region_mask: n_regions.is_power_of_two().then(|| n_regions as u64 - 1),
             sink: TelemetrySink::disabled(),
             snap_every: 0,
             next_snap: u64::MAX,
@@ -201,8 +205,12 @@ impl NuRapidCache {
     }
 
     /// The placement region of `block` (0 when unrestricted).
+    #[inline]
     fn region_of(&self, block: BlockAddr) -> usize {
-        (block.index() % self.n_regions as u64) as usize
+        match self.region_mask {
+            Some(m) => (block.index() & m) as usize,
+            None => (block.index() % self.n_regions as u64) as usize,
+        }
     }
 
     /// The cache's configuration.

@@ -88,15 +88,38 @@ struct Region {
     hand: u32,
 }
 
+/// A free frame in the packed reverse-pointer arena.
+const FREE: u64 = u64::MAX;
+
+/// Packs a reverse pointer into a frame word: set in bits 8.., way in the
+/// low byte. [`FREE`] (all ones) is unreachable because sets are `u32`.
+#[inline(always)]
+fn pack_owner(owner: TagRef) -> u64 {
+    ((owner.set as u64) << 8) | owner.way as u64
+}
+
+#[inline(always)]
+fn unpack_owner(word: u64) -> TagRef {
+    TagRef { set: (word >> 8) as u32, way: word as u8 }
+}
+
 /// One distance-group's data array, optionally partitioned into placement
 /// regions (Section 2.4.3).
+///
+/// Layout (DESIGN.md §9): the reverse pointers live in one flat `Vec<u64>`
+/// (packed set/way per frame, `u64::MAX` = free), and the global↔local
+/// frame index split uses shift+mask when the region size is a power of
+/// two (it always is in the paper's configurations; the div/mod fallback
+/// keeps arbitrary region counts working).
 #[derive(Debug, Clone)]
 pub struct DGroupArray {
-    /// Reverse pointer per frame; `None` = free.
-    frames: Vec<Option<TagRef>>,
+    /// Packed reverse pointer per frame; [`FREE`] = free.
+    frames: Vec<u64>,
     regions: Vec<Region>,
     /// Frames per region (`n_frames` when unrestricted).
     frames_per_region: u32,
+    /// `log2(frames_per_region)` when it is a power of two.
+    fpr_shift: Option<u32>,
     policy: DistanceVictimPolicy,
     rng: SimRng,
 }
@@ -132,18 +155,26 @@ impl DGroupArray {
             "{n_regions} regions must evenly divide {n_frames} frames"
         );
         let fpr = n_frames / n_regions;
+        // Recency state is only ever *read* under the policy that uses it
+        // (the intrusive list under LRU, the reference bits under CLOCK),
+        // so skip allocating and maintaining what the policy ignores —
+        // under random replacement the chain ops touch no recency state
+        // at all.
+        let track_lru = policy == DistanceVictimPolicy::Lru;
+        let track_clock = policy == DistanceVictimPolicy::ClockApprox;
         let regions = (0..n_regions)
             .map(|_| Region {
                 free: (0..fpr as u32).rev().collect(),
-                lru: FrameLru::new(fpr),
-                referenced: vec![false; fpr],
+                lru: FrameLru::new(if track_lru { fpr } else { 0 }),
+                referenced: vec![false; if track_clock { fpr } else { 0 }],
                 hand: 0,
             })
             .collect();
         DGroupArray {
-            frames: vec![None; n_frames],
+            frames: vec![FREE; n_frames],
             regions,
             frames_per_region: fpr as u32,
+            fpr_shift: fpr.is_power_of_two().then(|| fpr.trailing_zeros()),
             policy,
             rng,
         }
@@ -160,16 +191,28 @@ impl DGroupArray {
     }
 
     /// The region a frame belongs to.
+    #[inline]
     pub fn region_of_frame(&self, frame: u32) -> usize {
-        (frame / self.frames_per_region) as usize
+        match self.fpr_shift {
+            Some(s) => (frame >> s) as usize,
+            None => (frame / self.frames_per_region) as usize,
+        }
     }
 
+    #[inline]
     fn global(&self, region: usize, local: u32) -> u32 {
-        region as u32 * self.frames_per_region + local
+        match self.fpr_shift {
+            Some(s) => ((region as u32) << s) | local,
+            None => region as u32 * self.frames_per_region + local,
+        }
     }
 
+    #[inline]
     fn local(&self, frame: u32) -> u32 {
-        frame % self.frames_per_region
+        match self.fpr_shift {
+            Some(s) => frame & ((1 << s) - 1),
+            None => frame % self.frames_per_region,
+        }
     }
 
     /// Occupied frames (including frames in transient limbo during a
@@ -184,6 +227,7 @@ impl DGroupArray {
     }
 
     /// Takes a free frame in `region` if one exists.
+    #[inline]
     pub fn take_free(&mut self, region: usize) -> Option<u32> {
         let local = self.regions[region].free.pop()?;
         Some(self.global(region, local))
@@ -194,12 +238,15 @@ impl DGroupArray {
     /// # Panics
     ///
     /// Panics if the frame is occupied.
+    #[inline]
     pub fn install(&mut self, frame: u32, owner: TagRef) {
         let slot = &mut self.frames[frame as usize];
-        assert!(slot.is_none(), "install into occupied frame {frame}");
-        *slot = Some(owner);
-        let (r, l) = (self.region_of_frame(frame), self.local(frame));
-        self.regions[r].lru.push_mru(l);
+        assert!(*slot == FREE, "install into occupied frame {frame}");
+        *slot = pack_owner(owner);
+        if self.policy == DistanceVictimPolicy::Lru {
+            let (r, l) = (self.region_of_frame(frame), self.local(frame));
+            self.regions[r].lru.push_mru(l);
+        }
     }
 
     /// Removes the block in `frame`, returning its reverse pointer; the
@@ -209,13 +256,16 @@ impl DGroupArray {
     /// # Panics
     ///
     /// Panics if the frame is free.
+    #[inline]
     pub fn remove(&mut self, frame: u32) -> TagRef {
-        let owner = self.frames[frame as usize]
-            .take()
-            .expect("remove from free frame");
-        let (r, l) = (self.region_of_frame(frame), self.local(frame));
-        self.regions[r].lru.unlink(l);
-        owner
+        let word = self.frames[frame as usize];
+        assert!(word != FREE, "remove from free frame");
+        self.frames[frame as usize] = FREE;
+        if self.policy == DistanceVictimPolicy::Lru {
+            let (r, l) = (self.region_of_frame(frame), self.local(frame));
+            self.regions[r].lru.unlink(l);
+        }
+        unpack_owner(word)
     }
 
     /// Removes the block in `frame` and returns the frame to its region's
@@ -224,6 +274,7 @@ impl DGroupArray {
     /// # Panics
     ///
     /// Panics if the frame is free.
+    #[inline]
     pub fn release(&mut self, frame: u32) -> TagRef {
         let owner = self.remove(frame);
         let (r, l) = (self.region_of_frame(frame), self.local(frame));
@@ -232,6 +283,7 @@ impl DGroupArray {
     }
 
     /// Records a hit on `frame` for recency tracking.
+    #[inline]
     pub fn touch(&mut self, frame: u32) {
         let (r, l) = (self.region_of_frame(frame), self.local(frame));
         match self.policy {
@@ -244,8 +296,10 @@ impl DGroupArray {
     }
 
     /// Reverse pointer of `frame`, if occupied.
+    #[inline]
     pub fn owner(&self, frame: u32) -> Option<TagRef> {
-        self.frames[frame as usize]
+        let word = self.frames[frame as usize];
+        (word != FREE).then(|| unpack_owner(word))
     }
 
     /// Updates the reverse pointer of an occupied `frame`.
@@ -253,10 +307,11 @@ impl DGroupArray {
     /// # Panics
     ///
     /// Panics if the frame is free.
+    #[inline]
     pub fn set_owner(&mut self, frame: u32, owner: TagRef) {
         let slot = &mut self.frames[frame as usize];
-        assert!(slot.is_some(), "set_owner on free frame {frame}");
-        *slot = Some(owner);
+        assert!(*slot != FREE, "set_owner on free frame {frame}");
+        *slot = pack_owner(owner);
     }
 
     /// Chooses a distance-replacement victim frame within `region`.
@@ -285,7 +340,7 @@ impl DGroupArray {
                 let reg = &mut self.regions[region];
                 loop {
                     let l = reg.hand;
-                    reg.hand = (reg.hand + 1) % fpr;
+                    reg.hand = if reg.hand + 1 == fpr { 0 } else { reg.hand + 1 };
                     if reg.referenced[l as usize] {
                         reg.referenced[l as usize] = false;
                     } else {

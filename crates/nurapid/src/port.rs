@@ -8,9 +8,14 @@
 //! future reservations so intervening hits can slip into the gaps.
 
 use simbase::Cycle;
-use std::collections::VecDeque;
 
 /// Busy intervals of a single-ported structure.
+///
+/// Stored as a flat sorted `Vec` scanned from a moving `head` index:
+/// pruned intervals advance `head` instead of shifting the buffer, and the
+/// buffer is compacted only when the dead prefix dominates. The live
+/// window is small (bounded by the reservation lag), so scans and
+/// mid-buffer inserts stay within a cache line or two.
 ///
 /// # Examples
 ///
@@ -27,8 +32,10 @@ use std::collections::VecDeque;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PortSchedule {
-    /// Sorted, disjoint `[start, end)` reservations.
-    busy: VecDeque<(Cycle, Cycle)>,
+    /// Sorted, disjoint `[start, end)` reservations; live from `head`.
+    busy: Vec<(Cycle, Cycle)>,
+    /// Index of the first live reservation in `busy`.
+    head: usize,
 }
 
 impl PortSchedule {
@@ -50,23 +57,39 @@ impl PortSchedule {
         // nearly — but not exactly — in time order from the out-of-order
         // core, so keep a generous lag margin before forgetting history.
         const LAG: u64 = 4096;
-        while let Some(&(_, end)) = self.busy.front() {
+        while let Some(&(_, end)) = self.busy.get(self.head) {
             if end.raw() + LAG <= at.raw() {
-                self.busy.pop_front();
+                self.head += 1;
             } else {
                 break;
             }
         }
+        // Compact once the dead prefix dominates, keeping inserts cheap
+        // without shifting the buffer on every prune.
+        if self.head > 32 && self.head * 2 >= self.busy.len() {
+            self.busy.drain(..self.head);
+            self.head = 0;
+        }
+        // Intervals that end at or before `at` cannot move `start` and
+        // (for dur > 0) cannot satisfy the gap-fit break, so binary-search
+        // past them instead of walking the whole live window. Zero-length
+        // requests keep the full scan: an empty interval sitting exactly
+        // at `at` could legitimately break first.
+        let scan_from = if dur > 0 {
+            self.head + self.busy[self.head..].partition_point(|&(_, e)| e <= at)
+        } else {
+            self.head
+        };
         let mut start = at;
-        let mut insert_at = 0usize;
-        for (i, &(s, e)) in self.busy.iter().enumerate() {
+        let mut insert_at = scan_from;
+        for (i, &(s, e)) in self.busy[scan_from..].iter().enumerate() {
             if start.raw() + dur <= s.raw() {
                 break; // fits in the gap before interval i
             }
             if start < e {
                 start = e; // pushed past this interval
             }
-            insert_at = i + 1;
+            insert_at = scan_from + i + 1;
         }
         self.busy.insert(insert_at, (start, start + dur));
         start
@@ -75,7 +98,7 @@ impl PortSchedule {
     /// Earliest time ≥ `at` the port is free (without reserving).
     pub fn next_free(&self, at: Cycle) -> Cycle {
         let mut t = at;
-        for &(s, e) in &self.busy {
+        for &(s, e) in &self.busy[self.head..] {
             if t < s {
                 break;
             }
@@ -88,7 +111,7 @@ impl PortSchedule {
 
     /// Number of live reservations (for tests).
     pub fn reservations(&self) -> usize {
-        self.busy.len()
+        self.busy.len() - self.head
     }
 }
 

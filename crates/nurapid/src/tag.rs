@@ -6,6 +6,7 @@
 //! block's data lives (paper Figure 1). Data replacement (eviction) is
 //! per-set true LRU (Section 2.4.2).
 
+use memsys::packed_lru::LruTable;
 use simbase::{AccessKind, BlockAddr};
 
 /// A forward pointer: where a block's data lives.
@@ -25,14 +26,6 @@ pub struct TagRef {
     pub set: u32,
     /// Way within the set.
     pub way: u8,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct TagEntry {
-    block: BlockAddr,
-    ptr: FramePtr,
-    dirty: bool,
-    valid: bool,
 }
 
 /// Result of a tag probe.
@@ -55,13 +48,42 @@ pub struct TagEviction {
     pub freed: FramePtr,
 }
 
+/// Per-entry status and forward pointer packed into one `u64` in the
+/// [`TagArray`] metadata arena: bit 63 = valid, bit 62 = dirty, bits
+/// 48..56 = d-group, bits 0..32 = frame index.
+const META_VALID: u64 = 1 << 63;
+const META_DIRTY: u64 = 1 << 62;
+const META_GROUP_SHIFT: u32 = 48;
+const META_FRAME_MASK: u64 = 0xFFFF_FFFF;
+
+#[inline(always)]
+fn pack_ptr(ptr: FramePtr) -> u64 {
+    ((ptr.group as u64) << META_GROUP_SHIFT) | ptr.frame as u64
+}
+
+#[inline(always)]
+fn unpack_ptr(meta: u64) -> FramePtr {
+    FramePtr {
+        group: (meta >> META_GROUP_SHIFT) as u8,
+        frame: (meta & META_FRAME_MASK) as u32,
+    }
+}
+
 /// The centralized tag array.
+///
+/// Layout (DESIGN.md §9): struct-of-arrays — a flat `Vec<u64>` of block
+/// indices scanned on probes, a parallel `Vec<u64>` packing
+/// valid/dirty/forward-pointer per entry, and a nibble-packed
+/// [`LruTable`] for per-set data-replacement recency. Set selection is a
+/// mask (set counts are asserted power-of-two).
 #[derive(Debug, Clone)]
 pub struct TagArray {
-    entries: Vec<TagEntry>, // sets * assoc
-    lru: Vec<Vec<u8>>,      // per-set MRU..LRU order
+    blocks: Vec<u64>, // sets * assoc block indices, row-major by set
+    meta: Vec<u64>,   // parallel packed valid/dirty/FramePtr
+    lru: LruTable,
     sets: usize,
     assoc: u32,
+    set_mask: u64,
 }
 
 impl TagArray {
@@ -74,18 +96,12 @@ impl TagArray {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(assoc > 0 && assoc <= 255, "associativity out of range");
         TagArray {
-            entries: vec![
-                TagEntry {
-                    block: BlockAddr::from_index(u64::MAX),
-                    ptr: FramePtr { group: 0, frame: 0 },
-                    dirty: false,
-                    valid: false,
-                };
-                sets * assoc as usize
-            ],
-            lru: (0..sets).map(|_| (0..assoc as u8).collect()).collect(),
+            blocks: vec![u64::MAX; sets * assoc as usize],
+            meta: vec![0; sets * assoc as usize],
+            lru: LruTable::new(sets, assoc),
             sets,
             assoc,
+            set_mask: sets as u64 - 1,
         }
     }
 
@@ -100,30 +116,31 @@ impl TagArray {
     }
 
     /// Set index of `block`.
+    #[inline]
     pub fn set_of(&self, block: BlockAddr) -> u32 {
-        (block.index() % self.sets as u64) as u32
+        (block.index() & self.set_mask) as u32
     }
 
+    #[inline(always)]
     fn idx(&self, r: TagRef) -> usize {
         r.set as usize * self.assoc as usize + r.way as usize
     }
 
     /// Probes the tag array for `block`; on a hit updates per-set LRU and,
     /// for writes, the dirty bit.
+    #[inline]
     pub fn access(&mut self, block: BlockAddr, kind: AccessKind) -> TagLookup {
         let set = self.set_of(block);
+        let base = set as usize * self.assoc as usize;
+        let target = block.index();
         for way in 0..self.assoc as u8 {
-            let r = TagRef { set, way };
-            let i = self.idx(r);
-            if self.entries[i].valid && self.entries[i].block == block {
+            let i = base + way as usize;
+            if self.blocks[i] == target && self.meta[i] & META_VALID != 0 {
                 if kind.is_write() {
-                    self.entries[i].dirty = true;
+                    self.meta[i] |= META_DIRTY;
                 }
-                self.touch(r);
-                return TagLookup::Hit {
-                    at: r,
-                    ptr: self.entries[i].ptr,
-                };
+                self.lru.touch(set as usize, way as u32);
+                return TagLookup::Hit { at: TagRef { set, way }, ptr: unpack_ptr(self.meta[i]) };
             }
         }
         TagLookup::Miss
@@ -132,24 +149,15 @@ impl TagArray {
     /// Pure probe without state updates.
     pub fn probe(&self, block: BlockAddr) -> Option<(TagRef, FramePtr)> {
         let set = self.set_of(block);
+        let base = set as usize * self.assoc as usize;
+        let target = block.index();
         for way in 0..self.assoc as u8 {
-            let r = TagRef { set, way };
-            let i = self.idx(r);
-            if self.entries[i].valid && self.entries[i].block == block {
-                return Some((r, self.entries[i].ptr));
+            let i = base + way as usize;
+            if self.blocks[i] == target && self.meta[i] & META_VALID != 0 {
+                return Some((TagRef { set, way }, unpack_ptr(self.meta[i])));
             }
         }
         None
-    }
-
-    fn touch(&mut self, r: TagRef) {
-        let order = &mut self.lru[r.set as usize];
-        let pos = order
-            .iter()
-            .position(|&w| w == r.way)
-            .expect("way in order list");
-        let w = order.remove(pos);
-        order.insert(0, w);
     }
 
     /// Allocates a tag entry for `block`, evicting the set's LRU block if
@@ -168,45 +176,42 @@ impl TagArray {
         ptr: FramePtr,
         dirty: bool,
     ) -> (TagRef, Option<TagEviction>) {
-        assert!(
+        // The miss path probes before allocating, so re-probing here is
+        // redundant hot-path work; keep it as a debug-only guard.
+        debug_assert!(
             self.probe(block).is_none(),
             "allocate of already-present block {block}"
         );
         let set = self.set_of(block);
-        // Prefer an invalid way.
+        let base = set as usize * self.assoc as usize;
+        // Prefer an invalid way (first in way order).
         let mut target = None;
         for way in 0..self.assoc as u8 {
-            let r = TagRef { set, way };
-            if !self.entries[self.idx(r)].valid {
-                target = Some(r);
+            if self.meta[base + way as usize] & META_VALID == 0 {
+                target = Some(way);
                 break;
             }
         }
-        let (r, evicted) = match target {
-            Some(r) => (r, None),
+        let (way, evicted) = match target {
+            Some(way) => (way, None),
             None => {
-                let way = *self.lru[set as usize].last().expect("non-empty order");
-                let r = TagRef { set, way };
-                let old = self.entries[self.idx(r)];
+                let way = self.lru.victim(set as usize) as u8;
+                let old = self.meta[base + way as usize];
                 (
-                    r,
+                    way,
                     Some(TagEviction {
-                        block: old.block,
-                        dirty: old.dirty,
-                        freed: old.ptr,
+                        block: BlockAddr::from_index(self.blocks[base + way as usize]),
+                        dirty: old & META_DIRTY != 0,
+                        freed: unpack_ptr(old),
                     }),
                 )
             }
         };
-        let i = self.idx(r);
-        self.entries[i] = TagEntry {
-            block,
-            ptr,
-            dirty,
-            valid: true,
-        };
-        self.touch(r);
-        (r, evicted)
+        let i = base + way as usize;
+        self.blocks[i] = block.index();
+        self.meta[i] = META_VALID | if dirty { META_DIRTY } else { 0 } | pack_ptr(ptr);
+        self.lru.touch(set as usize, way as u32);
+        (TagRef { set, way }, evicted)
     }
 
     /// Rewrites the forward pointer of the entry at `r` (a demotion or
@@ -215,10 +220,11 @@ impl TagArray {
     /// # Panics
     ///
     /// Panics if `r` names an invalid entry.
+    #[inline]
     pub fn set_ptr(&mut self, r: TagRef, ptr: FramePtr) {
         let i = self.idx(r);
-        assert!(self.entries[i].valid, "set_ptr on invalid entry");
-        self.entries[i].ptr = ptr;
+        assert!(self.meta[i] & META_VALID != 0, "set_ptr on invalid entry");
+        self.meta[i] = (self.meta[i] & (META_VALID | META_DIRTY)) | pack_ptr(ptr);
     }
 
     /// The forward pointer of the entry at `r`.
@@ -226,21 +232,22 @@ impl TagArray {
     /// # Panics
     ///
     /// Panics if `r` names an invalid entry.
+    #[inline]
     pub fn ptr_of(&self, r: TagRef) -> FramePtr {
-        let e = &self.entries[self.idx(r)];
-        assert!(e.valid, "ptr_of on invalid entry");
-        e.ptr
+        let m = self.meta[self.idx(r)];
+        assert!(m & META_VALID != 0, "ptr_of on invalid entry");
+        unpack_ptr(m)
     }
 
     /// The block held by the entry at `r`, if valid.
     pub fn block_at(&self, r: TagRef) -> Option<BlockAddr> {
-        let e = &self.entries[self.idx(r)];
-        e.valid.then_some(e.block)
+        let i = self.idx(r);
+        (self.meta[i] & META_VALID != 0).then(|| BlockAddr::from_index(self.blocks[i]))
     }
 
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        self.meta.iter().filter(|&&m| m & META_VALID != 0).count()
     }
 }
 

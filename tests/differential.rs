@@ -1,0 +1,273 @@
+//! Differential properties: the flat-arena hot path vs the naive oracles.
+//!
+//! Each optimized structure in the per-access core ships with a reference
+//! implementation (`memsys::naive`, `nurapid::naive`, `nuca::naive`) that
+//! preserves the original, obviously-correct formulation: `Vec`-of-structs
+//! entries, `Vec`-backed LRU orders, div/mod index math, per-access
+//! allocation. These properties drive both sides with identical randomized
+//! streams and require *bit-identical* observable behaviour — every return
+//! value, every latency, every counter — not just statistical agreement.
+//!
+//! Failures shrink to a minimal counterexample and are appended to
+//! `tests/differential-regressions.txt`, which is replayed first on every
+//! run.
+
+use memsys::naive::{NaiveLru, NaiveSetAssocCache};
+use memsys::packed_lru::LruTable;
+use memsys::replacement::PolicyKind;
+use memsys::setassoc::SetAssocCache;
+use nuca::naive::NaiveDnucaCache;
+use nuca::{DnucaCache, DnucaConfig, SearchPolicy};
+use nurapid::naive::{NaiveNuRapidCache, NaivePortSchedule, NaiveTagArray};
+use nurapid::port::PortSchedule;
+use nurapid::tag::{FramePtr, TagArray, TagRef};
+use nurapid::{DistanceVictimPolicy, NuRapidCache, NuRapidConfig, PromotionPolicy};
+use simbase::rng::SimRng;
+use simbase::{AccessKind, BlockAddr, Capacity, Cycle};
+use simkit::prop::{
+    any_bool, any_u64, checker, range_u32, range_u64, range_u8, select, vec_of, Checker, VecGen,
+};
+
+/// Replays the differential regression corpus before the random sweep.
+fn dprop(name: &str) -> Checker {
+    checker(name).cases(64).corpus(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/differential-regressions.txt"
+    ))
+}
+
+/// A random access trace: (block index, is_write) pairs over a bounded
+/// footprint.
+fn trace(max_block: u64) -> VecGen<(simkit::prop::U64Range, simkit::prop::AnyBool)> {
+    vec_of((range_u64(0, max_block), any_bool()), 1, 400)
+}
+
+fn small_config(n_dgroups: usize) -> NuRapidConfig {
+    let mut c = NuRapidConfig::micro2003(n_dgroups);
+    c.capacity = Capacity::from_mib(1);
+    c.assoc = 4;
+    c
+}
+
+fn kind_of(w: bool) -> AccessKind {
+    if w {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    }
+}
+
+/// 1. The packed-u64 LRU table is indistinguishable from the naive
+/// `Vec`-backed recency order: same victim after every touch, same full
+/// way order and positions at the end — across both the nibble-packed
+/// (assoc ≤ 16) and wide representations.
+#[test]
+fn packed_lru_matches_naive_lru() {
+    let gen = (
+        range_u32(1, 24),
+        range_u64(1, 64),
+        vec_of((range_u64(0, 63), range_u8(0, 31)), 1, 300),
+    );
+    dprop("packed_lru_matches_naive_lru").check(&gen, |(assoc, sets, ops)| {
+        let (assoc, sets) = (*assoc, *sets as usize);
+        let mut fast = LruTable::new(sets, assoc);
+        let mut naive = NaiveLru::new(sets, assoc);
+        for &(s, w) in ops {
+            let set = s as usize % sets;
+            let way = w as u32 % assoc;
+            fast.touch(set, way);
+            naive.touch(set, way);
+            assert_eq!(fast.victim(set), naive.victim(set), "victim after touch");
+        }
+        for set in 0..sets {
+            for pos in 0..assoc as usize {
+                assert_eq!(fast.way_at(set, pos), naive.way_at(set, pos));
+            }
+            for way in 0..assoc {
+                assert_eq!(fast.position_of(set, way), naive.position_of(set, way));
+            }
+        }
+    });
+}
+
+/// 2. The struct-of-arrays set-associative directory agrees with the
+/// naive array-of-structs one on every probe, access, fill (including the
+/// eviction it reports), and invalidation, for every replacement policy.
+#[test]
+fn setassoc_matches_naive() {
+    let gen = (
+        select(vec![PolicyKind::Lru, PolicyKind::TreePlru, PolicyKind::Random]),
+        any_u64(),
+        trace(4_096),
+    );
+    dprop("setassoc_matches_naive").check(&gen, |(policy, seed, ops)| {
+        let cap = Capacity::from_kib(64); // 1024 blocks, 256 sets at 4-way
+        let mut fast = SetAssocCache::new(cap, 64, 4, *policy, SimRng::seeded(*seed));
+        let mut naive = NaiveSetAssocCache::new(cap, 64, 4, *policy, SimRng::seeded(*seed));
+        for (i, &(b, w)) in ops.iter().enumerate() {
+            let block = BlockAddr::from_index(b);
+            assert_eq!(fast.probe(block), naive.probe(block), "probe of {block}");
+            let looked = fast.access(block, kind_of(w));
+            assert_eq!(looked, naive.access(block, kind_of(w)), "access of {block}");
+            if !looked.is_hit() {
+                assert_eq!(fast.fill(block, w), naive.fill(block, w), "fill of {block}");
+            }
+            if i % 7 == 3 {
+                let victim = BlockAddr::from_index(b ^ 1);
+                assert_eq!(
+                    fast.invalidate(victim),
+                    naive.invalidate(victim),
+                    "invalidate of {victim}"
+                );
+            }
+        }
+        assert_eq!(fast.occupancy(), naive.occupancy());
+    });
+}
+
+/// 3. The flat-meta tag array (packed valid/dirty/pointer words) matches
+/// the naive entry-struct array: identical lookups, identical allocation
+/// targets, and identical evictions under LRU pressure.
+#[test]
+fn tag_array_matches_naive() {
+    let gen = (select(vec![2u32, 4, 8]), trace(2_048));
+    dprop("tag_array_matches_naive").check(&gen, |(assoc, ops)| {
+        let mut fast = TagArray::new(64, *assoc);
+        let mut naive = NaiveTagArray::new(64, *assoc);
+        for &(b, w) in ops {
+            let block = BlockAddr::from_index(b);
+            let looked = fast.access(block, kind_of(w));
+            assert_eq!(looked, naive.access(block, kind_of(w)), "access of {block}");
+            assert_eq!(fast.probe(block), naive.probe(block), "probe of {block}");
+            if matches!(looked, nurapid::tag::TagLookup::Miss) {
+                let ptr = FramePtr {
+                    group: (b % 4) as u8,
+                    frame: (b % 1_024) as u32,
+                };
+                assert_eq!(
+                    fast.allocate(block, ptr, w),
+                    naive.allocate(block, ptr, w),
+                    "allocate of {block}"
+                );
+            }
+        }
+        assert_eq!(fast.occupancy(), naive.occupancy());
+        for set in 0..64u32 {
+            for way in 0..*assoc as u8 {
+                let r = TagRef { set, way };
+                assert_eq!(fast.block_at(r), naive.block_at(r));
+                if fast.block_at(r).is_some() {
+                    assert_eq!(fast.ptr_of(r), naive.ptr_of(r));
+                }
+            }
+        }
+    });
+}
+
+/// 4. The flat port schedule (moving-head buffer + binary-search skip)
+/// grants exactly the same start times as the naive `VecDeque` scan on
+/// quasi-monotonic request streams, including zero-length reservations.
+#[test]
+fn port_schedule_matches_naive() {
+    let gen = vec_of((range_u64(0, 300), range_u64(0, 40)), 1, 400);
+    dprop("port_schedule_matches_naive").check(&gen, |ops| {
+        let mut fast = PortSchedule::new();
+        let mut naive = NaivePortSchedule::new();
+        let mut now = 0u64;
+        for &(advance, dur) in ops {
+            now += advance;
+            let at = Cycle::new(now);
+            assert_eq!(
+                fast.reserve(at, dur),
+                naive.reserve(at, dur),
+                "reserve at {now} for {dur}"
+            );
+            assert_eq!(fast.next_free(at), naive.next_free(at), "next_free at {now}");
+        }
+    });
+}
+
+/// 5. The full flat-arena NuRAPID cache is bit-identical to the naive
+/// oracle: every access returns the same hit/miss, latency, and completion
+/// time, and the final stats block compares equal field-for-field — across
+/// every promotion policy, distance-victim policy, and d-group count.
+#[test]
+fn nurapid_flat_arena_matches_naive_oracle() {
+    let gen = (
+        trace(30_000),
+        select(vec![2usize, 4, 8]),
+        select(vec![
+            PromotionPolicy::DemotionOnly,
+            PromotionPolicy::NextFastest,
+            PromotionPolicy::Fastest,
+        ]),
+        select(vec![
+            DistanceVictimPolicy::Random,
+            DistanceVictimPolicy::Lru,
+            DistanceVictimPolicy::ClockApprox,
+        ]),
+        any_bool(),
+    );
+    dprop("nurapid_flat_arena_matches_naive_oracle").check(
+        &gen,
+        |(ops, n_dgroups, promo, victim, prefill)| {
+            let cfg = small_config(*n_dgroups)
+                .with_promotion(*promo)
+                .with_distance_victim(*victim);
+            let mut fast = NuRapidCache::new(cfg.clone());
+            let mut naive = NaiveNuRapidCache::new(cfg);
+            if *prefill {
+                fast.prefill();
+                naive.prefill();
+            }
+            let mut t = Cycle::ZERO;
+            for &(b, w) in ops {
+                let block = BlockAddr::from_index(b);
+                let out = fast.access_block(block, kind_of(w), t);
+                assert_eq!(
+                    out,
+                    naive.access_block(block, kind_of(w), t),
+                    "outcome of {block} at {t}"
+                );
+                t = out.complete_at + 1;
+            }
+            fast.check_invariants();
+            assert_eq!(fast.stats(), naive.stats(), "final stats diverged");
+            assert_eq!(fast.memory_accesses(), naive.memory_accesses());
+        },
+    );
+}
+
+/// 6. The struct-of-arrays D-NUCA cache (packed smart-search bytes, bank
+/// lookup table, branchless LRU scan) is bit-identical to the naive
+/// oracle under both search policies.
+#[test]
+fn dnuca_flat_arena_matches_naive_oracle() {
+    let gen = (
+        trace(200_000),
+        select(vec![SearchPolicy::SsPerformance, SearchPolicy::SsEnergy]),
+        any_bool(),
+    );
+    dprop("dnuca_flat_arena_matches_naive_oracle").check(&gen, |(ops, policy, prefill)| {
+        let cfg = DnucaConfig::micro2003(*policy);
+        let mut fast = DnucaCache::new(cfg.clone());
+        let mut naive = NaiveDnucaCache::new(cfg);
+        if *prefill {
+            fast.prefill();
+            naive.prefill();
+        }
+        let mut t = Cycle::ZERO;
+        for &(b, w) in ops {
+            let block = BlockAddr::from_index(b);
+            let out = fast.access_block(block, kind_of(w), t);
+            assert_eq!(
+                out,
+                naive.access_block(block, kind_of(w), t),
+                "outcome of {block} at {t}"
+            );
+            t = out.complete_at + 1;
+        }
+        assert_eq!(fast.stats(), naive.stats(), "final stats diverged");
+        assert_eq!(fast.memory_accesses(), naive.memory_accesses());
+    });
+}

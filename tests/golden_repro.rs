@@ -1,0 +1,52 @@
+//! Golden end-to-end guard: the quick-scale reproduction report must be
+//! byte-identical to the committed snapshot.
+//!
+//! This is the outermost layer of the differential test stack
+//! (`tests/differential.rs` proves the flat-arena structures bit-identical
+//! to the naive oracles; this test proves the *assembled system* — trace
+//! generators, core, L1s, every L2 organization, the scheduler, and the
+//! report renderers — produces exactly the output it did before any
+//! hot-path rewrite). The snapshot was generated with:
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- --quick --threads 4 \
+//!     > tests/golden/repro_quick.txt
+//! ```
+//!
+//! The report is bit-identical for any thread count, so the test runs on
+//! however many workers the machine offers. To regenerate after an
+//! *intentional* output change, rerun the command above and review the
+//! diff — never regenerate to silence a failure you can't explain.
+
+use experiments::repro::render_report;
+use experiments::{exps::Sweep, Scale};
+
+const GOLDEN: &str = include_str!("golden/repro_quick.txt");
+
+/// Runs the full quick-scale sweep in-process and compares the rendered
+/// report against the committed golden snapshot, byte for byte.
+///
+/// Ignored in debug builds (a full quick-scale sweep of 15 applications
+/// is minutes of debug-mode simulation); run it with
+/// `cargo test --release --test golden_repro`.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full sweep is slow unoptimized; run under --release")]
+fn quick_report_matches_golden_snapshot() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let sweep = Sweep::new(Scale::quick()).with_threads(threads);
+    let report = render_report(&sweep);
+    if report != GOLDEN {
+        // Find the first diverging line for a readable failure before the
+        // full-text assert.
+        for (i, (got, want)) in report.lines().zip(GOLDEN.lines()).enumerate() {
+            assert_eq!(got, want, "report diverges from golden at line {}", i + 1);
+        }
+        assert_eq!(
+            report.len(),
+            GOLDEN.len(),
+            "report and golden share {} lines but differ in length",
+            GOLDEN.lines().count()
+        );
+        unreachable!("reports differ but no diverging line found");
+    }
+}

@@ -1,0 +1,106 @@
+//! Steady-state allocation guard: after warm-up, the per-access hot path
+//! of both lower-cache organizations must not touch the heap at all.
+//!
+//! The flat-arena rewrite removed the per-access `Vec` churn the original
+//! implementations carried (candidate lists in the D-NUCA search paths,
+//! recency reordering in the naive LRU, `VecDeque` pruning in the port
+//! schedule). This test pins that property with a counting global
+//! allocator: drive each cache past its warm-up transient (free lists
+//! drained, port-schedule and run buffers at their high-water capacity),
+//! then require the allocation count to stay *exactly* flat over a long
+//! measured window.
+//!
+//! The whole file is a single `#[test]` because the counter is
+//! process-global: parallel test threads would attribute their setup
+//! allocations to whichever window happens to be open.
+
+use memsys::lower::LowerCache;
+use nuca::{DnucaCache, DnucaConfig, SearchPolicy};
+use nurapid::{NuRapidCache, NuRapidConfig};
+use simbase::{AccessKind, BlockAddr, Capacity, Cycle};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A deterministic mixed read/write stream with enough footprint to keep
+/// hits, misses, evictions, demotion chains, and promotions all live.
+fn drive<C: LowerCache>(cache: &mut C, accesses: u64, footprint: u64) -> Cycle {
+    let mut t = Cycle::ZERO;
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..accesses {
+        // xorshift: cheap, allocation-free, full-period enough here.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let block = BlockAddr::from_index(x % footprint);
+        let kind = if i % 3 == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let out = cache.access(block, kind, t);
+        t = out.complete_at + 1;
+    }
+    t
+}
+
+fn measure<C: LowerCache>(name: &str, cache: &mut C, footprint: u64) {
+    // Warm-up: fill the cache, drain every free list, and let internal
+    // buffers (port schedule, memory queue) reach steady capacity.
+    drive(cache, 60_000, footprint);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    drive(cache, 40_000, footprint);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "{name}: {} heap allocations in 40k steady-state accesses",
+        after - before
+    );
+}
+
+#[test]
+fn steady_state_access_paths_do_not_allocate() {
+    // NuRAPID, 1 MB / 4-way / 4 d-groups: footprint 4x the block count so
+    // misses, tag evictions, and full demotion chains fire constantly.
+    let mut cfg = NuRapidConfig::micro2003(4);
+    cfg.capacity = Capacity::from_mib(1);
+    cfg.assoc = 4;
+    let mut nurapid = NuRapidCache::new(cfg);
+    nurapid.prefill();
+    measure("nurapid", &mut nurapid, 32_768);
+
+    // D-NUCA at full paper scale, both search policies: the multicast
+    // path exercises the hit/early-miss masks, the energy path the
+    // candidate-mask probe ordering.
+    for (label, policy) in [
+        ("dnuca-ss-performance", SearchPolicy::SsPerformance),
+        ("dnuca-ss-energy", SearchPolicy::SsEnergy),
+    ] {
+        let mut dnuca = DnucaCache::new(DnucaConfig::micro2003(policy));
+        dnuca.prefill();
+        measure(label, &mut dnuca, 262_144);
+    }
+}

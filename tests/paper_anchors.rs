@@ -105,7 +105,7 @@ fn figure8_four_dgroups_beat_two() {
 fn section_532_eight_dgroups_swap_about_twice_as_much() {
     // Paper §5.3.2: "the 8-d-group NuRAPID ... incurs 2.2 times more
     // swaps due to promotion compared to the 4-d-group NuRAPID."
-    let mut s = sweep();
+    let s = sweep();
     let apps = s.apps().to_vec();
     let (mut s4, mut s8) = (0u64, 0u64);
     for p in apps {

@@ -1,0 +1,173 @@
+//! Randomized coverage for the `workloads::tracefile` binary format:
+//! encode→decode→encode round trips must be bit-exact for arbitrary
+//! micro-ops, and truncated or corrupt inputs must fail with the right
+//! error without corrupting the cursor.
+//!
+//! The 20-byte record layout is a file format (pinned byte-for-byte by
+//! `record_layout_is_pinned` in the crate's unit tests); these properties
+//! fuzz the space the pin can't cover: every op-class, every flag
+//! combination, extreme addresses, and every cut point an interrupted
+//! write could leave behind.
+
+use cpu::uop::{MicroOp, OpClass};
+use simbase::Addr;
+use simkit::prop::{
+    any_bool, any_u64, any_u8, checker, range_u64, range_u8, select, vec_of, Checker,
+};
+use workloads::tracefile::{read_op, write_op, DecodeTraceError, RecordedTrace, RECORD_BYTES};
+
+fn fprop(name: &str) -> Checker {
+    checker(name).cases(64).corpus(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/differential-regressions.txt"
+    ))
+}
+
+const CLASSES: [OpClass; 7] = [
+    OpClass::IntAlu,
+    OpClass::IntMul,
+    OpClass::FpAlu,
+    OpClass::FpMul,
+    OpClass::Load,
+    OpClass::Store,
+    OpClass::Branch,
+];
+
+/// Generator for one arbitrary micro-op: any class, any deps, any flag
+/// combination, full-range program counter and memory address.
+fn op_gen() -> impl simkit::prop::Gen<Value = MicroOp> {
+    struct OpGen<G>(G);
+    impl<G: simkit::prop::Gen<Value = ((OpClass, u64, bool, u64), (u8, u8, bool))>>
+        simkit::prop::Gen for OpGen<G>
+    {
+        type Value = MicroOp;
+        fn generate(&self, rng: &mut simbase::rng::SimRng) -> MicroOp {
+            let ((class, pc, has_addr, addr), (dep1, dep2, taken)) = self.0.generate(rng);
+            MicroOp {
+                class,
+                pc: Addr::new(pc),
+                mem_addr: has_addr.then_some(Addr::new(addr)),
+                dep1,
+                dep2,
+                taken,
+            }
+        }
+        fn shrink(&self, v: &MicroOp) -> Vec<MicroOp> {
+            // Shrink toward the simplest op: drop the address, clear taken.
+            let mut out = Vec::new();
+            if v.mem_addr.is_some() {
+                out.push(MicroOp {
+                    mem_addr: None,
+                    ..*v
+                });
+            }
+            if v.taken {
+                out.push(MicroOp { taken: false, ..*v });
+            }
+            out
+        }
+    }
+    OpGen((
+        (select(CLASSES.to_vec()), any_u64(), any_bool(), any_u64()),
+        (any_u8(), any_u8(), any_bool()),
+    ))
+}
+
+/// 1. Encode → decode → re-encode is bit-exact, and the decoded ops equal
+/// the originals field-for-field, for arbitrary op sequences.
+#[test]
+fn tracefile_roundtrip_is_bit_exact() {
+    let gen = vec_of(op_gen(), 1, 200);
+    fprop("tracefile_roundtrip_is_bit_exact").check(&gen, |ops| {
+        let mut encoded = Vec::with_capacity(ops.len() * RECORD_BYTES);
+        for op in ops {
+            write_op(&mut encoded, op);
+        }
+        assert_eq!(encoded.len(), ops.len() * RECORD_BYTES);
+        let mut cursor = encoded.as_slice();
+        let mut reencoded = Vec::with_capacity(encoded.len());
+        for want in ops {
+            let got = read_op(&mut cursor).expect("whole record decodes");
+            assert_eq!(&got, want, "decode changed a field");
+            write_op(&mut reencoded, &got);
+        }
+        assert!(cursor.is_empty(), "decode left trailing bytes");
+        assert_eq!(reencoded, encoded, "re-encode is not bit-exact");
+    });
+}
+
+/// 2. A trace cut at any non-record boundary decodes every whole record
+/// (identical to the uncut trace), then fails with `Truncated` — and the
+/// failed read leaves the cursor untouched, so callers can retry after
+/// more bytes arrive.
+#[test]
+fn tracefile_truncation_always_errors() {
+    let gen = (vec_of(op_gen(), 1, 50), any_u64());
+    fprop("tracefile_truncation_always_errors").check(&gen, |(ops, cut_seed)| {
+        let mut encoded = Vec::new();
+        for op in ops {
+            write_op(&mut encoded, op);
+        }
+        // Cut strictly inside the buffer, never on a record boundary.
+        let cut = (cut_seed % encoded.len() as u64) as usize;
+        let cut = if cut % RECORD_BYTES == 0 { cut + 1 } else { cut };
+        let truncated = &encoded[..cut.min(encoded.len() - 1)];
+        let whole_records = truncated.len() / RECORD_BYTES;
+        let mut cursor = truncated;
+        for want in &ops[..whole_records] {
+            assert_eq!(&read_op(&mut cursor).expect("whole record"), want);
+        }
+        let remaining = cursor.len();
+        assert!(remaining < RECORD_BYTES);
+        assert_eq!(read_op(&mut cursor), Err(DecodeTraceError::Truncated));
+        assert_eq!(cursor.len(), remaining, "failed read moved the cursor");
+    });
+}
+
+/// 3. Corrupting a record's class byte to any unknown code fails with
+/// `BadClass` carrying exactly that code; records before the corruption
+/// still decode.
+#[test]
+fn tracefile_bad_class_is_detected() {
+    let gen = (
+        vec_of(op_gen(), 1, 50),
+        range_u64(0, 49),
+        range_u8(7, u8::MAX),
+    );
+    fprop("tracefile_bad_class_is_detected").check(&gen, |(ops, victim, bad_code)| {
+        let mut encoded = Vec::new();
+        for op in ops {
+            write_op(&mut encoded, op);
+        }
+        let victim = (*victim as usize) % ops.len();
+        encoded[victim * RECORD_BYTES] = *bad_code;
+        let mut cursor = encoded.as_slice();
+        for want in &ops[..victim] {
+            assert_eq!(&read_op(&mut cursor).expect("clean prefix"), want);
+        }
+        assert_eq!(
+            read_op(&mut cursor),
+            Err(DecodeTraceError::BadClass(*bad_code))
+        );
+    });
+}
+
+/// 4. Replay wrap-around is seamless for any trace length: a
+/// `RecordedTrace` produces the same op at position `i` and `i + len`.
+#[test]
+fn tracefile_replay_wraps_bit_identically() {
+    let gen = vec_of(op_gen(), 1, 60);
+    fprop("tracefile_replay_wraps_bit_identically").check(&gen, |ops| {
+        use cpu::uop::TraceSource;
+        let mut encoded = Vec::new();
+        for op in ops {
+            write_op(&mut encoded, op);
+        }
+        let mut replay = RecordedTrace::new(encoded);
+        assert_eq!(replay.len(), ops.len());
+        let first: Vec<MicroOp> = (0..ops.len()).map(|_| replay.next_op()).collect();
+        assert_eq!(&first, ops, "first pass diverges from the recorded ops");
+        let second: Vec<MicroOp> = (0..ops.len()).map(|_| replay.next_op()).collect();
+        assert_eq!(first, second, "wrap-around changed the stream");
+    });
+}
