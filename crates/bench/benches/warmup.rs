@@ -1,0 +1,81 @@
+//! Wall-clock cost of functional warm-up with and without a checkpoint
+//! store: the same quick-repro-style sweep (2 applications × 5
+//! configuration families) run with no store, against a cold on-disk
+//! store (builds + seals every checkpoint), and against a warm store
+//! (every warm-up restored from disk). Results are bit-identical across
+//! all three variants (asserted on every iteration — checkpointing must
+//! never change a number); only wall time differs, and the warm-store
+//! variant is the one the `--checkpoints` flag buys. With
+//! `SIMKIT_BENCH_DIR` set, the JSON lines land in `BENCH_warmup.json`.
+
+use bench::{bench_apps, SWEEP_BENCH_KEYS};
+use experiments::exps::Sweep;
+use experiments::Scale;
+use simkit::bench::{black_box, BenchRunner};
+use std::path::PathBuf;
+
+const WARMUP: u32 = 1;
+const ITERS: u32 = 5;
+
+/// Warm-up-heavy scale: the full repro runs 5 M warm-up + 2 M measured,
+/// so warm-up dominates; this mirrors that ratio at bench size.
+fn warmup_scale() -> Scale {
+    Scale {
+        warmup: 250_000,
+        measure: 100_000,
+    }
+}
+
+fn store_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("bench-warmup-simchk-{}", std::process::id()))
+}
+
+/// One full prewarm, optionally against a checkpoint store, returning a
+/// determinism witness (total cycles over all runs).
+fn sweep_once(checkpoints: Option<&PathBuf>) -> u64 {
+    let mut s = Sweep::with_apps(warmup_scale(), bench_apps());
+    if let Some(dir) = checkpoints {
+        s = s.with_checkpoints(dir).expect("checkpoint dir");
+    }
+    s.prefetch_all(&SWEEP_BENCH_KEYS);
+    let s = &s;
+    bench_apps()
+        .iter()
+        .flat_map(|&a| SWEEP_BENCH_KEYS.iter().map(move |&k| s.run(a, k).core.cycles))
+        .sum()
+}
+
+fn main() {
+    let mut b = BenchRunner::new("warmup");
+    let dir = store_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let witness = sweep_once(None);
+    b.bench("warmup_sweep_no_store", WARMUP, ITERS, || {
+        let w = sweep_once(None);
+        assert_eq!(w, witness, "store-less sweep diverged");
+        black_box(w)
+    });
+
+    // Cold store: every iteration starts from an empty directory, so each
+    // distinct warm-up is built, sealed, and written out.
+    b.bench("warmup_sweep_cold_store", WARMUP, ITERS, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = sweep_once(Some(&dir));
+        assert_eq!(w, witness, "cold-store sweep diverged");
+        black_box(w)
+    });
+
+    // Warm store: the directory now holds every checkpoint; each
+    // iteration restores all warm-ups from disk.
+    let w = sweep_once(Some(&dir));
+    assert_eq!(w, witness, "store-priming sweep diverged");
+    b.bench("warmup_sweep_warm_store", WARMUP, ITERS, || {
+        let w = sweep_once(Some(&dir));
+        assert_eq!(w, witness, "warm-store sweep diverged");
+        black_box(w)
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+    b.finish();
+}

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [--exp <id>] [--quick] [--tsv] [--threads N] [--artifacts DIR]
-//!       [--telemetry DIR] [--quiet]
+//!       [--checkpoints DIR] [--telemetry DIR] [--quiet]
 //!
 //!   --exp       table2 | table3 | table4 | fig4 | fig5 | fig6 | lru |
 //!               fig7 | fig8 | fig9 | fig10 | fig11 | restrict | all
@@ -17,6 +17,10 @@
 //!   --artifacts write every completed run to DIR/runs.jsonl and resume
 //!               from digest-matching records (default: $SIMSCHED_DIR,
 //!               else disabled)
+//!   --checkpoints reuse/publish warm-up checkpoints in DIR (default:
+//!               $SIMCHK_DIR, else disabled); results are bit-identical
+//!               with a cold, warm, or absent store — only wall time
+//!               changes
 //!   --telemetry write metrics.json / trace.json / wall.json to DIR
 //!               (default: $SIMTEL_DIR, else disabled); trace.json loads
 //!               in chrome://tracing / Perfetto
@@ -33,7 +37,7 @@
 
 use experiments::exps::Sweep;
 use experiments::repro::{prewarm_keys, render_experiment, render_experiment_tsv, EXPERIMENTS};
-use experiments::Scale;
+use experiments::{Scale, WarmupMode};
 use simsched::progress::{console_observer, Counts};
 use simtel::{Console, Telemetry};
 use std::sync::atomic::Ordering;
@@ -48,6 +52,7 @@ fn main() {
     let mut quiet = false;
     let mut threads = default_threads();
     let mut artifacts = std::env::var("SIMSCHED_DIR").ok();
+    let mut checkpoints = std::env::var("SIMCHK_DIR").ok();
     let mut telemetry_dir = std::env::var("SIMTEL_DIR").ok();
     let mut i = 0;
     while i < args.len() {
@@ -71,6 +76,11 @@ fn main() {
                 artifacts =
                     Some(args.get(i).cloned().unwrap_or_else(|| usage("missing artifact dir")));
             }
+            "--checkpoints" => {
+                i += 1;
+                checkpoints =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("missing checkpoint dir")));
+            }
             "--telemetry" => {
                 i += 1;
                 telemetry_dir =
@@ -89,7 +99,14 @@ fn main() {
         console = console.with_mirror(Arc::clone(tel));
     }
     let counts = Counts::new();
-    let mut sweep = Sweep::new(scale).with_threads(threads).with_observer(console_observer(
+    // $SIMCHK_WARMUP=timed re-enables the full-timing warm-up (the
+    // differential oracle for the default functional fast-forward; the
+    // report is bit-identical either way, only slower).
+    let warmup = match std::env::var("SIMCHK_WARMUP").as_deref() {
+        Ok("timed") => WarmupMode::Timed,
+        _ => WarmupMode::FastForward,
+    };
+    let mut sweep = Sweep::new(scale).with_threads(threads).with_warmup(warmup).with_observer(console_observer(
         console.clone(),
         Arc::clone(&counts),
         telemetry.clone(),
@@ -104,6 +121,12 @@ fn main() {
                 s
             }
             Err(e) => usage(&format!("cannot open artifact dir {dir:?}: {e}")),
+        };
+    }
+    if let Some(dir) = &checkpoints {
+        sweep = match sweep.with_checkpoints(dir) {
+            Ok(s) => s,
+            Err(e) => usage(&format!("cannot open checkpoint dir {dir:?}: {e}")),
         };
     }
 
@@ -141,6 +164,14 @@ fn main() {
         sweep.threads(),
         t0.elapsed().as_secs_f64()
     ));
+    if let Some(store) = sweep.checkpoints() {
+        console.status(&format!(
+            "[simchk] {} hits, {} misses -> {}",
+            store.hits(),
+            store.misses(),
+            store.dir().display()
+        ));
+    }
     if let (Some(dir), Some(tel)) = (&telemetry_dir, &telemetry) {
         match tel.write_all(dir) {
             Ok(()) => console.status(&format!(
@@ -188,7 +219,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|all] \
-         [--quick] [--tsv] [--threads N] [--artifacts DIR] [--telemetry DIR] [--quiet]"
+         [--quick] [--tsv] [--threads N] [--artifacts DIR] [--checkpoints DIR] [--telemetry DIR] [--quiet]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

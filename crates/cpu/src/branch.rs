@@ -7,6 +7,7 @@
 //! classic McFarling arrangement SimpleScalar's "hybrid" predictor
 //! implements.
 
+use simbase::snapshot::{Decoder, Encoder, SnapshotError};
 use simbase::Addr;
 
 /// A table of 2-bit saturating counters.
@@ -115,6 +116,46 @@ impl HybridPredictor {
         self.mispredictions
     }
 
+    /// Zeroes the prediction/misprediction counters, keeping the trained
+    /// tables and history — the stats boundary after warm-up.
+    pub fn reset_counters(&mut self) {
+        self.predictions = 0;
+        self.mispredictions = 0;
+    }
+
+    /// Serialises the trained state (all three counter tables and the
+    /// global history); the prediction counters are statistics and are not
+    /// part of the snapshot.
+    pub fn save_state(&self, e: &mut Encoder) {
+        e.put_u8_slice(&self.gshare.table);
+        e.put_u8_slice(&self.bimodal.table);
+        e.put_u8_slice(&self.chooser.table);
+        e.put_u64(self.history);
+    }
+
+    /// Restores state written by [`Self::save_state`] into a predictor of
+    /// the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Malformed`] if any table size differs.
+    pub fn load_state(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        let gshare = d.u8_slice()?;
+        let bimodal = d.u8_slice()?;
+        let chooser = d.u8_slice()?;
+        if gshare.len() != self.gshare.table.len()
+            || bimodal.len() != self.bimodal.table.len()
+            || chooser.len() != self.chooser.table.len()
+        {
+            return Err(SnapshotError::Malformed("predictor geometry mismatch"));
+        }
+        self.gshare.table = gshare;
+        self.bimodal.table = bimodal;
+        self.chooser.table = chooser;
+        self.history = d.u64()?;
+        Ok(())
+    }
+
     /// Misprediction ratio (0.0 before any prediction).
     pub fn mispredict_ratio(&self) -> f64 {
         if self.predictions == 0 {
@@ -197,5 +238,49 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         let _ = HybridPredictor::new(1000);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_training_and_resets_counters() {
+        let mut p = HybridPredictor::new(1024);
+        let mut rng = SimRng::seeded(13);
+        for i in 0..5_000u64 {
+            let pc = Addr::new(0x2000 + (i % 64) * 4);
+            p.predict_and_update(pc, rng.chance(0.8));
+        }
+        let mut e = Encoder::new();
+        p.save_state(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut restored = HybridPredictor::new(1024);
+        let mut d = Decoder::new(&bytes);
+        restored.load_state(&mut d).expect("load");
+        d.finish().expect("no trailing bytes");
+        assert_eq!(restored.predictions(), 0, "counters are not snapshotted");
+
+        p.reset_counters();
+        assert_eq!(p.predictions(), 0);
+        // Both predictors must now produce identical outcome streams.
+        for i in 0..5_000u64 {
+            let pc = Addr::new(0x2000 + (i % 64) * 4);
+            let taken = rng.chance(0.8);
+            assert_eq!(
+                p.predict_and_update(pc, taken),
+                restored.predict_and_update(pc, taken),
+                "prediction {i} diverged"
+            );
+        }
+        assert_eq!(p.mispredictions(), restored.mispredictions());
+    }
+
+    #[test]
+    fn load_rejects_geometry_mismatch() {
+        let p = HybridPredictor::new(1024);
+        let mut e = Encoder::new();
+        p.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut wrong = HybridPredictor::new(2048);
+        let mut d = Decoder::new(&bytes);
+        assert!(wrong.load_state(&mut d).is_err());
     }
 }

@@ -409,9 +409,45 @@ impl<L: LowerCache> OooCore<L> {
         }
     }
 
+    /// Warm-up execution of one micro-op: applies its architectural
+    /// effects (I-/D-cache and lower-level contents, branch-predictor
+    /// training) while skipping the out-of-order timing model — no
+    /// windows, functional units, port contention, or latency math.
+    pub fn warm_execute(&mut self, op: MicroOp) {
+        // Same once-per-line I-cache probe discipline as `fetch`.
+        let block = self.fetch_geom.block_of(op.pc).index();
+        if self.last_fetch_block != Some(block) {
+            self.last_fetch_block = Some(block);
+            self.mem.warm_fetch(op.pc);
+        }
+        match op.class {
+            OpClass::Load | OpClass::Store => {
+                let addr = op.mem_addr.expect("memory op needs an address");
+                self.mem.warm_data_access(addr, op.access_kind());
+            }
+            OpClass::Branch => {
+                let _ = self.predictor.predict_and_update(op.pc, op.taken);
+            }
+            _ => {}
+        }
+    }
+
+    /// Warm-runs `n` ops from `src` through [`Self::warm_execute`].
+    pub fn warm_run<S: TraceSource>(&mut self, src: &mut S, n: u64) {
+        for _ in 0..n {
+            let op = src.next_op();
+            self.warm_execute(op);
+        }
+    }
+
     /// Branch predictor statistics.
     pub fn predictor(&self) -> &HybridPredictor {
         &self.predictor
+    }
+
+    /// Mutable access to the branch predictor (for checkpoint restore).
+    pub fn predictor_mut(&mut self) -> &mut HybridPredictor {
+        &mut self.predictor
     }
 
     /// The memory system (for cache statistics).
@@ -451,6 +487,19 @@ impl<L: LowerCache> OooCore<L> {
     /// Consumes the core, returning the memory system.
     pub fn into_mem(self) -> CoreMemSystem<L> {
         self.mem
+    }
+
+    /// Consumes the core, returning the memory system and the trained
+    /// predictor — the pieces that survive the stats boundary when a
+    /// fresh core is built for the measured phase.
+    pub fn into_parts(self) -> (CoreMemSystem<L>, HybridPredictor) {
+        (self.mem, self.predictor)
+    }
+
+    /// Replaces the predictor (transplanting trained tables across the
+    /// warm-up/measure boundary).
+    pub fn set_predictor(&mut self, predictor: HybridPredictor) {
+        self.predictor = predictor;
     }
 }
 
@@ -684,6 +733,71 @@ mod tests {
         }
         let ipc = 8192.0 / (c.cycles() - warm) as f64;
         assert!(ipc < 1.1, "ipc={ipc} exceeds the single data port");
+    }
+
+    #[test]
+    fn fast_forward_warm_up_yields_bit_identical_measured_phase() {
+        use simbase::rng::SimRng;
+        // A mixed op stream spanning L1 reuse, L2/L3 footprints, memory
+        // misses, dependent loads, stores, and biased branches.
+        let stream = |seed: u64, n: u64| {
+            let mut rng = SimRng::seeded(seed);
+            let mut ops = Vec::with_capacity(n as usize);
+            for i in 0..n {
+                let pc = loop_pc(i);
+                let roll = rng.unit();
+                let op = if roll < 0.30 {
+                    let addr = if rng.chance(0.6) {
+                        Addr::new(rng.below(1 << 16) * 32)
+                    } else {
+                        miss_addr(rng.below(1 << 20))
+                    };
+                    MicroOp::load(pc, addr, if rng.chance(0.3) { 1 } else { 0 })
+                } else if roll < 0.42 {
+                    MicroOp::store(pc, Addr::new(rng.below(1 << 18) * 32), 0)
+                } else if roll < 0.55 {
+                    MicroOp::branch(pc, rng.chance(0.85))
+                } else {
+                    MicroOp::alu(pc)
+                };
+                ops.push(op);
+            }
+            ops
+        };
+        let warm_ops = stream(21, 40_000);
+        let measure_ops = stream(22, 20_000);
+
+        let mut timed = core();
+        let mut fast = core();
+        for op in &warm_ops {
+            timed.execute(*op);
+            fast.warm_execute(*op);
+        }
+        // The drain barrier + fresh-core rebuild both modes share.
+        let rebuild = |c: OooCore<BaseHierarchy>| {
+            let (mut mem, mut pred) = c.into_parts();
+            mem.drain_timing();
+            mem.lower_mut().drain_timing();
+            mem.reset_stats();
+            mem.lower_mut().reset_stats();
+            pred.reset_counters();
+            let mut fresh = OooCore::new(CoreParams::micro2003(), mem);
+            fresh.set_predictor(pred);
+            fresh
+        };
+        let mut timed = rebuild(timed);
+        let mut fast = rebuild(fast);
+        for op in &measure_ops {
+            timed.execute(*op);
+            fast.execute(*op);
+        }
+        assert_eq!(timed.finish(), fast.finish());
+        assert_eq!(timed.mem().d_hits(), fast.mem().d_hits());
+        assert_eq!(timed.mem().i_hits(), fast.mem().i_hits());
+        assert_eq!(
+            timed.mem().lower().misses(),
+            fast.mem().lower().misses()
+        );
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! On-disk warm-up checkpoint store.
+//!
+//! A checkpoint is the serialised architectural state at the end of the
+//! warm-up phase — trace-generator position, trained branch predictor,
+//! L1 contents, and the full lower-level organization — sealed with the
+//! [`simbase::snapshot`] envelope (magic, version, checksum) and keyed by
+//! [`crate::runner::warmup_digest`]. Because the key covers exactly the
+//! inputs that shape warm-up architectural state (and nothing
+//! timing-only), configurations that differ only in latency knobs share
+//! one checkpoint, and the measured phase restored from a checkpoint is
+//! bit-identical to one that warmed up in-process (DESIGN.md §11).
+//!
+//! The store is single-flight per process (the same [`RunStore`] pattern
+//! the scheduler uses for run results): concurrent sweep workers wanting
+//! the same checkpoint block on one builder and share the blob. On disk,
+//! each checkpoint is one `<digest>.simchk` file written via
+//! temp-file-and-rename, so a crashed or concurrent writer can never
+//! publish a torn file; unreadable or stale-version files are rebuilt,
+//! never trusted.
+
+use simbase::digest::Digest;
+use simbase::snapshot;
+use simsched::store::RunStore;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Version tag of the checkpoint payload layout. Bump whenever any
+/// `save_state` encoding or the payload ordering changes; old files then
+/// fail [`snapshot::open`] and are transparently rebuilt.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// File extension of sealed checkpoints.
+pub const CHECKPOINT_EXT: &str = "simchk";
+
+/// A directory of sealed warm-up checkpoints with a single-flight
+/// in-process cache in front of it.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    blobs: RunStore<u128, Vec<u8>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore {
+            dir,
+            blobs: RunStore::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, digest: Digest) -> PathBuf {
+        self.dir.join(format!("{}.{}", digest.hex(), CHECKPOINT_EXT))
+    }
+
+    /// Returns the checkpoint payload for `digest`, running `build` only
+    /// if no valid checkpoint exists in memory or on disk. A freshly
+    /// built payload is sealed and published to disk (best-effort: a
+    /// write failure degrades to in-process caching, it does not fail
+    /// the run). The returned flag is `true` on a hit.
+    pub fn get_or_build(
+        &self,
+        digest: Digest,
+        build: impl FnOnce() -> Vec<u8>,
+    ) -> (Arc<Vec<u8>>, bool) {
+        let mut built = false;
+        let blob = self.blobs.get_or_compute(digest.raw(), || {
+            let path = self.path_of(digest);
+            if let Ok(bytes) = std::fs::read(&path) {
+                if let Ok(payload) = snapshot::open(&bytes, CHECKPOINT_VERSION) {
+                    return payload.to_vec();
+                }
+            }
+            built = true;
+            let payload = build();
+            let sealed = snapshot::seal(CHECKPOINT_VERSION, &payload);
+            let tmp = self.dir.join(format!("{}.tmp", digest.hex()));
+            if std::fs::write(&tmp, &sealed).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+            payload
+        });
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (blob, !built)
+    }
+
+    /// Requests served without building (from memory or disk).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to run warm-up and build the checkpoint.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simbase::digest::Hasher128;
+
+    fn digest(tag: u64) -> Digest {
+        let mut h = Hasher128::new();
+        h.write_str("checkpoint-test");
+        h.write_u64(tag);
+        h.digest()
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("simchk-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn builds_once_then_hits_in_process_and_on_disk() {
+        let dir = temp_dir("hits");
+        let store = CheckpointStore::open(&dir).expect("open");
+        let (a, hit_a) = store.get_or_build(digest(1), || vec![1, 2, 3]);
+        assert!(!hit_a, "first request must build");
+        let (b, hit_b) = store.get_or_build(digest(1), || panic!("must not rebuild"));
+        assert!(hit_b);
+        assert_eq!(*a, *b);
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+
+        // A second store over the same directory hits from disk.
+        let warm = CheckpointStore::open(&dir).expect("reopen");
+        let (c, hit_c) = warm.get_or_build(digest(1), || panic!("must load from disk"));
+        assert!(hit_c);
+        assert_eq!(*c, vec![1, 2, 3]);
+        assert_eq!((warm.hits(), warm.misses()), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_stale_files_are_rebuilt() {
+        let dir = temp_dir("corrupt");
+        let store = CheckpointStore::open(&dir).expect("open");
+        let path = store.path_of(digest(2));
+        std::fs::write(&path, b"not a checkpoint").expect("plant corruption");
+        let (blob, hit) = store.get_or_build(digest(2), || vec![9; 64]);
+        assert!(!hit, "corrupt file must not count as a hit");
+        assert_eq!(*blob, vec![9; 64]);
+
+        // The rebuilt file on disk is now valid.
+        let sealed = std::fs::read(&path).expect("rewritten");
+        let payload = snapshot::open(&sealed, CHECKPOINT_VERSION).expect("valid seal");
+        assert_eq!(payload, &[9; 64][..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_digests_do_not_alias() {
+        let dir = temp_dir("alias");
+        let store = CheckpointStore::open(&dir).expect("open");
+        let (a, _) = store.get_or_build(digest(3), || vec![3]);
+        let (b, _) = store.get_or_build(digest(4), || vec![4]);
+        assert_ne!(*a, *b);
+        assert_eq!(store.misses(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

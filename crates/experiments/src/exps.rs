@@ -7,8 +7,9 @@
 //! them concurrently from the simsched worker pool.
 
 use crate::artifact;
+use crate::checkpoint::CheckpointStore;
 use crate::report::{f2, pct, rel, TextTable};
-use crate::runner::{run_app, run_app_telemetry, run_digest, AppRun, L2Kind, Scale};
+use crate::runner::{run_app_opts, run_digest, AppRun, L2Kind, RunOptions, Scale, WarmupMode};
 use cachemodel::catalog::{self, DnucaGeometry, NuRapidGeometry};
 use nuca::SearchPolicy;
 use nurapid::{DistanceVictimPolicy, NuRapidConfig, PromotionPolicy};
@@ -45,6 +46,8 @@ pub struct Sweep {
     threads: usize,
     store: RunStore<u128, AppRun>,
     artifacts: Option<ArtifactStore>,
+    checkpoints: Option<Arc<CheckpointStore>>,
+    warmup: WarmupMode,
     observer: Option<Observer>,
     telemetry: Option<Arc<Telemetry>>,
     simulated: AtomicU64,
@@ -66,6 +69,8 @@ impl Sweep {
             threads: 1,
             store: RunStore::new(),
             artifacts: None,
+            checkpoints: None,
+            warmup: WarmupMode::default(),
             observer: None,
             telemetry: None,
             simulated: AtomicU64::new(0),
@@ -88,6 +93,33 @@ impl Sweep {
     pub fn with_artifacts(mut self, dir: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         self.artifacts = Some(ArtifactStore::open(dir)?);
         Ok(self)
+    }
+
+    /// Attaches a warm-up checkpoint directory: simulated runs restore
+    /// warm architectural state from digest-matching checkpoints instead
+    /// of re-executing warm-up, and publish freshly built checkpoints for
+    /// later sweeps. Results are bit-identical with or without a store
+    /// (see the `runner` differential tests); only wall time changes.
+    pub fn with_checkpoints(
+        mut self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Self> {
+        self.checkpoints = Some(Arc::new(CheckpointStore::open(dir)?));
+        Ok(self)
+    }
+
+    /// The attached checkpoint store, if any (for hit/miss reporting).
+    pub fn checkpoints(&self) -> Option<&CheckpointStore> {
+        self.checkpoints.as_deref()
+    }
+
+    /// Selects the warm-up mode (default: functional fast-forward).
+    /// [`WarmupMode::Timed`] re-enables the full-timing warm-up as a
+    /// differential oracle — results are bit-identical either way.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: WarmupMode) -> Self {
+        self.warmup = warmup;
+        self
     }
 
     /// Installs a progress-event observer (see [`simsched::progress`]).
@@ -163,15 +195,27 @@ impl Sweep {
                     return run;
                 }
             }
+            let opts = RunOptions {
+                mode: self.warmup,
+                checkpoints: self.checkpoints.as_deref(),
+                wall: self.telemetry.as_deref(),
+            };
             let run = match &self.telemetry {
                 Some(tel) => {
                     let sink = tel.run_sink();
                     let run =
-                        run_app_telemetry(app, kind, self.scale, &sink, tel.snap_cycles());
+                        run_app_opts(app, kind, self.scale, &sink, tel.snap_cycles(), opts);
                     tel.record_run(&event_label, &digest.hex(), run_fields(&run), &sink);
                     run
                 }
-                None => run_app(app, kind, self.scale),
+                None => run_app_opts(
+                    app,
+                    kind,
+                    self.scale,
+                    &TelemetrySink::disabled(),
+                    0,
+                    opts,
+                ),
             };
             self.simulated.fetch_add(1, Ordering::Relaxed);
             if let Some(store) = &self.artifacts {

@@ -28,9 +28,11 @@
 //! DESIGN.md §3); [`runner::Scale`] picks the instruction budget.
 
 pub mod artifact;
+pub mod checkpoint;
 pub mod exps;
 pub mod report;
 pub mod repro;
 pub mod runner;
 
-pub use runner::{run_digest, AppRun, L2Kind, Scale};
+pub use checkpoint::CheckpointStore;
+pub use runner::{run_digest, warmup_digest, AppRun, L2Kind, RunOptions, Scale, WarmupMode};

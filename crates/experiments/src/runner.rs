@@ -1,6 +1,17 @@
 //! Full-system run machinery: one application through one lower-level
 //! cache organization, with warm-up.
+//!
+//! Warm-up runs as a functional fast-forward by default
+//! ([`WarmupMode::FastForward`]): every architectural effect — cache
+//! fills, recency updates, distance placement, demotion chains,
+//! predictor training — is applied, while port scheduling, latency math,
+//! energy, and telemetry are skipped. The stats boundary is an explicit
+//! drain barrier (DESIGN.md §11) that both warm-up modes cross
+//! identically, which makes the measured phase bit-identical between
+//! them and lets warm architectural state be checkpointed to disk
+//! ([`crate::checkpoint::CheckpointStore`]) keyed by [`warmup_digest`].
 
+use crate::checkpoint::CheckpointStore;
 use cpu::uop::TraceSource;
 use cpu::{CoreParams, CoreResult, OooCore};
 use energy::core::CoreEnergyModel;
@@ -12,8 +23,10 @@ use nuca::{DnucaCache, DnucaConfig, SearchPolicy};
 use nurapid::coupled::CoupledCache;
 use nurapid::{DistanceVictimPolicy, NuRapidCache, NuRapidConfig, PromotionPolicy};
 use simbase::digest::{Digest, Hasher128};
+use simbase::snapshot::{Decoder, Encoder, SnapshotError};
 use simbase::EnergyNj;
-use simtel::TelemetrySink;
+use simtel::{Telemetry, TelemetrySink};
+use std::time::Instant;
 use workloads::{BenchProfile, TraceGenerator};
 
 /// Seed of every run's trace generator (fixed: experiments vary the
@@ -45,10 +58,14 @@ pub struct Scale {
 }
 
 impl Scale {
-    /// The default reproduction scale (used for EXPERIMENTS.md).
+    /// The default reproduction scale (used for EXPERIMENTS.md): the
+    /// paper's 5 B-instruction fast-forward at a 1000× scale-down, then
+    /// 2 M measured instructions. Warm-up dominates just as it does in
+    /// the paper, which is what the functional fast-forward and the
+    /// checkpoint store are for.
     pub fn full() -> Self {
         Scale {
-            warmup: 1_000_000,
+            warmup: 5_000_000,
             measure: 2_000_000,
         }
     }
@@ -60,6 +77,35 @@ impl Scale {
             measure: 250_000,
         }
     }
+}
+
+/// How the warm-up phase executes. Both modes build bit-identical
+/// architectural state (proven by the differential tests below and in
+/// each cache crate), so the measured phase cannot tell them apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmupMode {
+    /// Functional fast-forward (the default): apply every architectural
+    /// effect while skipping port scheduling, latency math, energy
+    /// accounting, and telemetry — the stand-in for the paper's
+    /// 5 B-instruction functional fast-forward.
+    #[default]
+    FastForward,
+    /// Full timing simulation during warm-up. Kept as the differential
+    /// oracle for [`WarmupMode::FastForward`].
+    Timed,
+}
+
+/// Optional knobs of a run: warm-up mode, the checkpoint store, and the
+/// wall-clock telemetry channel for phase spans.
+#[derive(Clone, Copy, Default)]
+pub struct RunOptions<'a> {
+    /// How to execute warm-up.
+    pub mode: WarmupMode,
+    /// Reuse/publish warm-up checkpoints through this store.
+    pub checkpoints: Option<&'a CheckpointStore>,
+    /// Record per-phase wall spans and checkpoint hit/miss marks (the
+    /// non-deterministic `wall.json` channel only — never metrics).
+    pub wall: Option<&'a Telemetry>,
 }
 
 impl L2Kind {
@@ -132,6 +178,65 @@ pub fn run_digest(profile: &BenchProfile, kind: &L2Kind, scale: Scale) -> Digest
     h.digest()
 }
 
+/// Digest of the warm-up-relevant slice of a job: everything that shapes
+/// the architectural state at the end of warm-up, and nothing else. This
+/// keys the on-disk checkpoint store, so two configurations that differ
+/// only in timing knobs — NuRAPID's `ideal` latency mode, D-NUCA's search
+/// policy — or in the measured-instruction budget share one checkpoint.
+pub fn warmup_digest(profile: &BenchProfile, kind: &L2Kind, scale: Scale) -> Digest {
+    let mut h = Hasher128::new();
+    h.write_str("nurapid-warmup-v1");
+    h.write_str(profile.name);
+    h.write_u8(profile.class as u8);
+    h.write_bool(profile.fp);
+    h.write_f64(profile.load_frac);
+    h.write_f64(profile.store_frac);
+    h.write_u32(profile.branch_every);
+    h.write_f64(profile.branch_bias);
+    h.write_f64(profile.l1_reuse);
+    h.write_u64(profile.hot_footprint.bytes());
+    h.write_f64(profile.hot_frac);
+    h.write_u64(profile.stream_footprint.bytes());
+    h.write_u32(profile.spatial_run);
+    h.write_f64(profile.dep_load_frac);
+    h.write_u64(profile.code_footprint.bytes());
+    match kind {
+        L2Kind::Base => h.write_u8(0),
+        L2Kind::NuRapid(c) => {
+            h.write_u8(1);
+            h.write_u64(c.capacity.bytes());
+            h.write_u32(c.assoc);
+            h.write_u64(c.n_dgroups as u64);
+            h.write_u8(match c.promotion {
+                PromotionPolicy::DemotionOnly => 0,
+                PromotionPolicy::NextFastest => 1,
+                PromotionPolicy::Fastest => 2,
+            });
+            h.write_u8(match c.distance_victim {
+                DistanceVictimPolicy::Random => 0,
+                DistanceVictimPolicy::Lru => 1,
+                DistanceVictimPolicy::ClockApprox => 2,
+            });
+            h.write_u64(c.seed);
+            // `ideal` deliberately excluded: it changes only hit latency
+            // and port occupancy, never an architectural transition.
+            h.write_opt_u32(c.frames_per_region);
+        }
+        L2Kind::Coupled(n) => {
+            h.write_u8(2);
+            h.write_u64(*n as u64);
+        }
+        // The search policy is deliberately excluded: both ss policies
+        // take identical architectural transitions (hits, fills, bubble
+        // swaps) — only when timing starts differs.
+        L2Kind::Dnuca(_) => h.write_u8(3),
+    }
+    h.write_u64(scale.warmup);
+    h.write_u64(TRACE_SEED);
+    h.write_u32(crate::checkpoint::CHECKPOINT_VERSION);
+    h.digest()
+}
+
 /// The measured results of one application on one organization.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AppRun {
@@ -195,10 +300,24 @@ pub fn run_app_telemetry(
     sink: &TelemetrySink,
     snap_every: u64,
 ) -> AppRun {
+    run_app_opts(profile, kind, scale, sink, snap_every, RunOptions::default())
+}
+
+/// The full-fat entry point: [`run_app_telemetry`] plus the warm-up mode,
+/// checkpoint store, and wall-clock channel of [`RunOptions`].
+pub fn run_app_opts(
+    profile: BenchProfile,
+    kind: &L2Kind,
+    scale: Scale,
+    sink: &TelemetrySink,
+    snap_every: u64,
+    opts: RunOptions<'_>,
+) -> AppRun {
+    let chk = warmup_digest(&profile, kind, scale);
     match kind {
         L2Kind::Base => {
             let lower = BaseHierarchy::micro2003();
-            let (core, mem) = drive(profile, lower, scale, sink, snap_every);
+            let (core, mem) = drive(profile, lower, scale, sink, snap_every, chk, opts);
             let h = mem.lower();
             let mem_accesses = h.memory_accesses();
             let l2_energy = energy::l2::base_energy(h);
@@ -218,7 +337,7 @@ pub fn run_app_telemetry(
         }
         L2Kind::NuRapid(cfg) => {
             let lower = NuRapidCache::new(cfg.clone());
-            let (core, mem) = drive(profile, lower, scale, sink, snap_every);
+            let (core, mem) = drive(profile, lower, scale, sink, snap_every, chk, opts);
             let c = mem.lower();
             let s = c.stats();
             let l2_energy = energy::l2::nurapid_energy(s, c.geometry());
@@ -239,7 +358,7 @@ pub fn run_app_telemetry(
         }
         L2Kind::Coupled(n) => {
             let lower = CoupledCache::micro2003(*n);
-            let (core, mem) = drive(profile, lower, scale, sink, snap_every);
+            let (core, mem) = drive(profile, lower, scale, sink, snap_every, chk, opts);
             let c = mem.lower();
             let s = c.stats();
             let l2_energy = energy::l2::nurapid_energy(s, c.geometry());
@@ -260,7 +379,7 @@ pub fn run_app_telemetry(
         }
         L2Kind::Dnuca(policy) => {
             let lower = DnucaCache::new(DnucaConfig::micro2003(*policy));
-            let (core, mem) = drive(profile, lower, scale, sink, snap_every);
+            let (core, mem) = drive(profile, lower, scale, sink, snap_every, chk, opts);
             let c = mem.lower();
             let s = c.stats();
             let l2_energy = energy::l2::dnuca_energy(s, c.geometry());
@@ -282,37 +401,111 @@ pub fn run_app_telemetry(
     }
 }
 
-/// Runs the trace through the core, handling prefill, warm-up, and stat
-/// resets.
+/// Runs the warm-up instructions on `core` in the requested mode.
+fn warm_up<L: LowerCache>(
+    core: &mut OooCore<L>,
+    gen: &mut TraceGenerator,
+    n: u64,
+    mode: WarmupMode,
+) {
+    match mode {
+        WarmupMode::FastForward => core.warm_run(gen, n),
+        WarmupMode::Timed => core.run(gen, n),
+    }
+}
+
+/// Runs the trace through the core: prefill, warm-up (optionally
+/// restored from a checkpoint), the drain barrier, and the measured
+/// phase.
 fn drive<L: LowerCache + ExperimentCache>(
     profile: BenchProfile,
     mut lower: L,
     scale: Scale,
     sink: &TelemetrySink,
     snap_every: u64,
+    chk_digest: Digest,
+    opts: RunOptions<'_>,
 ) -> (CoreResult, CoreMemSystem<L>) {
     let mut gen = TraceGenerator::new(profile, TRACE_SEED);
     lower.prefill_dyn();
-    lower.set_telemetry_dyn(sink, snap_every);
-    let mut mem = CoreMemSystem::micro2003(lower);
+    let mem = CoreMemSystem::micro2003(lower);
+    let mut core = OooCore::new(CoreParams::micro2003(), mem);
+
+    // Phase 1 — warm-up. Telemetry stays detached: warm-up produces
+    // architectural state only. With a checkpoint store, the state comes
+    // out of a decoded blob on both the build and the reuse path, so the
+    // cold and warm runs are structurally identical by construction.
+    let t_warm = Instant::now();
+    match opts.checkpoints {
+        Some(store) => {
+            let (blob, hit) = store.get_or_build(chk_digest, || {
+                warm_up(&mut core, &mut gen, scale.warmup, opts.mode);
+                let mut e = Encoder::new();
+                gen.save_state(&mut e);
+                core.predictor().save_state(&mut e);
+                core.mem().save_l1_state(&mut e);
+                core.mem().lower().save_state_dyn(&mut e);
+                e.into_bytes()
+            });
+            let mut d = Decoder::new(&blob);
+            gen.load_state(&mut d).expect("checkpoint: generator state");
+            core.predictor_mut()
+                .load_state(&mut d)
+                .expect("checkpoint: predictor state");
+            core.mem_mut()
+                .load_l1_state(&mut d)
+                .expect("checkpoint: L1 state");
+            core.mem_mut()
+                .lower_mut()
+                .load_state_dyn(&mut d)
+                .expect("checkpoint: lower-cache state");
+            d.finish().expect("checkpoint: trailing bytes");
+            if let Some(w) = opts.wall {
+                let outcome = if hit { "hit" } else { "miss" };
+                w.wall_mark("simchk", &format!("{outcome}/{}", profile.name));
+            }
+        }
+        None => warm_up(&mut core, &mut gen, scale.warmup, opts.mode),
+    }
+    if let Some(w) = opts.wall {
+        let cat = match opts.mode {
+            WarmupMode::FastForward => "warmup-ff",
+            WarmupMode::Timed => "warmup-timed",
+        };
+        let name = format!("{}/{}-ops", profile.name, scale.warmup);
+        w.wall_span(cat, &name, t_warm.elapsed().as_nanos() as u64);
+    }
+
+    // Drain barrier at the stats boundary (DESIGN.md §11): clear every
+    // piece of timing state, zero the statistics, and rebuild the core
+    // at cycle zero over the preserved architectural state. Both warm-up
+    // modes cross this identical barrier, which is what makes the
+    // measured phase bit-identical between them.
+    let (mut mem, mut pred) = core.into_parts();
+    mem.drain_timing();
+    mem.lower_mut().drain_timing_dyn();
+    mem.reset_stats();
+    mem.lower_mut().reset_stats_dyn();
+    pred.reset_counters();
+    // Telemetry attaches only after the barrier, so the exported metrics
+    // and spans cover exactly the measured window.
+    sink.reset();
+    mem.lower_mut().set_telemetry_dyn(sink, snap_every);
     mem.set_telemetry(sink.clone());
     let mut core = OooCore::new(CoreParams::micro2003(), mem);
+    core.set_predictor(pred);
     core.set_telemetry(sink.clone(), snap_every);
-    for _ in 0..scale.warmup {
-        let op = gen.next_op();
-        core.execute(op);
-    }
-    let snapshot = core.finish();
-    core.mem_mut().reset_stats();
-    core.mem_mut().lower_mut().reset_stats_dyn();
-    // Telemetry follows the statistics reset: drop the warm-up metrics
-    // and spans so the exported snapshot matches the measured window.
-    sink.reset();
+
+    // Phase 2 — the measured run.
+    let t_measure = Instant::now();
     for _ in 0..scale.measure {
         let op = gen.next_op();
         core.execute(op);
     }
-    let result = core.finish().since(&snapshot);
+    if let Some(w) = opts.wall {
+        w.wall_span("measure", profile.name, t_measure.elapsed().as_nanos() as u64);
+    }
+    let result = core.finish();
     (result, core.into_mem())
 }
 
@@ -352,11 +545,16 @@ fn finish_run(
 }
 
 /// Warm-up support: every lower-level cache can pre-fill to steady-state
-/// occupancy, zero its statistics, and attach a telemetry sink.
+/// occupancy, zero its statistics, attach a telemetry sink, drain its
+/// timing state at the stats boundary, and round-trip its architectural
+/// state through the checkpoint codec.
 trait ExperimentCache {
     fn prefill_dyn(&mut self);
     fn reset_stats_dyn(&mut self);
     fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, snap_every: u64);
+    fn drain_timing_dyn(&mut self);
+    fn save_state_dyn(&self, e: &mut Encoder);
+    fn load_state_dyn(&mut self, d: &mut Decoder) -> Result<(), SnapshotError>;
 }
 
 impl ExperimentCache for BaseHierarchy {
@@ -368,6 +566,15 @@ impl ExperimentCache for BaseHierarchy {
     }
     fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, snap_every: u64) {
         self.set_telemetry(sink.clone(), snap_every);
+    }
+    fn drain_timing_dyn(&mut self) {
+        self.drain_timing();
+    }
+    fn save_state_dyn(&self, e: &mut Encoder) {
+        self.save_state(e);
+    }
+    fn load_state_dyn(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        self.load_state(d)
     }
 }
 
@@ -381,6 +588,15 @@ impl ExperimentCache for NuRapidCache {
     fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, snap_every: u64) {
         self.set_telemetry(sink.clone(), snap_every);
     }
+    fn drain_timing_dyn(&mut self) {
+        self.drain_timing();
+    }
+    fn save_state_dyn(&self, e: &mut Encoder) {
+        self.save_state(e);
+    }
+    fn load_state_dyn(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        self.load_state(d)
+    }
 }
 
 impl ExperimentCache for CoupledCache {
@@ -393,6 +609,15 @@ impl ExperimentCache for CoupledCache {
     fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, _snap_every: u64) {
         self.set_telemetry(sink.clone());
     }
+    fn drain_timing_dyn(&mut self) {
+        self.drain_timing();
+    }
+    fn save_state_dyn(&self, e: &mut Encoder) {
+        self.save_state(e);
+    }
+    fn load_state_dyn(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        self.load_state(d)
+    }
 }
 
 impl ExperimentCache for DnucaCache {
@@ -404,6 +629,15 @@ impl ExperimentCache for DnucaCache {
     }
     fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, _snap_every: u64) {
         self.set_telemetry(sink.clone());
+    }
+    fn drain_timing_dyn(&mut self) {
+        self.drain_timing();
+    }
+    fn save_state_dyn(&self, e: &mut Encoder) {
+        self.save_state(e);
+    }
+    fn load_state_dyn(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        self.load_state(d)
     }
 }
 
@@ -466,6 +700,179 @@ mod tests {
         let b = run_app(by_name("parser").unwrap(), &k, tiny());
         assert_eq!(a.core.cycles, b.core.cycles);
         assert_eq!(a.l2_accesses, b.l2_accesses);
+    }
+
+    /// The tentpole differential: for every organization, a functional
+    /// fast-forward warm-up and a full-timing warm-up produce the same
+    /// [`AppRun`] bit for bit (both cross the identical drain barrier,
+    /// so only the architectural state could differ — and it doesn't).
+    #[test]
+    fn fast_forward_and_timed_warmup_agree_bit_for_bit() {
+        let app = by_name("galgel").unwrap();
+        let kinds = [
+            L2Kind::Base,
+            L2Kind::NuRapid(NuRapidConfig::micro2003(4)),
+            L2Kind::Coupled(4),
+            L2Kind::Dnuca(SearchPolicy::SsPerformance),
+        ];
+        let sink = TelemetrySink::disabled();
+        for kind in &kinds {
+            let ff = run_app_opts(
+                app,
+                kind,
+                tiny(),
+                &sink,
+                0,
+                RunOptions {
+                    mode: WarmupMode::FastForward,
+                    ..Default::default()
+                },
+            );
+            let timed = run_app_opts(
+                app,
+                kind,
+                tiny(),
+                &sink,
+                0,
+                RunOptions {
+                    mode: WarmupMode::Timed,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(ff, timed, "warm-up modes diverged for {kind:?}");
+        }
+    }
+
+    fn temp_store(name: &str) -> (std::path::PathBuf, CheckpointStore) {
+        let dir = std::env::temp_dir().join(format!(
+            "simchk-runner-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir).expect("open checkpoint store");
+        (dir, store)
+    }
+
+    #[test]
+    fn checkpointed_runs_are_bit_identical_cold_and_warm() {
+        let app = by_name("parser").unwrap();
+        let kind = L2Kind::NuRapid(NuRapidConfig::micro2003(4));
+        let sink = TelemetrySink::disabled();
+        let direct = run_app_opts(app, &kind, tiny(), &sink, 0, RunOptions::default());
+
+        let (dir, store) = temp_store("cold-warm");
+        let opts = RunOptions {
+            checkpoints: Some(&store),
+            ..Default::default()
+        };
+        let cold = run_app_opts(app, &kind, tiny(), &sink, 0, opts);
+        let warm = run_app_opts(app, &kind, tiny(), &sink, 0, opts);
+        assert_eq!((store.misses(), store.hits()), (1, 1));
+        assert_eq!(direct, cold, "cold store changed the result");
+        assert_eq!(cold, warm, "warm store changed the result");
+
+        // A fresh store over the same directory restores from disk.
+        let reopened = CheckpointStore::open(&dir).expect("reopen");
+        let from_disk = run_app_opts(
+            app,
+            &kind,
+            tiny(),
+            &sink,
+            0,
+            RunOptions {
+                checkpoints: Some(&reopened),
+                ..Default::default()
+            },
+        );
+        assert_eq!((reopened.misses(), reopened.hits()), (0, 1));
+        assert_eq!(direct, from_disk, "disk restore changed the result");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `ideal` is a timing-only knob, so the ideal configuration reuses
+    /// the checkpoint its non-ideal twin built — and still reproduces its
+    /// own numbers exactly.
+    #[test]
+    fn ideal_config_reuses_twin_checkpoint_without_changing_results() {
+        let app = by_name("galgel").unwrap();
+        let nf = L2Kind::NuRapid(NuRapidConfig::micro2003(4));
+        let id = L2Kind::NuRapid(NuRapidConfig::micro2003(4).with_ideal());
+        let sink = TelemetrySink::disabled();
+        let id_direct = run_app_opts(app, &id, tiny(), &sink, 0, RunOptions::default());
+
+        let (dir, store) = temp_store("ideal-twin");
+        let opts = RunOptions {
+            checkpoints: Some(&store),
+            ..Default::default()
+        };
+        let _nf = run_app_opts(app, &nf, tiny(), &sink, 0, opts);
+        let id_chk = run_app_opts(app, &id, tiny(), &sink, 0, opts);
+        assert_eq!(
+            (store.misses(), store.hits()),
+            (1, 1),
+            "ideal must share its twin's checkpoint"
+        );
+        assert_eq!(id_direct, id_chk);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warmup_digest_shares_across_timing_only_knobs() {
+        let app = by_name("galgel").unwrap();
+        let nf = L2Kind::NuRapid(NuRapidConfig::micro2003(4));
+        let id = L2Kind::NuRapid(NuRapidConfig::micro2003(4).with_ideal());
+        assert_eq!(warmup_digest(&app, &nf, tiny()), warmup_digest(&app, &id, tiny()));
+
+        let perf = L2Kind::Dnuca(SearchPolicy::SsPerformance);
+        let energy = L2Kind::Dnuca(SearchPolicy::SsEnergy);
+        assert_eq!(
+            warmup_digest(&app, &perf, tiny()),
+            warmup_digest(&app, &energy, tiny())
+        );
+
+        // The measured budget is warm-up-irrelevant too.
+        let longer = Scale {
+            warmup: tiny().warmup,
+            measure: tiny().measure + 1,
+        };
+        assert_eq!(warmup_digest(&app, &nf, tiny()), warmup_digest(&app, &nf, longer));
+    }
+
+    #[test]
+    fn warmup_digest_separates_architectural_knobs() {
+        let app = by_name("galgel").unwrap();
+        let nf = L2Kind::NuRapid(NuRapidConfig::micro2003(4));
+        let base = warmup_digest(&app, &nf, tiny());
+        let shorter = Scale {
+            warmup: tiny().warmup - 1,
+            measure: tiny().measure,
+        };
+        let variants = [
+            warmup_digest(&by_name("parser").unwrap(), &nf, tiny()),
+            warmup_digest(&app, &L2Kind::Base, tiny()),
+            warmup_digest(&app, &L2Kind::Coupled(4), tiny()),
+            warmup_digest(&app, &L2Kind::Dnuca(SearchPolicy::SsPerformance), tiny()),
+            warmup_digest(&app, &L2Kind::NuRapid(NuRapidConfig::micro2003(8)), tiny()),
+            warmup_digest(
+                &app,
+                &L2Kind::NuRapid(
+                    NuRapidConfig::micro2003(4).with_promotion(PromotionPolicy::Fastest),
+                ),
+                tiny(),
+            ),
+            warmup_digest(
+                &app,
+                &L2Kind::NuRapid(
+                    NuRapidConfig::micro2003(4)
+                        .with_distance_victim(DistanceVictimPolicy::Lru),
+                ),
+                tiny(),
+            ),
+            warmup_digest(&app, &nf, shorter),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base, *v, "architectural variant {i} aliased the digest");
+        }
     }
 
     #[test]

@@ -186,6 +186,46 @@ impl BaseHierarchy {
         }
     }
 
+    /// Warm-up drain barrier: forgets memory-channel occupancy. The L2/L3
+    /// directories hold no in-flight timing state of their own.
+    pub fn drain_timing(&mut self) {
+        self.memory.drain_timing();
+    }
+
+    /// Serializes the architectural state of both levels. Counters, the
+    /// memory channel, and telemetry are timing state and excluded.
+    pub fn save_state(&self, e: &mut simbase::snapshot::Encoder) {
+        self.l2.save_state(e);
+        self.l3.save_state(e);
+    }
+
+    /// Restores state written by [`BaseHierarchy::save_state`] into a
+    /// hierarchy of identical geometry.
+    pub fn load_state(
+        &mut self,
+        d: &mut simbase::snapshot::Decoder<'_>,
+    ) -> Result<(), simbase::snapshot::SnapshotError> {
+        self.l2.load_state(d)?;
+        self.l3.load_state(d)
+    }
+
+    /// Warm-up variant of [`BaseHierarchy::fill_l3`]: the dirty-victim
+    /// writeback to memory is pure timing (the channel holds no
+    /// architectural state), so only the directory fill remains.
+    fn warm_fill_l3(&mut self, block: BlockAddr, dirty: bool) {
+        let _ = self.l3.fill(block, dirty);
+    }
+
+    /// Warm-up variant of [`BaseHierarchy::fill_l2`]: same victim handling,
+    /// no counters or memory timing.
+    fn warm_fill_l2(&mut self, block: BlockAddr, dirty: bool) {
+        if let Some(ev) = self.l2.fill(block, dirty) {
+            if ev.dirty && !self.l3.access(ev.block, AccessKind::Write).is_hit() {
+                self.warm_fill_l3(ev.block, true);
+            }
+        }
+    }
+
     /// Fills `block` into the L3, writing back a dirty victim to memory.
     fn fill_l3(&mut self, block: BlockAddr, dirty: bool, now: Cycle) {
         if let Some(ev) = self.l3.fill(block, dirty) {
@@ -259,6 +299,21 @@ impl LowerCache for BaseHierarchy {
     fn block_bytes(&self) -> u64 {
         self.block_bytes
     }
+
+    fn warm_access(&mut self, block: BlockAddr, kind: AccessKind) {
+        // Mirrors the timed path's architectural transitions exactly —
+        // same lookup order, same fill and victim handling — with the
+        // latency math, counters, and memory channel elided.
+        if self.l2.access(block, kind).is_hit() {
+            return;
+        }
+        if self.l3.access(block, AccessKind::Read).is_hit() {
+            self.warm_fill_l2(block, kind.is_write());
+            return;
+        }
+        self.warm_fill_l3(block, false);
+        self.warm_fill_l2(block, kind.is_write());
+    }
 }
 
 #[cfg(test)]
@@ -329,5 +384,50 @@ mod tests {
     #[test]
     fn block_bytes_is_128() {
         assert_eq!(BaseHierarchy::micro2003().block_bytes(), 128);
+    }
+
+    #[test]
+    fn warm_access_matches_timed_architectural_state() {
+        let mut timed = BaseHierarchy::micro2003();
+        let mut warm = BaseHierarchy::micro2003();
+        // A mix of conflict evictions, dirty writebacks, and L3 re-hits.
+        let sets = 1024u64;
+        let mut addrs = Vec::new();
+        for i in 0..12u64 {
+            addrs.push((1 + i * sets, if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read }));
+        }
+        addrs.push((1, AccessKind::Read)); // back to the (evicted) first block
+        for (i, &(b, k)) in addrs.iter().enumerate() {
+            timed.access(blk(b), k, Cycle::new(i as u64 * 7));
+            warm.warm_access(blk(b), k);
+        }
+        // Equal state ⇒ identical hit pattern on a cold replay.
+        for &(b, k) in &addrs {
+            let t = timed.access(blk(b), k, Cycle::new(100_000));
+            let w = warm.access(blk(b), k, Cycle::new(100_000));
+            assert_eq!(t.hit, w.hit, "block {b}");
+        }
+    }
+
+    #[test]
+    fn state_roundtrips_through_snapshot() {
+        use simbase::snapshot::{Decoder, Encoder};
+        let mut h = BaseHierarchy::micro2003();
+        let sets = 1024u64;
+        for i in 0..10u64 {
+            h.access(blk(1 + i * sets), AccessKind::Write, Cycle::new(i * 100));
+        }
+        let mut e = Encoder::new();
+        h.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut fresh = BaseHierarchy::micro2003();
+        let mut d = Decoder::new(&bytes);
+        fresh.load_state(&mut d).unwrap();
+        d.finish().unwrap();
+        // Every warmed block must now be an on-chip hit in the twin.
+        for i in 0..10u64 {
+            let out = fresh.access(blk(1 + i * sets), AccessKind::Read, Cycle::new(1_000_000));
+            assert!(out.hit, "block {} must hit after restore", 1 + i * sets);
+        }
     }
 }

@@ -33,6 +33,19 @@ pub trait LowerCache {
     /// Block size of this cache in bytes.
     fn block_bytes(&self) -> u64;
 
+    /// Applies the architectural effects of an access — fills, recency
+    /// updates, placement, demotions, victim writebacks — without timing.
+    /// Used by the warm-up fast-forward path.
+    ///
+    /// The default presents the access at cycle zero through the timed
+    /// path, which is architecturally equivalent because every
+    /// organization's state transitions are independent of `now`;
+    /// implementations override this with a leaner path that skips
+    /// latency math, port scheduling, and counters.
+    fn warm_access(&mut self, block: BlockAddr, kind: AccessKind) {
+        let _ = self.access(block, kind, Cycle::ZERO);
+    }
+
     /// Miss ratio (0.0 when no accesses have occurred).
     fn miss_ratio(&self) -> f64 {
         if self.accesses() == 0 {

@@ -80,6 +80,13 @@ impl MainMemory {
         self.busy_cycles = 0;
     }
 
+    /// Warm-up drain barrier: forgets channel occupancy so the measured
+    /// phase starts from an idle channel at cycle zero. The channel holds
+    /// no architectural state, so this cannot change cache contents.
+    pub fn drain_timing(&mut self) {
+        self.channel_free_at = Cycle::ZERO;
+    }
+
     /// Total cycles the channel spent bursting data.
     pub fn busy_cycles(&self) -> u64 {
         self.busy_cycles

@@ -100,6 +100,15 @@ impl MshrFile {
         e.fill_at = fill_at;
     }
 
+    /// Drops every outstanding entry and zeroes the merge/stall counters.
+    /// Used at the warm-up drain barrier: the measured phase starts from a
+    /// quiesced machine with no in-flight misses.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.merges = 0;
+        self.stalls = 0;
+    }
+
     /// Number of currently outstanding misses.
     pub fn outstanding(&self) -> usize {
         self.entries.len()
@@ -176,6 +185,22 @@ mod tests {
             MshrOutcome::Full(_)
         ));
         assert_eq!(m.outstanding(), 8);
+    }
+
+    #[test]
+    fn clear_drops_entries_and_counters() {
+        let mut m = MshrFile::new(2);
+        m.on_miss(blk(1), Cycle::new(0));
+        m.set_fill_time(blk(1), Cycle::new(100));
+        m.on_miss(blk(1), Cycle::new(1)); // merge
+        m.on_miss(blk(2), Cycle::new(1));
+        m.set_fill_time(blk(2), Cycle::new(100));
+        m.on_miss(blk(3), Cycle::new(2)); // stall
+        m.clear();
+        assert_eq!(m.outstanding(), 0);
+        assert_eq!(m.merges(), 0);
+        assert_eq!(m.stalls(), 0);
+        assert_eq!(m.on_miss(blk(1), Cycle::new(3)), MshrOutcome::Allocated);
     }
 
     #[test]

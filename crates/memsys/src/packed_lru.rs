@@ -16,6 +16,8 @@
 //! false positives *above* the first genuine match, never below it, so
 //! `trailing_zeros` lands on the true position.
 
+use simbase::snapshot::{Decoder, Encoder, SnapshotError};
+
 /// Seed word: nibble `i` = way `i`, i.e. ways in MRU→LRU order
 /// `0, 1, .., 15`. Masked down to `assoc` nibbles at init, this is exactly
 /// the `[0, 1, .., assoc-1]` starting order of the naive `Vec` form.
@@ -129,6 +131,55 @@ impl LruTable {
         }
     }
 
+    /// Serializes the recency state. The representation tag guards against
+    /// loading a packed snapshot into a wide table (or vice versa), which
+    /// can only happen if the geometries differ.
+    pub fn save_state(&self, e: &mut Encoder) {
+        match &self.repr {
+            Repr::Packed { words } => {
+                e.put_u8(0);
+                e.put_u64_slice(words);
+            }
+            Repr::Wide { order } => {
+                e.put_u8(1);
+                e.put_len(order.len());
+                for o in order {
+                    e.put_u8_slice(o);
+                }
+            }
+        }
+    }
+
+    /// Restores state written by [`LruTable::save_state`] into a table of
+    /// identical geometry. Value-level integrity (each word a permutation)
+    /// is guaranteed by the container checksum, not re-validated here.
+    pub fn load_state(&mut self, d: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+        match (&mut self.repr, d.u8()?) {
+            (Repr::Packed { words }, 0) => {
+                let loaded = d.u64_slice()?;
+                if loaded.len() != words.len() {
+                    return Err(SnapshotError::Malformed("LRU set count mismatch"));
+                }
+                *words = loaded;
+                Ok(())
+            }
+            (Repr::Wide { order }, 1) => {
+                if d.len()? != order.len() {
+                    return Err(SnapshotError::Malformed("LRU set count mismatch"));
+                }
+                for o in order.iter_mut() {
+                    let loaded = d.u8_slice()?;
+                    if loaded.len() != o.len() {
+                        return Err(SnapshotError::Malformed("LRU order length mismatch"));
+                    }
+                    *o = loaded;
+                }
+                Ok(())
+            }
+            _ => Err(SnapshotError::Malformed("LRU representation mismatch")),
+        }
+    }
+
     /// The way at recency position `pos` in `set` (0 = MRU). Test/debug
     /// helper; the hot path never needs an arbitrary position read.
     pub fn way_at(&self, set: usize, pos: usize) -> u32 {
@@ -201,5 +252,39 @@ mod tests {
     #[should_panic(expected = "associativity")]
     fn zero_assoc_panics() {
         let _ = LruTable::new(1, 0);
+    }
+
+    #[test]
+    fn state_roundtrips_both_representations() {
+        for assoc in [4u32, 20] {
+            let mut t = LruTable::new(3, assoc);
+            t.touch(0, 2);
+            t.touch(1, 3);
+            t.touch(2, 1);
+            let mut e = Encoder::new();
+            t.save_state(&mut e);
+            let bytes = e.into_bytes();
+            let mut fresh = LruTable::new(3, assoc);
+            let mut d = Decoder::new(&bytes);
+            fresh.load_state(&mut d).unwrap();
+            d.finish().unwrap();
+            for set in 0..3 {
+                assert_eq!(order_of(&fresh, set), order_of(&t, set), "assoc {assoc} set {set}");
+            }
+        }
+    }
+
+    #[test]
+    fn load_rejects_geometry_mismatch() {
+        let t = LruTable::new(2, 4);
+        let mut e = Encoder::new();
+        t.save_state(&mut e);
+        let bytes = e.into_bytes();
+        // Wrong set count.
+        let mut d = Decoder::new(&bytes);
+        assert!(LruTable::new(4, 4).load_state(&mut d).is_err());
+        // Wrong representation (wide vs packed).
+        let mut d = Decoder::new(&bytes);
+        assert!(LruTable::new(2, 20).load_state(&mut d).is_err());
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::packed_lru::LruTable;
 use simbase::rng::SimRng;
+use simbase::snapshot::{Decoder, Encoder, SnapshotError};
 
 /// Which victim-selection policy a [`SetPolicy`] applies within a set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -113,6 +114,42 @@ impl SetPolicy {
                 lo
             }
             SetPolicy::Random { rng, assoc } => rng.below(*assoc as u64) as u32,
+        }
+    }
+
+    /// Serializes the replacement state: recency orders for LRU, tree bits
+    /// for PLRU, the RNG stream position for random (the draw sequence is
+    /// architectural — it decides victims).
+    pub fn save_state(&self, e: &mut Encoder) {
+        match self {
+            SetPolicy::Lru { order } => order.save_state(e),
+            SetPolicy::TreePlru { bits, .. } => e.put_u32_slice(bits),
+            SetPolicy::Random { rng, .. } => {
+                for w in rng.state() {
+                    e.put_u64(w);
+                }
+            }
+        }
+    }
+
+    /// Restores state written by [`SetPolicy::save_state`] into a policy of
+    /// the same kind and geometry.
+    pub fn load_state(&mut self, d: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+        match self {
+            SetPolicy::Lru { order } => order.load_state(d),
+            SetPolicy::TreePlru { bits, .. } => {
+                let loaded = d.u32_slice()?;
+                if loaded.len() != bits.len() {
+                    return Err(SnapshotError::Malformed("PLRU set count mismatch"));
+                }
+                *bits = loaded;
+                Ok(())
+            }
+            SetPolicy::Random { rng, .. } => {
+                let s = [d.u64()?, d.u64()?, d.u64()?, d.u64()?];
+                *rng = SimRng::from_state(s);
+                Ok(())
+            }
         }
     }
 
@@ -228,5 +265,40 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn zero_assoc_panics() {
         let _ = SetPolicy::new(PolicyKind::Lru, 1, 0, rng());
+    }
+
+    #[test]
+    fn random_state_roundtrip_resumes_the_draw_stream() {
+        let mut p = SetPolicy::new(PolicyKind::Random, 1, 8, SimRng::seeded(7));
+        for _ in 0..13 {
+            p.victim(0);
+        }
+        let mut e = Encoder::new();
+        p.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut restored = SetPolicy::new(PolicyKind::Random, 1, 8, SimRng::seeded(7));
+        let mut d = Decoder::new(&bytes);
+        restored.load_state(&mut d).unwrap();
+        d.finish().unwrap();
+        for _ in 0..50 {
+            assert_eq!(restored.victim(0), p.victim(0));
+        }
+    }
+
+    #[test]
+    fn plru_state_roundtrips() {
+        let mut p = SetPolicy::new(PolicyKind::TreePlru, 2, 8, rng());
+        for w in [0u32, 3, 5, 1] {
+            p.touch(0, w);
+            p.touch(1, 7 - w);
+        }
+        let mut e = Encoder::new();
+        p.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut restored = SetPolicy::new(PolicyKind::TreePlru, 2, 8, rng());
+        let mut d = Decoder::new(&bytes);
+        restored.load_state(&mut d).unwrap();
+        assert_eq!(restored.victim(0), p.victim(0));
+        assert_eq!(restored.victim(1), p.victim(1));
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::replacement::{PolicyKind, SetPolicy};
 use simbase::rng::SimRng;
+use simbase::snapshot::{Decoder, Encoder, SnapshotError};
 use simbase::{AccessKind, BlockAddr, Capacity};
 
 /// Location of a block within the cache: `(set, way)`.
@@ -217,6 +218,27 @@ impl SetAssocCache {
         }
     }
 
+    /// Serializes the full directory state: tags, valid/dirty flags, and
+    /// replacement state.
+    pub fn save_state(&self, e: &mut Encoder) {
+        e.put_u64_slice(&self.blocks);
+        e.put_u8_slice(&self.flags);
+        self.policy.save_state(e);
+    }
+
+    /// Restores state written by [`SetAssocCache::save_state`] into a cache
+    /// of identical geometry and policy kind.
+    pub fn load_state(&mut self, d: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+        let blocks = d.u64_slice()?;
+        let flags = d.u8_slice()?;
+        if blocks.len() != self.blocks.len() || flags.len() != self.flags.len() {
+            return Err(SnapshotError::Malformed("cache geometry mismatch"));
+        }
+        self.blocks = blocks;
+        self.flags = flags;
+        self.policy.load_state(d)
+    }
+
     /// Number of valid lines currently resident.
     pub fn occupancy(&self) -> usize {
         self.flags.iter().filter(|&&f| f & VALID != 0).count()
@@ -348,6 +370,39 @@ mod tests {
             assert_eq!(c.fill(blk(i * s), false), None, "way {i} should be free");
         }
         assert!(c.fill(blk(4 * s), false).is_some());
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_contents_dirt_and_recency() {
+        let mut c = cache(64, 2);
+        let s = c.sets() as u64;
+        c.fill(blk(0), false);
+        c.fill(blk(s), true);
+        c.access(blk(0), AccessKind::Write); // 0 dirty + MRU; s is LRU
+        let mut e = Encoder::new();
+        c.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut fresh = cache(64, 2);
+        let mut d = Decoder::new(&bytes);
+        fresh.load_state(&mut d).unwrap();
+        d.finish().unwrap();
+        assert!(fresh.probe(blk(0)).is_hit());
+        assert!(fresh.probe(blk(s)).is_hit());
+        let ev = fresh.fill(blk(2 * s), false).expect("full set evicts");
+        assert_eq!(ev.block, blk(s), "restored recency must pick the same victim");
+        assert!(ev.dirty, "restored dirty bit");
+        assert_eq!(fresh.invalidate(blk(0)), Some(true));
+    }
+
+    #[test]
+    fn load_rejects_mismatched_geometry() {
+        let c = cache(64, 2);
+        let mut e = Encoder::new();
+        c.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut other = cache(64, 4);
+        let mut d = Decoder::new(&bytes);
+        assert!(other.load_state(&mut d).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::stats::DnucaStats;
 use cachemodel::catalog::{self, DnucaGeometry, BLOCK_BYTES};
 use memsys::lower::{LowerCache, LowerOutcome};
 use memsys::memory::MainMemory;
+use simbase::snapshot::{Decoder, Encoder, SnapshotError};
 use simbase::{AccessKind, BlockAddr, Capacity, Cycle};
 use simtel::TelemetrySink;
 
@@ -329,12 +330,13 @@ impl DnucaCache {
         (self.flags[i] & VALID != 0, self.last_use[i])
     }
 
-    /// Bubble promotion: swap the block at way `w` with the LRU way of the
-    /// adjacent faster position (Section 2.2's "bubble replacement").
-    fn bubble_promote(&mut self, set: usize, w: u32, t: Cycle) {
+    /// Architectural half of a bubble promotion: swaps the slot metadata
+    /// and the ss entry of way `w` with the LRU way of the adjacent
+    /// faster position. Returns the partner way, or `None` at position 0.
+    fn bubble_swap_slots(&mut self, set: usize, w: u32) -> Option<u32> {
         let p = self.position_of_way(w);
         if p == 0 {
-            return;
+            return None;
         }
         let other = self.lru_way_at_position(set, p - 1);
         let (a, b) = (self.slot_idx(set, w), self.slot_idx(set, other));
@@ -343,9 +345,38 @@ impl DnucaCache {
         self.last_use.swap(a, b);
         let moved = BlockAddr::from_index(self.blocks[b]);
         self.ss.swap(moved, w, other);
-        let bank_w = self.bank_of(set, w);
-        let bank_o = self.bank_of(set, other);
-        self.swap_banks(bank_w, bank_o, t);
+        Some(other)
+    }
+
+    /// Bubble promotion: swap the block at way `w` with the LRU way of the
+    /// adjacent faster position (Section 2.2's "bubble replacement").
+    fn bubble_promote(&mut self, set: usize, w: u32, t: Cycle) {
+        if let Some(other) = self.bubble_swap_slots(set, w) {
+            let bank_w = self.bank_of(set, w);
+            let bank_o = self.bank_of(set, other);
+            self.swap_banks(bank_w, bank_o, t);
+        }
+    }
+
+    /// Architectural half of a miss: evict the slowest-way victim (keeping
+    /// the ss array in sync) and install `block` there. Write-back and
+    /// bank/memory timing are the timed caller's business.
+    fn install_on_miss(&mut self, block: BlockAddr, kind: AccessKind) -> (u32, bool) {
+        let set = self.set_of(block);
+        let slowest = self.config.n_positions - 1;
+        let victim_way = self.lru_way_at_position(set, slowest);
+        let vi = self.slot_idx(set, victim_way);
+        let mut victim_dirty = false;
+        if self.flags[vi] & VALID != 0 {
+            let victim_block = BlockAddr::from_index(self.blocks[vi]);
+            self.ss.invalidate(victim_block, victim_way);
+            victim_dirty = self.flags[vi] & DIRTY != 0;
+        }
+        self.blocks[vi] = block.index();
+        self.flags[vi] = VALID | if kind.is_write() { DIRTY } else { 0 };
+        self.last_use[vi] = self.use_clock;
+        self.ss.insert(block, victim_way);
+        (victim_way, victim_dirty)
     }
 
     /// Handles a miss: fetch from memory and place in the slowest bank,
@@ -360,21 +391,11 @@ impl DnucaCache {
         self.stats.memory_reads.inc();
         let mem_done = self.memory.access(BLOCK_BYTES, detect_at);
         let set = self.set_of(block);
-        let slowest = self.config.n_positions - 1;
-        let victim_way = self.lru_way_at_position(set, slowest);
-        let vi = self.slot_idx(set, victim_way);
-        if self.flags[vi] & VALID != 0 {
-            let victim_block = BlockAddr::from_index(self.blocks[vi]);
-            self.ss.invalidate(victim_block, victim_way);
-            if self.flags[vi] & DIRTY != 0 {
-                self.stats.writebacks.inc();
-                let _ = self.memory.access(BLOCK_BYTES, mem_done);
-            }
+        let (victim_way, victim_dirty) = self.install_on_miss(block, kind);
+        if victim_dirty {
+            self.stats.writebacks.inc();
+            let _ = self.memory.access(BLOCK_BYTES, mem_done);
         }
-        self.blocks[vi] = block.index();
-        self.flags[vi] = VALID | if kind.is_write() { DIRTY } else { 0 };
-        self.last_use[vi] = self.use_clock;
-        self.ss.insert(block, victim_way);
         // The fill is a full access to the slowest bank.
         let bank = self.bank_of(set, victim_way);
         let _ = self.bank_access(bank, mem_done);
@@ -392,6 +413,68 @@ impl DnucaCache {
         if kind.is_write() {
             self.flags[i] |= DIRTY;
         }
+    }
+
+    /// Warm-up access: applies every architectural effect of
+    /// [`Self::access_block`] (recency, dirtying, bubble swaps, slowest-way
+    /// eviction, ss-array maintenance) while skipping bank contention,
+    /// memory timing, and statistics. The effects are identical under both
+    /// search policies — search order only changes *when* banks are
+    /// probed, never what the probe finds.
+    pub fn warm_access_block(&mut self, block: BlockAddr, kind: AccessKind) {
+        self.use_clock += 1;
+        let set = self.set_of(block);
+        match self.find(set, block) {
+            Some(w) => {
+                self.touch_hit(set, w, kind);
+                let _ = self.bubble_swap_slots(set, w);
+            }
+            None => {
+                let _ = self.install_on_miss(block, kind);
+            }
+        }
+    }
+
+    /// Clears all timing residue (bank busy-until times, memory channel)
+    /// without touching cache contents; the drain barrier at the stats
+    /// boundary.
+    pub fn drain_timing(&mut self) {
+        self.bank_busy.fill(Cycle::ZERO);
+        self.memory.drain_timing();
+    }
+
+    /// Serialises the architectural state: slot metadata, the ss array,
+    /// and the recency clock.
+    pub fn save_state(&self, e: &mut Encoder) {
+        e.put_u64(self.use_clock);
+        e.put_u64_slice(&self.blocks);
+        e.put_u8_slice(&self.flags);
+        e.put_u64_slice(&self.last_use);
+        self.ss.save_state(e);
+    }
+
+    /// Restores state written by [`Self::save_state`] into a cache of the
+    /// same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Malformed`] on a geometry mismatch or a
+    /// truncated payload.
+    pub fn load_state(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        self.use_clock = d.u64()?;
+        let blocks = d.u64_slice()?;
+        let flags = d.u8_slice()?;
+        let last_use = d.u64_slice()?;
+        if blocks.len() != self.blocks.len()
+            || flags.len() != self.flags.len()
+            || last_use.len() != self.last_use.len()
+        {
+            return Err(SnapshotError::Malformed("dnuca slot count mismatch"));
+        }
+        self.blocks = blocks;
+        self.flags = flags;
+        self.last_use = last_use;
+        self.ss.load_state(d)
     }
 
     /// Demand access with the configured search policy.
@@ -492,6 +575,10 @@ impl DnucaCache {
 impl LowerCache for DnucaCache {
     fn access(&mut self, block: BlockAddr, kind: AccessKind, now: Cycle) -> LowerOutcome {
         self.access_block(block, kind, now)
+    }
+
+    fn warm_access(&mut self, block: BlockAddr, kind: AccessKind) {
+        self.warm_access_block(block, kind);
     }
 
     fn accesses(&self) -> u64 {
@@ -695,5 +782,108 @@ mod tests {
         assert_eq!(c.accesses(), 1);
         assert_eq!(c.misses(), 1);
         assert_eq!(c.block_bytes(), 128);
+    }
+
+    fn assert_same_arch_state(a: &DnucaCache, b: &DnucaCache) {
+        assert_eq!(a.blocks, b.blocks);
+        assert_eq!(a.flags, b.flags);
+        assert_eq!(a.last_use, b.last_use);
+        assert_eq!(a.use_clock, b.use_clock);
+        for i in 0..2_000u64 {
+            let probe = blk(i * 97);
+            assert_eq!(
+                a.ss.lookup_mask(probe),
+                b.ss.lookup_mask(probe),
+                "ss arrays diverged at probe {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_access_matches_timed_architectural_state() {
+        for policy in [SearchPolicy::SsPerformance, SearchPolicy::SsEnergy] {
+            let mut timed = cache(policy);
+            let mut warm = cache(policy);
+            let sets = timed.sets as u64;
+            let mut t = Cycle::ZERO;
+            for i in 0..30_000u64 {
+                // Strided misses, hot-set reuse (drives bubble swaps), and
+                // writes (drives dirty evictions).
+                let b = match i % 5 {
+                    0 => blk((i * 37) % 70_000),
+                    1 => blk(1 + (i % 16) * sets),
+                    _ => blk((i * 13) % 9_000),
+                };
+                let kind = if i % 7 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let out = timed.access_block(b, kind, t);
+                warm.warm_access_block(b, kind);
+                t = out.complete_at + (i % 40);
+            }
+            assert_same_arch_state(&timed, &warm);
+            // Replay: both must serve the same hit stream from here.
+            warm.drain_timing();
+            let mut t = Cycle::ZERO;
+            for i in 0..5_000u64 {
+                let b = blk((i * 29) % 40_000);
+                let o1 = timed.access_block(b, AccessKind::Read, t);
+                let o2 = warm.access_block(b, AccessKind::Read, t);
+                assert_eq!(o1.hit, o2.hit, "replay access {i} diverged ({policy:?})");
+                t = o1.complete_at + 10;
+            }
+        }
+    }
+
+    #[test]
+    fn state_roundtrips_through_snapshot() {
+        let mut c = cache(SearchPolicy::SsPerformance);
+        let mut t = Cycle::ZERO;
+        for i in 0..20_000u64 {
+            let b = blk((i * 37 + i % 3) % 60_000);
+            let kind = if i % 4 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let out = c.access_block(b, kind, t);
+            t = out.complete_at + 5;
+        }
+        let mut e = Encoder::new();
+        c.save_state(&mut e);
+        let bytes = e.into_bytes();
+
+        // Restores into either policy: the snapshot is timing-free.
+        let mut restored = cache(SearchPolicy::SsEnergy);
+        let mut d = Decoder::new(&bytes);
+        restored.load_state(&mut d).expect("load");
+        d.finish().expect("no trailing bytes");
+        assert_same_arch_state(&c, &restored);
+
+        c.drain_timing();
+        let mut t = Cycle::ZERO;
+        for i in 0..10_000u64 {
+            let b = blk((i * 53) % 50_000);
+            let o1 = c.access_block(b, AccessKind::Read, t);
+            let o2 = restored.access_block(b, AccessKind::Read, t);
+            assert_eq!(o1.hit, o2.hit, "replay access {i} diverged");
+            t = o1.complete_at + 10;
+        }
+    }
+
+    #[test]
+    fn load_rejects_geometry_mismatch() {
+        let c = cache(SearchPolicy::SsPerformance);
+        let mut e = Encoder::new();
+        c.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut wrong = DnucaCache::new(DnucaConfig {
+            capacity: Capacity::from_mib(4),
+            ..DnucaConfig::micro2003(SearchPolicy::SsPerformance)
+        });
+        let mut d = Decoder::new(&bytes);
+        assert!(wrong.load_state(&mut d).is_err());
     }
 }

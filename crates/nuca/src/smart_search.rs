@@ -8,6 +8,7 @@
 //! match anywhere guarantees a miss, which lets ss-performance start the
 //! memory access early.
 
+use simbase::snapshot::{Decoder, Encoder, SnapshotError};
 use simbase::BlockAddr;
 
 /// Number of partial-tag bits cached per block (paper Section 4).
@@ -121,6 +122,26 @@ impl SmartSearchArray {
     pub fn storage_bits(&self) -> u64 {
         self.entries.len() as u64 * PARTIAL_TAG_BITS as u64
     }
+
+    /// Serialises the packed partial-tag entries.
+    pub fn save_state(&self, e: &mut Encoder) {
+        e.put_u8_slice(&self.entries);
+    }
+
+    /// Restores entries written by [`Self::save_state`] into an array of
+    /// the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Malformed`] if the entry count differs.
+    pub fn load_state(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        let entries = d.u8_slice()?;
+        if entries.len() != self.entries.len() {
+            return Err(SnapshotError::Malformed("ss array geometry mismatch"));
+        }
+        self.entries = entries;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -209,5 +230,27 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_sets() {
         let _ = SmartSearchArray::new(10, 4);
+    }
+
+    #[test]
+    fn state_roundtrips_and_rejects_geometry_mismatch() {
+        let mut s = SmartSearchArray::new(16, 4);
+        for w in 0..4u32 {
+            s.insert(blk(3 + w as u64 * 16), w);
+        }
+        let mut e = Encoder::new();
+        s.save_state(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut restored = SmartSearchArray::new(16, 4);
+        let mut d = Decoder::new(&bytes);
+        restored.load_state(&mut d).expect("load");
+        d.finish().expect("no trailing bytes");
+        assert_eq!(s.lookup_mask(blk(3)), restored.lookup_mask(blk(3)));
+        assert_eq!(restored.entries, s.entries);
+
+        let mut wrong = SmartSearchArray::new(32, 4);
+        let mut d = Decoder::new(&bytes);
+        assert!(wrong.load_state(&mut d).is_err());
     }
 }

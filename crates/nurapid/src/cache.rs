@@ -436,6 +436,68 @@ impl NuRapidCache {
         }
     }
 
+    /// Warm-up access: the architectural transitions of
+    /// [`NuRapidCache::access_block`] — tag recency and dirty bits, data
+    /// and distance replacement, demotion chains, promotions — with the
+    /// port, memory channel, latency math, and telemetry elided. It
+    /// reuses the same promotion/placement routines as the timed path, so
+    /// victim selection draws the RNG stream identically.
+    pub fn warm_access_block(&mut self, block: BlockAddr, kind: AccessKind) {
+        match self.tags.access(block, kind) {
+            TagLookup::Hit { at, ptr } => {
+                let g = ptr.group as usize;
+                self.dgroups[g].touch(ptr.frame);
+                let _ = self.promote(at, g, ptr.frame, self.region_of(block));
+            }
+            TagLookup::Miss => {
+                let (at, evicted) = self.tags.allocate(
+                    block,
+                    FramePtr { group: 0, frame: 0 }, // provisional
+                    kind.is_write(),
+                );
+                if let Some(ev) = evicted {
+                    self.dgroups[ev.freed.group as usize].release(ev.freed.frame);
+                }
+                let _ = self.place_with_demotions(at, 0, self.region_of(block));
+            }
+        }
+    }
+
+    /// Warm-up drain barrier: forgets port reservations and memory-channel
+    /// occupancy. Neither holds architectural state.
+    pub fn drain_timing(&mut self) {
+        self.port = PortSchedule::new();
+        self.memory.drain_timing();
+    }
+
+    /// Serializes the architectural state: the tag array and every
+    /// d-group (contents, free lists, recency, RNG streams).
+    pub fn save_state(&self, e: &mut simbase::snapshot::Encoder) {
+        self.tags.save_state(e);
+        e.put_len(self.dgroups.len());
+        for g in &self.dgroups {
+            g.save_state(e);
+        }
+    }
+
+    /// Restores state written by [`NuRapidCache::save_state`] into a cache
+    /// of identical configuration.
+    pub fn load_state(
+        &mut self,
+        d: &mut simbase::snapshot::Decoder<'_>,
+    ) -> Result<(), simbase::snapshot::SnapshotError> {
+        self.tags.load_state(d)?;
+        if d.len()? != self.dgroups.len() {
+            return Err(simbase::snapshot::SnapshotError::Malformed(
+                "d-group count mismatch",
+            ));
+        }
+        for g in self.dgroups.iter_mut() {
+            g.load_state(d)?;
+        }
+        Ok(())
+    }
+
     /// Verifies the tag/data bijection: every valid tag entry's forward
     /// pointer names an occupied frame whose reverse pointer names that
     /// entry, and occupied frame count equals valid tag count. Used by the
@@ -486,6 +548,10 @@ impl LowerCache for NuRapidCache {
 
     fn block_bytes(&self) -> u64 {
         BLOCK_BYTES
+    }
+
+    fn warm_access(&mut self, block: BlockAddr, kind: AccessKind) {
+        self.warm_access_block(block, kind);
     }
 }
 
@@ -838,6 +904,87 @@ mod tests {
         cfg.capacity = Capacity::from_mib(1);
         cfg.assoc = 4;
         let _ = NuRapidCache::new(cfg);
+    }
+
+    #[test]
+    fn warm_access_matches_timed_architectural_state() {
+        // Same access sequence through the timed and warm paths: the
+        // resulting architectural state must be identical, including the
+        // RNG stream position behind random distance replacement.
+        for policy in [
+            DistanceVictimPolicy::Random,
+            DistanceVictimPolicy::Lru,
+            DistanceVictimPolicy::ClockApprox,
+        ] {
+            let mk = || {
+                let mut c = small_cache(4);
+                c.config.distance_victim = policy;
+                let mut c = NuRapidCache::new(c.config.clone());
+                c.prefill();
+                c
+            };
+            let mut timed = mk();
+            let mut warm = mk();
+            let mut t = Cycle::ZERO;
+            let sets = timed.tags.sets() as u64;
+            for i in 0..30_000u64 {
+                let b = blk((i * 37) % 12_000 + (i % 7) * sets);
+                let k = if i % 5 == 0 { AccessKind::Write } else { AccessKind::Read };
+                let out = timed.access_block(b, k, t);
+                t = out.complete_at + 3;
+                warm.warm_access_block(b, k);
+            }
+            warm.check_invariants();
+            timed.check_invariants();
+            // Replay a probe sequence on both: identical hit groups prove
+            // identical placement, and identical victims prove the RNG
+            // streams stayed in lockstep.
+            warm.reset_stats();
+            timed.reset_stats();
+            let mut t2 = Cycle::ZERO;
+            for i in 0..5_000u64 {
+                let b = blk((i * 13) % 14_000);
+                let a = timed.access_block(b, AccessKind::Read, t2);
+                t2 = a.complete_at + 3;
+                warm.warm_access_block(b, AccessKind::Read);
+                assert_eq!(
+                    timed.tags.probe(b).map(|(_, p)| p),
+                    warm.tags.probe(b).map(|(_, p)| p),
+                    "{policy:?}: block {b} placement diverged at step {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn state_roundtrips_through_snapshot() {
+        use simbase::snapshot::{Decoder, Encoder};
+        let mut c = small_cache(4);
+        c.prefill();
+        let mut t = Cycle::ZERO;
+        for i in 0..20_000u64 {
+            let out = c.access_block(blk((i * 37) % 9_000), AccessKind::Read, t);
+            t = out.complete_at + 5;
+        }
+        let mut e = Encoder::new();
+        c.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut fresh = small_cache(4);
+        let mut d = Decoder::new(&bytes);
+        fresh.load_state(&mut d).unwrap();
+        d.finish().unwrap();
+        fresh.check_invariants();
+        // The twin must now behave identically: same hits, same placements,
+        // same victim draws.
+        let mut t2 = Cycle::new(1_000_000);
+        for i in 0..10_000u64 {
+            let b = blk((i * 13) % 11_000);
+            let orig = c.access_block(b, AccessKind::Read, t2);
+            let twin = fresh.access_block(b, AccessKind::Read, t2);
+            assert_eq!(orig.hit, twin.hit, "block {b} at step {i}");
+            t2 = orig.complete_at + 5;
+        }
+        fresh.check_invariants();
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::stats::NuRapidStats;
 use cachemodel::catalog::{NuRapidGeometry, BLOCK_BYTES};
 use memsys::lower::{LowerCache, LowerOutcome};
 use memsys::memory::MainMemory;
+use simbase::snapshot::{Decoder, Encoder, SnapshotError};
 use simbase::{AccessKind, BlockAddr, Capacity, Cycle};
 use simtel::TelemetrySink;
 
@@ -207,6 +208,121 @@ impl CoupledCache {
         }
     }
 
+    /// Next-fastest promotion, confined to this set: swap the block in
+    /// slot `s` (group `g > 0`) with the LRU block of the adjacent faster
+    /// group. Returns the swap occupancy in cycles.
+    fn promote_within_set(&mut self, set: usize, s: u32, g: usize) -> u64 {
+        let here = *self.slot(set, s);
+        let target = g - 1;
+        let mut swap_cycles = 0;
+        if let Some(free) = self.group_free_slot(set, target) {
+            *self.slot_mut(set, free) = here;
+            *self.slot_mut(set, s) = EMPTY;
+            swap_cycles += self.count_move(g, target);
+        } else {
+            let victim_slot = self
+                .group_lru_slot(set, target)
+                .expect("full group");
+            let victim = *self.slot(set, victim_slot);
+            *self.slot_mut(set, victim_slot) = here;
+            *self.slot_mut(set, s) = victim;
+            swap_cycles += self.count_move(g, target);
+            swap_cycles += self.count_move(target, g);
+            self.stats.demotions.inc();
+        }
+        self.stats.promotions.inc();
+        swap_cycles
+    }
+
+    /// Evicts the set-wide LRU block when no slot of `set` is free,
+    /// returning the victim so the caller can decide about write-back.
+    fn evict_set_lru(&mut self, set: usize) -> Option<Slot> {
+        let any_free = (0..self.assoc).any(|s| !self.slot(set, s).valid);
+        if any_free {
+            return None;
+        }
+        let victim_slot = (0..self.assoc)
+            .min_by_key(|&s| self.slot(set, s).last_use)
+            .expect("non-empty set");
+        let v = *self.slot(set, victim_slot);
+        *self.slot_mut(set, victim_slot) = EMPTY;
+        Some(v)
+    }
+
+    /// Warm-up access: applies every architectural effect of
+    /// [`Self::access_block`] (recency, dirtying, promotion swaps,
+    /// eviction, placement with demotions) while skipping port
+    /// scheduling, memory timing, and latency math.
+    pub fn warm_access_block(&mut self, block: BlockAddr, kind: AccessKind) {
+        self.use_clock += 1;
+        let set = self.set_of(block);
+        let hit_slot = (0..self.assoc)
+            .find(|&s| self.slot(set, s).valid && self.slot(set, s).block == block);
+        if let Some(s) = hit_slot {
+            let clock = self.use_clock;
+            {
+                let sl = self.slot_mut(set, s);
+                sl.last_use = clock;
+                if kind.is_write() {
+                    sl.dirty = true;
+                }
+            }
+            let g = self.group_of_slot(s);
+            if g > 0 {
+                let _ = self.promote_within_set(set, s, g);
+            }
+            return;
+        }
+        let _ = self.evict_set_lru(set); // write-back is timing-only
+        let incoming = Slot {
+            block,
+            dirty: kind.is_write(),
+            valid: true,
+            last_use: self.use_clock,
+        };
+        let _ = self.place_in_group(set, 0, incoming);
+    }
+
+    /// Clears all timing residue (port schedule, memory channel) without
+    /// touching cache contents; the drain barrier at the stats boundary.
+    pub fn drain_timing(&mut self) {
+        self.port = PortSchedule::new();
+        self.memory.drain_timing();
+    }
+
+    /// Serialises the architectural state (slots and the recency clock).
+    pub fn save_state(&self, e: &mut Encoder) {
+        e.put_u64(self.use_clock);
+        e.put_len(self.slots.len());
+        for s in &self.slots {
+            e.put_u64(s.block.index());
+            e.put_u8(s.valid as u8 | (s.dirty as u8) << 1);
+            e.put_u64(s.last_use);
+        }
+    }
+
+    /// Restores state written by [`Self::save_state`] into a cache of the
+    /// same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Malformed`] on a geometry mismatch or a
+    /// truncated payload.
+    pub fn load_state(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        self.use_clock = d.u64()?;
+        if d.len()? != self.slots.len() {
+            return Err(SnapshotError::Malformed("coupled slot count mismatch"));
+        }
+        for s in self.slots.iter_mut() {
+            s.block = BlockAddr::from_index(d.u64()?);
+            let packed = d.u8()?;
+            s.valid = packed & 1 != 0;
+            s.dirty = packed & 2 != 0;
+            s.last_use = d.u64()?;
+        }
+        Ok(())
+    }
+
     /// Demand access; same contract as NuRAPID's.
     pub fn access_block(&mut self, block: BlockAddr, kind: AccessKind, now: Cycle) -> LowerOutcome {
         self.use_clock += 1;
@@ -232,28 +348,9 @@ impl CoupledCache {
                 }
             }
             let latency = self.geo.dgroup_latency_cycles(g);
-            // Next-fastest promotion, confined to this set: swap with the
-            // LRU block of the adjacent faster group.
             let mut swap_cycles = 0;
             if g > 0 {
-                let here = *self.slot(set, s);
-                let target = g - 1;
-                if let Some(free) = self.group_free_slot(set, target) {
-                    *self.slot_mut(set, free) = here;
-                    *self.slot_mut(set, s) = EMPTY;
-                    swap_cycles += self.count_move(g, target);
-                } else {
-                    let victim_slot = self
-                        .group_lru_slot(set, target)
-                        .expect("full group");
-                    let victim = *self.slot(set, victim_slot);
-                    *self.slot_mut(set, victim_slot) = here;
-                    *self.slot_mut(set, s) = victim;
-                    swap_cycles += self.count_move(g, target);
-                    swap_cycles += self.count_move(target, g);
-                    self.stats.demotions.inc();
-                }
-                self.stats.promotions.inc();
+                swap_cycles = self.promote_within_set(set, s, g);
             }
             let start = self
                 .port
@@ -273,17 +370,11 @@ impl CoupledCache {
 
         // Data replacement: evict the set-wide LRU block (conventional),
         // freeing its slot.
-        let any_free = (0..self.assoc).any(|s| !self.slot(set, s).valid);
-        if !any_free {
-            let victim_slot = (0..self.assoc)
-                .min_by_key(|&s| self.slot(set, s).last_use)
-                .expect("non-empty set");
-            let v = *self.slot(set, victim_slot);
+        if let Some(v) = self.evict_set_lru(set) {
             if v.dirty {
                 self.stats.writebacks.inc();
                 let _ = self.memory.access(BLOCK_BYTES, mem_done);
             }
-            *self.slot_mut(set, victim_slot) = EMPTY;
         }
         // Initial placement in the fastest group, demoting within the set.
         let incoming = Slot {
@@ -306,6 +397,10 @@ impl CoupledCache {
 impl LowerCache for CoupledCache {
     fn access(&mut self, block: BlockAddr, kind: AccessKind, now: Cycle) -> LowerOutcome {
         self.access_block(block, kind, now)
+    }
+
+    fn warm_access(&mut self, block: BlockAddr, kind: AccessKind) {
+        self.warm_access_block(block, kind);
     }
 
     fn accesses(&self) -> u64 {
@@ -453,5 +548,100 @@ mod tests {
     #[should_panic(expected = "must divide")]
     fn groups_must_divide_ways() {
         let _ = CoupledCache::new(Capacity::from_mib(1), 8, 3);
+    }
+
+    fn slots_of(c: &CoupledCache) -> Vec<(u64, bool, bool, u64)> {
+        c.slots
+            .iter()
+            .map(|s| (s.block.index(), s.valid, s.dirty, s.last_use))
+            .collect()
+    }
+
+    #[test]
+    fn warm_access_matches_timed_architectural_state() {
+        let mut timed = small();
+        let mut warm = small();
+        let sets = timed.sets as u64;
+        let mut t = Cycle::ZERO;
+        for i in 0..30_000u64 {
+            // Mix of strided misses, hot-set reuse, and writes.
+            let b = match i % 5 {
+                0 => blk((i * 37) % 16_384),
+                1 => blk(1 + (i % 8) * sets),
+                _ => blk((i * 13) % 4_096),
+            };
+            let kind = if i % 7 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let out = timed.access_block(b, kind, t);
+            warm.warm_access_block(b, kind);
+            t = out.complete_at + (i % 50);
+        }
+        assert_eq!(slots_of(&timed), slots_of(&warm));
+        // Replay: both must serve the same hit stream from here.
+        warm.drain_timing();
+        let mut t = Cycle::ZERO;
+        for i in 0..5_000u64 {
+            let b = blk((i * 29) % 8_192);
+            let o1 = timed.access_block(b, AccessKind::Read, t);
+            let o2 = warm.access_block(b, AccessKind::Read, t);
+            assert_eq!(o1.hit, o2.hit, "replay access {i} diverged");
+            t = o1.complete_at + 10;
+        }
+    }
+
+    #[test]
+    fn state_roundtrips_through_snapshot() {
+        let mut c = small();
+        let sets = c.sets as u64;
+        let mut t = Cycle::ZERO;
+        for i in 0..20_000u64 {
+            let b = blk((i * 37 + i % 3) % 12_288);
+            let kind = if i % 4 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let out = c.access_block(b, kind, t);
+            t = out.complete_at + 5;
+        }
+        let mut e = simbase::snapshot::Encoder::new();
+        c.save_state(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut restored = small();
+        let mut d = simbase::snapshot::Decoder::new(&bytes);
+        restored.load_state(&mut d).expect("load");
+        d.finish().expect("no trailing bytes");
+        assert_eq!(slots_of(&c), slots_of(&restored));
+        assert_eq!(c.use_clock, restored.use_clock);
+
+        // Twin replay from the restored state.
+        c.drain_timing();
+        let mut t = Cycle::ZERO;
+        for i in 0..10_000u64 {
+            let b = blk(1 + (i * 53) % 9_000 + (i % 4) * sets);
+            let o1 = c.access_block(b, AccessKind::Read, t);
+            let o2 = restored.access_block(b, AccessKind::Read, t);
+            assert_eq!(o1.hit, o2.hit, "replay access {i} diverged");
+            t = o1.complete_at + 10;
+        }
+    }
+
+    #[test]
+    fn load_rejects_wrong_geometry() {
+        let c = small();
+        let mut e = simbase::snapshot::Encoder::new();
+        c.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut smaller = CoupledCache::new(Capacity::from_mib(2), 8, 4);
+        let mut d = simbase::snapshot::Decoder::new(&bytes);
+        assert!(smaller.load_state(&mut d).is_err());
+        // Same slot layout restores cleanly even across d-group splits.
+        let mut other = CoupledCache::new(Capacity::from_mib(1), 8, 2);
+        let mut d = simbase::snapshot::Decoder::new(&bytes);
+        other.load_state(&mut d).expect("same slot layout");
     }
 }

@@ -13,6 +13,7 @@
 use crate::policy::DistanceVictimPolicy;
 use crate::tag::TagRef;
 use simbase::rng::SimRng;
+use simbase::snapshot::{Decoder, Encoder, SnapshotError};
 
 const NIL: u32 = u32::MAX;
 
@@ -314,6 +315,76 @@ impl DGroupArray {
         *slot = pack_owner(owner);
     }
 
+    /// Serializes the full d-group state: reverse pointers, per-region
+    /// free lists, whichever recency state the policy maintains, and the
+    /// victim RNG stream (its draw sequence is architectural — it decides
+    /// which blocks demote).
+    pub fn save_state(&self, e: &mut Encoder) {
+        e.put_u64_slice(&self.frames);
+        for reg in &self.regions {
+            e.put_u32_slice(&reg.free);
+            e.put_u32_slice(&reg.lru.prev);
+            e.put_u32_slice(&reg.lru.next);
+            e.put_u32(reg.lru.head);
+            e.put_u32(reg.lru.tail);
+            e.put_len(reg.lru.linked.len());
+            for &b in &reg.lru.linked {
+                e.put_bool(b);
+            }
+            e.put_len(reg.referenced.len());
+            for &b in &reg.referenced {
+                e.put_bool(b);
+            }
+            e.put_u32(reg.hand);
+        }
+        for w in self.rng.state() {
+            e.put_u64(w);
+        }
+    }
+
+    /// Restores state written by [`DGroupArray::save_state`] into a
+    /// d-group of identical geometry and policy.
+    pub fn load_state(&mut self, d: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+        let frames = d.u64_slice()?;
+        if frames.len() != self.frames.len() {
+            return Err(SnapshotError::Malformed("d-group frame count mismatch"));
+        }
+        self.frames = frames;
+        let fpr = self.frames_per_region as usize;
+        for reg in self.regions.iter_mut() {
+            let free = d.u32_slice()?;
+            if free.len() > fpr {
+                return Err(SnapshotError::Malformed("free list exceeds region size"));
+            }
+            reg.free = free;
+            let prev = d.u32_slice()?;
+            let next = d.u32_slice()?;
+            if prev.len() != reg.lru.prev.len() || next.len() != reg.lru.next.len() {
+                return Err(SnapshotError::Malformed("d-group recency geometry mismatch"));
+            }
+            reg.lru.prev = prev;
+            reg.lru.next = next;
+            reg.lru.head = d.u32()?;
+            reg.lru.tail = d.u32()?;
+            if d.len()? != reg.lru.linked.len() {
+                return Err(SnapshotError::Malformed("d-group recency geometry mismatch"));
+            }
+            for b in reg.lru.linked.iter_mut() {
+                *b = d.bool()?;
+            }
+            if d.len()? != reg.referenced.len() {
+                return Err(SnapshotError::Malformed("d-group recency geometry mismatch"));
+            }
+            for b in reg.referenced.iter_mut() {
+                *b = d.bool()?;
+            }
+            reg.hand = d.u32()?;
+        }
+        let s = [d.u64()?, d.u64()?, d.u64()?, d.u64()?];
+        self.rng = SimRng::from_state(s);
+        Ok(())
+    }
+
     /// Chooses a distance-replacement victim frame within `region`.
     ///
     /// # Panics
@@ -569,5 +640,55 @@ mod tests {
     fn regions_must_divide_frames() {
         let _ =
             DGroupArray::with_regions(10, 3, DistanceVictimPolicy::Random, SimRng::seeded(5));
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_frames_recency_and_rng() {
+        use simbase::snapshot::{Decoder, Encoder};
+        for policy in [
+            DistanceVictimPolicy::Random,
+            DistanceVictimPolicy::Lru,
+            DistanceVictimPolicy::ClockApprox,
+        ] {
+            let mut g = DGroupArray::with_regions(8, 2, policy, SimRng::seeded(11));
+            for i in 0..3 {
+                let f = g.take_free(0).unwrap();
+                g.install(f, tr(i, 0));
+                g.touch(f);
+            }
+            let f = g.take_free(1).unwrap();
+            g.install(f, tr(9, 1));
+            // Consume an RNG draw so the stream position is non-trivial.
+            let f4 = g.take_free(0).unwrap();
+            g.install(f4, tr(3, 0));
+            let _ = g.choose_victim(0);
+
+            let mut e = Encoder::new();
+            g.save_state(&mut e);
+            let bytes = e.into_bytes();
+            let mut fresh = DGroupArray::with_regions(8, 2, policy, SimRng::seeded(99));
+            let mut d = Decoder::new(&bytes);
+            fresh.load_state(&mut d).unwrap();
+            d.finish().unwrap();
+
+            assert_eq!(fresh.occupied(), g.occupied(), "{policy:?}");
+            for frame in 0..8 {
+                assert_eq!(fresh.owner(frame), g.owner(frame), "{policy:?} frame {frame}");
+            }
+            // Victim choice (recency or RNG stream) must continue in step.
+            assert_eq!(fresh.choose_victim(0), g.choose_victim(0), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn load_rejects_wrong_frame_count() {
+        use simbase::snapshot::{Decoder, Encoder};
+        let g = group(4, DistanceVictimPolicy::Random);
+        let mut e = Encoder::new();
+        g.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut other = group(8, DistanceVictimPolicy::Random);
+        let mut d = Decoder::new(&bytes);
+        assert!(other.load_state(&mut d).is_err());
     }
 }

@@ -7,6 +7,7 @@
 //! per-set true LRU (Section 2.4.2).
 
 use memsys::packed_lru::LruTable;
+use simbase::snapshot::{Decoder, Encoder, SnapshotError};
 use simbase::{AccessKind, BlockAddr};
 
 /// A forward pointer: where a block's data lives.
@@ -248,6 +249,27 @@ impl TagArray {
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
         self.meta.iter().filter(|&&m| m & META_VALID != 0).count()
+    }
+
+    /// Serializes tags, packed metadata (valid/dirty/forward pointers),
+    /// and per-set recency.
+    pub fn save_state(&self, e: &mut Encoder) {
+        e.put_u64_slice(&self.blocks);
+        e.put_u64_slice(&self.meta);
+        self.lru.save_state(e);
+    }
+
+    /// Restores state written by [`TagArray::save_state`] into an array of
+    /// identical geometry.
+    pub fn load_state(&mut self, d: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+        let blocks = d.u64_slice()?;
+        let meta = d.u64_slice()?;
+        if blocks.len() != self.blocks.len() || meta.len() != self.meta.len() {
+            return Err(SnapshotError::Malformed("tag array geometry mismatch"));
+        }
+        self.blocks = blocks;
+        self.meta = meta;
+        self.lru.load_state(d)
     }
 }
 

@@ -4,8 +4,9 @@
 //! workspace: physical [`Addr`]esses and block framing, [`Cycle`] timestamps,
 //! [`EnergyNj`] accounting, deterministic random number generation
 //! ([`rng::SimRng`]), stable configuration digests ([`digest`]),
-//! lightweight statistics ([`stats`]), and the in-tree JSON value model
-//! ([`json`]) shared by the artifact and telemetry layers.
+//! lightweight statistics ([`stats`]), the versioned checkpoint codec
+//! ([`snapshot`]), and the in-tree JSON value model ([`json`]) shared by
+//! the artifact and telemetry layers.
 //!
 //! # Examples
 //!
@@ -21,6 +22,7 @@
 pub mod digest;
 pub mod json;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 
 use std::fmt;

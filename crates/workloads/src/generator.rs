@@ -18,6 +18,7 @@
 use crate::profiles::BenchProfile;
 use cpu::uop::{MicroOp, OpClass, TraceSource};
 use simbase::rng::SimRng;
+use simbase::snapshot::{Decoder, Encoder, SnapshotError};
 use simbase::Addr;
 
 /// Virtual-address bases for the three data regions and code.
@@ -98,6 +99,50 @@ impl TraceGenerator {
     /// The profile driving this generator.
     pub fn profile(&self) -> &BenchProfile {
         &self.profile
+    }
+
+    /// Serialises the generator's position in its stream (RNG state and
+    /// all mixture-process state). The profile itself is construction
+    /// input, not snapshot payload.
+    pub fn save_state(&self, e: &mut Encoder) {
+        for w in self.rng.state() {
+            e.put_u64(w);
+        }
+        e.put_u64(self.i);
+        e.put_u64_slice(&self.recent);
+        e.put_u64(self.recent_n as u64);
+        e.put_u64(self.stream_pos);
+        e.put_u32(self.burst_left);
+        e.put_bool(self.chain_next);
+        e.put_u64(self.init_left);
+        e.put_u8(self.since_hot_load);
+        e.put_bool(self.in_new_burst);
+    }
+
+    /// Restores state written by [`Self::save_state`] into a generator
+    /// built from the same profile and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Malformed`] on a truncated or mismatched
+    /// payload.
+    pub fn load_state(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        let rng_state = [d.u64()?, d.u64()?, d.u64()?, d.u64()?];
+        self.rng = SimRng::from_state(rng_state);
+        self.i = d.u64()?;
+        let recent = d.u64_slice()?;
+        if recent.len() != RECENT_LINES {
+            return Err(SnapshotError::Malformed("recent-line ring size mismatch"));
+        }
+        self.recent.copy_from_slice(&recent);
+        self.recent_n = d.u64()? as usize;
+        self.stream_pos = d.u64()?;
+        self.burst_left = d.u32()?;
+        self.chain_next = d.bool()?;
+        self.init_left = d.u64()?;
+        self.since_hot_load = d.u8()?;
+        self.in_new_burst = d.bool()?;
+        Ok(())
     }
 
     fn pc(&self) -> Addr {
@@ -409,6 +454,32 @@ mod tests {
         let swim = chain_rate("swim");
         assert!(mcf > swim + 0.05, "mcf {mcf} vs swim {swim}");
         assert!(mcf > 0.3, "pointer chaser must chain often: {mcf}");
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_exact_stream() {
+        for p in ROSTER {
+            let mut g = TraceGenerator::new(p, 17);
+            for _ in 0..50_000 {
+                let _ = g.next_op();
+            }
+            let mut e = simbase::snapshot::Encoder::new();
+            g.save_state(&mut e);
+            let bytes = e.into_bytes();
+
+            let mut restored = TraceGenerator::new(p, 17);
+            let mut d = simbase::snapshot::Decoder::new(&bytes);
+            restored.load_state(&mut d).expect("load");
+            d.finish().expect("no trailing bytes");
+            for i in 0..20_000 {
+                assert_eq!(
+                    g.next_op(),
+                    restored.next_op(),
+                    "{}: op {i} diverged after restore",
+                    p.name
+                );
+            }
+        }
     }
 
     #[test]

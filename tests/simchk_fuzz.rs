@@ -1,0 +1,249 @@
+//! Randomized coverage for the `simbase::snapshot` checkpoint container:
+//! seal→open round trips must be bit-exact for arbitrary payloads, and a
+//! checkpoint that was truncated, corrupted, or written by a different
+//! codec version must *never* open — a silently-wrong cache restore would
+//! poison every measured number downstream.
+//!
+//! The container framing (magic / version / length / FNV-1a-128 checksum)
+//! is pinned by unit tests in `simbase::snapshot`; these properties fuzz
+//! what the pin can't cover: every payload length, every cut point an
+//! interrupted write could leave behind, every single-byte corruption,
+//! and arbitrary typed-field sequences through `Encoder` / `Decoder`.
+
+use simbase::snapshot::{open, seal, Decoder, Encoder, SnapshotError, MAGIC, OVERHEAD};
+use simkit::prop::{
+    any_u64, any_u8, checker, range_u32, range_u64, select, vec_of, Checker, Gen,
+};
+
+fn fprop(name: &str) -> Checker {
+    checker(name).cases(64).corpus(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/differential-regressions.txt"
+    ))
+}
+
+fn any_u32() -> impl Gen<Value = u32> {
+    range_u32(0, u32::MAX)
+}
+
+/// 1. Seal → open returns the exact payload for any payload and version,
+/// and sealing is deterministic (same input → same container bytes).
+#[test]
+fn simchk_roundtrip_is_bit_exact() {
+    let gen = (vec_of(any_u8(), 0, 512), any_u32());
+    fprop("simchk_roundtrip_is_bit_exact").check(&gen, |(payload, version)| {
+        let sealed = seal(*version, payload);
+        assert_eq!(sealed.len(), payload.len() + OVERHEAD);
+        assert_eq!(&sealed[..8], &MAGIC, "container must lead with the magic");
+        let reopened = open(&sealed, *version).expect("own seal must open");
+        assert_eq!(reopened, payload.as_slice(), "open changed the payload");
+        assert_eq!(seal(*version, payload), sealed, "seal is not deterministic");
+    });
+}
+
+/// 2. A container cut at ANY point strictly inside it never opens: every
+/// cut reports `Truncated` once the magic prefix matches, and cuts inside
+/// a mismatching prefix report `BadMagic`. No cut may yield `Ok`.
+#[test]
+fn simchk_truncation_never_opens() {
+    let gen = (vec_of(any_u8(), 0, 256), any_u32(), any_u64());
+    fprop("simchk_truncation_never_opens").check(&gen, |(payload, version, cut_seed)| {
+        let sealed = seal(*version, payload);
+        let cut = (cut_seed % sealed.len() as u64) as usize;
+        let err = open(&sealed[..cut], *version).expect_err("truncated container opened");
+        // Inside the magic the prefix still matches MAGIC, so the codec
+        // can (and does) say Truncated; from byte 8 on it must.
+        assert_eq!(err, SnapshotError::Truncated, "cut at {cut}/{}", sealed.len());
+    });
+}
+
+/// 3. Flipping any single byte of a sealed container never opens as the
+/// original payload. Whatever layer the corruption lands in — magic,
+/// version, length, payload, checksum — some check must reject it.
+#[test]
+fn simchk_single_byte_corruption_never_opens() {
+    let gen = (
+        vec_of(any_u8(), 0, 256),
+        any_u32(),
+        any_u64(),
+        select((1u8..=255).collect::<Vec<_>>()),
+    );
+    fprop("simchk_single_byte_corruption_never_opens").check(
+        &gen,
+        |(payload, version, victim_seed, flip)| {
+            let mut sealed = seal(*version, payload);
+            let victim = (victim_seed % sealed.len() as u64) as usize;
+            sealed[victim] ^= *flip; // flip != 0, so the byte really changes
+            let err = open(&sealed, *version).expect_err("corrupt container opened");
+            match (victim, err) {
+                (0..=7, SnapshotError::BadMagic) => {}
+                (8..=11, SnapshotError::VersionMismatch { expected, .. }) => {
+                    assert_eq!(expected, *version);
+                }
+                // A corrupted length field can claim too few bytes
+                // (Truncated / trailing-bytes Malformed) or overflow; a
+                // corrupted payload or checksum must fail the checksum.
+                (12..=19, SnapshotError::Truncated)
+                | (12..=19, SnapshotError::Malformed(_))
+                | (_, SnapshotError::ChecksumMismatch) => {}
+                (at, other) => panic!("byte {at} flipped by {flip:#x}: unexpected {other:?}"),
+            }
+        },
+    );
+}
+
+/// 4. A snapshot sealed by codec version `v` opened expecting `w != v`
+/// reports exactly `VersionMismatch {{ found: v, expected: w }}` — the
+/// reader learns both sides, and the store treats it as a rebuild, never
+/// a decode of stale state.
+#[test]
+fn simchk_version_mismatch_reports_both_versions() {
+    let gen = (vec_of(any_u8(), 0, 64), any_u32(), any_u32());
+    fprop("simchk_version_mismatch_reports_both_versions").check(
+        &gen,
+        |(payload, sealed_v, opened_v)| {
+            let sealed = seal(*sealed_v, payload);
+            let got = open(&sealed, *opened_v);
+            if sealed_v == opened_v {
+                assert_eq!(got.expect("matching version opens"), payload.as_slice());
+            } else {
+                assert_eq!(
+                    got,
+                    Err(SnapshotError::VersionMismatch {
+                        found: *sealed_v,
+                        expected: *opened_v,
+                    })
+                );
+            }
+        },
+    );
+}
+
+/// One arbitrary typed field for the Encoder/Decoder layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Field {
+    U8(u8),
+    U32(u32),
+    U64(u64),
+    Bool(bool),
+    Bytes(Vec<u8>),
+    U64s(Vec<u64>),
+    U32s(Vec<u32>),
+}
+
+fn field_gen() -> impl Gen<Value = Field> {
+    struct FieldGen;
+    impl Gen for FieldGen {
+        type Value = Field;
+        fn generate(&self, rng: &mut simbase::rng::SimRng) -> Field {
+            match rng.next_u64() % 7 {
+                0 => Field::U8(rng.next_u64() as u8),
+                1 => Field::U32(rng.next_u64() as u32),
+                2 => Field::U64(rng.next_u64()),
+                3 => Field::Bool(rng.next_u64() & 1 == 1),
+                4 => Field::Bytes((0..rng.next_u64() % 17).map(|_| rng.next_u64() as u8).collect()),
+                5 => Field::U64s((0..rng.next_u64() % 9).map(|_| rng.next_u64()).collect()),
+                _ => Field::U32s((0..rng.next_u64() % 9).map(|_| rng.next_u64() as u32).collect()),
+            }
+        }
+        fn shrink(&self, v: &Field) -> Vec<Field> {
+            // Shrink toward the smallest value of the same shape.
+            match v {
+                Field::U8(0) | Field::U32(0) | Field::U64(0) | Field::Bool(false) => vec![],
+                Field::U8(_) => vec![Field::U8(0)],
+                Field::U32(_) => vec![Field::U32(0)],
+                Field::U64(_) => vec![Field::U64(0)],
+                Field::Bool(_) => vec![Field::Bool(false)],
+                Field::Bytes(b) if b.is_empty() => vec![],
+                Field::Bytes(b) => vec![Field::Bytes(b[..b.len() - 1].to_vec())],
+                Field::U64s(b) if b.is_empty() => vec![],
+                Field::U64s(b) => vec![Field::U64s(b[..b.len() - 1].to_vec())],
+                Field::U32s(b) if b.is_empty() => vec![],
+                Field::U32s(b) => vec![Field::U32s(b[..b.len() - 1].to_vec())],
+            }
+        }
+    }
+    FieldGen
+}
+
+fn encode(fields: &[Field]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    for f in fields {
+        match f {
+            Field::U8(v) => e.put_u8(*v),
+            Field::U32(v) => e.put_u32(*v),
+            Field::U64(v) => e.put_u64(*v),
+            Field::Bool(v) => e.put_bool(*v),
+            Field::Bytes(v) => e.put_u8_slice(v),
+            Field::U64s(v) => e.put_u64_slice(v),
+            Field::U32s(v) => e.put_u32_slice(v),
+        }
+    }
+    e.into_bytes()
+}
+
+fn decode_one(d: &mut Decoder<'_>, shape: &Field) -> Result<Field, SnapshotError> {
+    Ok(match shape {
+        Field::U8(_) => Field::U8(d.u8()?),
+        Field::U32(_) => Field::U32(d.u32()?),
+        Field::U64(_) => Field::U64(d.u64()?),
+        Field::Bool(_) => Field::Bool(d.bool()?),
+        Field::Bytes(_) => Field::Bytes(d.u8_slice()?),
+        Field::U64s(_) => Field::U64s(d.u64_slice()?),
+        Field::U32s(_) => Field::U32s(d.u32_slice()?),
+    })
+}
+
+/// 5. Any typed field sequence round-trips field-for-field through
+/// Encoder → seal → open → Decoder, and `finish()` proves the decoder
+/// consumed exactly the bytes the encoder wrote.
+#[test]
+fn simchk_typed_fields_roundtrip_through_container() {
+    let gen = (vec_of(field_gen(), 0, 40), any_u32());
+    fprop("simchk_typed_fields_roundtrip_through_container").check(&gen, |(fields, version)| {
+        let sealed = seal(*version, &encode(fields));
+        let payload = open(&sealed, *version).expect("own seal opens");
+        let mut d = Decoder::new(payload);
+        for want in fields {
+            let got = decode_one(&mut d, want).expect("clean payload decodes");
+            assert_eq!(&got, want, "decode changed a field");
+        }
+        d.finish().expect("decoder must consume the whole payload");
+    });
+}
+
+/// 6. A typed payload cut at any interior point fails with `Truncated`
+/// (or a bounds-check `Malformed` when the cut lands inside a
+/// length-prefixed slice) — it never decodes a wrong value, and every
+/// field before the cut still decodes exactly.
+#[test]
+fn simchk_typed_truncation_fails_cleanly() {
+    let gen = (vec_of(field_gen(), 1, 24), range_u64(0, u64::MAX));
+    fprop("simchk_typed_truncation_fails_cleanly").check(&gen, |(fields, cut_seed)| {
+        let bytes = encode(fields);
+        if bytes.is_empty() {
+            return;
+        }
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let mut d = Decoder::new(&bytes[..cut]);
+        let mut decoded = 0usize;
+        let err = loop {
+            if decoded == fields.len() {
+                // The cut removed bytes, so the decoder must notice that
+                // something is missing before reproducing every field.
+                panic!("truncated payload decoded all {decoded} fields");
+            }
+            match decode_one(&mut d, &fields[decoded]) {
+                Ok(got) => {
+                    assert_eq!(&got, &fields[decoded], "prefix field changed");
+                    decoded += 1;
+                }
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(err, SnapshotError::Truncated | SnapshotError::Malformed(_)),
+            "unexpected error {err:?} after {decoded} fields"
+        );
+    });
+}
