@@ -16,7 +16,7 @@ use cpu::{CoreParams, OooCore};
 use memsys::hierarchy::BaseHierarchy;
 use memsys::l1::CoreMemSystem;
 use memsys::lower::LowerCache;
-use nuca::{DnucaCache, DnucaConfig, SearchPolicy};
+use nuca::{CnucaConfig, CompressedNucaCache, DnucaCache, DnucaConfig, SearchPolicy};
 use nurapid::coupled::CoupledCache;
 use nurapid::{NuRapidCache, NuRapidConfig};
 use simbase::rng::SimRng;
@@ -88,6 +88,18 @@ fn bench_caches(b: &mut BenchRunner) {
     let r = b.bench("hotpath_dnuca_ss_energy", WARMUP, ITERS, || {
         black_box(drive(&mut dn_energy, ACCESSES))
     });
+    throughput(r, ACCESSES, "accesses");
+
+    let mut dn_memo = DnucaCache::new(DnucaConfig::micro2003(SearchPolicy::WayMemo));
+    dn_memo.prefill();
+    let r = b.bench("hotpath_dnuca_way_memo", WARMUP, ITERS, || {
+        black_box(drive(&mut dn_memo, ACCESSES))
+    });
+    throughput(r, ACCESSES, "accesses");
+
+    let mut cnuca = CompressedNucaCache::new(CnucaConfig::micro2003());
+    cnuca.prefill();
+    let r = b.bench("hotpath_cnuca", WARMUP, ITERS, || black_box(drive(&mut cnuca, ACCESSES)));
     throughput(r, ACCESSES, "accesses");
 
     let mut coupled = CoupledCache::micro2003(4);

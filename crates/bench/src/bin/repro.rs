@@ -6,8 +6,8 @@
 //!       [--checkpoints DIR] [--telemetry DIR] [--quiet]
 //!
 //!   --exp       table2 | table3 | table4 | fig4 | fig5 | fig6 | lru |
-//!               fig7 | fig8 | fig9 | fig10 | fig11 | restrict | all
-//!               (default: all)
+//!               fig7 | fig8 | fig9 | fig10 | fig11 | restrict | orgs |
+//!               all (default: all)
 //!   --quick     run at the reduced test scale instead of the full
 //!               reproduction scale
 //!   --tsv       machine-readable output for the figure experiments
@@ -218,7 +218,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|all] \
+        "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|orgs|all] \
          [--quick] [--tsv] [--threads N] [--artifacts DIR] [--checkpoints DIR] [--telemetry DIR] [--quiet]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

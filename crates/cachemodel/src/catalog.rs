@@ -328,6 +328,32 @@ pub fn smart_search_latency_cycles() -> u64 {
     2
 }
 
+/// Energy of one way-memo table lookup or update. The table holds one
+/// way index (5 bits at 18 ways) per set — an order of magnitude narrower
+/// than the smart-search array's 7 bits × 16 ways, priced accordingly.
+pub fn way_memo_energy() -> EnergyNj {
+    EnergyNj::new(0.02)
+}
+
+/// Latency of a way-memo table lookup in cycles: a single narrow RAM read
+/// next to the controller, resolving faster than the smart-search array.
+pub fn way_memo_latency_cycles() -> u64 {
+    1
+}
+
+/// Energy of decompressing one compressed block on a hit. A BDI/FPC-style
+/// decompressor is a few stages of narrow adders and shifters — far
+/// cheaper than a bank data access, but not free.
+pub fn decompressor_energy() -> EnergyNj {
+    EnergyNj::new(0.05)
+}
+
+/// Pipeline latency of the block decompressor in cycles (BDI-class
+/// designs decompress in 1-2 cycles; FPC in up to 5).
+pub fn decompressor_latency_cycles() -> u64 {
+    2
+}
+
 /// Energy of one L1 access using both ports of the low-latency 64-KB 2-way
 /// L1 (Table 2: 0.57 nJ); a single-ported access costs half.
 pub fn l1_two_port_energy() -> EnergyNj {

@@ -1,7 +1,7 @@
 //! Per-organization L2 energy: event counts × Table 2 per-operation
 //! energies.
 
-use cachemodel::catalog::{self, DnucaGeometry, NuRapidGeometry};
+use cachemodel::catalog::{DnucaGeometry, NuRapidGeometry};
 use cachemodel::sram::{self, TagArray};
 use memsys::hierarchy::BaseHierarchy;
 use nuca::DnucaStats;
@@ -11,25 +11,21 @@ use simbase::{Capacity, EnergyNj};
 /// Dynamic energy of a NuRAPID cache over a run: tag probes and pointer
 /// rewrites, plus every d-group read and write (demand, fills, and swap
 /// traffic) at that d-group's distance-dependent cost.
+///
+/// Delegates to [`nurapid::energy::dynamic_energy`] — the formula lives
+/// with the cache so it can price itself for
+/// [`memsys::org::Organization::report`].
 pub fn nurapid_energy(stats: &NuRapidStats, geo: &NuRapidGeometry) -> EnergyNj {
-    let mut e = geo.tag_energy() * (stats.tag_probes.get() + stats.tag_writes.get());
-    for g in 0..stats.n_dgroups() {
-        e += geo.dgroup_access_energy(g)
-            * (stats.group_reads.count(g) + stats.group_writes.count(g));
-    }
-    e
+    nurapid::energy::dynamic_energy(stats, geo)
 }
 
 /// Dynamic energy of a D-NUCA cache over a run: smart-search probes, full
 /// bank accesses (demand, fills, swaps) and tag-only searches, each at
 /// the bank's network-distance-dependent cost.
+///
+/// Delegates to [`nuca::energy::dynamic_energy`].
 pub fn dnuca_energy(stats: &DnucaStats, geo: &DnucaGeometry) -> EnergyNj {
-    let mut e = catalog::smart_search_energy() * stats.ss_accesses.get();
-    for b in 0..geo.n_banks() {
-        e += geo.bank_access_energy(b) * stats.bank_accesses[b];
-        e += geo.bank_search_energy(b) * stats.bank_searches[b];
-    }
-    e
+    nuca::energy::dynamic_energy(stats, geo)
 }
 
 /// Per-access energies of the conventional hierarchy's levels, derived

@@ -28,7 +28,7 @@ use std::sync::Arc;
 /// Version tag of the checkpoint payload layout. Bump whenever any
 /// `save_state` encoding or the payload ordering changes; old files then
 /// fail [`snapshot::open`] and are transparently rebuilt.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// File extension of sealed checkpoints.
 pub const CHECKPOINT_EXT: &str = "simchk";

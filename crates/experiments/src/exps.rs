@@ -11,7 +11,7 @@ use crate::checkpoint::CheckpointStore;
 use crate::report::{f2, pct, rel, TextTable};
 use crate::runner::{run_app_opts, run_digest, AppRun, L2Kind, RunOptions, Scale, WarmupMode};
 use cachemodel::catalog::{self, DnucaGeometry, NuRapidGeometry};
-use nuca::SearchPolicy;
+use nuca::{CnucaConfig, SearchPolicy};
 use nurapid::{DistanceVictimPolicy, NuRapidConfig, PromotionPolicy};
 use simbase::stats::GeoMean;
 use simbase::Capacity;
@@ -353,6 +353,8 @@ pub fn kind_of(key: &str) -> L2Kind {
         "nf4-r64" => L2Kind::NuRapid(NuRapidConfig::micro2003(4).with_frames_per_region(64)),
         "dn-perf" => L2Kind::Dnuca(SearchPolicy::SsPerformance),
         "dn-energy" => L2Kind::Dnuca(SearchPolicy::SsEnergy),
+        "dn-memo" => L2Kind::Dnuca(SearchPolicy::WayMemo),
+        "cnuca" => L2Kind::Cnuca(CnucaConfig::micro2003()),
         other => panic!("unknown configuration key {other:?}"),
     }
 }
@@ -1090,6 +1092,104 @@ impl RestrictionAblation {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Organization plugin study: the trait's two new organizations vs D-NUCA
+// ---------------------------------------------------------------------------
+
+/// Organization comparison across the plugin roster: D-NUCA's three
+/// search policies and compressed NUCA, per application. The two claims
+/// it substantiates (DESIGN.md §12):
+///
+/// * **compressed NUCA** puts a larger fraction of accesses in the
+///   fastest d-group than D-NUCA — its position 0 holds four compressed
+///   blocks where D-NUCA holds two raw ones;
+/// * **way memoization** spends less L2 energy than multicast smart
+///   search — memo hits skip the smart-search array and every non-hit
+///   bank.
+#[derive(Debug, Clone)]
+pub struct OrgFigure {
+    /// Configuration keys, in display order.
+    pub configs: Vec<&'static str>,
+    /// `rows[app] = (name, [(rel ipc, l2 nJ/KI, fastest-group frac)])`.
+    pub rows: Vec<(&'static str, Vec<(f64, f64, f64)>)>,
+}
+
+/// Regenerates the organization comparison.
+pub fn orgs(sweep: &Sweep) -> OrgFigure {
+    let configs = vec!["dn-perf", "dn-energy", "dn-memo", "cnuca"];
+    let apps = sweep.apps().to_vec();
+    let rows = apps
+        .into_iter()
+        .map(|p| {
+            let base_ipc = sweep.run(p, "base").ipc();
+            let per_config = configs
+                .iter()
+                .map(|k| {
+                    let r = sweep.run(p, k);
+                    let per_ki = r.l2_energy.nj() * 1000.0 / r.core.instructions as f64;
+                    let g0 = r.group_fracs.first().copied().unwrap_or(0.0);
+                    (r.ipc() / base_ipc, per_ki, g0)
+                })
+                .collect();
+            (p.name, per_config)
+        })
+        .collect();
+    OrgFigure { configs, rows }
+}
+
+impl OrgFigure {
+    fn avg(&self, i: usize, field: impl Fn(&(f64, f64, f64)) -> f64) -> f64 {
+        let sum: f64 = self.rows.iter().map(|(_, c)| field(&c[i])).sum();
+        sum / self.rows.len() as f64
+    }
+
+    /// Average fastest-d-group access fraction of config `i`.
+    pub fn avg_first_group(&self, i: usize) -> f64 {
+        self.avg(i, |r| r.2)
+    }
+
+    /// Average L2 nJ per kilo-instruction of config `i`.
+    pub fn avg_energy_per_ki(&self, i: usize) -> f64 {
+        self.avg(i, |r| r.1)
+    }
+
+    /// Geometric-mean relative performance of config `i`.
+    pub fn overall(&self, i: usize) -> f64 {
+        geomean(self.rows.iter().map(|(_, c)| c[i].0))
+    }
+
+    /// Renders the study.
+    pub fn render(&self) -> String {
+        let mut header = vec!["App".to_string()];
+        for c in &self.configs {
+            header.push(format!("{c} perf"));
+            header.push(format!("{c} nJ/KI"));
+            header.push(format!("{c} g0"));
+        }
+        let mut t = TextTable::new(header);
+        for (name, per_config) in &self.rows {
+            let mut row = vec![name.to_string()];
+            for &(perf, e, g0) in per_config {
+                row.push(rel(perf));
+                row.push(f2(e));
+                row.push(pct(g0));
+            }
+            t.row(row);
+        }
+        let mut avg = vec!["AVERAGE".to_string()];
+        for i in 0..self.configs.len() {
+            avg.push(rel(self.overall(i)));
+            avg.push(f2(self.avg_energy_per_ki(i)));
+            avg.push(pct(self.avg_first_group(i)));
+        }
+        t.row(avg);
+        format!(
+            "Organization plugins: D-NUCA search policies vs compressed NUCA\n{}",
+            t.render()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1288,6 +1388,45 @@ mod tests {
     #[should_panic(expected = "unknown configuration")]
     fn unknown_key_panics() {
         let _ = kind_of("warp-drive");
+    }
+
+    #[test]
+    fn orgs_compares_the_plugin_roster() {
+        // art's 3.5-MB hot set overflows D-NUCA's 1-MB fastest d-group,
+        // which is where the compressed ways earn their keep; and bubble
+        // promotion needs roughly `n_positions` hits per block to lift it
+        // into the fastest d-group, so this study needs a longer measure
+        // window than the other figure tests.
+        let s = Sweep::with_apps(
+            Scale {
+                warmup: 60_000,
+                measure: 300_000,
+            },
+            vec![by_name("art").unwrap()],
+        );
+        let f = orgs(&s);
+        let at = |key| f.configs.iter().position(|&c| c == key).unwrap();
+        let (perf, memo, cnuca) = (at("dn-perf"), at("dn-memo"), at("cnuca"));
+        // Compressed NUCA's four half-frame fast ways hold more of the
+        // working set: a higher fastest-d-group residency than D-NUCA's
+        // two raw ways.
+        assert!(
+            f.avg_first_group(cnuca) > f.avg_first_group(perf),
+            "cnuca g0 {} vs dn-perf g0 {}",
+            f.avg_first_group(cnuca),
+            f.avg_first_group(perf)
+        );
+        // Way memoization skips the smart-search array and the multicast
+        // on memo hits: less L2 energy than ss-performance on the same
+        // trace.
+        assert!(
+            f.avg_energy_per_ki(memo) < f.avg_energy_per_ki(perf),
+            "dn-memo {} nJ/KI vs dn-perf {}",
+            f.avg_energy_per_ki(memo),
+            f.avg_energy_per_ki(perf)
+        );
+        let r = f.render();
+        assert!(r.contains("AVERAGE") && r.contains("cnuca g0"));
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub const EXPERIMENTS: &[(&str, &[&str])] = &[
     ("fig10", &["base", "dn-energy", "nf4"]),
     ("fig11", &["base", "dn-perf", "dn-energy", "nf4"]),
     ("restrict", &["base", "nf4", "nf4-r256", "nf4-r64"]),
+    ("orgs", &["base", "dn-perf", "dn-energy", "dn-memo", "cnuca"]),
 ];
 
 /// The union of every listed experiment's configuration keys, in first-use
@@ -65,6 +66,7 @@ pub fn render_experiment(id: &str, sweep: &Sweep) -> Option<String> {
         "fig10" => exps::fig10(sweep).render(),
         "fig11" => exps::fig11(sweep).render(),
         "restrict" => exps::restriction_ablation(sweep).render(),
+        "orgs" => exps::orgs(sweep).render(),
         _ => return None,
     })
 }

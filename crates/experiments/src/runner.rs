@@ -18,12 +18,12 @@ use energy::core::CoreEnergyModel;
 use energy::EnergyTally;
 use memsys::hierarchy::BaseHierarchy;
 use memsys::l1::CoreMemSystem;
-use memsys::lower::LowerCache;
-use nuca::{DnucaCache, DnucaConfig, SearchPolicy};
+use memsys::org::{OrgReport, Organization};
+use nuca::{CnucaConfig, CompressedNucaCache, DnucaCache, DnucaConfig, SearchPolicy};
 use nurapid::coupled::CoupledCache;
 use nurapid::{DistanceVictimPolicy, NuRapidCache, NuRapidConfig, PromotionPolicy};
 use simbase::digest::{Digest, Hasher128};
-use simbase::snapshot::{Decoder, Encoder, SnapshotError};
+use simbase::snapshot::{Decoder, Encoder};
 use simbase::EnergyNj;
 use simtel::{Telemetry, TelemetrySink};
 use std::time::Instant;
@@ -45,6 +45,8 @@ pub enum L2Kind {
     Coupled(usize),
     /// D-NUCA with the given search policy.
     Dnuca(SearchPolicy),
+    /// Compressed NUCA with the given configuration.
+    Cnuca(CnucaConfig),
 }
 
 /// Instruction budget for a run.
@@ -109,6 +111,27 @@ pub struct RunOptions<'a> {
 }
 
 impl L2Kind {
+    /// The single construction seam of the plugin architecture: builds
+    /// the concrete organization behind a `Box<dyn Organization>`. The
+    /// rest of the runner — warm-up, checkpointing, the drain barrier,
+    /// the measured loop, and the report — never names a concrete cache
+    /// type, so a new organization only needs a variant here plus the
+    /// two digest arms (DESIGN.md §12).
+    pub fn build(&self) -> Box<dyn Organization> {
+        match self {
+            L2Kind::Base => {
+                let mut h = BaseHierarchy::micro2003();
+                let e = energy::l2::BaseLevelEnergies::micro2003();
+                h.set_level_energies(e.l2_nj, e.l3_nj);
+                Box::new(h)
+            }
+            L2Kind::NuRapid(cfg) => Box::new(NuRapidCache::new(cfg.clone())),
+            L2Kind::Coupled(n) => Box::new(CoupledCache::micro2003(*n)),
+            L2Kind::Dnuca(policy) => Box::new(DnucaCache::new(DnucaConfig::micro2003(*policy))),
+            L2Kind::Cnuca(cfg) => Box::new(CompressedNucaCache::new(*cfg)),
+        }
+    }
+
     /// Feeds every field of the configuration into `h`, discriminant
     /// first, so two organizations digest equal iff they simulate
     /// identically. This — not a label string — keys the run store and
@@ -144,7 +167,17 @@ impl L2Kind {
                 h.write_u8(match policy {
                     SearchPolicy::SsPerformance => 0,
                     SearchPolicy::SsEnergy => 1,
+                    SearchPolicy::WayMemo => 2,
                 });
+            }
+            L2Kind::Cnuca(c) => {
+                h.write_u8(4);
+                h.write_u64(c.capacity.bytes());
+                h.write_u32(c.assoc);
+                h.write_u64(c.n_banks as u64);
+                h.write_u64(c.n_positions as u64);
+                h.write_u64(c.comp_seed);
+                h.write_u64(c.decomp_cycles);
             }
         }
     }
@@ -226,10 +259,25 @@ pub fn warmup_digest(profile: &BenchProfile, kind: &L2Kind, scale: Scale) -> Dig
             h.write_u8(2);
             h.write_u64(*n as u64);
         }
-        // The search policy is deliberately excluded: both ss policies
+        // The search policy is deliberately excluded: all three policies
         // take identical architectural transitions (hits, fills, bubble
-        // swaps) — only when timing starts differs.
+        // swaps, memo-table updates) — only when timing starts differs.
+        // The way memo is maintained under every policy precisely so this
+        // sharing stays valid.
         L2Kind::Dnuca(_) => h.write_u8(3),
+        L2Kind::Cnuca(c) => {
+            h.write_u8(4);
+            h.write_u64(c.capacity.bytes());
+            h.write_u32(c.assoc);
+            h.write_u64(c.n_banks as u64);
+            h.write_u64(c.n_positions as u64);
+            // The compressibility seed is architectural — it decides which
+            // blocks may occupy the fast compressed ways, so warm-up state
+            // depends on it. `decomp_cycles` is deliberately excluded: it
+            // only delays hit completion, never an architectural
+            // transition.
+            h.write_u64(c.comp_seed);
+        }
     }
     h.write_u64(scale.warmup);
     h.write_u64(TRACE_SEED);
@@ -314,96 +362,14 @@ pub fn run_app_opts(
     opts: RunOptions<'_>,
 ) -> AppRun {
     let chk = warmup_digest(&profile, kind, scale);
-    match kind {
-        L2Kind::Base => {
-            let lower = BaseHierarchy::micro2003();
-            let (core, mem) = drive(profile, lower, scale, sink, snap_every, chk, opts);
-            let h = mem.lower();
-            let mem_accesses = h.memory_accesses();
-            let l2_energy = energy::l2::base_energy(h);
-            finish_run(
-                profile.name,
-                core,
-                mem.l1_accesses(),
-                mem_accesses,
-                h.l2_accesses(),
-                h.l2_accesses() - h.l2_hits(),
-                Vec::new(),
-                1.0 - h.l2_hits() as f64 / h.l2_accesses().max(1) as f64,
-                0,
-                0,
-                l2_energy,
-            )
-        }
-        L2Kind::NuRapid(cfg) => {
-            let lower = NuRapidCache::new(cfg.clone());
-            let (core, mem) = drive(profile, lower, scale, sink, snap_every, chk, opts);
-            let c = mem.lower();
-            let s = c.stats();
-            let l2_energy = energy::l2::nurapid_energy(s, c.geometry());
-            let group_fracs = (0..s.n_dgroups()).map(|g| s.group_access_frac(g)).collect();
-            finish_run(
-                profile.name,
-                core,
-                mem.l1_accesses(),
-                s.memory_reads.get() + s.writebacks.get(),
-                s.accesses.get(),
-                s.misses.get(),
-                group_fracs,
-                s.miss_frac(),
-                s.total_dgroup_accesses(),
-                s.total_moves(),
-                l2_energy,
-            )
-        }
-        L2Kind::Coupled(n) => {
-            let lower = CoupledCache::micro2003(*n);
-            let (core, mem) = drive(profile, lower, scale, sink, snap_every, chk, opts);
-            let c = mem.lower();
-            let s = c.stats();
-            let l2_energy = energy::l2::nurapid_energy(s, c.geometry());
-            let group_fracs = (0..s.n_dgroups()).map(|g| s.group_access_frac(g)).collect();
-            finish_run(
-                profile.name,
-                core,
-                mem.l1_accesses(),
-                s.memory_reads.get() + s.writebacks.get(),
-                s.accesses.get(),
-                s.misses.get(),
-                group_fracs,
-                s.miss_frac(),
-                s.total_dgroup_accesses(),
-                s.total_moves(),
-                l2_energy,
-            )
-        }
-        L2Kind::Dnuca(policy) => {
-            let lower = DnucaCache::new(DnucaConfig::micro2003(*policy));
-            let (core, mem) = drive(profile, lower, scale, sink, snap_every, chk, opts);
-            let c = mem.lower();
-            let s = c.stats();
-            let l2_energy = energy::l2::dnuca_energy(s, c.geometry());
-            let group_fracs = (0..8).map(|p| s.position_access_frac(p)).collect();
-            finish_run(
-                profile.name,
-                core,
-                mem.l1_accesses(),
-                s.memory_reads.get() + s.writebacks.get(),
-                s.accesses.get(),
-                s.misses.get(),
-                group_fracs,
-                s.miss_frac(),
-                s.total_bank_accesses(),
-                s.swaps.get(),
-                l2_energy,
-            )
-        }
-    }
+    let (core, mem) = drive(profile, kind.build(), scale, sink, snap_every, chk, opts);
+    let report = mem.lower().report();
+    finish_run(profile.name, core, mem.l1_accesses(), report)
 }
 
 /// Runs the warm-up instructions on `core` in the requested mode.
-fn warm_up<L: LowerCache>(
-    core: &mut OooCore<L>,
+fn warm_up(
+    core: &mut OooCore<Box<dyn Organization>>,
     gen: &mut TraceGenerator,
     n: u64,
     mode: WarmupMode,
@@ -416,18 +382,19 @@ fn warm_up<L: LowerCache>(
 
 /// Runs the trace through the core: prefill, warm-up (optionally
 /// restored from a checkpoint), the drain barrier, and the measured
-/// phase.
-fn drive<L: LowerCache + ExperimentCache>(
+/// phase. Dispatches through the [`Organization`] trait only — this
+/// function is identical for every plugin.
+fn drive(
     profile: BenchProfile,
-    mut lower: L,
+    mut lower: Box<dyn Organization>,
     scale: Scale,
     sink: &TelemetrySink,
     snap_every: u64,
     chk_digest: Digest,
     opts: RunOptions<'_>,
-) -> (CoreResult, CoreMemSystem<L>) {
+) -> (CoreResult, CoreMemSystem<Box<dyn Organization>>) {
     let mut gen = TraceGenerator::new(profile, TRACE_SEED);
-    lower.prefill_dyn();
+    lower.prefill();
     let mem = CoreMemSystem::micro2003(lower);
     let mut core = OooCore::new(CoreParams::micro2003(), mem);
 
@@ -444,7 +411,7 @@ fn drive<L: LowerCache + ExperimentCache>(
                 gen.save_state(&mut e);
                 core.predictor().save_state(&mut e);
                 core.mem().save_l1_state(&mut e);
-                core.mem().lower().save_state_dyn(&mut e);
+                core.mem().lower().save_state(&mut e);
                 e.into_bytes()
             });
             let mut d = Decoder::new(&blob);
@@ -457,7 +424,7 @@ fn drive<L: LowerCache + ExperimentCache>(
                 .expect("checkpoint: L1 state");
             core.mem_mut()
                 .lower_mut()
-                .load_state_dyn(&mut d)
+                .load_state(&mut d)
                 .expect("checkpoint: lower-cache state");
             d.finish().expect("checkpoint: trailing bytes");
             if let Some(w) = opts.wall {
@@ -483,14 +450,14 @@ fn drive<L: LowerCache + ExperimentCache>(
     // measured phase bit-identical between them.
     let (mut mem, mut pred) = core.into_parts();
     mem.drain_timing();
-    mem.lower_mut().drain_timing_dyn();
+    mem.lower_mut().drain_timing();
     mem.reset_stats();
-    mem.lower_mut().reset_stats_dyn();
+    mem.lower_mut().reset_stats();
     pred.reset_counters();
     // Telemetry attaches only after the barrier, so the exported metrics
     // and spans cover exactly the measured window.
     sink.reset();
-    mem.lower_mut().set_telemetry_dyn(sink, snap_every);
+    mem.lower_mut().set_telemetry(sink, snap_every);
     mem.set_telemetry(sink.clone());
     let mut core = OooCore::new(CoreParams::micro2003(), mem);
     core.set_predictor(pred);
@@ -509,135 +476,27 @@ fn drive<L: LowerCache + ExperimentCache>(
     (result, core.into_mem())
 }
 
-#[allow(clippy::too_many_arguments)]
-fn finish_run(
-    name: &'static str,
-    core: CoreResult,
-    l1_accesses: u64,
-    mem_accesses: u64,
-    l2_accesses: u64,
-    l2_misses: u64,
-    group_fracs: Vec<f64>,
-    miss_frac: f64,
-    dgroup_accesses: u64,
-    swaps: u64,
-    l2_energy: EnergyNj,
-) -> AppRun {
+/// Prices the full-system energy tally and assembles the [`AppRun`] from
+/// the organization's common [`OrgReport`].
+fn finish_run(name: &'static str, core: CoreResult, l1_accesses: u64, r: OrgReport) -> AppRun {
     let m = CoreEnergyModel::micro2003();
     let energy = EnergyTally {
         core: m.core_energy(&core),
         l1: m.l1_energy(l1_accesses),
-        l2: l2_energy,
-        memory: m.memory_energy(mem_accesses),
+        l2: r.l2_energy,
+        memory: m.memory_energy(r.memory_accesses),
     };
     AppRun {
         name,
         core,
-        l2_accesses,
-        l2_misses,
-        group_fracs,
-        miss_frac,
-        dgroup_accesses,
-        swaps,
-        l2_energy,
+        l2_accesses: r.l2_accesses,
+        l2_misses: r.l2_misses,
+        group_fracs: r.group_fracs,
+        miss_frac: r.miss_frac,
+        dgroup_accesses: r.dgroup_accesses,
+        swaps: r.swaps,
+        l2_energy: r.l2_energy,
         energy,
-    }
-}
-
-/// Warm-up support: every lower-level cache can pre-fill to steady-state
-/// occupancy, zero its statistics, attach a telemetry sink, drain its
-/// timing state at the stats boundary, and round-trip its architectural
-/// state through the checkpoint codec.
-trait ExperimentCache {
-    fn prefill_dyn(&mut self);
-    fn reset_stats_dyn(&mut self);
-    fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, snap_every: u64);
-    fn drain_timing_dyn(&mut self);
-    fn save_state_dyn(&self, e: &mut Encoder);
-    fn load_state_dyn(&mut self, d: &mut Decoder) -> Result<(), SnapshotError>;
-}
-
-impl ExperimentCache for BaseHierarchy {
-    fn prefill_dyn(&mut self) {
-        self.prefill();
-    }
-    fn reset_stats_dyn(&mut self) {
-        self.reset_stats();
-    }
-    fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, snap_every: u64) {
-        self.set_telemetry(sink.clone(), snap_every);
-    }
-    fn drain_timing_dyn(&mut self) {
-        self.drain_timing();
-    }
-    fn save_state_dyn(&self, e: &mut Encoder) {
-        self.save_state(e);
-    }
-    fn load_state_dyn(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
-        self.load_state(d)
-    }
-}
-
-impl ExperimentCache for NuRapidCache {
-    fn prefill_dyn(&mut self) {
-        self.prefill();
-    }
-    fn reset_stats_dyn(&mut self) {
-        self.reset_stats();
-    }
-    fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, snap_every: u64) {
-        self.set_telemetry(sink.clone(), snap_every);
-    }
-    fn drain_timing_dyn(&mut self) {
-        self.drain_timing();
-    }
-    fn save_state_dyn(&self, e: &mut Encoder) {
-        self.save_state(e);
-    }
-    fn load_state_dyn(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
-        self.load_state(d)
-    }
-}
-
-impl ExperimentCache for CoupledCache {
-    fn prefill_dyn(&mut self) {
-        self.prefill();
-    }
-    fn reset_stats_dyn(&mut self) {
-        self.reset_stats();
-    }
-    fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, _snap_every: u64) {
-        self.set_telemetry(sink.clone());
-    }
-    fn drain_timing_dyn(&mut self) {
-        self.drain_timing();
-    }
-    fn save_state_dyn(&self, e: &mut Encoder) {
-        self.save_state(e);
-    }
-    fn load_state_dyn(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
-        self.load_state(d)
-    }
-}
-
-impl ExperimentCache for DnucaCache {
-    fn prefill_dyn(&mut self) {
-        self.prefill();
-    }
-    fn reset_stats_dyn(&mut self) {
-        self.reset_stats();
-    }
-    fn set_telemetry_dyn(&mut self, sink: &TelemetrySink, _snap_every: u64) {
-        self.set_telemetry(sink.clone());
-    }
-    fn drain_timing_dyn(&mut self) {
-        self.drain_timing();
-    }
-    fn save_state_dyn(&self, e: &mut Encoder) {
-        self.save_state(e);
-    }
-    fn load_state_dyn(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
-        self.load_state(d)
     }
 }
 
@@ -825,9 +684,26 @@ mod tests {
 
         let perf = L2Kind::Dnuca(SearchPolicy::SsPerformance);
         let energy = L2Kind::Dnuca(SearchPolicy::SsEnergy);
+        let memo = L2Kind::Dnuca(SearchPolicy::WayMemo);
         assert_eq!(
             warmup_digest(&app, &perf, tiny()),
             warmup_digest(&app, &energy, tiny())
+        );
+        // Way memoization only redirects the probe path; the memo table
+        // is rebuilt from scratch after restore, so all three policies
+        // share one warm checkpoint.
+        assert_eq!(
+            warmup_digest(&app, &perf, tiny()),
+            warmup_digest(&app, &memo, tiny())
+        );
+
+        // The decompressor pipeline depth is pure timing: compressed
+        // NUCA shares its warm state across `decomp_cycles` settings.
+        let mut slow = CnucaConfig::micro2003();
+        slow.decomp_cycles += 3;
+        assert_eq!(
+            warmup_digest(&app, &L2Kind::Cnuca(CnucaConfig::micro2003()), tiny()),
+            warmup_digest(&app, &L2Kind::Cnuca(slow), tiny())
         );
 
         // The measured budget is warm-up-irrelevant too.
@@ -873,6 +749,92 @@ mod tests {
         for (i, v) in variants.iter().enumerate() {
             assert_ne!(base, *v, "architectural variant {i} aliased the digest");
         }
+    }
+
+    /// Compressed NUCA's warm state depends on the compressibility map
+    /// (placement follows it), so its digest must be disjoint from every
+    /// baseline organization *and* from other compression seeds — a
+    /// compressed-NUCA run may never be served a baseline checkpoint.
+    #[test]
+    fn warmup_digest_isolates_compressed_nuca() {
+        let app = by_name("galgel").unwrap();
+        let cnuca = L2Kind::Cnuca(CnucaConfig::micro2003());
+        let base = warmup_digest(&app, &cnuca, tiny());
+        let mut reseeded = CnucaConfig::micro2003();
+        reseeded.comp_seed ^= 1;
+        let variants = [
+            warmup_digest(&app, &L2Kind::Base, tiny()),
+            warmup_digest(&app, &L2Kind::Dnuca(SearchPolicy::SsPerformance), tiny()),
+            warmup_digest(&app, &L2Kind::Dnuca(SearchPolicy::WayMemo), tiny()),
+            warmup_digest(&app, &L2Kind::NuRapid(NuRapidConfig::micro2003(4)), tiny()),
+            warmup_digest(&app, &L2Kind::Cnuca(reseeded), tiny()),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base, *v, "variant {i} aliased the compressed-NUCA digest");
+        }
+    }
+
+    /// Store-level proof of the same property: running D-NUCA and then
+    /// compressed NUCA against one [`CheckpointStore`] must build two
+    /// separate checkpoints (2 misses, 0 cross-hits), while the way-memo
+    /// policy warm-hits the checkpoint its sibling policy built.
+    #[test]
+    fn compressed_nuca_never_serves_a_baseline_checkpoint() {
+        let app = by_name("parser").unwrap();
+        let sink = TelemetrySink::disabled();
+        let (dir, store) = temp_store("cnuca-isolation");
+        let opts = RunOptions {
+            checkpoints: Some(&store),
+            ..Default::default()
+        };
+        let dn = run_app_opts(
+            app,
+            &L2Kind::Dnuca(SearchPolicy::SsPerformance),
+            tiny(),
+            &sink,
+            0,
+            opts,
+        );
+        let cn = run_app_opts(
+            app,
+            &L2Kind::Cnuca(CnucaConfig::micro2003()),
+            tiny(),
+            &sink,
+            0,
+            opts,
+        );
+        assert_eq!(
+            (store.misses(), store.hits()),
+            (2, 0),
+            "compressed NUCA must not share a baseline warm checkpoint"
+        );
+        assert_ne!(dn, cn, "organizations with distinct placement agreed exactly");
+
+        // The memo policy reuses the D-NUCA checkpoint and still
+        // reproduces its uncheckpointed numbers bit for bit.
+        let memo_direct = run_app_opts(
+            app,
+            &L2Kind::Dnuca(SearchPolicy::WayMemo),
+            tiny(),
+            &sink,
+            0,
+            RunOptions::default(),
+        );
+        let memo_warm = run_app_opts(
+            app,
+            &L2Kind::Dnuca(SearchPolicy::WayMemo),
+            tiny(),
+            &sink,
+            0,
+            opts,
+        );
+        assert_eq!(
+            (store.misses(), store.hits()),
+            (2, 1),
+            "way memoization must warm-hit the D-NUCA checkpoint"
+        );
+        assert_eq!(memo_direct, memo_warm, "warm restore changed way-memo results");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -7,8 +7,10 @@
 
 use crate::lower::{LowerCache, LowerOutcome};
 use crate::memory::MainMemory;
+use crate::org::{Organization, OrgReport};
 use crate::replacement::PolicyKind;
 use crate::setassoc::SetAssocCache;
+use simbase::EnergyNj;
 use simbase::rng::SimRng;
 use simbase::stats::Counter;
 use simbase::{AccessKind, BlockAddr, Capacity, Cycle};
@@ -57,6 +59,8 @@ pub struct BaseHierarchy {
     sink: TelemetrySink,
     snap_every: u64,
     next_snap: u64,
+    l2_access_nj: f64,
+    l3_access_nj: f64,
 }
 
 impl BaseHierarchy {
@@ -97,7 +101,18 @@ impl BaseHierarchy {
             sink: TelemetrySink::disabled(),
             snap_every: 0,
             next_snap: u64::MAX,
+            l2_access_nj: 0.0,
+            l3_access_nj: 0.0,
         }
+    }
+
+    /// Injects the per-access energies of the two levels (in nJ), priced
+    /// by the caller's array models. This crate sits below the technology
+    /// models, so the hierarchy cannot derive these itself; until they
+    /// are set, [`Organization::report`] prices L2 energy as zero.
+    pub fn set_level_energies(&mut self, l2_nj: f64, l3_nj: f64) {
+        self.l2_access_nj = l2_nj;
+        self.l3_access_nj = l3_nj;
     }
 
     /// Attaches a telemetry sink, forwarded to the memory channel. When
@@ -313,6 +328,49 @@ impl LowerCache for BaseHierarchy {
         }
         self.warm_fill_l3(block, false);
         self.warm_fill_l2(block, kind.is_write());
+    }
+}
+
+impl Organization for BaseHierarchy {
+    fn prefill(&mut self) {
+        BaseHierarchy::prefill(self);
+    }
+
+    fn reset_stats(&mut self) {
+        BaseHierarchy::reset_stats(self);
+    }
+
+    fn set_telemetry(&mut self, sink: &TelemetrySink, snap_every: u64) {
+        BaseHierarchy::set_telemetry(self, sink.clone(), snap_every);
+    }
+
+    fn drain_timing(&mut self) {
+        BaseHierarchy::drain_timing(self);
+    }
+
+    fn save_state(&self, e: &mut simbase::snapshot::Encoder) {
+        BaseHierarchy::save_state(self, e);
+    }
+
+    fn load_state(
+        &mut self,
+        d: &mut simbase::snapshot::Decoder<'_>,
+    ) -> Result<(), simbase::snapshot::SnapshotError> {
+        BaseHierarchy::load_state(self, d)
+    }
+
+    fn report(&self) -> OrgReport {
+        OrgReport {
+            l2_accesses: self.l2_accesses(),
+            l2_misses: self.l2_accesses() - self.l2_hits(),
+            group_fracs: Vec::new(),
+            miss_frac: 1.0 - self.l2_hits() as f64 / self.l2_accesses().max(1) as f64,
+            dgroup_accesses: 0,
+            swaps: 0,
+            memory_accesses: self.memory_accesses(),
+            l2_energy: EnergyNj::new(self.l2_access_nj) * self.l2_accesses()
+                + EnergyNj::new(self.l3_access_nj) * self.l3_accesses(),
+        }
     }
 }
 

@@ -30,6 +30,7 @@ pub mod lower;
 pub mod memory;
 pub mod mshr;
 pub mod naive;
+pub mod org;
 pub mod packed_lru;
 pub mod replacement;
 pub mod setassoc;

@@ -28,6 +28,11 @@ pub enum SearchPolicy {
     /// Probe the smart-search array first and access only the banks with
     /// partial-tag matches, nearest first.
     SsEnergy,
+    /// Way memoization (after arXiv 0710.4703): remember the way of the
+    /// last hit in each set and probe its bank directly, skipping the
+    /// smart-search array entirely on a memo hit; fall back to the
+    /// serial ss-energy search when the memo misses.
+    WayMemo,
 }
 
 /// D-NUCA configuration.
@@ -68,6 +73,8 @@ const DIRTY: u8 = 1 << 1;
 const BANK_OCCUPANCY: u64 = 3;
 /// Cycles a bank is occupied by a tag-only search.
 const SEARCH_OCCUPANCY: u64 = 2;
+/// Way-memo entry for a set with no remembered hit.
+const MEMO_NONE: u32 = u32::MAX;
 
 /// The D-NUCA cache.
 ///
@@ -105,6 +112,11 @@ pub struct DnucaCache {
     /// `n_bank_sets - 1` when the bank-set count is a power of two.
     bank_set_mask: Option<usize>,
     ss: SmartSearchArray,
+    /// Per-set way of the last hit ([`MEMO_NONE`] when unknown). Part of
+    /// the architectural state and maintained identically under every
+    /// search policy (so all policies share warm-up checkpoints); only
+    /// [`SearchPolicy::WayMemo`] consults it.
+    memo: Vec<u32>,
     /// Per-bank busy-until times (bank contention; the network itself has
     /// infinite bandwidth per Section 4).
     bank_busy: Vec<Cycle>,
@@ -156,6 +168,7 @@ impl DnucaCache {
             bank_lut,
             bank_set_mask: n_bank_sets.is_power_of_two().then(|| n_bank_sets - 1),
             ss: SmartSearchArray::new(sets, config.assoc),
+            memo: vec![MEMO_NONE; sets],
             bank_busy: vec![Cycle::ZERO; config.n_banks],
             memory: MainMemory::micro2003(),
             stats: DnucaStats::new(config.n_positions, config.n_banks),
@@ -350,11 +363,16 @@ impl DnucaCache {
 
     /// Bubble promotion: swap the block at way `w` with the LRU way of the
     /// adjacent faster position (Section 2.2's "bubble replacement").
-    fn bubble_promote(&mut self, set: usize, w: u32, t: Cycle) {
-        if let Some(other) = self.bubble_swap_slots(set, w) {
-            let bank_w = self.bank_of(set, w);
-            let bank_o = self.bank_of(set, other);
-            self.swap_banks(bank_w, bank_o, t);
+    /// Returns the way the promoted block ends up in (for the way memo).
+    fn bubble_promote(&mut self, set: usize, w: u32, t: Cycle) -> u32 {
+        match self.bubble_swap_slots(set, w) {
+            Some(other) => {
+                let bank_w = self.bank_of(set, w);
+                let bank_o = self.bank_of(set, other);
+                self.swap_banks(bank_w, bank_o, t);
+                other
+            }
+            None => w,
         }
     }
 
@@ -376,6 +394,11 @@ impl DnucaCache {
         self.flags[vi] = VALID | if kind.is_write() { DIRTY } else { 0 };
         self.last_use[vi] = self.use_clock;
         self.ss.insert(block, victim_way);
+        // Eviction invalidates a memo entry pointing at the victim way;
+        // the fill itself is not a hit and is not memoized.
+        if self.memo[set] == victim_way {
+            self.memo[set] = MEMO_NONE;
+        }
         (victim_way, victim_dirty)
     }
 
@@ -427,7 +450,8 @@ impl DnucaCache {
         match self.find(set, block) {
             Some(w) => {
                 self.touch_hit(set, w, kind);
-                let _ = self.bubble_swap_slots(set, w);
+                let other = self.bubble_swap_slots(set, w);
+                self.memo[set] = other.unwrap_or(w);
             }
             None => {
                 let _ = self.install_on_miss(block, kind);
@@ -451,6 +475,7 @@ impl DnucaCache {
         e.put_u8_slice(&self.flags);
         e.put_u64_slice(&self.last_use);
         self.ss.save_state(e);
+        e.put_u32_slice(&self.memo);
     }
 
     /// Restores state written by [`Self::save_state`] into a cache of the
@@ -474,15 +499,19 @@ impl DnucaCache {
         self.blocks = blocks;
         self.flags = flags;
         self.last_use = last_use;
-        self.ss.load_state(d)
+        self.ss.load_state(d)?;
+        let memo = d.u32_slice()?;
+        if memo.len() != self.memo.len() {
+            return Err(SnapshotError::Malformed("dnuca memo length mismatch"));
+        }
+        self.memo = memo;
+        Ok(())
     }
 
     /// Demand access with the configured search policy.
     pub fn access_block(&mut self, block: BlockAddr, kind: AccessKind, now: Cycle) -> LowerOutcome {
         self.use_clock += 1;
         self.stats.accesses.inc();
-        self.stats.ss_accesses.inc();
-        self.sink.count("dnuca.ss_probes", 1);
         let set = self.set_of(block);
         let ss_done = now + catalog::smart_search_latency_cycles();
         let candidates = self.ss.lookup_mask(block);
@@ -490,6 +519,8 @@ impl DnucaCache {
 
         match self.config.policy {
             SearchPolicy::SsPerformance => {
+                self.stats.ss_accesses.inc();
+                self.sink.count("dnuca.ss_probes", 1);
                 // Multicast: every bank position of this set is searched.
                 let bank_set = self.bank_set_of(set);
                 let hit_position = hit_way.map(|w| self.position_of_way(w));
@@ -509,7 +540,8 @@ impl DnucaCache {
                         self.touch_hit(set, w, kind);
                         let bank = self.bank_of(set, w);
                         let done = self.bank_access(bank, now);
-                        self.bubble_promote(set, w, done);
+                        let fw = self.bubble_promote(set, w, done);
+                        self.memo[set] = fw;
                         LowerOutcome {
                             complete_at: done,
                             hit: true,
@@ -531,6 +563,8 @@ impl DnucaCache {
                 }
             }
             SearchPolicy::SsEnergy => {
+                self.stats.ss_accesses.inc();
+                self.sink.count("dnuca.ss_probes", 1);
                 // Probe only candidate positions, nearest first, serially.
                 let mut position_mask = 0u64;
                 let mut m = candidates;
@@ -551,7 +585,8 @@ impl DnucaCache {
                         self.touch_hit(set, w, kind);
                         let bank = self.bank_lut[bank_set * self.config.n_positions + p] as usize;
                         let done = self.bank_access(bank, t);
-                        self.bubble_promote(set, w, done);
+                        let fw = self.bubble_promote(set, w, done);
+                        self.memo[set] = fw;
                         return LowerOutcome {
                             complete_at: done,
                             hit: true,
@@ -559,6 +594,81 @@ impl DnucaCache {
                     }
                     // False hit: the partial tag matched but the block is
                     // not here.
+                    self.stats.false_hits.inc();
+                    let bank = self.bank_lut[bank_set * self.config.n_positions + p] as usize;
+                    t = self.bank_search(bank, t);
+                }
+                if candidates == 0 {
+                    self.stats.early_misses.inc();
+                }
+                self.handle_miss(block, kind, t)
+            }
+            SearchPolicy::WayMemo => {
+                let bank_set = self.bank_set_of(set);
+                let hit_position = hit_way.map(|w| self.position_of_way(w));
+                self.stats.memo_lookups.inc();
+                let mut t = now + catalog::way_memo_latency_cycles();
+                let memoized = self.memo[set];
+                let memo_position = if memoized == MEMO_NONE {
+                    None
+                } else {
+                    Some(self.position_of_way(memoized))
+                };
+                if let Some(mp) = memo_position {
+                    // Probe the memoized position directly with one full
+                    // (tag + data) bank access. On a memo hit the
+                    // smart-search array is never consulted — that is the
+                    // whole energy win of way memoization.
+                    if hit_position == Some(mp) {
+                        let w = hit_way.expect("hit_position implies hit_way");
+                        self.stats.memo_hits.inc();
+                        self.stats.position_hits.record(mp);
+                        self.touch_hit(set, w, kind);
+                        let bank =
+                            self.bank_lut[bank_set * self.config.n_positions + mp] as usize;
+                        let done = self.bank_access(bank, t);
+                        let fw = self.bubble_promote(set, w, done);
+                        self.memo[set] = fw;
+                        return LowerOutcome {
+                            complete_at: done,
+                            hit: true,
+                        };
+                    }
+                    // Memo miss: the speculative full access was wasted
+                    // energy and time; fall back to the smart search.
+                    let bank = self.bank_lut[bank_set * self.config.n_positions + mp] as usize;
+                    t = self.bank_access(bank, t);
+                }
+                // Serial nearest-first candidate search (as ss-energy),
+                // skipping the position the memo probe already ruled out.
+                // The ss array was read in parallel with the memo probe.
+                self.stats.ss_accesses.inc();
+                self.sink.count("dnuca.ss_probes", 1);
+                let mut position_mask = 0u64;
+                let mut m = candidates;
+                while m != 0 {
+                    position_mask |= 1 << self.position_of_way(m.trailing_zeros());
+                    m &= m - 1;
+                }
+                t = t.max(ss_done);
+                for p in 0..self.config.n_positions {
+                    if position_mask >> p & 1 == 0 || memo_position == Some(p) {
+                        continue;
+                    }
+                    if hit_position == Some(p) {
+                        let w = hit_way.expect("hit_position implies hit_way");
+                        self.stats.position_hits.record(p);
+                        self.touch_hit(set, w, kind);
+                        let bank =
+                            self.bank_lut[bank_set * self.config.n_positions + p] as usize;
+                        let done = self.bank_access(bank, t);
+                        let fw = self.bubble_promote(set, w, done);
+                        self.memo[set] = fw;
+                        return LowerOutcome {
+                            complete_at: done,
+                            hit: true,
+                        };
+                    }
                     self.stats.false_hits.inc();
                     let bank = self.bank_lut[bank_set * self.config.n_positions + p] as usize;
                     t = self.bank_search(bank, t);
@@ -591,6 +701,48 @@ impl LowerCache for DnucaCache {
 
     fn block_bytes(&self) -> u64 {
         BLOCK_BYTES
+    }
+}
+
+impl memsys::org::Organization for DnucaCache {
+    fn prefill(&mut self) {
+        DnucaCache::prefill(self);
+    }
+
+    fn reset_stats(&mut self) {
+        DnucaCache::reset_stats(self);
+    }
+
+    fn set_telemetry(&mut self, sink: &TelemetrySink, _snap_every: u64) {
+        DnucaCache::set_telemetry(self, sink.clone());
+    }
+
+    fn drain_timing(&mut self) {
+        DnucaCache::drain_timing(self);
+    }
+
+    fn save_state(&self, e: &mut Encoder) {
+        DnucaCache::save_state(self, e);
+    }
+
+    fn load_state(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        DnucaCache::load_state(self, d)
+    }
+
+    fn report(&self) -> memsys::org::OrgReport {
+        let s = self.stats();
+        memsys::org::OrgReport {
+            l2_accesses: s.accesses.get(),
+            l2_misses: s.misses.get(),
+            group_fracs: (0..self.geometry().n_bank_positions())
+                .map(|p| s.position_access_frac(p))
+                .collect(),
+            miss_frac: s.miss_frac(),
+            dgroup_accesses: s.total_bank_accesses(),
+            swaps: s.swaps.get(),
+            memory_accesses: s.memory_reads.get() + s.writebacks.get(),
+            l2_energy: crate::energy::dynamic_energy(s, self.geometry()),
+        }
     }
 }
 

@@ -37,10 +37,19 @@
 //! assert!(hit.hit);
 //! ```
 
+// Two sibling organizations share this crate's geometry and smart-search
+// machinery: [`compressed`] packs compressible blocks into half-frame
+// fast ways (compressed NUCA), and [`SearchPolicy::WayMemo`] adds a
+// way-memoization search policy to the D-NUCA cache itself.
 pub mod cache;
+pub mod compress;
+pub mod compressed;
+pub mod energy;
 pub mod naive;
 pub mod smart_search;
 pub mod stats;
 
 pub use cache::{DnucaCache, DnucaConfig, SearchPolicy};
-pub use stats::DnucaStats;
+pub use compress::CompressModel;
+pub use compressed::{CnucaConfig, CompressedNucaCache};
+pub use stats::{CnucaStats, DnucaStats};

@@ -555,6 +555,49 @@ impl LowerCache for NuRapidCache {
     }
 }
 
+impl memsys::org::Organization for NuRapidCache {
+    fn prefill(&mut self) {
+        NuRapidCache::prefill(self);
+    }
+
+    fn reset_stats(&mut self) {
+        NuRapidCache::reset_stats(self);
+    }
+
+    fn set_telemetry(&mut self, sink: &TelemetrySink, snap_every: u64) {
+        NuRapidCache::set_telemetry(self, sink.clone(), snap_every);
+    }
+
+    fn drain_timing(&mut self) {
+        NuRapidCache::drain_timing(self);
+    }
+
+    fn save_state(&self, e: &mut simbase::snapshot::Encoder) {
+        NuRapidCache::save_state(self, e);
+    }
+
+    fn load_state(
+        &mut self,
+        d: &mut simbase::snapshot::Decoder<'_>,
+    ) -> Result<(), simbase::snapshot::SnapshotError> {
+        NuRapidCache::load_state(self, d)
+    }
+
+    fn report(&self) -> memsys::org::OrgReport {
+        let s = self.stats();
+        memsys::org::OrgReport {
+            l2_accesses: s.accesses.get(),
+            l2_misses: s.misses.get(),
+            group_fracs: (0..s.n_dgroups()).map(|g| s.group_access_frac(g)).collect(),
+            miss_frac: s.miss_frac(),
+            dgroup_accesses: s.total_dgroup_accesses(),
+            swaps: s.total_moves(),
+            memory_accesses: s.memory_reads.get() + s.writebacks.get(),
+            l2_energy: crate::energy::dynamic_energy(s, self.geometry()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -416,6 +416,46 @@ impl LowerCache for CoupledCache {
     }
 }
 
+impl memsys::org::Organization for CoupledCache {
+    fn prefill(&mut self) {
+        CoupledCache::prefill(self);
+    }
+
+    fn reset_stats(&mut self) {
+        CoupledCache::reset_stats(self);
+    }
+
+    fn set_telemetry(&mut self, sink: &TelemetrySink, _snap_every: u64) {
+        CoupledCache::set_telemetry(self, sink.clone());
+    }
+
+    fn drain_timing(&mut self) {
+        CoupledCache::drain_timing(self);
+    }
+
+    fn save_state(&self, e: &mut Encoder) {
+        CoupledCache::save_state(self, e);
+    }
+
+    fn load_state(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        CoupledCache::load_state(self, d)
+    }
+
+    fn report(&self) -> memsys::org::OrgReport {
+        let s = self.stats();
+        memsys::org::OrgReport {
+            l2_accesses: s.accesses.get(),
+            l2_misses: s.misses.get(),
+            group_fracs: (0..s.n_dgroups()).map(|g| s.group_access_frac(g)).collect(),
+            miss_frac: s.miss_frac(),
+            dgroup_accesses: s.total_dgroup_accesses(),
+            swaps: s.total_moves(),
+            memory_accesses: s.memory_reads.get() + s.writebacks.get(),
+            l2_energy: crate::energy::dynamic_energy(s, self.geometry()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,49 @@
+//! Dynamic-energy pricing of a NuRAPID-style cache: event counts × the
+//! per-operation energies of [`cachemodel::catalog`] (Table 2).
+//!
+//! Lives here (rather than in the `energy` crate) so the cache can price
+//! itself for [`memsys::org::Organization::report`]; `energy::l2` keeps a
+//! delegating wrapper for its public API.
+
+use crate::stats::NuRapidStats;
+use cachemodel::catalog::NuRapidGeometry;
+use simbase::EnergyNj;
+
+/// Dynamic energy of a NuRAPID (or coupled set-associative-placement)
+/// cache over a run: tag probes and pointer rewrites, plus every d-group
+/// read and write (demand, fills, and swap traffic) at that d-group's
+/// distance-dependent cost.
+pub fn dynamic_energy(stats: &NuRapidStats, geo: &NuRapidGeometry) -> EnergyNj {
+    let mut e = geo.tag_energy() * (stats.tag_probes.get() + stats.tag_writes.get());
+    for g in 0..stats.n_dgroups() {
+        e += geo.dgroup_access_energy(g)
+            * (stats.group_reads.count(g) + stats.group_writes.count(g));
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NuRapidCache, NuRapidConfig};
+    use memsys::lower::LowerCache;
+    use simbase::{AccessKind, BlockAddr, Cycle};
+
+    #[test]
+    fn energy_grows_with_traffic() {
+        let mut c = NuRapidCache::new(NuRapidConfig::micro2003(4));
+        let mut t = Cycle::ZERO;
+        for i in 0..100u64 {
+            let out = c.access(BlockAddr::from_index((i * 13) % 4000), AccessKind::Read, t);
+            t = out.complete_at + 20;
+        }
+        let e100 = dynamic_energy(c.stats(), c.geometry());
+        for i in 0..900u64 {
+            let out = c.access(BlockAddr::from_index((i * 13) % 4000), AccessKind::Read, t);
+            t = out.complete_at + 20;
+        }
+        let e1000 = dynamic_energy(c.stats(), c.geometry());
+        assert!(e100.nj() > 0.0);
+        assert!(e1000.nj() > e100.nj());
+    }
+}

@@ -48,6 +48,7 @@
 pub mod cache;
 pub mod coupled;
 pub mod dgroup;
+pub mod energy;
 pub mod naive;
 pub mod pointers;
 pub mod policy;

@@ -240,12 +240,16 @@ fn nurapid_flat_arena_matches_naive_oracle() {
 
 /// 6. The struct-of-arrays D-NUCA cache (packed smart-search bytes, bank
 /// lookup table, branchless LRU scan) is bit-identical to the naive
-/// oracle under both search policies.
+/// oracle under all three search policies.
 #[test]
 fn dnuca_flat_arena_matches_naive_oracle() {
     let gen = (
         trace(200_000),
-        select(vec![SearchPolicy::SsPerformance, SearchPolicy::SsEnergy]),
+        select(vec![
+            SearchPolicy::SsPerformance,
+            SearchPolicy::SsEnergy,
+            SearchPolicy::WayMemo,
+        ]),
         any_bool(),
     );
     dprop("dnuca_flat_arena_matches_naive_oracle").check(&gen, |(ops, policy, prefill)| {
@@ -259,6 +263,47 @@ fn dnuca_flat_arena_matches_naive_oracle() {
         let mut t = Cycle::ZERO;
         for &(b, w) in ops {
             let block = BlockAddr::from_index(b);
+            let out = fast.access_block(block, kind_of(w), t);
+            assert_eq!(
+                out,
+                naive.access_block(block, kind_of(w), t),
+                "outcome of {block} at {t}"
+            );
+            t = out.complete_at + 1;
+        }
+        assert_eq!(fast.stats(), naive.stats(), "final stats diverged");
+        assert_eq!(fast.memory_accesses(), naive.memory_accesses());
+    });
+}
+
+/// 7. The compressed-NUCA cache (half-frame fast ways, address-seeded
+/// compressibility, distance-associative promotion, decompression
+/// latency) is bit-identical to its naive oracle, including the warm
+/// functional path interleaved with timed accesses.
+#[test]
+fn cnuca_matches_naive_oracle() {
+    let gen = (trace(200_000), any_bool(), any_u64());
+    dprop("cnuca_matches_naive_oracle").check(&gen, |(ops, prefill, seed)| {
+        let mut cfg = nuca::CnucaConfig::micro2003();
+        // Vary the architectural seed so the compressibility partition
+        // itself is exercised, not one fixed classification.
+        cfg.comp_seed = *seed;
+        let mut fast = nuca::CompressedNucaCache::new(cfg);
+        let mut naive = nuca::naive::NaiveCnucaCache::new(cfg);
+        if *prefill {
+            fast.prefill();
+            naive.prefill();
+        }
+        let mut t = Cycle::ZERO;
+        for (i, &(b, w)) in ops.iter().enumerate() {
+            let block = BlockAddr::from_index(b);
+            if i % 11 == 5 {
+                // The warm path must take the same architectural
+                // transitions as the timed one.
+                fast.warm_access_block(block, kind_of(w));
+                naive.warm_access_block(block, kind_of(w));
+                continue;
+            }
             let out = fast.access_block(block, kind_of(w), t);
             assert_eq!(
                 out,

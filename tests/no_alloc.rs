@@ -1,23 +1,26 @@
-//! Steady-state allocation guard: after warm-up, the per-access hot path
-//! of both lower-cache organizations must not touch the heap at all.
+//! Steady-state allocation guard — the fourth leg of the Organization
+//! conformance contract (see `tests/organization_conformance.rs`): after
+//! warm-up, the per-access hot path of **every** organization the
+//! [`L2Kind::build`] factory produces must not touch the heap at all.
 //!
 //! The flat-arena rewrite removed the per-access `Vec` churn the original
 //! implementations carried (candidate lists in the D-NUCA search paths,
 //! recency reordering in the naive LRU, `VecDeque` pruning in the port
 //! schedule). This test pins that property with a counting global
-//! allocator: drive each cache past its warm-up transient (free lists
-//! drained, port-schedule and run buffers at their high-water capacity),
-//! then require the allocation count to stay *exactly* flat over a long
-//! measured window.
+//! allocator: drive each organization past its warm-up transient (free
+//! lists drained, port-schedule and run buffers at their high-water
+//! capacity), then require the allocation count to stay *exactly* flat
+//! over a long measured window.
 //!
 //! The whole file is a single `#[test]` because the counter is
 //! process-global: parallel test threads would attribute their setup
 //! allocations to whichever window happens to be open.
 
-use memsys::lower::LowerCache;
-use nuca::{DnucaCache, DnucaConfig, SearchPolicy};
-use nurapid::{NuRapidCache, NuRapidConfig};
-use simbase::{AccessKind, BlockAddr, Capacity, Cycle};
+use experiments::L2Kind;
+use memsys::org::Organization;
+use nuca::{CnucaConfig, SearchPolicy};
+use nurapid::NuRapidConfig;
+use simbase::{AccessKind, BlockAddr, Cycle};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -46,7 +49,7 @@ static ALLOC: CountingAlloc = CountingAlloc;
 
 /// A deterministic mixed read/write stream with enough footprint to keep
 /// hits, misses, evictions, demotion chains, and promotions all live.
-fn drive<C: LowerCache>(cache: &mut C, accesses: u64, footprint: u64) -> Cycle {
+fn drive(cache: &mut Box<dyn Organization>, accesses: u64, footprint: u64) -> Cycle {
     let mut t = Cycle::ZERO;
     let mut x = 0x9e37_79b9_7f4a_7c15u64;
     for i in 0..accesses {
@@ -66,10 +69,10 @@ fn drive<C: LowerCache>(cache: &mut C, accesses: u64, footprint: u64) -> Cycle {
     t
 }
 
-fn measure<C: LowerCache>(name: &str, cache: &mut C, footprint: u64) {
+fn measure(name: &str, cache: &mut Box<dyn Organization>, footprint: u64) {
     // Warm-up: fill the cache, drain every free list, and let internal
     // buffers (port schedule, memory queue) reach steady capacity.
-    drive(cache, 60_000, footprint);
+    drive(cache, 150_000, footprint);
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     drive(cache, 40_000, footprint);
     let after = ALLOCATIONS.load(Ordering::Relaxed);
@@ -83,24 +86,21 @@ fn measure<C: LowerCache>(name: &str, cache: &mut C, footprint: u64) {
 
 #[test]
 fn steady_state_access_paths_do_not_allocate() {
-    // NuRAPID, 1 MB / 4-way / 4 d-groups: footprint 4x the block count so
-    // misses, tag evictions, and full demotion chains fire constantly.
-    let mut cfg = NuRapidConfig::micro2003(4);
-    cfg.capacity = Capacity::from_mib(1);
-    cfg.assoc = 4;
-    let mut nurapid = NuRapidCache::new(cfg);
-    nurapid.prefill();
-    measure("nurapid", &mut nurapid, 32_768);
-
-    // D-NUCA at full paper scale, both search policies: the multicast
-    // path exercises the hit/early-miss masks, the energy path the
-    // candidate-mask probe ordering.
-    for (label, policy) in [
-        ("dnuca-ss-performance", SearchPolicy::SsPerformance),
-        ("dnuca-ss-energy", SearchPolicy::SsEnergy),
-    ] {
-        let mut dnuca = DnucaCache::new(DnucaConfig::micro2003(policy));
-        dnuca.prefill();
-        measure(label, &mut dnuca, 262_144);
+    // Footprint 4x the 8-MB block count so misses, tag evictions, and
+    // full demotion/promotion chains fire constantly. The base
+    // hierarchy's smaller L2/L3 thrash even harder, which is the point.
+    let roster: [(&str, L2Kind); 7] = [
+        ("base", L2Kind::Base),
+        ("nurapid", L2Kind::NuRapid(NuRapidConfig::micro2003(4))),
+        ("coupled", L2Kind::Coupled(4)),
+        ("dnuca-ss-performance", L2Kind::Dnuca(SearchPolicy::SsPerformance)),
+        ("dnuca-ss-energy", L2Kind::Dnuca(SearchPolicy::SsEnergy)),
+        ("dnuca-way-memo", L2Kind::Dnuca(SearchPolicy::WayMemo)),
+        ("cnuca", L2Kind::Cnuca(CnucaConfig::micro2003())),
+    ];
+    for (name, kind) in roster {
+        let mut org = kind.build();
+        org.prefill();
+        measure(name, &mut org, 262_144);
     }
 }

@@ -1,0 +1,256 @@
+//! Cross-organization conformance suite: the [`Organization`] contract
+//! (DESIGN.md §12), enforced against **every** organization the
+//! [`L2Kind::build`] factory can produce — the base hierarchy, NuRAPID,
+//! the coupled set-associative ablation, all three D-NUCA search
+//! policies, and compressed NUCA.
+//!
+//! Every test iterates the same roster through `Box<dyn Organization>`,
+//! never naming a concrete cache type: a new organization registered in
+//! the factory is covered by this file automatically. The fourth leg of
+//! the contract — zero steady-state heap allocation — lives in
+//! `tests/no_alloc.rs` because it needs a process-global counting
+//! allocator.
+
+use experiments::L2Kind;
+use memsys::org::{OrgReport, Organization};
+use nuca::{CnucaConfig, SearchPolicy};
+use nurapid::NuRapidConfig;
+use simbase::snapshot::{Decoder, Encoder};
+use simbase::{AccessKind, BlockAddr, Cycle};
+
+/// Every organization the experiments factory can build, by display name.
+fn roster() -> Vec<(&'static str, L2Kind)> {
+    vec![
+        ("base", L2Kind::Base),
+        ("nurapid", L2Kind::NuRapid(NuRapidConfig::micro2003(4))),
+        ("coupled", L2Kind::Coupled(4)),
+        ("dnuca-ss-performance", L2Kind::Dnuca(SearchPolicy::SsPerformance)),
+        ("dnuca-ss-energy", L2Kind::Dnuca(SearchPolicy::SsEnergy)),
+        ("dnuca-way-memo", L2Kind::Dnuca(SearchPolicy::WayMemo)),
+        ("cnuca", L2Kind::Cnuca(CnucaConfig::micro2003())),
+    ]
+}
+
+/// Deterministic mixed read/write stream over a footprint large enough to
+/// produce hits, misses, evictions, and promotions in every organization.
+/// Returns the per-access outcomes `(complete_at, hit)` for comparison.
+fn drive(
+    org: &mut Box<dyn Organization>,
+    accesses: u64,
+    start: Cycle,
+) -> (Vec<(Cycle, bool)>, Cycle) {
+    const FOOTPRINT: u64 = 262_144; // 32 MB of 128-B blocks
+    let mut t = start;
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    let mut outcomes = Vec::with_capacity(accesses as usize);
+    for i in 0..accesses {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let block = BlockAddr::from_index(x % FOOTPRINT);
+        let kind = if i % 3 == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let out = org.access(block, kind, t);
+        outcomes.push((out.complete_at, out.hit));
+        t = out.complete_at + 1;
+    }
+    (outcomes, t)
+}
+
+/// The same stream through the functional warm path (no timing).
+fn warm_drive(org: &mut Box<dyn Organization>, accesses: u64) {
+    const FOOTPRINT: u64 = 262_144;
+    let mut x = 0x5eed_5eed_5eed_5eedu64;
+    for i in 0..accesses {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let block = BlockAddr::from_index(x % FOOTPRINT);
+        let kind = if i % 4 == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        org.warm_access(block, kind);
+    }
+}
+
+/// Reconstructing an organization and replaying the same trace must
+/// reproduce outcomes and the report bit for bit: no hidden global state,
+/// wall-clock reads, or unseeded randomness anywhere in the roster.
+#[test]
+fn reconstruction_is_deterministic() {
+    for (name, kind) in roster() {
+        let run = || {
+            let mut org = kind.build();
+            org.prefill();
+            warm_drive(&mut org, 4_000);
+            org.drain_timing();
+            org.reset_stats();
+            let (outcomes, _) = drive(&mut org, 12_000, Cycle::ZERO);
+            (outcomes, org.report())
+        };
+        let (out_a, rep_a) = run();
+        let (out_b, rep_b) = run();
+        assert_eq!(out_a, out_b, "{name}: outcomes diverged across reconstruction");
+        assert_eq!(rep_a, rep_b, "{name}: reports diverged across reconstruction");
+    }
+}
+
+/// Saving at the drain barrier and restoring into a freshly built twin
+/// must continue exactly like the uninterrupted run — outcomes and the
+/// measured-phase report both.
+#[test]
+fn snapshot_round_trip_matches_uninterrupted_run() {
+    for (name, kind) in roster() {
+        let mut org = kind.build();
+        org.prefill();
+        warm_drive(&mut org, 4_000);
+        let (_, resume_at) = drive(&mut org, 6_000, Cycle::ZERO);
+
+        // The snapshot covers architectural state only, so it is taken at
+        // the drain barrier — exactly where the runner takes it.
+        org.drain_timing();
+        let mut e = Encoder::new();
+        org.save_state(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut twin = kind.build();
+        let mut d = Decoder::new(&bytes);
+        twin.load_state(&mut d)
+            .unwrap_or_else(|err| panic!("{name}: load_state failed: {err:?}"));
+        d.finish()
+            .unwrap_or_else(|err| panic!("{name}: trailing snapshot bytes: {err:?}"));
+
+        org.reset_stats();
+        twin.reset_stats();
+        let (out_orig, _) = drive(&mut org, 6_000, resume_at);
+        let (out_twin, _) = drive(&mut twin, 6_000, resume_at);
+        assert_eq!(out_orig, out_twin, "{name}: restored twin diverged");
+        assert_eq!(org.report(), twin.report(), "{name}: reports diverged after restore");
+    }
+}
+
+/// A geometry-mismatched payload must be rejected, not silently loaded:
+/// feeding one organization's snapshot to a different one errors for
+/// every cross pair (this is the safety net under checkpoint keying).
+#[test]
+fn snapshots_do_not_load_across_organizations() {
+    let snapshots: Vec<(&'static str, Vec<u8>)> = roster()
+        .into_iter()
+        .map(|(name, kind)| {
+            let mut org = kind.build();
+            org.prefill();
+            let mut e = Encoder::new();
+            org.save_state(&mut e);
+            (name, e.into_bytes())
+        })
+        .collect();
+    for (to_name, kind) in roster() {
+        for (from_name, bytes) in &snapshots {
+            if *from_name == to_name
+                || (to_name.starts_with("dnuca") && from_name.starts_with("dnuca"))
+            {
+                continue; // D-NUCA policies share architectural state by design
+            }
+            let mut org = kind.build();
+            let mut d = Decoder::new(bytes);
+            let outcome = org.load_state(&mut d).and_then(|()| d.finish());
+            assert!(
+                outcome.is_err(),
+                "{to_name} silently accepted a {from_name} snapshot"
+            );
+        }
+    }
+}
+
+/// Demand counters must be monotone, consistent with each other, and the
+/// report must reduce them coherently: misses never exceed accesses,
+/// `miss_frac` matches the counters, and the d-group fractions plus the
+/// miss fraction never sum past 1.
+#[test]
+fn stats_are_monotone_and_reports_coherent() {
+    for (name, kind) in roster() {
+        let mut org = kind.build();
+        org.prefill();
+        let mut t = Cycle::ZERO;
+        let mut last_accesses = 0u64;
+        let mut last_misses = 0u64;
+        for round in 0..8 {
+            let (_, next) = drive(&mut org, 2_000, t);
+            t = next;
+            let (a, m) = (org.accesses(), org.misses());
+            assert!(a >= last_accesses && m >= last_misses, "{name}: counter went backwards");
+            assert_eq!(a, last_accesses + 2_000, "{name}: accesses must count every access");
+            assert!(m <= a, "{name}: more misses than accesses in round {round}");
+            (last_accesses, last_misses) = (a, m);
+        }
+        let rep = org.report();
+        assert_eq!(rep.l2_accesses, last_accesses, "{name}");
+        assert_eq!(rep.l2_misses, last_misses, "{name}");
+        assert!(
+            (rep.miss_frac - last_misses as f64 / last_accesses as f64).abs() < 1e-12,
+            "{name}: miss_frac inconsistent with counters"
+        );
+        let frac_sum: f64 = rep.group_fracs.iter().sum();
+        assert!(
+            frac_sum + rep.miss_frac <= 1.0 + 1e-9,
+            "{name}: group fractions + miss fraction exceed 1 ({frac_sum} + {})",
+            rep.miss_frac
+        );
+        assert!(rep.group_fracs.iter().all(|f| (0.0..=1.0).contains(f)), "{name}");
+        assert!(rep.l2_energy.nj() >= 0.0, "{name}: negative energy");
+    }
+}
+
+/// `reset_stats` zeroes everything feeding the report without touching
+/// architectural state: the post-reset measured window must be identical
+/// whether or not stats were reset mid-run.
+#[test]
+fn reset_stats_clears_the_report_but_not_the_cache() {
+    for (name, kind) in roster() {
+        let mut org = kind.build();
+        org.prefill();
+        let (_, t) = drive(&mut org, 5_000, Cycle::ZERO);
+        org.reset_stats();
+        let zero = org.report();
+        assert_eq!(
+            (zero.l2_accesses, zero.l2_misses, zero.dgroup_accesses, zero.swaps),
+            (0, 0, 0, 0),
+            "{name}: reset_stats left counters behind"
+        );
+        assert_eq!(zero.l2_energy.nj(), 0.0, "{name}: reset_stats left energy behind");
+
+        // A twin that never resets takes the same transitions: resetting
+        // statistics must not perturb the access stream's outcomes.
+        let mut twin = kind.build();
+        twin.prefill();
+        let (_, t2) = drive(&mut twin, 5_000, Cycle::ZERO);
+        assert_eq!(t, t2);
+        let (out_reset, _) = drive(&mut org, 5_000, t);
+        let (out_plain, _) = drive(&mut twin, 5_000, t);
+        assert_eq!(out_reset, out_plain, "{name}: reset_stats changed behavior");
+        assert_eq!(org.report().l2_accesses, 5_000, "{name}");
+    }
+}
+
+/// The reports of distance-structured organizations expose their d-group
+/// geometry; the base hierarchy reports none. This pins the shape the
+/// table renderers rely on.
+#[test]
+fn report_shapes_match_the_organization() {
+    let expected_groups = |rep: &OrgReport, name: &str| match name {
+        "base" => assert!(rep.group_fracs.is_empty(), "base has no d-groups"),
+        "nurapid" | "coupled" => assert_eq!(rep.group_fracs.len(), 4, "{name}"),
+        _ => assert_eq!(rep.group_fracs.len(), 8, "{name}"),
+    };
+    for (name, kind) in roster() {
+        let mut org = kind.build();
+        org.prefill();
+        let _ = drive(&mut org, 3_000, Cycle::ZERO);
+        expected_groups(&org.report(), name);
+    }
+}

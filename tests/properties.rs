@@ -329,3 +329,106 @@ fn time_flows_forward() {
         }
     });
 }
+
+/// 13. The compressibility model is a pure function of (seed, address):
+/// sizes come from the fixed class ladder and never exceed the frame,
+/// repeated queries agree, the compressible predicate is exactly the
+/// half-frame cut, and decompression latency is zero precisely for raw
+/// blocks (never negative — it is `decomp_cycles` or nothing).
+#[test]
+fn compress_model_is_pure_and_bounded() {
+    use cachemodel::catalog::BLOCK_BYTES;
+    use nuca::CompressModel;
+    let gen = (any_u64(), range_u64(0, 30), vec_of(any_u64(), 1, 200));
+    prop("compress_model_is_pure_and_bounded").check(&gen, |(seed, decomp, addrs)| {
+        let model = CompressModel::new(*seed);
+        for &a in addrs {
+            let block = BlockAddr::from_index(a);
+            let bytes = model.compressed_bytes(block);
+            assert!(
+                [16, 32, 64, BLOCK_BYTES].contains(&bytes),
+                "unknown size class {bytes}"
+            );
+            assert!(bytes <= BLOCK_BYTES, "compression must never expand");
+            assert_eq!(bytes, model.compressed_bytes(block), "not idempotent");
+            assert_eq!(model.is_compressible(block), bytes * 2 <= BLOCK_BYTES);
+            let lat = model.decompress_cycles(block, *decomp);
+            assert_eq!(lat, if model.is_compressible(block) { *decomp } else { 0 });
+        }
+    });
+}
+
+/// 14. Way memoization is an energy policy, not an architectural one: on
+/// any trace its hit/miss stream and miss count equal the smart-search
+/// policies', and every memo hit skips the smart-search probe — the
+/// stats obey `ss_accesses + memo_hits = accesses` exactly, with one
+/// memo lookup per access.
+#[test]
+fn way_memo_skips_probes_without_changing_transitions() {
+    prop("way_memo_skips_probes_without_changing_transitions").check(
+        &trace(100_000),
+        |ops| {
+            let run = |policy| {
+                let mut c = DnucaCache::new(DnucaConfig::micro2003(policy));
+                let mut t = Cycle::ZERO;
+                let mut hits = Vec::with_capacity(ops.len());
+                for &(b, w) in ops {
+                    let kind = if w { AccessKind::Write } else { AccessKind::Read };
+                    let out = c.access(BlockAddr::from_index(b), kind, t);
+                    hits.push(out.hit);
+                    t = out.complete_at + 1;
+                }
+                (hits, c)
+            };
+            let (hits_perf, _) = run(SearchPolicy::SsPerformance);
+            let (hits_memo, memo) = run(SearchPolicy::WayMemo);
+            assert_eq!(hits_perf, hits_memo, "policy changed the hit/miss stream");
+            let s = memo.stats();
+            assert_eq!(s.memo_lookups.get(), s.accesses.get());
+            assert_eq!(
+                s.ss_accesses.get() + s.memo_hits.get(),
+                s.accesses.get(),
+                "every memo hit must skip exactly one smart-search probe"
+            );
+        },
+    );
+}
+
+/// 15. The memo table is invalidated on eviction: once the memoized
+/// block is demoted back to the slowest position and evicted by
+/// conflicting fills, the next access to it must miss — a stale memo
+/// entry may waste a probe but can never manufacture a hit.
+#[test]
+fn way_memo_eviction_invalidates_cleanly() {
+    let gen = (range_u64(0, 4_095), range_u64(2, 40));
+    prop("way_memo_eviction_invalidates_cleanly").check(&gen, |(set_index, fills)| {
+        let mut c = DnucaCache::new(DnucaConfig::micro2003(SearchPolicy::WayMemo));
+        let sets = 4_096u64; // 8 MB / 16-way / 128-B blocks
+        let mut t = Cycle::ZERO;
+        let access = |c: &mut DnucaCache, b: u64, t: &mut Cycle| {
+            let out = c.access(BlockAddr::from_index(b), AccessKind::Read, *t);
+            *t = out.complete_at + 1;
+            out.hit
+        };
+        // Memoize the victim: fill, then hit (promoting it one position
+        // off the slowest bank, with the memo pointing at it).
+        let victim = *set_index;
+        access(&mut c, victim, &mut t);
+        assert!(access(&mut c, victim, &mut t), "victim must be resident");
+        // Demote it back to the slowest position: two other blocks bubble
+        // through the adjacent position, swapping the (LRU) victim down.
+        for k in 1..=2 {
+            let conflicting = set_index + k * sets;
+            access(&mut c, conflicting, &mut t);
+            access(&mut c, conflicting, &mut t);
+        }
+        // Conflicting fills now evict the slowest-position LRU: the victim.
+        for k in 3..3 + fills {
+            access(&mut c, set_index + k * sets, &mut t);
+        }
+        assert!(
+            !access(&mut c, victim, &mut t),
+            "stale memo entry manufactured a hit after eviction"
+        );
+    });
+}
