@@ -1,0 +1,92 @@
+//! Serving-path latency: a resident simserve daemon on loopback, hit
+//! with sweep requests whose report is already rendered, so the numbers
+//! isolate protocol + queueing + socket overhead (not simulation time).
+//! Three concurrency levels (1, 8, 64 clients) record per-request
+//! round-trip percentiles — p99 included — as `BENCH_serve.json` lines
+//! gated by benchguard, plus a requests-per-second figure per level on
+//! stderr. Every response is asserted byte-identical along the way, so
+//! a throughput win can never silently buy a correctness loss.
+//!
+//! `SIMKIT_BENCH_ITERS` scales the per-client request count (default 32).
+
+use bench::{bench_apps, bench_scale};
+use simkit::bench::{summarize, BenchRunner};
+use simserve::{Client, ScaleName, ServeConfig, Server, Service, SweepReq};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn per_client_requests() -> usize {
+    std::env::var("SIMKIT_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+fn main() {
+    let mut b = BenchRunner::new("serve");
+    let service = Service::new(ServeConfig {
+        threads: 2,
+        apps: bench_apps(),
+        quick: bench_scale(),
+        quiet: true,
+        ..ServeConfig::default()
+    })
+    .expect("service");
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let stopper = server.stopper();
+    let handle = std::thread::spawn(move || server.run());
+
+    let req = SweepReq {
+        exp: "fig4".to_string(),
+        scale: ScaleName::Quick,
+        tsv: false,
+        watch: false,
+    };
+    // Prime: the first request renders the report; every timed request
+    // after it is answered from the store, measuring serving overhead.
+    let golden = Client::connect(&addr)
+        .expect("connect")
+        .sweep(&req)
+        .expect("priming sweep")
+        .report;
+
+    let per_client = per_client_requests();
+    for clients in [1usize, 8, 64] {
+        let mut samples: Vec<u64> = Vec::with_capacity(clients * per_client);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let req = req.clone();
+                    let addr = addr.clone();
+                    let golden = golden.as_str();
+                    s.spawn(move || {
+                        let mut client = Client::connect(&addr).expect("connect");
+                        let mut lat = Vec::with_capacity(per_client);
+                        for _ in 0..per_client {
+                            let t = Instant::now();
+                            let out = client.sweep(&req).expect("sweep");
+                            lat.push(t.elapsed().as_nanos() as u64);
+                            assert_eq!(out.report, golden, "response bytes diverged");
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            for h in handles {
+                samples.extend(h.join().expect("client panicked"));
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "serve: {clients:>2} clients x {per_client} requests: {:.0} req/s",
+            samples.len() as f64 / wall
+        );
+        b.record(summarize(&format!("serve_roundtrip_{clients:02}_clients"), &mut samples));
+    }
+
+    stopper.stop();
+    handle.join().expect("server panicked").expect("clean drain");
+    b.finish();
+}

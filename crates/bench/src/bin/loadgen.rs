@@ -1,0 +1,285 @@
+//! `loadgen` — hammers a simserve daemon with overlapping sweep requests
+//! and verifies the serving contract, not just survival:
+//!
+//! - **Byte identity**: every response carries the same digest and the
+//!   byte-identical report (optionally checked against a `--expect` file,
+//!   e.g. the committed golden report).
+//! - **Single-flight**: the daemon's `stats` counters must show at most
+//!   one fresh rendering for the barrage; every other request coalesced.
+//! - **No lost or duplicated responses**: each client gets exactly one
+//!   response per request, all of them well-formed.
+//!
+//! Exit code 0 means every assertion held; any violation prints the
+//! mismatch and exits 1.
+//!
+//! ```text
+//! loadgen <addr> [--clients N] [--requests N] [--exp ID] [--quick]
+//!         [--tsv] [--expect FILE] [--quiet]
+//!
+//!   --clients   concurrent connections (default 8)
+//!   --requests  total requests across all clients (default 1000)
+//!   --exp       experiment selector sent on every request (default all)
+//!   --quick     request the daemon's quick scale (default: full)
+//!   --tsv       request TSV rendering
+//!   --expect    file the report must match byte-for-byte
+//!   --quiet     suppress the progress line per client
+//! ```
+
+use simbase::json::Json;
+use simserve::{Client, ScaleName, SweepReq};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    addr: String,
+    clients: usize,
+    requests: usize,
+    exp: String,
+    quick: bool,
+    tsv: bool,
+    expect: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        addr: String::new(),
+        clients: 8,
+        requests: 1000,
+        exp: "all".to_string(),
+        quick: false,
+        tsv: false,
+        expect: None,
+        quiet: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--clients" => {
+                i += 1;
+                args.clients = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing or bad --clients"));
+            }
+            "--requests" => {
+                i += 1;
+                args.requests = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing or bad --requests"));
+            }
+            "--exp" => {
+                i += 1;
+                args.exp = argv.get(i).cloned().unwrap_or_else(|| usage("missing --exp id"));
+            }
+            "--quick" => args.quick = true,
+            "--tsv" => args.tsv = true,
+            "--expect" => {
+                i += 1;
+                args.expect =
+                    Some(argv.get(i).cloned().unwrap_or_else(|| usage("missing --expect file")));
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(""),
+            other if args.addr.is_empty() && !other.starts_with('-') => {
+                args.addr = other.to_string();
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if args.addr.is_empty() {
+        usage("missing daemon address");
+    }
+    if args.clients == 0 || args.requests == 0 {
+        usage("--clients and --requests must be positive");
+    }
+    args
+}
+
+fn counter(stats: &Json, key: &str) -> u64 {
+    stats.field(key).and_then(Json::as_u64).unwrap_or_else(|| {
+        eprintln!("error: daemon stats have no {key:?}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let req = SweepReq {
+        exp: args.exp.clone(),
+        scale: if args.quick { ScaleName::Quick } else { ScaleName::Full },
+        tsv: args.tsv,
+        watch: false,
+    };
+    let expected = args.expect.as_ref().map(|path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read --expect file {path:?}: {e}");
+            std::process::exit(1);
+        })
+    });
+
+    // Counter snapshot before the barrage, so the single-flight proof
+    // also holds against a daemon that has already served other work.
+    let mut probe = Client::connect(&args.addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {}: {e}", args.addr);
+        std::process::exit(1);
+    });
+    let before = probe.stats().unwrap_or_else(|e| fail("stats", &e));
+    let computed_before = counter(&before, "reports_computed");
+    let coalesced_before = counter(&before, "reports_coalesced");
+
+    let total = args.requests;
+    let per_client = total.div_ceil(args.clients);
+    let failures = Arc::new(AtomicU64::new(0));
+    let responses = Arc::new(AtomicU64::new(0));
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut reports: Vec<(String, String)> = Vec::new(); // (digest, report) per client
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for c in 0..args.clients {
+            let quota = per_client.min(total - (c * per_client).min(total));
+            if quota == 0 {
+                break;
+            }
+            let req = req.clone();
+            let addr = args.addr.clone();
+            let failures = Arc::clone(&failures);
+            let responses = Arc::clone(&responses);
+            handles.push(s.spawn(move || {
+                let mut latencies = Vec::with_capacity(quota);
+                let mut first: Option<(String, String)> = None;
+                let mut client = match Client::connect(&addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("client {c}: connect failed: {e}");
+                        failures.fetch_add(quota as u64, Ordering::Relaxed);
+                        return (latencies, first);
+                    }
+                };
+                for _ in 0..quota {
+                    let t = Instant::now();
+                    match client.sweep(&req) {
+                        Ok(out) => {
+                            latencies.push(t.elapsed().as_nanos() as u64);
+                            responses.fetch_add(1, Ordering::Relaxed);
+                            match &first {
+                                None => first = Some((out.digest, out.report)),
+                                Some((digest, report)) => {
+                                    if out.digest != *digest || out.report != *report {
+                                        eprintln!("client {c}: responses diverged mid-run");
+                                        failures.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("client {c}: sweep failed: {e}");
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                (latencies, first)
+            }));
+        }
+        for h in handles {
+            let (latencies, first) = h.join().expect("client thread panicked");
+            all_latencies.extend(latencies);
+            if let Some(pair) = first {
+                reports.push(pair);
+            }
+        }
+    });
+    let wall = t0.elapsed();
+
+    let mut failed = failures.load(Ordering::Relaxed);
+    let got = responses.load(Ordering::Relaxed);
+    if got != total as u64 {
+        eprintln!("error: {total} requests, {got} responses (lost or duplicated)");
+        failed += 1;
+    }
+    // Every client's report must be identical to every other's...
+    if let Some((first_digest, first_report)) = reports.first() {
+        for (i, (digest, report)) in reports.iter().enumerate() {
+            if digest != first_digest || report != first_report {
+                eprintln!("error: client {i} saw different response bytes");
+                failed += 1;
+            }
+        }
+        // ...and to the expectation file, when given.
+        if let Some(want) = &expected {
+            if first_report != want {
+                eprintln!(
+                    "error: report does not match {} ({} vs {} bytes)",
+                    args.expect.as_deref().unwrap_or("?"),
+                    first_report.len(),
+                    want.len()
+                );
+                failed += 1;
+            }
+        }
+    }
+
+    // Single-flight proof: the whole barrage added at most one fresh
+    // rendering (zero if the report pre-existed on the daemon), and
+    // everything else was answered by coalescing.
+    let after = probe.stats().unwrap_or_else(|e| fail("stats", &e));
+    let computed_delta = counter(&after, "reports_computed") - computed_before;
+    let coalesced_delta = counter(&after, "reports_coalesced") - coalesced_before;
+    if computed_delta > 1 {
+        eprintln!("error: duplicate digests computed {computed_delta} times (expected <= 1)");
+        failed += 1;
+    }
+    if computed_delta + coalesced_delta < total as u64 {
+        eprintln!(
+            "error: stats account for {} requests, expected >= {total}",
+            computed_delta + coalesced_delta
+        );
+        failed += 1;
+    }
+
+    if !args.quiet || failed > 0 {
+        all_latencies.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            if all_latencies.is_empty() {
+                return f64::NAN;
+            }
+            let idx = ((all_latencies.len() - 1) as f64 * p).round() as usize;
+            all_latencies[idx] as f64 / 1e6
+        };
+        eprintln!(
+            "[loadgen] {total} requests / {} clients in {:.2}s: {:.0} req/s, \
+             p50 {:.2} ms, p99 {:.2} ms; computed +{computed_delta}, coalesced +{coalesced_delta}",
+            args.clients,
+            wall.as_secs_f64(),
+            total as f64 / wall.as_secs_f64(),
+            pct(0.5),
+            pct(0.99),
+        );
+    }
+    if failed > 0 {
+        eprintln!("[loadgen] FAILED: {failed} violation(s)");
+        std::process::exit(1);
+    }
+    eprintln!("[loadgen] OK: all responses byte-identical, single-flight held");
+}
+
+fn fail(what: &str, e: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {what} failed: {e}");
+    std::process::exit(1)
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: loadgen <addr> [--clients N] [--requests N] [--exp ID] [--quick] [--tsv] \
+         [--expect FILE] [--quiet]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

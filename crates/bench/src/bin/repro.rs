@@ -4,6 +4,8 @@
 //! ```text
 //! repro [--exp <id>] [--quick] [--tsv] [--threads N] [--artifacts DIR]
 //!       [--checkpoints DIR] [--telemetry DIR] [--quiet]
+//!       [--serve ADDR [--port-file FILE]]
+//!       [--connect ADDR [--watch | --drain | --shutdown]]
 //!
 //!   --exp       table2 | table3 | table4 | fig4 | fig5 | fig6 | lru |
 //!               fig7 | fig8 | fig9 | fig10 | fig11 | restrict | orgs |
@@ -27,6 +29,20 @@
 //!   --quiet     suppress stderr progress lines (also $SIMTEL_QUIET);
 //!               with --telemetry, the lines still land on the wall
 //!               channel
+//!   --serve     run as the resident simserve daemon on ADDR (host:port;
+//!               port 0 picks a free port) instead of sweeping once;
+//!               serves both scales, exits 0 on a client drain/shutdown
+//!   --port-file with --serve: write the bound address to FILE once
+//!               listening (for scripts using port 0)
+//!   --connect   send this invocation's sweep to a daemon at ADDR and
+//!               print the (byte-identical) report; --exp/--quick/--tsv
+//!               select the request exactly as in local mode
+//!   --watch     with --connect: stream the daemon's progress events to
+//!               stderr while the sweep computes
+//!   --drain     with --connect: ask the daemon to drain and exit
+//!               (finishes in-flight work) instead of sweeping
+//!   --shutdown  with --connect: like --drain, but abandons queued
+//!               async submissions
 //! ```
 //!
 //! Tables are always rendered in the same serial order; the thread count
@@ -47,13 +63,19 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut exp = "all".to_string();
-    let mut scale = Scale::full();
+    let mut quick = false;
     let mut tsv = false;
     let mut quiet = false;
     let mut threads = default_threads();
     let mut artifacts = std::env::var("SIMSCHED_DIR").ok();
     let mut checkpoints = std::env::var("SIMCHK_DIR").ok();
     let mut telemetry_dir = std::env::var("SIMTEL_DIR").ok();
+    let mut serve: Option<String> = None;
+    let mut port_file: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut watch = false;
+    let mut drain = false;
+    let mut shutdown = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -61,7 +83,7 @@ fn main() {
                 i += 1;
                 exp = args.get(i).cloned().unwrap_or_else(|| usage("missing experiment id"));
             }
-            "--quick" => scale = Scale::quick(),
+            "--quick" => quick = true,
             "--tsv" => tsv = true,
             "--quiet" => quiet = true,
             "--threads" => {
@@ -86,10 +108,43 @@ fn main() {
                 telemetry_dir =
                     Some(args.get(i).cloned().unwrap_or_else(|| usage("missing telemetry dir")));
             }
+            "--serve" => {
+                i += 1;
+                serve =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("missing --serve address")));
+            }
+            "--port-file" => {
+                i += 1;
+                port_file = Some(
+                    args.get(i).cloned().unwrap_or_else(|| usage("missing --port-file path")),
+                );
+            }
+            "--connect" => {
+                i += 1;
+                connect = Some(
+                    args.get(i).cloned().unwrap_or_else(|| usage("missing --connect address")),
+                );
+            }
+            "--watch" => watch = true,
+            "--drain" => drain = true,
+            "--shutdown" => shutdown = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other:?}")),
         }
         i += 1;
+    }
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+
+    if serve.is_some() && connect.is_some() {
+        usage("--serve and --connect are mutually exclusive");
+    }
+    if let Some(addr) = serve {
+        serve_main(&addr, port_file.as_deref(), threads, quiet, artifacts, checkpoints, telemetry_dir);
+        return;
+    }
+    if let Some(addr) = connect {
+        connect_main(&addr, &exp, quick, tsv, watch, drain, shutdown, quiet);
+        return;
     }
 
     let t0 = Instant::now();
@@ -213,13 +268,114 @@ fn run_one(id: &str, sweep: &Sweep, tsv: bool) {
     }
 }
 
+/// `--serve`: run as the resident daemon until a client drains it.
+fn serve_main(
+    addr: &str,
+    port_file: Option<&str>,
+    threads: usize,
+    quiet: bool,
+    artifacts: Option<String>,
+    checkpoints: Option<String>,
+    telemetry_dir: Option<String>,
+) {
+    let cfg = simserve::ServeConfig {
+        threads,
+        quiet,
+        artifacts: artifacts.map(Into::into),
+        checkpoints: checkpoints.map(Into::into),
+        telemetry: telemetry_dir.map(Into::into),
+        ..simserve::ServeConfig::default()
+    };
+    let service = match simserve::Service::new(cfg) {
+        Ok(s) => s,
+        Err(e) => usage(&format!("cannot start service: {e}")),
+    };
+    let server = match simserve::Server::bind(service, addr) {
+        Ok(s) => s,
+        Err(e) => usage(&format!("cannot bind {addr:?}: {e}")),
+    };
+    let bound = server.local_addr().expect("bound socket has an address");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(path, format!("{bound}\n")) {
+            usage(&format!("cannot write port file {path:?}: {e}"));
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("error: server failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// `--connect`: one client call against a resident daemon.
+#[allow(clippy::too_many_arguments)]
+fn connect_main(
+    addr: &str,
+    exp: &str,
+    quick: bool,
+    tsv: bool,
+    watch: bool,
+    drain: bool,
+    shutdown: bool,
+    quiet: bool,
+) {
+    let console = Console::from_env(quiet);
+    let mut client = match simserve::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let outcome = if drain {
+        client.drain().map(|()| None)
+    } else if shutdown {
+        client.shutdown().map(|()| None)
+    } else {
+        let req = simserve::SweepReq {
+            exp: exp.to_string(),
+            scale: if quick { simserve::ScaleName::Quick } else { simserve::ScaleName::Full },
+            tsv,
+            watch,
+        };
+        client
+            .sweep_watch(&req, |e| {
+                let label = e.field("label").and_then(simbase::json::Json::as_str).unwrap_or("?");
+                let kind = e.field("kind").and_then(simbase::json::Json::as_str).unwrap_or("?");
+                console.status(&format!("[simserve] {kind} {label}"));
+            })
+            .map(Some)
+    };
+    match outcome {
+        // `print!`, not `println!`: the report already carries the
+        // trailing newline of every experiment, so stdout stays
+        // byte-identical to local mode.
+        Ok(Some(out)) => {
+            print!("{}", out.report);
+            console.status(&format!(
+                "[simserve] report {} ({}) from {addr}",
+                out.digest,
+                if out.fresh { "computed" } else { "coalesced" }
+            ));
+        }
+        Ok(None) => console.status(&format!(
+            "[simserve] {} acknowledged by {addr}",
+            if drain { "drain" } else { "shutdown" }
+        )),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
     eprintln!(
         "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|orgs|all] \
-         [--quick] [--tsv] [--threads N] [--artifacts DIR] [--checkpoints DIR] [--telemetry DIR] [--quiet]"
+         [--quick] [--tsv] [--threads N] [--artifacts DIR] [--checkpoints DIR] [--telemetry DIR] [--quiet] \
+         [--serve ADDR [--port-file FILE]] [--connect ADDR [--watch|--drain|--shutdown]]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

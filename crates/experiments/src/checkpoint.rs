@@ -89,7 +89,23 @@ impl CheckpointStore {
             built = true;
             let payload = build();
             let sealed = snapshot::seal(CHECKPOINT_VERSION, &payload);
-            let tmp = self.dir.join(format!("{}.tmp", digest.hex()));
+            // The temp name must be unique per writer: the in-process
+            // store single-flights builders, but two *stores* over the
+            // same directory (two daemon processes, a sweep racing a CI
+            // job) can build the same digest concurrently, and a shared
+            // `<digest>.tmp` would let their writes interleave into one
+            // file — publishing a torn checkpoint through the rename.
+            // With a pid- and sequence-qualified temp name each writer
+            // seals its own file and the last atomic rename wins; both
+            // payloads are identical by construction (the digest covers
+            // every input that shapes them).
+            static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+            let tmp = self.dir.join(format!(
+                "{}.{}.{}.tmp",
+                digest.hex(),
+                std::process::id(),
+                TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
             if std::fs::write(&tmp, &sealed).is_ok() {
                 let _ = std::fs::rename(&tmp, &path);
             }
@@ -166,6 +182,49 @@ mod tests {
         let sealed = std::fs::read(&path).expect("rewritten");
         let payload = snapshot::open(&sealed, CHECKPOINT_VERSION).expect("valid seal");
         assert_eq!(payload, &[9; 64][..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_stores_racing_the_same_digest_publish_a_valid_checkpoint() {
+        // Models two daemon/CI processes sharing one checkpoint
+        // directory: each process has its own store (so the in-process
+        // single-flight does NOT serialize them) and both build the same
+        // digest at the same moment. The on-disk protocol must hold:
+        // whatever file ends up published has to open as a valid sealed
+        // checkpoint with the full payload — a shared temp-file name
+        // would let the two writers interleave and publish a torn file.
+        let dir = temp_dir("race");
+        let payload: Vec<u8> = (0..1 << 20).map(|i| (i % 251) as u8).collect();
+        for round in 0..8u64 {
+            let d = digest(100 + round);
+            let a = CheckpointStore::open(&dir).expect("open a");
+            let b = CheckpointStore::open(&dir).expect("open b");
+            let barrier = std::sync::Barrier::new(2);
+            std::thread::scope(|s| {
+                for store in [&a, &b] {
+                    s.spawn(|| {
+                        barrier.wait();
+                        let (blob, _) = store.get_or_build(d, || payload.clone());
+                        assert_eq!(*blob, payload, "round {round}: payload mismatch");
+                    });
+                }
+            });
+            // The published file must be a complete, untorn seal.
+            let sealed = std::fs::read(a.path_of(d)).expect("checkpoint published");
+            let opened = snapshot::open(&sealed, CHECKPOINT_VERSION)
+                .expect("racing writers published a torn checkpoint");
+            assert_eq!(opened, &payload[..], "round {round}");
+            // No stray temp files left behind by the losing writer...
+            let leftovers: Vec<_> = std::fs::read_dir(&dir)
+                .expect("readdir")
+                .filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+                .collect();
+            // (...the loser's rename also succeeds — it just replaces the
+            // winner's identical file — so no .tmp may survive.)
+            assert!(leftovers.is_empty(), "round {round}: leftover temp files {leftovers:?}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

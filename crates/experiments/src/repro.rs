@@ -46,6 +46,45 @@ pub fn prewarm_keys(ids: &[&str]) -> Vec<&'static str> {
     keys
 }
 
+/// Resolves a `--exp` selector to the experiment ids it names, in
+/// rendering order: `"all"` expands to every experiment, a known id to
+/// itself, and an unknown id to `None`.
+pub fn resolve_ids(exp: &str) -> Option<Vec<&'static str>> {
+    if exp == "all" {
+        return Some(EXPERIMENTS.iter().map(|&(id, _)| id).collect());
+    }
+    EXPERIMENTS.iter().find(|&&(id, _)| id == exp).map(|&(id, _)| vec![id])
+}
+
+/// Renders a selection of experiments exactly as the `repro` binary
+/// prints them to stdout: the union of their configuration keys is
+/// prewarmed on the sweep's worker pool, then each experiment's text
+/// (or TSV, when requested and the experiment has one) is emitted
+/// followed by a newline. This is the single rendering entry point
+/// shared by the `repro` binary and the `simserve` daemon, so a served
+/// report cannot drift from the in-process one by a byte.
+///
+/// # Panics
+///
+/// Panics on an id not present in [`EXPERIMENTS`]; validate selectors
+/// with [`resolve_ids`] first.
+pub fn render_selection(ids: &[&str], sweep: &Sweep, tsv: bool) -> String {
+    let keys = prewarm_keys(ids);
+    if !keys.is_empty() {
+        sweep.prefetch_all(&keys);
+    }
+    let mut out = String::new();
+    for id in ids {
+        let text = if tsv { render_experiment_tsv(id, sweep) } else { None };
+        let text = text
+            .or_else(|| render_experiment(id, sweep))
+            .unwrap_or_else(|| panic!("unknown experiment id {id:?}"));
+        out.push_str(&text);
+        out.push('\n');
+    }
+    out
+}
+
 /// Renders one experiment exactly as `repro` prints it (text mode).
 /// Returns `None` for an unknown id.
 pub fn render_experiment(id: &str, sweep: &Sweep) -> Option<String> {
@@ -90,10 +129,6 @@ pub fn render_experiment_tsv(id: &str, sweep: &Sweep) -> Option<String> {
 /// each followed by the newline `println!` appends — byte-identical to
 /// the `repro` binary's stdout for the same scale.
 pub fn render_report(sweep: &Sweep) -> String {
-    let mut out = String::new();
-    for &(id, _) in EXPERIMENTS {
-        out.push_str(&render_experiment(id, sweep).expect("known id"));
-        out.push('\n');
-    }
-    out
+    let ids = resolve_ids("all").expect("'all' always resolves");
+    render_selection(&ids, sweep, false)
 }

@@ -45,6 +45,8 @@ pub struct BenchReport {
     pub median_ns: u64,
     /// 95th percentile.
     pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
     /// Slowest iteration.
     pub max_ns: u64,
 }
@@ -53,8 +55,8 @@ impl BenchReport {
     /// One JSON object on one line; stable key order.
     pub fn json_line(&self) -> String {
         format!(
-            "{{\"name\":\"{}\",\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
-            self.name, self.iters, self.min_ns, self.mean_ns, self.median_ns, self.p95_ns, self.max_ns
+            "{{\"name\":\"{}\",\"iters\":{},\"min_ns\":{},\"mean_ns\":{},\"median_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            self.name, self.iters, self.min_ns, self.mean_ns, self.median_ns, self.p95_ns, self.p99_ns, self.max_ns
         )
     }
 }
@@ -76,6 +78,7 @@ pub fn summarize(name: &str, samples: &mut [u64]) -> BenchReport {
         mean_ns: samples.iter().sum::<u64>() / n as u64,
         median_ns: pct(0.5),
         p95_ns: pct(0.95),
+        p99_ns: pct(0.99),
         max_ns: samples[n - 1],
     }
 }
@@ -135,6 +138,29 @@ impl BenchRunner {
             report.iters,
             human_ns(report.median_ns),
             human_ns(report.p95_ns),
+        );
+        println!("{}", report.json_line());
+        self.reports.push(report.clone());
+        Some(report)
+    }
+
+    /// Records an externally measured report (e.g. per-request latency
+    /// percentiles collected by a load-test harness) alongside the
+    /// closure-timed benchmarks: printed, retained, and written out by
+    /// [`BenchRunner::finish`] exactly like a [`BenchRunner::bench`]
+    /// result. Honors the CLI substring filter.
+    pub fn record(&mut self, report: BenchReport) -> Option<BenchReport> {
+        if let Some(fil) = &self.filter {
+            if !report.name.contains(fil.as_str()) {
+                return None;
+            }
+        }
+        println!(
+            "{:40} {:>6} iters  median {:>12}  p99 {:>12}",
+            report.name,
+            report.iters,
+            human_ns(report.median_ns),
+            human_ns(report.p99_ns),
         );
         println!("{}", report.json_line());
         self.reports.push(report.clone());
@@ -221,7 +247,8 @@ mod tests {
             .expect("not filtered");
         assert!(r.min_ns <= r.median_ns);
         assert!(r.median_ns <= r.p95_ns);
-        assert!(r.p95_ns <= r.max_ns);
+        assert!(r.p95_ns <= r.p99_ns);
+        assert!(r.p99_ns <= r.max_ns);
         assert!(r.min_ns > 0, "a 10k-add loop cannot take zero time");
     }
 

@@ -1,0 +1,264 @@
+//! A blocking client for the simserve protocol.
+//!
+//! One [`Client`] owns one connection and speaks strictly
+//! request/response: each call writes one frame, then reads until the
+//! response with the matching correlation id arrives, handing any
+//! interleaved `"op":"event"` progress frames to the caller's callback.
+//! The `repro --connect` mode, the `loadgen` harness, and the CI
+//! end-to-end step are all built on this type, so a protocol change
+//! breaks loudly in-tree before it can break a real client.
+
+use crate::proto::{self, SweepReq};
+use simbase::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(std::io::Error),
+    /// The server sent something that is not a valid response frame.
+    Protocol(String),
+    /// The server answered with a structured error frame.
+    Server {
+        /// Machine-readable code (an [`crate::proto::ErrCode`] spelling).
+        code: String,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server { code, msg } => write!(f, "server error [{code}]: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The result of a blocking sweep call.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Report digest (usable with `status`/`report`).
+    pub digest: String,
+    /// True when this request performed the rendering server-side.
+    pub fresh: bool,
+    /// Progress events the server dropped because this client's queue
+    /// was full (only ever non-zero for `watch` requests).
+    pub events_dropped: u64,
+    /// The report text, byte-identical to `repro`'s stdout for the same
+    /// selection.
+    pub report: String,
+}
+
+/// A blocking simserve connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (host:port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1 })
+    }
+
+    /// One request/response round trip; interleaved event frames go to
+    /// `on_event`.
+    fn call(
+        &mut self,
+        op: &str,
+        fields: Vec<(&str, Json)>,
+        mut on_event: impl FnMut(&Json),
+    ) -> Result<Json, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = proto::request_frame(id, op, fields);
+        self.writer.write_all(frame.as_bytes())?;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Protocol(
+                    "server closed the connection mid-call".into(),
+                ));
+            }
+            let v = json::parse(line.trim_end()).map_err(ClientError::Protocol)?;
+            if v.field("op").and_then(Json::as_str) == Some("event") {
+                on_event(&v);
+                continue;
+            }
+            match v.field("id").and_then(Json::as_u64) {
+                Some(got) if got == id => {}
+                got => {
+                    return Err(ClientError::Protocol(format!(
+                        "correlation mismatch: sent id {id}, got {got:?}"
+                    )))
+                }
+            }
+            return match v.field("ok") {
+                Some(Json::Bool(true)) => Ok(v),
+                Some(Json::Bool(false)) => Err(ClientError::Server {
+                    code: v
+                        .field("code")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string(),
+                    msg: v
+                        .field("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                }),
+                _ => Err(ClientError::Protocol("response has no boolean \"ok\"".into())),
+            };
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, protocol, or server failure — as for
+    /// every method below.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call("ping", vec![], |_| {}).map(|_| ())
+    }
+
+    /// Server identification: `(server id, protocol version)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ping`].
+    pub fn hello(&mut self) -> Result<(String, u64), ClientError> {
+        let v = self.call("hello", vec![], |_| {})?;
+        Ok((
+            str_field(&v, "server")?,
+            v.field("proto")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ClientError::Protocol("hello has no \"proto\"".into()))?,
+        ))
+    }
+
+    /// Blocking sweep without progress streaming.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ping`].
+    pub fn sweep(&mut self, req: &SweepReq) -> Result<SweepOutcome, ClientError> {
+        self.sweep_watch(req, |_| {})
+    }
+
+    /// Blocking sweep; progress event frames are handed to `on_event` as
+    /// they arrive (only streamed when `req.watch` is set).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ping`].
+    pub fn sweep_watch(
+        &mut self,
+        req: &SweepReq,
+        on_event: impl FnMut(&Json),
+    ) -> Result<SweepOutcome, ClientError> {
+        let v = self.call("sweep", sweep_fields(req), on_event)?;
+        Ok(SweepOutcome {
+            digest: str_field(&v, "digest")?,
+            fresh: v.field("fresh").and_then(Json::as_bool).unwrap_or(false),
+            events_dropped: v.field("events_dropped").and_then(Json::as_u64).unwrap_or(0),
+            report: str_field(&v, "report")?,
+        })
+    }
+
+    /// Asynchronous sweep: `(digest, state)` where state is `"queued"`,
+    /// `"running"`, or `"done"`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ping`].
+    pub fn submit(&mut self, req: &SweepReq) -> Result<(String, String), ClientError> {
+        let v = self.call("submit", sweep_fields(req), |_| {})?;
+        Ok((str_field(&v, "digest")?, str_field(&v, "state")?))
+    }
+
+    /// Non-blocking digest state: `"unknown"`, `"running"`, or `"done"`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ping`].
+    pub fn status(&mut self, digest: &str) -> Result<String, ClientError> {
+        let v = self.call("status", vec![("digest", Json::Str(digest.into()))], |_| {})?;
+        str_field(&v, "state")
+    }
+
+    /// Fetches a finished report by digest.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ping`]; notably `Server` with code `pending` while
+    /// the digest is still computing.
+    pub fn report(&mut self, digest: &str) -> Result<String, ClientError> {
+        let v = self.call("report", vec![("digest", Json::Str(digest.into()))], |_| {})?;
+        str_field(&v, "report")
+    }
+
+    /// Server counters, as the raw response frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ping`].
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.call("stats", vec![], |_| {})
+    }
+
+    /// Graceful drain: in-flight work finishes, the server exits 0.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ping`].
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        self.call("drain", vec![], |_| {}).map(|_| ())
+    }
+
+    /// Drain, abandoning queued-but-unstarted async submissions.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::ping`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.call("shutdown", vec![], |_| {}).map(|_| ())
+    }
+}
+
+fn sweep_fields(req: &SweepReq) -> Vec<(&'static str, Json)> {
+    vec![
+        ("exp", Json::Str(req.exp.clone())),
+        ("scale", Json::Str(req.scale.as_str().into())),
+        ("tsv", Json::Bool(req.tsv)),
+        ("watch", Json::Bool(req.watch)),
+    ]
+}
+
+fn str_field(v: &Json, name: &str) -> Result<String, ClientError> {
+    v.field(name)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ClientError::Protocol(format!("response has no string {name:?}")))
+}

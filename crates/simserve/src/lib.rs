@@ -1,0 +1,41 @@
+//! simserve — the resident sweep-serving daemon.
+//!
+//! `repro` answers one invocation and exits; every process pays the
+//! full warm-up and sweep cost even when another process just computed
+//! the identical report. simserve keeps the expensive state resident:
+//! one daemon process owns the run stores, the warm-up checkpoint
+//! store, and a digest-keyed report store, and any number of clients
+//! talk to it over a versioned JSON-lines TCP protocol (DESIGN.md §13).
+//! Identical requests from different clients — or from the same client
+//! racing itself — coalesce onto **one** computation (cross-process
+//! single-flight), and every client receives the byte-identical report
+//! text that `repro` would have printed.
+//!
+//! The crate splits along the natural seams:
+//!
+//! - [`proto`] — pure parsing/rendering of the wire protocol; no
+//!   sockets, so the fuzz suite can hammer it directly.
+//! - [`service`] — the resident state: sweeps, report store,
+//!   single-flight counters, drain bookkeeping.
+//! - [`server`] — the connection supervisor: accept loop, per-
+//!   connection reader/writer threads, bounded queues, graceful drain.
+//! - [`client`] — a blocking client used by `repro --connect`, the
+//!   `loadgen` load harness, and CI.
+//!
+//! Everything is hermetic std: no external dependencies, no async
+//! runtime — bounded `sync_channel` queues, short read timeouts, and
+//! plain threads are enough for the daemon's concurrency shape (tens of
+//! connections, not tens of thousands).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use client::{Client, ClientError, SweepOutcome};
+pub use proto::{ErrCode, Fail, Request, ScaleName, SweepReq, MAX_FRAME, PROTO_VERSION};
+pub use server::{Server, Stopper};
+pub use service::{ServeConfig, Service, SweepDone};

@@ -1,0 +1,422 @@
+//! The simserve wire protocol: versioned JSON-lines frames.
+//!
+//! One frame is one JSON object on one LF-terminated line, at most
+//! [`MAX_FRAME`] bytes including the newline. Requests carry a protocol
+//! version `v`, a client-chosen correlation id `id` (echoed verbatim on
+//! every response to that request), and an operation `op`; responses are
+//! `"ok":true` frames or structured `"ok":false` errors with a stable
+//! machine-readable [`ErrCode`]. The full frame and field reference
+//! lives in DESIGN.md §13.
+//!
+//! Everything in this module is pure — parsing and rendering only, no
+//! sockets — so the fuzz suite (`tests/proto_fuzz.rs`) can hammer it
+//! directly: malformed JSON, truncated frames, version skew, and
+//! type-confused fields must all come back as [`Fail`] values, never a
+//! panic.
+
+use simbase::json::{self, Json};
+
+/// Protocol version spoken by this build. Requests with any other `v`
+/// are rejected with [`ErrCode::BadVersion`] before their op is looked
+/// at, so a version-skewed client gets a structured error it can parse,
+/// not a confusing op-level failure.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Maximum frame size in bytes (including the terminating newline).
+/// Larger frames are rejected with [`ErrCode::OversizedFrame`]; the
+/// server discards input up to the next newline and keeps the
+/// connection usable.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Server identification string sent in `hello` responses.
+pub const SERVER_ID: &str = "simserve/0.1.0";
+
+/// Machine-readable error codes (the `code` field of error frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The frame is not valid JSON, or not a JSON object.
+    BadJson,
+    /// The `v` field is missing, mistyped, or not [`PROTO_VERSION`].
+    BadVersion,
+    /// A field is missing, mistyped, or out of range for its op.
+    BadRequest,
+    /// The `op` field names no known operation.
+    UnknownOp,
+    /// The frame exceeded [`MAX_FRAME`] bytes.
+    OversizedFrame,
+    /// The server is draining and accepts no new sweep work.
+    Draining,
+    /// The referenced digest is unknown to the server.
+    NotFound,
+    /// The referenced digest is still computing.
+    Pending,
+    /// The async submit queue is full; retry later or use blocking
+    /// `sweep`.
+    Overloaded,
+}
+
+impl ErrCode {
+    /// The stable wire spelling of this code.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::BadJson => "bad-json",
+            ErrCode::BadVersion => "bad-version",
+            ErrCode::BadRequest => "bad-request",
+            ErrCode::UnknownOp => "unknown-op",
+            ErrCode::OversizedFrame => "oversized-frame",
+            ErrCode::Draining => "draining",
+            ErrCode::NotFound => "not-found",
+            ErrCode::Pending => "pending",
+            ErrCode::Overloaded => "overloaded",
+        }
+    }
+}
+
+/// A structured failure: the error code plus a human-readable message.
+/// Rendered on the wire by [`error_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fail {
+    /// Machine-readable code.
+    pub code: ErrCode,
+    /// Human-readable detail (never needed to dispatch on).
+    pub msg: String,
+}
+
+impl Fail {
+    /// Shorthand constructor.
+    pub fn new(code: ErrCode, msg: impl Into<String>) -> Fail {
+        Fail { code, msg: msg.into() }
+    }
+}
+
+/// Which reproduction scale a sweep request runs at. The daemon maps
+/// each name to a concrete `experiments::Scale` from its configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleName {
+    /// The reduced test scale (`Scale::quick` by default).
+    Quick,
+    /// The full reproduction scale (`Scale::full` by default).
+    Full,
+}
+
+impl ScaleName {
+    /// The wire spelling.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ScaleName::Quick => "quick",
+            ScaleName::Full => "full",
+        }
+    }
+}
+
+/// Parameters of a sweep request (shared by the blocking `sweep` op and
+/// the asynchronous `submit` op).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepReq {
+    /// Experiment selector: `"all"` or one experiment id.
+    pub exp: String,
+    /// Scale to run at.
+    pub scale: ScaleName,
+    /// Render TSV where an experiment has a TSV form.
+    pub tsv: bool,
+    /// Stream progress events while the sweep computes (only honored by
+    /// the blocking `sweep` op).
+    pub watch: bool,
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Server identification and capabilities.
+    Hello,
+    /// Blocking sweep: coalesced, computed (or joined) and answered with
+    /// the full report.
+    Sweep(SweepReq),
+    /// Asynchronous sweep: enqueue and return the digest immediately.
+    Submit(SweepReq),
+    /// Non-blocking state probe for a submitted digest.
+    Status {
+        /// The 32-hex-digit report digest.
+        digest: String,
+    },
+    /// Fetch the finished report for a digest.
+    Report {
+        /// The 32-hex-digit report digest.
+        digest: String,
+    },
+    /// Server counters.
+    Stats,
+    /// Graceful drain: finish in-flight work, reject new sweeps, exit 0.
+    Drain,
+    /// Drain, but abandon queued (not yet started) async submissions.
+    Shutdown,
+}
+
+/// Parses one request frame. On success returns the correlation id and
+/// the request; on failure, the best-effort correlation id (0 when the
+/// frame was too broken to recover one) and the structured failure to
+/// send back.
+pub fn parse_request(line: &str) -> Result<(u64, Request), (u64, Fail)> {
+    if line.len() > MAX_FRAME {
+        return Err((0, Fail::new(ErrCode::OversizedFrame, format!("frame exceeds {MAX_FRAME} bytes"))));
+    }
+    let v = match json::parse(line.trim_end_matches(['\r', '\n'])) {
+        Ok(v) => v,
+        Err(e) => return Err((0, Fail::new(ErrCode::BadJson, e))),
+    };
+    if !matches!(v, Json::Obj(_)) {
+        return Err((0, Fail::new(ErrCode::BadJson, "frame is not a JSON object")));
+    }
+    // Recover the correlation id first so every later error can echo it.
+    let id = match v.field("id") {
+        None => 0,
+        Some(f) => match f.as_u64() {
+            Some(id) => id,
+            None => return Err((0, Fail::new(ErrCode::BadRequest, "\"id\" must be an unsigned integer"))),
+        },
+    };
+    match v.field("v").and_then(Json::as_u64) {
+        Some(PROTO_VERSION) => {}
+        Some(other) => {
+            return Err((
+                id,
+                Fail::new(
+                    ErrCode::BadVersion,
+                    format!("protocol version {other} not supported (speak v{PROTO_VERSION})"),
+                ),
+            ))
+        }
+        None => {
+            return Err((
+                id,
+                Fail::new(ErrCode::BadVersion, format!("missing or mistyped \"v\" (speak v{PROTO_VERSION})")),
+            ))
+        }
+    }
+    let op = match v.field("op").and_then(Json::as_str) {
+        Some(op) => op,
+        None => return Err((id, Fail::new(ErrCode::BadRequest, "missing or mistyped \"op\""))),
+    };
+    let req = match op {
+        "ping" => Request::Ping,
+        "hello" => Request::Hello,
+        "sweep" => Request::Sweep(sweep_req(&v).map_err(|f| (id, f))?),
+        "submit" => Request::Submit(sweep_req(&v).map_err(|f| (id, f))?),
+        "status" => Request::Status { digest: digest_field(&v).map_err(|f| (id, f))? },
+        "report" => Request::Report { digest: digest_field(&v).map_err(|f| (id, f))? },
+        "stats" => Request::Stats,
+        "drain" => Request::Drain,
+        "shutdown" => Request::Shutdown,
+        other => return Err((id, Fail::new(ErrCode::UnknownOp, format!("unknown op {other:?}")))),
+    };
+    Ok((id, req))
+}
+
+fn sweep_req(v: &Json) -> Result<SweepReq, Fail> {
+    let exp = match v.field("exp") {
+        None => "all".to_string(),
+        Some(Json::Str(s)) => s.clone(),
+        Some(_) => return Err(Fail::new(ErrCode::BadRequest, "\"exp\" must be a string")),
+    };
+    let scale = match v.field("scale") {
+        None => ScaleName::Quick,
+        Some(Json::Str(s)) if s == "quick" => ScaleName::Quick,
+        Some(Json::Str(s)) if s == "full" => ScaleName::Full,
+        Some(_) => {
+            return Err(Fail::new(ErrCode::BadRequest, "\"scale\" must be \"quick\" or \"full\""))
+        }
+    };
+    Ok(SweepReq {
+        exp,
+        scale,
+        tsv: bool_field(v, "tsv")?,
+        watch: bool_field(v, "watch")?,
+    })
+}
+
+fn bool_field(v: &Json, name: &str) -> Result<bool, Fail> {
+    match v.field(name) {
+        None => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(Fail::new(ErrCode::BadRequest, format!("{name:?} must be a boolean"))),
+    }
+}
+
+fn digest_field(v: &Json) -> Result<String, Fail> {
+    match v.field("digest") {
+        Some(Json::Str(s))
+            if s.len() == 32 && s.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()) =>
+        {
+            Ok(s.clone())
+        }
+        Some(Json::Str(_)) => {
+            Err(Fail::new(ErrCode::BadRequest, "\"digest\" must be 32 lowercase hex digits"))
+        }
+        _ => Err(Fail::new(ErrCode::BadRequest, "missing or mistyped \"digest\"")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame builders (requests and responses share the envelope shape)
+// ---------------------------------------------------------------------------
+
+/// Builds a request frame (client side): the envelope plus op-specific
+/// fields, newline-terminated.
+pub fn request_frame(id: u64, op: &str, fields: Vec<(&str, Json)>) -> String {
+    let mut pairs = vec![
+        ("v", Json::U64(PROTO_VERSION)),
+        ("id", Json::U64(id)),
+        ("op", Json::Str(op.to_string())),
+    ];
+    pairs.extend(fields);
+    let mut line = Json::obj(pairs).render();
+    line.push('\n');
+    line
+}
+
+/// Builds a success response frame, newline-terminated.
+pub fn ok_frame(id: u64, op: &str, fields: Vec<(&str, Json)>) -> String {
+    let mut pairs = vec![
+        ("v", Json::U64(PROTO_VERSION)),
+        ("id", Json::U64(id)),
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str(op.to_string())),
+    ];
+    pairs.extend(fields);
+    let mut line = Json::obj(pairs).render();
+    line.push('\n');
+    line
+}
+
+/// Builds an error response frame, newline-terminated.
+pub fn error_frame(id: u64, fail: &Fail) -> String {
+    let mut line = Json::obj(vec![
+        ("v", Json::U64(PROTO_VERSION)),
+        ("id", Json::U64(id)),
+        ("ok", Json::Bool(false)),
+        ("code", Json::Str(fail.code.as_str().to_string())),
+        ("error", Json::Str(fail.msg.clone())),
+    ])
+    .render();
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(line: &str) -> (u64, Request) {
+        parse_request(line).expect("parses")
+    }
+
+    #[test]
+    fn minimal_ops_parse() {
+        assert_eq!(parse_ok(r#"{"v":1,"id":7,"op":"ping"}"#), (7, Request::Ping));
+        assert_eq!(parse_ok(r#"{"v":1,"op":"stats"}"#), (0, Request::Stats));
+        assert_eq!(parse_ok(r#"{"v":1,"id":1,"op":"drain"}"#), (1, Request::Drain));
+        assert_eq!(parse_ok(r#"{"v":1,"id":1,"op":"shutdown"}"#), (1, Request::Shutdown));
+    }
+
+    #[test]
+    fn sweep_defaults_and_fields() {
+        let (_, req) = parse_ok(r#"{"v":1,"id":3,"op":"sweep"}"#);
+        assert_eq!(
+            req,
+            Request::Sweep(SweepReq {
+                exp: "all".into(),
+                scale: ScaleName::Quick,
+                tsv: false,
+                watch: false
+            })
+        );
+        let (_, req) =
+            parse_ok(r#"{"v":1,"id":3,"op":"sweep","exp":"fig9","scale":"full","tsv":true,"watch":true}"#);
+        assert_eq!(
+            req,
+            Request::Sweep(SweepReq {
+                exp: "fig9".into(),
+                scale: ScaleName::Full,
+                tsv: true,
+                watch: true
+            })
+        );
+    }
+
+    #[test]
+    fn version_skew_is_a_structured_error_with_the_request_id() {
+        for bad in [
+            r#"{"v":2,"id":9,"op":"ping"}"#,
+            r#"{"v":0,"id":9,"op":"ping"}"#,
+            r#"{"id":9,"op":"ping"}"#,
+            r#"{"v":"1","id":9,"op":"ping"}"#,
+        ] {
+            let (id, fail) = parse_request(bad).expect_err("version skew must fail");
+            assert_eq!(id, 9, "{bad}");
+            assert_eq!(fail.code, ErrCode::BadVersion, "{bad}");
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_bad_json() {
+        for bad in ["", "{", "not json", "[1,2]", "42", "\"str\"", "{\"v\":1,"] {
+            let (_, fail) = parse_request(bad).expect_err("must fail");
+            assert_eq!(fail.code, ErrCode::BadJson, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn bad_fields_are_bad_request() {
+        for bad in [
+            r#"{"v":1,"id":"x","op":"ping"}"#,
+            r#"{"v":1,"id":1}"#,
+            r#"{"v":1,"id":1,"op":7}"#,
+            r#"{"v":1,"id":1,"op":"sweep","exp":7}"#,
+            r#"{"v":1,"id":1,"op":"sweep","scale":"tiny"}"#,
+            r#"{"v":1,"id":1,"op":"sweep","tsv":"yes"}"#,
+            r#"{"v":1,"id":1,"op":"status"}"#,
+            r#"{"v":1,"id":1,"op":"report","digest":"XYZ"}"#,
+            r#"{"v":1,"id":1,"op":"report","digest":"ABCDEF00112233445566778899aabbcc"}"#,
+        ] {
+            let (_, fail) = parse_request(bad).expect_err("must fail");
+            assert_eq!(fail.code, ErrCode::BadRequest, "{bad}");
+        }
+        let (_, fail) =
+            parse_request(r#"{"v":1,"id":1,"op":"frobnicate"}"#).expect_err("must fail");
+        assert_eq!(fail.code, ErrCode::UnknownOp);
+    }
+
+    #[test]
+    fn digest_field_accepts_exact_lowercase_hex() {
+        let d = "00112233445566778899aabbccddeeff";
+        let (_, req) = parse_ok(&format!(r#"{{"v":1,"id":1,"op":"status","digest":"{d}"}}"#));
+        assert_eq!(req, Request::Status { digest: d.into() });
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let huge = format!(r#"{{"v":1,"id":1,"op":"ping","pad":"{}"}}"#, "x".repeat(MAX_FRAME));
+        let (_, fail) = parse_request(&huge).expect_err("must fail");
+        assert_eq!(fail.code, ErrCode::OversizedFrame);
+    }
+
+    #[test]
+    fn frames_roundtrip_through_the_builders() {
+        let line = request_frame(5, "sweep", vec![("exp", Json::Str("fig4".into()))]);
+        assert!(line.ends_with('\n'));
+        let (id, req) = parse_ok(&line);
+        assert_eq!(id, 5);
+        assert!(matches!(req, Request::Sweep(s) if s.exp == "fig4"));
+
+        let ok = ok_frame(5, "pong", vec![]);
+        let v = json::parse(ok.trim_end()).expect("valid");
+        assert_eq!(v.field("ok"), Some(&Json::Bool(true)));
+
+        let err = error_frame(5, &Fail::new(ErrCode::Draining, "drain in progress"));
+        let v = json::parse(err.trim_end()).expect("valid");
+        assert_eq!(v.field("ok"), Some(&Json::Bool(false)));
+        assert_eq!(v.field("code").and_then(Json::as_str), Some("draining"));
+    }
+}

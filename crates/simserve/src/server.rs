@@ -1,0 +1,544 @@
+//! The TCP connection supervisor.
+//!
+//! One [`Server`] owns a listener and a registry of live connections.
+//! Each accepted connection gets two threads: a **reader** that parses
+//! frames, dispatches ops against the shared [`Service`], and decides
+//! what to send; and a **writer** that drains a bounded response queue
+//! onto the socket. Splitting the two means a blocking sweep on the
+//! reader never stops progress events from flowing out, and a client
+//! that stops reading applies backpressure to its own queue instead of
+//! wedging a worker.
+//!
+//! Everything polls: the accept loop and the per-connection reads run
+//! with short timeouts and check stop/close flags between attempts, so a
+//! drain never needs to interrupt a blocked syscall. The drain sequence
+//! is strictly ordered — reject new work, finish admitted work, flush
+//! every queued response, then close sockets — which is what lets the
+//! load test assert "no lost or duplicated responses" over a shutdown.
+
+use crate::proto::{
+    self, ErrCode, Fail, Request, MAX_FRAME, PROTO_VERSION, SERVER_ID,
+};
+use crate::service::Service;
+use experiments::repro::EXPERIMENTS;
+use simbase::json::Json;
+use simsched::progress::{Event, EventKind, Observer, Outcome};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll interval of the accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Read timeout between close-flag checks on a connection.
+const READ_POLL: Duration = Duration::from_millis(200);
+/// How long a final response may wait for queue space before the
+/// connection is declared wedged and dropped.
+const SEND_DEADLINE: Duration = Duration::from_secs(5);
+/// Socket write timeout; a peer that stops draining its receive buffer
+/// for this long loses the connection.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+enum WriteCmd {
+    Line(String),
+    Close,
+}
+
+struct Conn {
+    id: u64,
+    closing: AtomicBool,
+    done: AtomicBool,
+}
+
+struct ConnHandle {
+    conn: Arc<Conn>,
+    reader: std::thread::JoinHandle<()>,
+    writer: std::thread::JoinHandle<()>,
+}
+
+/// A bound, not-yet-running daemon. [`Server::run`] blocks the calling
+/// thread until a client's `drain`/`shutdown` completes (or
+/// [`Server::stopper`] fires) and returns `Ok(())` on a clean exit —
+/// process exit code 0 is the drain contract.
+pub struct Server {
+    service: Arc<Service>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    next_conn: u64,
+    conns: Vec<ConnHandle>,
+}
+
+/// A handle that stops a running [`Server`] from another thread (tests
+/// and in-process benches; clients use the `drain` op).
+#[derive(Clone)]
+pub struct Stopper {
+    stop: Arc<AtomicBool>,
+}
+
+impl Stopper {
+    /// Requests a drain-and-stop, as if a client had sent `drain`.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Server {
+    /// Binds the listener. `addr` is host:port; port 0 picks a free port
+    /// (report the real one with [`Server::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(service: Arc<Service>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            service,
+            listener,
+            stop: Arc::new(AtomicBool::new(false)),
+            next_conn: 0,
+            conns: Vec::new(),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if the socket has no local address.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A remote stop handle.
+    pub fn stopper(&self) -> Stopper {
+        Stopper { stop: Arc::clone(&self.stop) }
+    }
+
+    /// Serves until stopped, then drains: finish every admitted request,
+    /// flush every queued response, join all threads, write telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O errors (not per-connection ones, which
+    /// only close their connection).
+    pub fn run(mut self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let console = self.service.console().clone();
+        console.status(&format!(
+            "[simserve] listening on {} (proto v{PROTO_VERSION})",
+            self.local_addr()?
+        ));
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    // A connection accepted mid-drain would only ever see
+                    // rejections; refuse it outright.
+                    if self.service.draining() {
+                        drop(stream);
+                        continue;
+                    }
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    console.status(&format!("[simserve] conn {id} from {peer}"));
+                    match spawn_conn(Arc::clone(&self.service), Arc::clone(&self.stop), stream, id)
+                    {
+                        Ok(handle) => self.conns.push(handle),
+                        Err(e) => {
+                            console.status(&format!("[simserve] conn {id} setup failed: {e}"))
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                    self.reap();
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain, in order: no new work (the flag is already up or goes up
+        // now), admitted work finishes, queued responses flush, sockets
+        // close, stores settle.
+        self.service.begin_drain(false);
+        console.status("[simserve] draining: waiting for in-flight requests");
+        self.service.wait_idle();
+        for c in &self.conns {
+            c.conn.closing.store(true, Ordering::SeqCst);
+        }
+        for c in self.conns.drain(..) {
+            let _ = c.reader.join();
+            let _ = c.writer.join();
+        }
+        self.service.close();
+        console.status("[simserve] drained; exiting");
+        Ok(())
+    }
+
+    /// Joins connections whose threads have finished.
+    fn reap(&mut self) {
+        if self.conns.iter().any(|c| c.conn.done.load(Ordering::SeqCst)) {
+            for c in std::mem::take(&mut self.conns) {
+                if c.conn.done.load(Ordering::SeqCst) {
+                    let _ = c.reader.join();
+                    let _ = c.writer.join();
+                } else {
+                    self.conns.push(c);
+                }
+            }
+        }
+    }
+}
+
+fn spawn_conn(
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+    stream: TcpStream,
+    id: u64,
+) -> std::io::Result<ConnHandle> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let write_stream = stream.try_clone()?;
+    let conn = Arc::new(Conn {
+        id,
+        closing: AtomicBool::new(false),
+        done: AtomicBool::new(false),
+    });
+    let (tx, rx) = std::sync::mpsc::sync_channel::<WriteCmd>(
+        service.config().write_queue.max(1),
+    );
+    let writer = {
+        let conn = Arc::clone(&conn);
+        std::thread::spawn(move || write_loop(write_stream, rx, &conn))
+    };
+    let reader = {
+        let conn = Arc::clone(&conn);
+        std::thread::spawn(move || {
+            read_loop(&service, &stop, stream, &conn, &tx);
+            // Whatever ended the loop (EOF, error, close flag), flush the
+            // queue and release the writer. `send` (not `try_send`) so
+            // already-queued responses are not lost; the writer always
+            // drains to `Close`.
+            let _ = tx.send(WriteCmd::Close);
+            conn.done.store(true, Ordering::SeqCst);
+        })
+    };
+    Ok(ConnHandle { conn, reader, writer })
+}
+
+fn write_loop(mut stream: TcpStream, rx: Receiver<WriteCmd>, conn: &Conn) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            WriteCmd::Line(line) => {
+                if stream.write_all(line.as_bytes()).is_err() {
+                    // Peer gone or wedged past WRITE_TIMEOUT: stop the
+                    // reader too, then keep consuming (and discarding)
+                    // until Close so senders never block forever.
+                    conn.closing.store(true, Ordering::SeqCst);
+                    while let Ok(cmd) = rx.recv() {
+                        if matches!(cmd, WriteCmd::Close) {
+                            return;
+                        }
+                    }
+                    return;
+                }
+            }
+            WriteCmd::Close => {
+                let _ = stream.flush();
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+        }
+    }
+}
+
+/// What one attempt to read a frame produced.
+enum Frame {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// A line longer than [`MAX_FRAME`]; the excess was discarded and
+    /// the stream is resynchronized at the next line.
+    Oversized,
+    /// Connection over: EOF, hard error, idle timeout, or close flag.
+    Gone,
+}
+
+/// Bounded line reader: accumulates at most [`MAX_FRAME`] bytes looking
+/// for a newline, discards oversized lines to the next newline, polls
+/// the close flag between reads, and enforces the idle timeout.
+struct FrameReader<'a> {
+    stream: TcpStream,
+    conn: &'a Conn,
+    buf: Vec<u8>,
+    idle_timeout: Duration,
+}
+
+impl FrameReader<'_> {
+    fn next(&mut self) -> Frame {
+        let mut discarding = false;
+        let mut last_activity = Instant::now();
+        let mut chunk = [0u8; 4096];
+        loop {
+            // Serve a buffered line first.
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                if discarding {
+                    return Frame::Oversized;
+                }
+                return match String::from_utf8(line) {
+                    // Invalid UTF-8 can't be a valid frame; let the
+                    // parser produce the structured bad-json error.
+                    Err(_) => Frame::Line("\u{fffd}".into()),
+                    Ok(s) => Frame::Line(s),
+                };
+            }
+            if self.buf.len() > MAX_FRAME {
+                // Too long with no newline yet: drop what we have and
+                // keep discarding until the line ends.
+                discarding = true;
+                self.buf.clear();
+            }
+            if self.conn.closing.load(Ordering::SeqCst) {
+                return Frame::Gone;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Frame::Gone,
+                Ok(n) => {
+                    last_activity = Instant::now();
+                    if discarding {
+                        // Keep only anything after a newline.
+                        match chunk[..n].iter().position(|&b| b == b'\n') {
+                            Some(pos) => {
+                                self.buf.extend_from_slice(&chunk[pos + 1..n]);
+                                return Frame::Oversized;
+                            }
+                            None => continue,
+                        }
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                {
+                    if last_activity.elapsed() > self.idle_timeout {
+                        return Frame::Gone;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Frame::Gone,
+            }
+        }
+    }
+}
+
+/// Enqueues a response the connection must not lose: waits up to
+/// [`SEND_DEADLINE`] for queue space, then gives up on the connection.
+/// Returns false when the connection should close.
+fn send_response(tx: &SyncSender<WriteCmd>, conn: &Conn, line: String) -> bool {
+    let deadline = Instant::now() + SEND_DEADLINE;
+    let mut cmd = WriteCmd::Line(line);
+    loop {
+        match tx.try_send(cmd) {
+            Ok(()) => return true,
+            Err(TrySendError::Disconnected(_)) => return false,
+            Err(TrySendError::Full(back)) => {
+                if conn.closing.load(Ordering::SeqCst) || Instant::now() > deadline {
+                    conn.closing.store(true, Ordering::SeqCst);
+                    return false;
+                }
+                cmd = back;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// A progress observer that streams events into the connection's write
+/// queue as best-effort `"op":"event"` frames, dropping (and counting)
+/// when the queue is full — a slow watcher loses events, never stalls
+/// the sweep workers.
+fn event_observer(
+    tx: SyncSender<WriteCmd>,
+    id: u64,
+    dropped: Arc<AtomicU64>,
+) -> Observer {
+    Arc::new(move |e: &Event| {
+        let mut fields = vec![("label", Json::Str(e.label.clone()))];
+        match e.kind {
+            EventKind::Queued => fields.push(("kind", Json::Str("queued".into()))),
+            EventKind::Started => fields.push(("kind", Json::Str("started".into()))),
+            EventKind::Finished { outcome, wall_ns } => {
+                fields.push(("kind", Json::Str("finished".into())));
+                let outcome = match outcome {
+                    Outcome::Simulated => "simulated",
+                    Outcome::Shared => "shared",
+                    Outcome::Resumed => "resumed",
+                };
+                fields.push(("outcome", Json::Str(outcome.into())));
+                fields.push(("wall_ns", Json::U64(wall_ns)));
+            }
+        }
+        let frame = proto::ok_frame(id, "event", fields);
+        if tx.try_send(WriteCmd::Line(frame)).is_err() {
+            dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    })
+}
+
+fn read_loop(
+    service: &Arc<Service>,
+    stop: &Arc<AtomicBool>,
+    stream: TcpStream,
+    conn: &Arc<Conn>,
+    tx: &SyncSender<WriteCmd>,
+) {
+    let console = service.console().clone().with_tag(&format!("[conn {}]", conn.id));
+    let mut frames = FrameReader {
+        stream,
+        conn,
+        buf: Vec::new(),
+        idle_timeout: service.config().idle_timeout,
+    };
+    loop {
+        let line = match frames.next() {
+            Frame::Line(line) => line,
+            Frame::Oversized => {
+                let fail = Fail::new(
+                    ErrCode::OversizedFrame,
+                    format!("frame exceeds {MAX_FRAME} bytes"),
+                );
+                if !send_response(tx, conn, proto::error_frame(0, &fail)) {
+                    return;
+                }
+                continue;
+            }
+            Frame::Gone => return,
+        };
+        if line.is_empty() {
+            continue; // blank keep-alive lines are fine
+        }
+        let (id, req) = match proto::parse_request(&line) {
+            Ok(ok) => ok,
+            Err((id, fail)) => {
+                if !send_response(tx, conn, proto::error_frame(id, &fail)) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = dispatch(service, stop, tx, &console, id, req);
+        if !send_response(tx, conn, response) {
+            return;
+        }
+    }
+}
+
+fn dispatch(
+    service: &Arc<Service>,
+    stop: &Arc<AtomicBool>,
+    tx: &SyncSender<WriteCmd>,
+    console: &simtel::Console,
+    id: u64,
+    req: Request,
+) -> String {
+    match req {
+        Request::Ping => proto::ok_frame(id, "pong", vec![]),
+        Request::Hello => proto::ok_frame(
+            id,
+            "hello",
+            vec![
+                ("server", Json::Str(SERVER_ID.into())),
+                ("proto", Json::U64(PROTO_VERSION)),
+                ("apps", Json::U64(service.config().apps.len() as u64)),
+                (
+                    "experiments",
+                    Json::Arr(
+                        EXPERIMENTS.iter().map(|&(id, _)| Json::Str(id.into())).collect(),
+                    ),
+                ),
+            ],
+        ),
+        Request::Sweep(sr) => {
+            console.status(&format!(
+                "[simserve] sweep {} ({}{})",
+                sr.exp,
+                sr.scale.as_str(),
+                if sr.tsv { ", tsv" } else { "" }
+            ));
+            service.enter_request();
+            let dropped = Arc::new(AtomicU64::new(0));
+            let token = sr.watch.then(|| {
+                service
+                    .hub()
+                    .subscribe(event_observer(tx.clone(), id, Arc::clone(&dropped)))
+            });
+            let outcome = service.sweep(&sr);
+            if let Some(token) = token {
+                service.hub().unsubscribe(token);
+            }
+            service.exit_request();
+            match outcome {
+                Ok(done) => proto::ok_frame(
+                    id,
+                    "sweep",
+                    vec![
+                        ("digest", Json::Str(done.digest.hex())),
+                        ("fresh", Json::Bool(done.fresh)),
+                        ("events_dropped", Json::U64(dropped.load(Ordering::Relaxed))),
+                        ("report", Json::Str((*done.report).clone())),
+                    ],
+                ),
+                Err(fail) => proto::error_frame(id, &fail),
+            }
+        }
+        Request::Submit(sr) => match service.submit(&sr) {
+            Ok((digest, state)) => proto::ok_frame(
+                id,
+                "submit",
+                vec![
+                    ("digest", Json::Str(digest.hex())),
+                    ("state", Json::Str(state.into())),
+                ],
+            ),
+            Err(fail) => proto::error_frame(id, &fail),
+        },
+        Request::Status { digest } => proto::ok_frame(
+            id,
+            "status",
+            vec![
+                ("digest", Json::Str(digest.clone())),
+                ("state", Json::Str(service.status_of(&digest).into())),
+            ],
+        ),
+        Request::Report { digest } => match service.report_of(&digest) {
+            Ok(report) => proto::ok_frame(
+                id,
+                "report",
+                vec![
+                    ("digest", Json::Str(digest)),
+                    ("report", Json::Str((*report).clone())),
+                ],
+            ),
+            Err(fail) => proto::error_frame(id, &fail),
+        },
+        Request::Stats => proto::ok_frame(id, "stats", service.stats_fields()),
+        Request::Drain => {
+            console.status("[simserve] drain requested");
+            service.begin_drain(false);
+            stop.store(true, Ordering::SeqCst);
+            proto::ok_frame(id, "drain", vec![("draining", Json::Bool(true))])
+        }
+        Request::Shutdown => {
+            console.status("[simserve] shutdown requested");
+            service.begin_drain(true);
+            stop.store(true, Ordering::SeqCst);
+            proto::ok_frame(id, "shutdown", vec![("draining", Json::Bool(true))])
+        }
+    }
+}

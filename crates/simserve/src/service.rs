@@ -1,0 +1,618 @@
+//! The sweep service: process-wide stores, cross-client single-flight,
+//! and drain bookkeeping.
+//!
+//! A [`Service`] owns what used to die with every `repro` process: the
+//! run store (one `Sweep` per scale, each with its own single-flight
+//! `RunStore` over the simsched pool), the warm-up `CheckpointStore`,
+//! and a **report store** keyed by the digest of the whole request
+//! (experiment selection + scale + rendering mode). Any number of
+//! clients asking for the same report share exactly one rendering — the
+//! winner computes, everyone else blocks on the single-flight entry and
+//! receives the same `Arc<String>` — and distinct reports still share
+//! their underlying runs through the sweeps' stores. The
+//! `computed`/`coalesced` counters are the observable proof: a load test
+//! can assert that a thousand duplicate requests incremented `computed`
+//! exactly once.
+//!
+//! Drain discipline: once [`Service::begin_drain`] runs, new sweep work
+//! is rejected with [`ErrCode::Draining`](crate::proto::ErrCode) while
+//! everything already admitted (blocking sweeps *and* queued async
+//! submissions) finishes and is answered; [`Service::wait_idle`] blocks
+//! until that point. `shutdown` additionally abandons queued-but-
+//! unstarted submissions.
+
+use crate::proto::{ErrCode, Fail, ScaleName, SweepReq};
+use experiments::exps::Sweep;
+use experiments::repro::{render_selection, resolve_ids};
+use experiments::Scale;
+use simbase::digest::{Digest, Hasher128};
+use simbase::json::Json;
+use simsched::progress::Hub;
+use simsched::store::{EntryState, RunStore};
+use simtel::{Console, Telemetry};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use workloads::profiles::{BenchProfile, ROSTER};
+
+/// Daemon configuration. [`ServeConfig::default`] serves the paper's
+/// full 15-application roster at the canonical quick/full scales; tests
+/// shrink `apps` and the scales to keep wall time down.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads per sweep pool.
+    pub threads: usize,
+    /// Application roster every sweep runs over.
+    pub apps: Vec<BenchProfile>,
+    /// The scale served for `"scale":"quick"` requests.
+    pub quick: Scale,
+    /// The scale served for `"scale":"full"` requests.
+    pub full: Scale,
+    /// Run-artifact directory (resume + append), as `repro --artifacts`.
+    pub artifacts: Option<PathBuf>,
+    /// Warm-up checkpoint directory, as `repro --checkpoints`.
+    pub checkpoints: Option<PathBuf>,
+    /// Telemetry export directory; written when the server stops.
+    pub telemetry: Option<PathBuf>,
+    /// Threads servicing asynchronous `submit` requests.
+    pub submit_workers: usize,
+    /// Bound of the async submit queue; a full queue rejects `submit`
+    /// with `overloaded` (backpressure instead of unbounded memory).
+    pub submit_queue: usize,
+    /// Bound of each connection's response queue.
+    pub write_queue: usize,
+    /// Per-connection idle timeout; connections silent for longer are
+    /// closed.
+    pub idle_timeout: Duration,
+    /// Suppress stderr status lines.
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            apps: ROSTER.to_vec(),
+            quick: Scale::quick(),
+            full: Scale::full(),
+            artifacts: None,
+            checkpoints: None,
+            telemetry: None,
+            submit_workers: 2,
+            submit_queue: 256,
+            write_queue: 64,
+            idle_timeout: Duration::from_secs(300),
+            quiet: false,
+        }
+    }
+}
+
+/// Result of a blocking sweep request.
+#[derive(Debug, Clone)]
+pub struct SweepDone {
+    /// The report digest (also the `status`/`report` key).
+    pub digest: Digest,
+    /// The rendered report, byte-identical to `repro`'s stdout for the
+    /// same selection/scale/mode.
+    pub report: Arc<String>,
+    /// True when this request performed the rendering; false when it was
+    /// coalesced onto another client's in-flight or finished computation.
+    pub fresh: bool,
+}
+
+/// The resident sweep service. Shared across connection threads as
+/// `Arc<Service>`.
+pub struct Service {
+    cfg: ServeConfig,
+    quick: Sweep,
+    full: Sweep,
+    hub: Arc<Hub>,
+    telemetry: Option<Arc<Telemetry>>,
+    console: Console,
+    reports: RunStore<u128, String>,
+    requests: AtomicU64,
+    computed: AtomicU64,
+    coalesced: AtomicU64,
+    draining: AtomicBool,
+    abandon_queued: AtomicBool,
+    inflight: Mutex<u64>,
+    idle_cv: Condvar,
+    submit_tx: Mutex<Option<SyncSender<SweepReq>>>,
+    submit_rx: Mutex<Option<Receiver<SweepReq>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Builds the service: one sweep per scale (both observed by the
+    /// progress [`Hub`]), optional artifact/checkpoint/telemetry stores,
+    /// and the async submit worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from opening the artifact or checkpoint
+    /// directories.
+    pub fn new(cfg: ServeConfig) -> std::io::Result<Arc<Service>> {
+        let hub = Hub::new();
+        let telemetry = cfg.telemetry.as_ref().map(|_| Arc::new(Telemetry::from_env()));
+        let mut console = Console::from_env(cfg.quiet);
+        if let Some(tel) = &telemetry {
+            console = console.with_mirror(Arc::clone(tel));
+        }
+        let make_sweep = |scale: Scale| -> std::io::Result<Sweep> {
+            let mut sweep = Sweep::with_apps(scale, cfg.apps.clone())
+                .with_threads(cfg.threads)
+                .with_observer(hub.observer());
+            if let Some(dir) = &cfg.artifacts {
+                sweep = sweep.with_artifacts(dir)?;
+            }
+            if let Some(dir) = &cfg.checkpoints {
+                sweep = sweep.with_checkpoints(dir)?;
+            }
+            if let Some(tel) = &telemetry {
+                sweep = sweep.with_telemetry(Arc::clone(tel));
+            }
+            Ok(sweep)
+        };
+        let (tx, rx) = sync_channel(cfg.submit_queue.max(1));
+        let service = Arc::new(Service {
+            quick: make_sweep(cfg.quick)?,
+            full: make_sweep(cfg.full)?,
+            hub,
+            telemetry,
+            console,
+            reports: RunStore::new(),
+            requests: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            abandon_queued: AtomicBool::new(false),
+            inflight: Mutex::new(0),
+            idle_cv: Condvar::new(),
+            submit_tx: Mutex::new(Some(tx)),
+            submit_rx: Mutex::new(Some(rx)),
+            workers: Mutex::new(Vec::new()),
+            cfg,
+        });
+        service.spawn_submit_workers();
+        Ok(service)
+    }
+
+    fn spawn_submit_workers(self: &Arc<Self>) {
+        let rx = Arc::new(Mutex::new(
+            self.submit_rx.lock().expect("service poisoned").take().expect("rx taken once"),
+        ));
+        let mut workers = self.workers.lock().expect("service poisoned");
+        for _ in 0..self.cfg.submit_workers.max(1) {
+            let me = Arc::clone(self);
+            let rx = Arc::clone(&rx);
+            workers.push(std::thread::spawn(move || loop {
+                // Holding the lock across `recv` serializes the *claim*,
+                // not the compute: the winner drops the guard before
+                // rendering, so idle workers immediately contend for the
+                // next job.
+                let job = {
+                    let guard = rx.lock().expect("submit rx poisoned");
+                    guard.recv()
+                };
+                match job {
+                    Ok(req) => {
+                        if !me.abandon_queued.load(Ordering::SeqCst) {
+                            // Validation already happened at submit time;
+                            // a failure here would be a logic error, but
+                            // a worker must never die over one request.
+                            let _ = me.compute(&req);
+                        }
+                        me.exit_request();
+                    }
+                    Err(_) => return, // channel closed: server stopping
+                }
+            }));
+        }
+    }
+
+    /// The daemon configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The progress hub; connections subscribe per-request observers.
+    pub fn hub(&self) -> &Arc<Hub> {
+        &self.hub
+    }
+
+    /// The status console (quiet- and telemetry-aware).
+    pub fn console(&self) -> &Console {
+        &self.console
+    }
+
+    /// The telemetry collector, when configured.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    fn sweep_for(&self, scale: ScaleName) -> (&Sweep, Scale) {
+        match scale {
+            ScaleName::Quick => (&self.quick, self.cfg.quick),
+            ScaleName::Full => (&self.full, self.cfg.full),
+        }
+    }
+
+    /// The report digest for a validated request: a structural hash of
+    /// the experiment ids (in rendering order), the concrete scale, and
+    /// the rendering mode. Duplicate requests from any number of clients
+    /// map to one digest and therefore one rendering.
+    fn report_digest(ids: &[&str], scale: Scale, tsv: bool) -> Digest {
+        let mut h = Hasher128::new();
+        h.write_str("simserve-report-v1");
+        h.write_u64(ids.len() as u64);
+        for id in ids {
+            h.write_str(id);
+        }
+        h.write_u64(scale.warmup);
+        h.write_u64(scale.measure);
+        h.write_bool(tsv);
+        h.digest()
+    }
+
+    fn resolve(&self, req: &SweepReq) -> Result<(Vec<&'static str>, Digest), Fail> {
+        let ids = resolve_ids(&req.exp).ok_or_else(|| {
+            Fail::new(ErrCode::BadRequest, format!("unknown experiment {:?}", req.exp))
+        })?;
+        let (_, scale) = self.sweep_for(req.scale);
+        let digest = Service::report_digest(&ids, scale, req.tsv);
+        Ok((ids, digest))
+    }
+
+    /// Validates a sweep request without running it: returns the digest
+    /// it would compute under.
+    pub fn digest_of(&self, req: &SweepReq) -> Result<Digest, Fail> {
+        self.resolve(req).map(|(_, d)| d)
+    }
+
+    /// Runs (or joins) a sweep request. This is the blocking `sweep` op:
+    /// rejected while draining, otherwise coalesced by digest across all
+    /// clients and answered with the shared report.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrCode::Draining`] while draining, [`ErrCode::BadRequest`] for
+    /// an unknown experiment selector.
+    pub fn sweep(&self, req: &SweepReq) -> Result<SweepDone, Fail> {
+        if self.draining() {
+            return Err(Fail::new(ErrCode::Draining, "server is draining; no new sweeps"));
+        }
+        self.compute(req)
+    }
+
+    /// The compute path shared by blocking sweeps and the submit
+    /// workers. Deliberately does **not** check the draining flag: work
+    /// admitted before the drain began must finish.
+    fn compute(&self, req: &SweepReq) -> Result<SweepDone, Fail> {
+        let (ids, digest) = self.resolve(req)?;
+        let (sweep, _) = self.sweep_for(req.scale);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let mut fresh = false;
+        let report = self.reports.get_or_compute(digest.raw(), || {
+            fresh = true;
+            render_selection(&ids, sweep, req.tsv)
+        });
+        if fresh {
+            self.computed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        let wall = t0.elapsed();
+        if let Some(tel) = &self.telemetry {
+            tel.wall_span("simserve", &format!("sweep {} {}", req.exp, digest.hex()), wall.as_nanos() as u64);
+        }
+        if fresh {
+            self.console.status(&format!(
+                "[simserve] computed {} ({}, {}) in {:.2}s -> {}",
+                req.exp,
+                req.scale.as_str(),
+                if req.tsv { "tsv" } else { "text" },
+                wall.as_secs_f64(),
+                digest.hex()
+            ));
+        }
+        Ok(SweepDone { digest, report, fresh })
+    }
+
+    /// Enqueues a sweep for asynchronous computation (the `submit` op)
+    /// and returns its digest plus the state the request left it in:
+    /// `"done"` (already computed), `"running"` (already in flight), or
+    /// `"queued"`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrCode::Draining`] while draining, [`ErrCode::Overloaded`]
+    /// when the bounded submit queue is full, [`ErrCode::BadRequest`]
+    /// for an unknown experiment selector.
+    pub fn submit(&self, req: &SweepReq) -> Result<(Digest, &'static str), Fail> {
+        if self.draining() {
+            return Err(Fail::new(ErrCode::Draining, "server is draining; no new sweeps"));
+        }
+        let (_, digest) = self.resolve(req)?;
+        match self.reports.status(&digest.raw()) {
+            Some(EntryState::Done) => return Ok((digest, "done")),
+            Some(EntryState::Running) => return Ok((digest, "running")),
+            None => {}
+        }
+        self.enter_request();
+        let tx = self.submit_tx.lock().expect("service poisoned");
+        let Some(tx) = tx.as_ref() else {
+            self.exit_request();
+            return Err(Fail::new(ErrCode::Draining, "server is stopping"));
+        };
+        match tx.try_send(req.clone()) {
+            Ok(()) => Ok((digest, "queued")),
+            Err(TrySendError::Full(_)) => {
+                self.exit_request();
+                Err(Fail::new(
+                    ErrCode::Overloaded,
+                    format!("submit queue full ({} pending)", self.cfg.submit_queue),
+                ))
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.exit_request();
+                Err(Fail::new(ErrCode::Draining, "server is stopping"))
+            }
+        }
+    }
+
+    /// Non-blocking state of a report digest: `"unknown"`, `"running"`,
+    /// or `"done"`.
+    pub fn status_of(&self, hex: &str) -> &'static str {
+        match Digest::from_hex(hex).and_then(|d| self.reports.status(&d.raw())) {
+            Some(EntryState::Done) => "done",
+            Some(EntryState::Running) => "running",
+            None => "unknown",
+        }
+    }
+
+    /// Fetches a finished report by digest.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrCode::Pending`] while the digest is still computing,
+    /// [`ErrCode::NotFound`] for a digest the server has never seen.
+    pub fn report_of(&self, hex: &str) -> Result<Arc<String>, Fail> {
+        let Some(digest) = Digest::from_hex(hex) else {
+            return Err(Fail::new(ErrCode::BadRequest, "digest is not 32 hex digits"));
+        };
+        match self.reports.status(&digest.raw()) {
+            Some(EntryState::Done) => {
+                Ok(self.reports.get(&digest.raw()).expect("status said done"))
+            }
+            Some(EntryState::Running) => {
+                Err(Fail::new(ErrCode::Pending, "report is still computing"))
+            }
+            None => Err(Fail::new(ErrCode::NotFound, "no such report digest")),
+        }
+    }
+
+    /// Server counters for the `stats` op, as response fields.
+    pub fn stats_fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("requests", Json::U64(self.requests.load(Ordering::Relaxed))),
+            ("reports_computed", Json::U64(self.computed.load(Ordering::Relaxed))),
+            ("reports_coalesced", Json::U64(self.coalesced.load(Ordering::Relaxed))),
+            ("reports", Json::U64(self.reports.completed() as u64)),
+            ("runs_quick", Json::U64(self.quick.runs() as u64)),
+            ("simulated_quick", Json::U64(self.quick.simulated())),
+            ("runs_full", Json::U64(self.full.runs() as u64)),
+            ("simulated_full", Json::U64(self.full.simulated())),
+            ("inflight", Json::U64(*self.inflight.lock().expect("service poisoned"))),
+            ("watchers", Json::U64(self.hub.subscribers() as u64)),
+            ("draining", Json::Bool(self.draining())),
+        ]
+    }
+
+    /// Number of distinct reports rendered so far.
+    pub fn reports_computed(&self) -> u64 {
+        self.computed.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests answered by coalescing onto an existing
+    /// rendering.
+    pub fn reports_coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Marks the start of a tracked request (drain waits for its end).
+    pub fn enter_request(&self) {
+        *self.inflight.lock().expect("service poisoned") += 1;
+    }
+
+    /// Marks the end of a tracked request.
+    pub fn exit_request(&self) {
+        let mut n = self.inflight.lock().expect("service poisoned");
+        *n = n.checked_sub(1).expect("exit_request without enter_request");
+        if *n == 0 {
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// True once a drain or shutdown has begun.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begins a drain: new sweep/submit work is rejected from this call
+    /// on. With `abandon_queued`, async submissions still waiting in the
+    /// queue are skipped instead of computed (`shutdown` semantics).
+    pub fn begin_drain(&self, abandon_queued: bool) {
+        if abandon_queued {
+            self.abandon_queued.store(true, Ordering::SeqCst);
+        }
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until every tracked request has finished.
+    pub fn wait_idle(&self) {
+        let mut n = self.inflight.lock().expect("service poisoned");
+        while *n > 0 {
+            n = self.idle_cv.wait(n).expect("service poisoned");
+        }
+    }
+
+    /// Stops the submit workers (idempotent): closes the queue and joins
+    /// them. Queued jobs are still honored unless `begin_drain(true)`
+    /// marked them abandoned.
+    pub fn close(&self) {
+        drop(self.submit_tx.lock().expect("service poisoned").take());
+        let workers = std::mem::take(&mut *self.workers.lock().expect("service poisoned"));
+        for w in workers {
+            let _ = w.join();
+        }
+        if let (Some(dir), Some(tel)) = (&self.cfg.telemetry, &self.telemetry) {
+            match tel.write_all(dir) {
+                Ok(()) => self.console.status(&format!(
+                    "[simserve] telemetry -> {}/{{metrics,trace,wall}}.json",
+                    dir.display()
+                )),
+                Err(e) => self
+                    .console
+                    .status(&format!("[simserve] cannot write telemetry to {dir:?}: {e}")),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("apps", &self.cfg.apps.len())
+            .field("threads", &self.cfg.threads)
+            .field("reports", &self.reports.completed())
+            .field("draining", &self.draining())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::profiles::by_name;
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig {
+            threads: 2,
+            apps: vec![by_name("galgel").expect("in roster"), by_name("wupwise").expect("in roster")],
+            quick: Scale { warmup: 1_000, measure: 2_000 },
+            full: Scale { warmup: 2_000, measure: 4_000 },
+            quiet: true,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn table_req() -> SweepReq {
+        // table2/table4 need no runs at all, so service-level tests stay
+        // fast even in debug builds.
+        SweepReq { exp: "table2".into(), scale: ScaleName::Quick, tsv: false, watch: false }
+    }
+
+    #[test]
+    fn duplicate_sweeps_coalesce_onto_one_rendering() {
+        let svc = Service::new(tiny_config()).expect("service");
+        let a = svc.sweep(&table_req()).expect("first sweep");
+        assert!(a.fresh);
+        let b = svc.sweep(&table_req()).expect("second sweep");
+        assert!(!b.fresh);
+        assert_eq!(a.digest, b.digest);
+        assert!(Arc::ptr_eq(&a.report, &b.report), "must share one rendering");
+        assert_eq!((svc.reports_computed(), svc.reports_coalesced()), (1, 1));
+        svc.close();
+    }
+
+    #[test]
+    fn reports_match_the_in_process_renderer_byte_for_byte() {
+        let cfg = tiny_config();
+        let expected = {
+            let sweep = Sweep::with_apps(cfg.quick, cfg.apps.clone()).with_threads(2);
+            render_selection(&["table2"], &sweep, false)
+        };
+        let svc = Service::new(cfg).expect("service");
+        let done = svc.sweep(&table_req()).expect("sweep");
+        assert_eq!(*done.report, expected);
+        svc.close();
+    }
+
+    #[test]
+    fn distinct_requests_get_distinct_digests() {
+        let svc = Service::new(tiny_config()).expect("service");
+        let d1 = svc.digest_of(&table_req()).expect("digest");
+        let d2 = svc
+            .digest_of(&SweepReq { exp: "table4".into(), ..table_req() })
+            .expect("digest");
+        let d3 = svc
+            .digest_of(&SweepReq { scale: ScaleName::Full, ..table_req() })
+            .expect("digest");
+        let d4 = svc.digest_of(&SweepReq { tsv: true, ..table_req() }).expect("digest");
+        let all = [d1, d2, d3, d4];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        svc.close();
+    }
+
+    #[test]
+    fn unknown_experiment_is_bad_request() {
+        let svc = Service::new(tiny_config()).expect("service");
+        let err = svc
+            .sweep(&SweepReq { exp: "fig99".into(), ..table_req() })
+            .expect_err("unknown exp");
+        assert_eq!(err.code, ErrCode::BadRequest);
+        svc.close();
+    }
+
+    #[test]
+    fn drain_rejects_new_work_but_status_still_serves() {
+        let svc = Service::new(tiny_config()).expect("service");
+        let done = svc.sweep(&table_req()).expect("sweep before drain");
+        svc.begin_drain(false);
+        let err = svc.sweep(&table_req()).expect_err("must reject during drain");
+        assert_eq!(err.code, ErrCode::Draining);
+        let err = svc.submit(&table_req()).expect_err("must reject during drain");
+        assert_eq!(err.code, ErrCode::Draining);
+        // Read-only ops keep working so clients can fetch what finished.
+        assert_eq!(svc.status_of(&done.digest.hex()), "done");
+        assert_eq!(*svc.report_of(&done.digest.hex()).expect("still served"), *done.report);
+        svc.wait_idle();
+        svc.close();
+    }
+
+    #[test]
+    fn submit_then_status_then_report() {
+        let svc = Service::new(tiny_config()).expect("service");
+        assert_eq!(svc.status_of(&"0".repeat(32)), "unknown");
+        let (digest, _state) = svc.submit(&table_req()).expect("submit");
+        // Wait for the async worker to finish, then fetch.
+        svc.wait_idle();
+        assert_eq!(svc.status_of(&digest.hex()), "done");
+        let report = svc.report_of(&digest.hex()).expect("done");
+        assert!(report.contains("Table 2"));
+        // Re-submitting a finished digest reports done without queueing.
+        let (d2, state) = svc.submit(&table_req()).expect("resubmit");
+        assert_eq!((d2, state), (digest, "done"));
+        svc.wait_idle();
+        svc.close();
+    }
+
+    #[test]
+    fn report_of_unknown_digest_is_not_found() {
+        let svc = Service::new(tiny_config()).expect("service");
+        let err = svc.report_of(&"ab".repeat(16)).expect_err("unknown");
+        assert_eq!(err.code, ErrCode::NotFound);
+        let err = svc.report_of("zz").expect_err("malformed");
+        assert_eq!(err.code, ErrCode::BadRequest);
+        svc.close();
+    }
+}

@@ -1,0 +1,170 @@
+//! Protocol fuzzing: the parser (and the live server) must answer every
+//! byte sequence a client can send with a structured error or a valid
+//! response — never a panic, never a hang, never a desynchronized
+//! connection. The unit tests in `simserve::proto` pin the specific
+//! error codes; these properties cover the input space between them.
+
+use simbase::json::Json;
+use simkit::prop::{any_u8, checker, range_u64, select, vec_of, Checker};
+use simserve::proto::{self, ErrCode, PROTO_VERSION};
+use simserve::{ScaleName, ServeConfig, Server, Service, SweepReq};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use workloads::profiles::by_name;
+
+fn fprop(name: &str) -> Checker {
+    checker(name).cases(256).corpus(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/proto-regressions.txt"
+    ))
+}
+
+/// 1. Arbitrary bytes never panic the parser, and every rejection is a
+/// structured failure with a stable code.
+#[test]
+fn arbitrary_bytes_never_panic_the_parser() {
+    let gen = vec_of(any_u8(), 0, 512);
+    fprop("arbitrary_bytes_never_panic_the_parser").check(&gen, |bytes| {
+        let line = String::from_utf8_lossy(bytes);
+        if let Err((_, fail)) = proto::parse_request(&line) {
+            assert!(!fail.code.as_str().is_empty());
+        }
+    });
+}
+
+/// 2. Any strict prefix of a valid frame is rejected (truncated JSON can
+/// never parse as a complete request), and the full frame still parses.
+#[test]
+fn truncated_frames_are_rejected() {
+    let frames = vec![
+        r#"{"v":1,"id":12,"op":"sweep","exp":"fig4","scale":"full","tsv":true,"watch":true}"#,
+        r#"{"v":1,"id":3,"op":"status","digest":"00112233445566778899aabbccddeeff"}"#,
+        r#"{"v":1,"id":9,"op":"hello"}"#,
+    ];
+    let gen = (select(frames), range_u64(0, 1 << 32));
+    fprop("truncated_frames_are_rejected").check(&gen, |(frame, cut_seed)| {
+        // Truncate on a char boundary strictly inside the frame.
+        let cut = 1 + (cut_seed % (frame.len() as u64 - 1)) as usize;
+        let (_, fail) =
+            proto::parse_request(&frame[..cut]).expect_err("truncated frame parsed");
+        assert_eq!(fail.code, ErrCode::BadJson, "cut at {cut}: {}", &frame[..cut]);
+        proto::parse_request(frame).expect("the full frame must still parse");
+    });
+}
+
+/// 3. Version skew in an otherwise valid frame is always `bad-version`
+/// and always echoes the request id, for any id and any wrong version.
+#[test]
+fn version_skew_is_always_structured() {
+    let gen = (range_u64(0, u64::MAX), range_u64(0, u64::MAX));
+    fprop("version_skew_is_always_structured").check(&gen, |(id, v)| {
+        if *v == PROTO_VERSION {
+            return;
+        }
+        let frame = format!(r#"{{"v":{v},"id":{id},"op":"ping"}}"#);
+        let (got_id, fail) = proto::parse_request(&frame).expect_err("skew must fail");
+        assert_eq!(fail.code, ErrCode::BadVersion);
+        assert_eq!(got_id, *id, "the request id must be echoed");
+    });
+}
+
+/// 4. Type confusion in any field of a sweep request is rejected with a
+/// structured error, never accepted with a silently-wrong value.
+#[test]
+fn type_confused_fields_are_rejected() {
+    let bad_values = vec!["7", "true", "null", "[1]", "{}", "1.5"];
+    let fields = vec!["exp", "scale", "tsv", "watch"];
+    let gen = (select(fields), select(bad_values));
+    fprop("type_confused_fields_are_rejected").check(&gen, |(field, value)| {
+        // Booleans are valid for tsv/watch; skip the combinations that
+        // are actually well-typed.
+        if (*field == "tsv" || *field == "watch") && *value == "true" {
+            return;
+        }
+        let frame = format!(r#"{{"v":1,"id":1,"op":"sweep","{field}":{value}}}"#);
+        let (id, fail) = proto::parse_request(&frame).expect_err("must reject");
+        assert_eq!(id, 1);
+        assert_eq!(fail.code, ErrCode::BadRequest, "{frame}");
+    });
+}
+
+/// 5. Live-socket fuzz: a connection fed random garbage lines answers
+/// each with exactly one error frame and stays usable — a valid ping
+/// afterwards still gets its pong, and the server drains cleanly.
+#[test]
+fn live_server_survives_garbage_and_resyncs() {
+    let service = Service::new(ServeConfig {
+        threads: 1,
+        apps: vec![by_name("galgel").expect("in roster")],
+        quiet: true,
+        ..ServeConfig::default()
+    })
+    .expect("service");
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let stopper = server.stopper();
+    let handle = std::thread::spawn(move || server.run());
+
+    let gen = vec_of(vec_of(any_u8(), 0, 200), 1, 8);
+    checker("live_server_survives_garbage_and_resyncs").cases(16).check(&gen, |lines| {
+        let stream = TcpStream::connect(&addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        for bytes in lines {
+            // Strip newlines so each write is exactly one frame; a blank
+            // line is a keep-alive the server ignores.
+            let mut line: Vec<u8> =
+                bytes.iter().copied().filter(|&b| b != b'\n' && b != b'\r').collect();
+            let expect_reply = !line.is_empty();
+            line.push(b'\n');
+            writer.write_all(&line).expect("write");
+            if expect_reply {
+                let mut reply = String::new();
+                reader.read_line(&mut reply).expect("read");
+                let v = simbase::json::parse(reply.trim_end())
+                    .expect("every reply is valid JSON");
+                assert!(v.field("ok").and_then(Json::as_bool).is_some(), "{reply}");
+            }
+        }
+        // The connection resyncs: a valid ping still answers.
+        writer.write_all(b"{\"v\":1,\"id\":77,\"op\":\"ping\"}\n").expect("write");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        assert!(reply.contains("\"ok\":true") && reply.contains("\"id\":77"), "{reply}");
+    });
+
+    stopper.stop();
+    handle.join().expect("no panic").expect("clean drain");
+    drop(service);
+}
+
+/// 6. The client-side frame builder and the parser agree for every
+/// representable sweep request (round-trip property).
+#[test]
+fn builder_parser_round_trip() {
+    let exps = vec!["all", "table2", "fig4", "fig9", "orgs"];
+    let gen = (
+        select(exps),
+        select(vec![ScaleName::Quick, ScaleName::Full]),
+        select(vec![false, true]),
+        select(vec![false, true]),
+        range_u64(0, u64::MAX),
+    );
+    fprop("builder_parser_round_trip").check(&gen, |(exp, scale, tsv, watch, id)| {
+        let req = SweepReq { exp: exp.to_string(), scale: *scale, tsv: *tsv, watch: *watch };
+        let frame = proto::request_frame(
+            *id,
+            "sweep",
+            vec![
+                ("exp", Json::Str(req.exp.clone())),
+                ("scale", Json::Str(req.scale.as_str().into())),
+                ("tsv", Json::Bool(req.tsv)),
+                ("watch", Json::Bool(req.watch)),
+            ],
+        );
+        let (got_id, got) = proto::parse_request(&frame).expect("round trip");
+        assert_eq!(got_id, *id);
+        assert_eq!(got, proto::Request::Sweep(req));
+    });
+}

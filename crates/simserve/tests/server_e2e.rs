@@ -1,0 +1,222 @@
+//! End-to-end daemon tests over real sockets: protocol round trips,
+//! cross-client coalescing, progress streaming, error resync, and the
+//! drain contract (every admitted request answered, then a clean exit).
+
+use simbase::json::Json;
+use simserve::{
+    Client, ClientError, ScaleName, ServeConfig, Server, Service, Stopper, SweepReq,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use workloads::profiles::by_name;
+
+fn tiny_config() -> ServeConfig {
+    ServeConfig {
+        threads: 2,
+        apps: vec![by_name("galgel").expect("in roster"), by_name("wupwise").expect("in roster")],
+        quick: experiments::Scale { warmup: 1_000, measure: 2_000 },
+        full: experiments::Scale { warmup: 2_000, measure: 4_000 },
+        quiet: true,
+        ..ServeConfig::default()
+    }
+}
+
+struct Daemon {
+    addr: String,
+    stopper: Stopper,
+    service: Arc<Service>,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl Daemon {
+    fn start(cfg: ServeConfig) -> Daemon {
+        let service = Service::new(cfg).expect("service");
+        let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let stopper = server.stopper();
+        let handle = std::thread::spawn(move || server.run());
+        Daemon { addr, stopper, service, handle: Some(handle) }
+    }
+
+    fn join(mut self) {
+        self.stopper.stop();
+        self.handle
+            .take()
+            .expect("not yet joined")
+            .join()
+            .expect("server thread panicked")
+            .expect("server run failed");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            self.stopper.stop();
+            let _ = h.join();
+        }
+    }
+}
+
+fn table_req() -> SweepReq {
+    SweepReq { exp: "table2".into(), scale: ScaleName::Quick, tsv: false, watch: false }
+}
+
+#[test]
+fn hello_ping_and_stats_round_trip() {
+    let daemon = Daemon::start(tiny_config());
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+    client.ping().expect("ping");
+    let (server_id, proto) = client.hello().expect("hello");
+    assert_eq!(server_id, simserve::proto::SERVER_ID);
+    assert_eq!(proto, simserve::PROTO_VERSION);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.field("requests").and_then(Json::as_u64), Some(0));
+    assert_eq!(stats.field("draining").and_then(Json::as_bool), Some(false));
+    daemon.join();
+}
+
+#[test]
+fn served_report_matches_the_in_process_renderer() {
+    let cfg = tiny_config();
+    let expected = {
+        let sweep = experiments::exps::Sweep::with_apps(cfg.quick, cfg.apps.clone())
+            .with_threads(2);
+        experiments::repro::render_selection(&["table2"], &sweep, false)
+    };
+    let daemon = Daemon::start(cfg);
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+    let out = client.sweep(&table_req()).expect("sweep");
+    assert!(out.fresh);
+    assert_eq!(out.report, expected, "served report must be byte-identical");
+
+    // Same request again: coalesced onto the stored rendering.
+    let again = client.sweep(&table_req()).expect("second sweep");
+    assert!(!again.fresh);
+    assert_eq!(again.digest, out.digest);
+    assert_eq!(again.report, expected);
+    assert_eq!(daemon.service.reports_computed(), 1);
+    assert_eq!(daemon.service.reports_coalesced(), 1);
+    daemon.join();
+}
+
+#[test]
+fn submit_status_report_lifecycle() {
+    let daemon = Daemon::start(tiny_config());
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+    assert_eq!(client.status(&"0".repeat(32)).expect("status"), "unknown");
+    let (digest, _state) = client.submit(&table_req()).expect("submit");
+    // Poll until the async worker finishes.
+    let mut state = client.status(&digest).expect("status");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while state != "done" {
+        assert!(std::time::Instant::now() < deadline, "submit never completed");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        state = client.status(&digest).expect("status");
+    }
+    let report = client.report(&digest).expect("report");
+    assert!(report.contains("Table 2"));
+    daemon.join();
+}
+
+#[test]
+fn watch_streams_progress_events() {
+    let daemon = Daemon::start(tiny_config());
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+    let req = SweepReq { exp: "fig4".into(), scale: ScaleName::Quick, tsv: false, watch: true };
+    let mut events = Vec::new();
+    let out = client
+        .sweep_watch(&req, |e| {
+            events.push((
+                e.field("label").and_then(Json::as_str).unwrap_or("").to_string(),
+                e.field("kind").and_then(Json::as_str).unwrap_or("").to_string(),
+            ));
+        })
+        .expect("sweep");
+    assert!(out.fresh);
+    // fig4 needs sa4+nf4 over two apps: four jobs, each at least
+    // queued/started/finished.
+    assert!(events.len() >= 12, "expected a full event stream, got {events:?}");
+    assert!(events.iter().any(|(label, kind)| label == "nf4/galgel" && kind == "finished"));
+    daemon.join();
+}
+
+#[test]
+fn structured_errors_and_resync() {
+    let daemon = Daemon::start(tiny_config());
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+
+    let err = client
+        .sweep(&SweepReq { exp: "fig99".into(), ..table_req() })
+        .expect_err("unknown experiment");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, "bad-request"),
+        other => panic!("expected server error, got {other}"),
+    }
+    let err = client.report(&"ab".repeat(16)).expect_err("unknown digest");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, "not-found"),
+        other => panic!("expected server error, got {other}"),
+    }
+    // The connection survives structured errors.
+    client.ping().expect("ping after errors");
+    daemon.join();
+}
+
+#[test]
+fn raw_garbage_gets_error_frames_and_the_connection_survives() {
+    let daemon = Daemon::start(tiny_config());
+    let stream = TcpStream::connect(&daemon.addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    // Malformed JSON → bad-json.
+    writer.write_all(b"this is not json\n").expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("\"ok\":false") && line.contains("bad-json"), "{line}");
+
+    // Version skew → bad-version, echoing the request id.
+    writer.write_all(b"{\"v\":9,\"id\":42,\"op\":\"ping\"}\n").expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("\"id\":42") && line.contains("bad-version"), "{line}");
+
+    // Oversized frame → oversized-frame, then the stream resyncs.
+    let huge = format!("{{\"pad\":\"{}\"}}\n", "x".repeat(simserve::MAX_FRAME * 2));
+    writer.write_all(huge.as_bytes()).expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("oversized-frame"), "{line}");
+
+    // A valid ping still works on the same connection.
+    writer.write_all(b"{\"v\":1,\"id\":7,\"op\":\"ping\"}\n").expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.contains("\"ok\":true") && line.contains("\"id\":7"), "{line}");
+    daemon.join();
+}
+
+#[test]
+fn drain_finishes_inflight_then_exits_cleanly() {
+    let mut daemon = Daemon::start(tiny_config());
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+    let out = client.sweep(&table_req()).expect("sweep");
+    client.drain().expect("drain acknowledged");
+
+    // After the drain ack, already-finished work is still fetchable on
+    // this connection until the server closes it, but new sweeps on a
+    // fresh connection are refused (connection or request level).
+    let refused = match Client::connect(&daemon.addr) {
+        Err(_) => true, // listener already refusing
+        Ok(mut c) => c.sweep(&table_req()).is_err(),
+    };
+    assert!(refused, "new work must be refused during drain");
+
+    // run() returns Ok(()) — the exit-code-0 contract.
+    let handle = daemon.handle.take().expect("running");
+    handle.join().expect("no panic").expect("clean exit");
+    assert!(!out.report.is_empty());
+}

@@ -1,0 +1,171 @@
+//! The acceptance load test for the sweep-serving daemon: a thousand-plus
+//! overlapping quick-scale requests from concurrent clients must all
+//! receive byte-identical reports, the duplicate digest must be rendered
+//! exactly once (the store's hit counters are the proof), and a graceful
+//! drain must answer everything already admitted and exit cleanly with
+//! no lost or duplicated responses.
+//!
+//! The daemon runs in-process on a loopback socket with a deliberately
+//! tiny configuration (two applications, thousand-instruction scales) so
+//! the test exercises the serving machinery, not simulation wall time.
+
+use simbase::json::Json;
+use simserve::{Client, ScaleName, ServeConfig, Server, Service, SweepReq};
+use std::sync::Arc;
+use workloads::profiles::by_name;
+
+const CLIENTS: usize = 16;
+const REQUESTS_PER_CLIENT: usize = 63;
+const TOTAL: usize = CLIENTS * REQUESTS_PER_CLIENT; // 1008 — past the 1000-request bar
+
+fn tiny_config() -> ServeConfig {
+    ServeConfig {
+        threads: 2,
+        apps: vec![by_name("galgel").expect("in roster"), by_name("wupwise").expect("in roster")],
+        quick: experiments::Scale { warmup: 1_000, measure: 2_000 },
+        full: experiments::Scale { warmup: 2_000, measure: 4_000 },
+        quiet: true,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn a_thousand_overlapping_sweeps_coalesce_onto_one_rendering() {
+    let service = Service::new(tiny_config()).expect("service");
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let stopper = server.stopper();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let req = SweepReq {
+        exp: "fig4".to_string(),
+        scale: ScaleName::Quick,
+        tsv: false,
+        watch: false,
+    };
+
+    // The in-process expectation every served byte must match.
+    let expected = {
+        let cfg = tiny_config();
+        let sweep = experiments::exps::Sweep::with_apps(cfg.quick, cfg.apps).with_threads(2);
+        experiments::repro::render_selection(&["fig4"], &sweep, false)
+    };
+
+    // The barrage: every client hammers the same request; nothing is
+    // primed, so the very first renderings race each other and the
+    // single-flight store must pick exactly one winner.
+    let results: Vec<(usize, String, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let req = req.clone();
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    let mut digests = Vec::new();
+                    let mut report: Option<String> = None;
+                    let mut fresh_seen = 0usize;
+                    for _ in 0..REQUESTS_PER_CLIENT {
+                        let out = client.sweep(&req).expect("sweep");
+                        if out.fresh {
+                            fresh_seen += 1;
+                        }
+                        match &report {
+                            None => report = Some(out.report),
+                            Some(first) => {
+                                assert_eq!(*first, out.report, "client {c}: bytes diverged")
+                            }
+                        }
+                        digests.push(out.digest);
+                    }
+                    assert_eq!(digests.len(), REQUESTS_PER_CLIENT, "client {c} lost responses");
+                    digests.dedup();
+                    assert_eq!(digests.len(), 1, "client {c} saw several digests");
+                    (fresh_seen, digests.pop().expect("one digest"), report.expect("a report"))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+
+    // Cross-client identity: one digest, one byte sequence, everywhere —
+    // and equal to the in-process rendering.
+    let (_, first_digest, first_report) = &results[0];
+    let mut fresh_total = 0usize;
+    for (fresh, digest, report) in &results {
+        assert_eq!(digest, first_digest, "digests diverged across clients");
+        assert_eq!(report, first_report, "report bytes diverged across clients");
+        fresh_total += fresh;
+    }
+    assert_eq!(*first_report, expected, "served report != in-process rendering");
+
+    // Single-flight: of 1008 requests, exactly one computed.
+    assert_eq!(fresh_total, 1, "duplicate digests must be computed exactly once");
+    assert_eq!(service.reports_computed(), 1);
+    assert_eq!(service.reports_coalesced(), (TOTAL - 1) as u64);
+
+    // The daemon's own counters agree over the wire too.
+    let mut probe = Client::connect(&addr).expect("probe connect");
+    let stats = probe.stats().expect("stats");
+    assert_eq!(stats.field("requests").and_then(Json::as_u64), Some(TOTAL as u64));
+    assert_eq!(stats.field("reports_computed").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        stats.field("reports_coalesced").and_then(Json::as_u64),
+        Some((TOTAL - 1) as u64)
+    );
+
+    // Clean drain: the server thread returns Ok(()) — the exit-0
+    // contract — with every response already delivered above.
+    probe.drain().expect("drain");
+    drop(probe);
+    stopper.stop(); // idempotent with the drain op; unblocks the accept loop promptly
+    server_thread.join().expect("no panic").expect("clean drain");
+}
+
+#[test]
+fn distinct_requests_share_underlying_runs_but_not_reports() {
+    // Two different selections over the same configs: distinct report
+    // digests, but the second must reuse the first's simulated runs
+    // (the per-config single-flight below the report store).
+    let service = Service::new(tiny_config()).expect("service");
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let stopper = server.stopper();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let text = client
+        .sweep(&SweepReq {
+            exp: "fig4".into(),
+            scale: ScaleName::Quick,
+            tsv: false,
+            watch: false,
+        })
+        .expect("text sweep");
+    let runs_after_text = {
+        let stats = client.stats().expect("stats");
+        stats.field("runs_quick").and_then(Json::as_u64).expect("runs_quick")
+    };
+    let tsv = client
+        .sweep(&SweepReq {
+            exp: "fig4".into(),
+            scale: ScaleName::Quick,
+            tsv: true,
+            watch: false,
+        })
+        .expect("tsv sweep");
+    assert_ne!(text.digest, tsv.digest, "tsv must key a distinct report");
+    assert_ne!(text.report, tsv.report);
+    assert!(tsv.fresh, "distinct report digest must render fresh");
+    let runs_after_tsv = {
+        let stats = client.stats().expect("stats");
+        stats.field("runs_quick").and_then(Json::as_u64).expect("runs_quick")
+    };
+    assert_eq!(
+        runs_after_text, runs_after_tsv,
+        "the TSV rendering must reuse the text rendering's runs"
+    );
+
+    client.shutdown().expect("shutdown");
+    stopper.stop();
+    server_thread.join().expect("no panic").expect("clean exit");
+}
