@@ -136,9 +136,33 @@ fn bench_full_system(b: &mut BenchRunner) {
     throughput(r, cycles_per_iter, "sim-cycles");
 }
 
+fn bench_cmp_system(b: &mut BenchRunner) {
+    // The CMP front-end: two cores interleaving misses into one shared
+    // NuRAPID through the per-bank contention model — the `cmp`
+    // experiment's hot loop (argmin-cycles core stepping + bank queues +
+    // invalidation-lite sharing on top of the single-core path above).
+    use cmp::{CmpConfig, CmpSystem};
+    use simtel::TelemetrySink;
+    let profiles = vec![by_name("galgel").unwrap(), by_name("equake").unwrap()];
+    let mut sys = CmpSystem::new(
+        CmpConfig::micro2003(2),
+        experiments::L2Kind::NuRapid(NuRapidConfig::micro2003(4)).build(),
+        &profiles,
+        0x5eed,
+    );
+    sys.warm_run(5_000);
+    sys.drain_barrier(&TelemetrySink::disabled(), 0);
+    let r = b.bench("hotpath_cmp_2x_nurapid", WARMUP, ITERS, || {
+        sys.run(UOPS / 2);
+        black_box(sys.finish().per_core[0].instructions)
+    });
+    throughput(r, UOPS, "uops");
+}
+
 fn main() {
     let mut b = BenchRunner::new("hotpath");
     bench_caches(&mut b);
     bench_full_system(&mut b);
+    bench_cmp_system(&mut b);
     b.finish();
 }

@@ -41,6 +41,7 @@ fn main() {
         exp: "fig4".to_string(),
         scale: ScaleName::Quick,
         tsv: false,
+        cores: 0,
         watch: false,
     };
     // Prime: the first request renders the report; every timed request

@@ -113,6 +113,7 @@ fn main() {
         exp: args.exp.clone(),
         scale: if args.quick { ScaleName::Quick } else { ScaleName::Full },
         tsv: args.tsv,
+        cores: 0,
         watch: false,
     };
     let expected = args.expect.as_ref().map(|path| {
@@ -230,6 +231,10 @@ fn main() {
     let after = probe.stats().unwrap_or_else(|e| fail("stats", &e));
     let computed_delta = counter(&after, "reports_computed") - computed_before;
     let coalesced_delta = counter(&after, "reports_coalesced") - coalesced_before;
+    // The daemon must expose its dropped-progress-event aggregate; a
+    // missing field exits 1 via `counter` (the serving contract includes
+    // observability, not just report bytes).
+    let events_dropped = counter(&after, "events_dropped");
     if computed_delta > 1 {
         eprintln!("error: duplicate digests computed {computed_delta} times (expected <= 1)");
         failed += 1;
@@ -253,7 +258,8 @@ fn main() {
         };
         eprintln!(
             "[loadgen] {total} requests / {} clients in {:.2}s: {:.0} req/s, \
-             p50 {:.2} ms, p99 {:.2} ms; computed +{computed_delta}, coalesced +{coalesced_delta}",
+             p50 {:.2} ms, p99 {:.2} ms; computed +{computed_delta}, coalesced +{coalesced_delta}, \
+             events dropped {events_dropped}",
             args.clients,
             wall.as_secs_f64(),
             total as f64 / wall.as_secs_f64(),

@@ -2,16 +2,19 @@
 //! scheduling full-system runs on the simsched worker pool.
 //!
 //! ```text
-//! repro [--exp <id>] [--quick] [--tsv] [--threads N] [--artifacts DIR]
-//!       [--checkpoints DIR] [--telemetry DIR] [--quiet]
+//! repro [--exp <id>] [--quick] [--tsv] [--cores N] [--threads N]
+//!       [--artifacts DIR] [--checkpoints DIR] [--telemetry DIR] [--quiet]
 //!       [--serve ADDR [--port-file FILE]]
 //!       [--connect ADDR [--watch | --drain | --shutdown]]
 //!
 //!   --exp       table2 | table3 | table4 | fig4 | fig5 | fig6 | lru |
 //!               fig7 | fig8 | fig9 | fig10 | fig11 | restrict | orgs |
-//!               all (default: all)
+//!               cmp | all (default: all)
 //!   --quick     run at the reduced test scale instead of the full
 //!               reproduction scale
+//!   --cores     restrict the `cmp` experiment to one core count (1-8;
+//!               default: sweep 2, 4, and 8); other experiments are
+//!               unaffected
 //!   --tsv       machine-readable output for the figure experiments
 //!   --threads   worker threads for the run sweep (default:
 //!               $SIMSCHED_THREADS, else the machine's parallelism;
@@ -65,6 +68,7 @@ fn main() {
     let mut exp = "all".to_string();
     let mut quick = false;
     let mut tsv = false;
+    let mut cores: Option<u32> = None;
     let mut quiet = false;
     let mut threads = default_threads();
     let mut artifacts = std::env::var("SIMSCHED_DIR").ok();
@@ -85,6 +89,17 @@ fn main() {
             }
             "--quick" => quick = true,
             "--tsv" => tsv = true,
+            "--cores" => {
+                i += 1;
+                let n: u32 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing or bad --cores value"));
+                if !(1..=8).contains(&n) {
+                    usage("--cores must be between 1 and 8");
+                }
+                cores = Some(n);
+            }
             "--quiet" => quiet = true,
             "--threads" => {
                 i += 1;
@@ -143,9 +158,13 @@ fn main() {
         return;
     }
     if let Some(addr) = connect {
-        connect_main(&addr, &exp, quick, tsv, watch, drain, shutdown, quiet);
+        connect_main(&addr, &exp, quick, tsv, cores, watch, drain, shutdown, quiet);
         return;
     }
+    let cores_list: Vec<u32> = match cores {
+        Some(n) => vec![n],
+        None => experiments::cmp::CMP_CORES.to_vec(),
+    };
 
     let t0 = Instant::now();
     let telemetry = telemetry_dir.as_ref().map(|_| Arc::new(Telemetry::from_env()));
@@ -208,7 +227,7 @@ fn main() {
     }
 
     for id in ids {
-        run_one(id, &sweep, tsv);
+        run_one(id, &sweep, tsv, &cores_list);
     }
     console.status(&format!(
         "[repro] {} runs ({} simulated, {} resumed, {} shared hits), {} threads, {:.1}s",
@@ -253,7 +272,12 @@ fn default_threads() -> usize {
         })
 }
 
-fn run_one(id: &str, sweep: &Sweep, tsv: bool) {
+fn run_one(id: &str, sweep: &Sweep, tsv: bool, cores: &[u32]) {
+    if id == "cmp" {
+        let table = experiments::cmp::cmp_table(sweep, cores);
+        println!("{}", if tsv { table.render_tsv() } else { table.render() });
+        return;
+    }
     if tsv {
         // Machine-readable output for the distribution and performance
         // figures; other experiments fall through to text.
@@ -313,6 +337,7 @@ fn connect_main(
     exp: &str,
     quick: bool,
     tsv: bool,
+    cores: Option<u32>,
     watch: bool,
     drain: bool,
     shutdown: bool,
@@ -335,6 +360,7 @@ fn connect_main(
             exp: exp.to_string(),
             scale: if quick { simserve::ScaleName::Quick } else { simserve::ScaleName::Full },
             tsv,
+            cores: cores.map_or(0, u64::from),
             watch,
         };
         client
@@ -373,8 +399,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|orgs|all] \
-         [--quick] [--tsv] [--threads N] [--artifacts DIR] [--checkpoints DIR] [--telemetry DIR] [--quiet] \
+        "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|orgs|cmp|all] \
+         [--quick] [--tsv] [--cores N] [--threads N] [--artifacts DIR] [--checkpoints DIR] [--telemetry DIR] [--quiet] \
          [--serve ADDR [--port-file FILE]] [--connect ADDR [--watch|--drain|--shutdown]]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -1,4 +1,5 @@
-//! JSON codec for [`AppRun`] — the payload of simsched run artifacts.
+//! JSON codec for [`AppRun`] and [`CmpRun`] — the payloads of simsched
+//! run artifacts.
 //!
 //! Every `f64` is stored as its IEEE-754 **bit pattern** (a `u64` field
 //! named `*_bits`), because a resumed sweep must reproduce results
@@ -7,10 +8,18 @@
 //! manifest greppable for exact equality. A few derived, human-readable
 //! fields (`ipc`) are written for manifest readers and ignored by the
 //! decoder.
+//!
+//! The two payload shapes are mutually exclusive by construction: an
+//! [`AppRun`] payload carries an `"app"` field and a [`CmpRun`] payload
+//! a `"cmp_cores"` field, and each decoder requires its own
+//! discriminator, so a digest collision across families (impossible by
+//! domain separation anyway) could never decode the wrong type.
 
+use crate::cmp::CmpRun;
 use crate::runner::AppRun;
 use cpu::CoreResult;
 use energy::EnergyTally;
+use memsys::org::OrgReport;
 use simbase::EnergyNj;
 use simsched::json::Json;
 
@@ -110,6 +119,137 @@ pub fn decode(j: &Json) -> Option<AppRun> {
     })
 }
 
+fn encode_core(c: &CoreResult) -> Json {
+    Json::obj(vec![
+        ("instructions", Json::U64(c.instructions)),
+        ("cycles", Json::U64(c.cycles)),
+        ("loads", Json::U64(c.loads)),
+        ("stores", Json::U64(c.stores)),
+        ("branches", Json::U64(c.branches)),
+        ("mispredicts", Json::U64(c.mispredicts)),
+        ("int_ops", Json::U64(c.int_ops)),
+        ("fp_ops", Json::U64(c.fp_ops)),
+    ])
+}
+
+fn decode_core(j: &Json) -> Option<CoreResult> {
+    let u = |k: &str| j.field(k)?.as_u64();
+    Some(CoreResult {
+        instructions: u("instructions")?,
+        cycles: u("cycles")?,
+        loads: u("loads")?,
+        stores: u("stores")?,
+        branches: u("branches")?,
+        mispredicts: u("mispredicts")?,
+        int_ops: u("int_ops")?,
+        fp_ops: u("fp_ops")?,
+    })
+}
+
+/// Encodes a CMP run as a JSON object (the artifact payload). The
+/// `cmp_cores` field discriminates the family: [`decode`] requires an
+/// `"app"` field this payload never has, and [`decode_cmp`] requires
+/// `cmp_cores`, so the two codecs can never cross-decode.
+pub fn encode_cmp(run: &CmpRun) -> Json {
+    let r = &run.result;
+    Json::obj(vec![
+        ("cmp_cores", Json::U64(u64::from(run.cores))),
+        ("config", Json::Str(run.key.to_string())),
+        (
+            "apps",
+            Json::Arr(run.apps.iter().map(|a| Json::Str((*a).to_string())).collect()),
+        ),
+        ("mean_ipc", Json::F64((run.mean_ipc() * 1e4).round() / 1e4)),
+        ("per_core", Json::Arr(r.per_core.iter().map(encode_core).collect())),
+        ("l2_accesses", Json::U64(r.report.l2_accesses)),
+        ("l2_misses", Json::U64(r.report.l2_misses)),
+        (
+            "group_frac_bits",
+            Json::Arr(r.report.group_fracs.iter().map(|&f| f64_bits(f)).collect()),
+        ),
+        ("miss_frac_bits", f64_bits(r.report.miss_frac)),
+        ("dgroup_accesses", Json::U64(r.report.dgroup_accesses)),
+        ("swaps", Json::U64(r.report.swaps)),
+        ("memory_accesses", Json::U64(r.report.memory_accesses)),
+        ("l2_energy_bits", f64_bits(r.report.l2_energy.nj())),
+        ("bank_conflicts", Json::U64(r.bank_conflicts)),
+        ("bank_stall_cycles", Json::U64(r.bank_stall_cycles)),
+        (
+            "per_core_bank_stalls",
+            Json::Arr(r.per_core_bank_stalls.iter().map(|&v| Json::U64(v)).collect()),
+        ),
+        (
+            "invalidations",
+            Json::Arr(r.invalidations.iter().map(|&v| Json::U64(v)).collect()),
+        ),
+    ])
+}
+
+/// Decodes a CMP run from an artifact payload. Returns `None` if any
+/// field is missing or ill-typed, the configuration key is not a CMP
+/// key, any application is not in the roster, or the per-core vector
+/// lengths disagree with the core count (the caller then re-simulates).
+pub fn decode_cmp(j: &Json) -> Option<CmpRun> {
+    let cores = u32::try_from(j.field("cmp_cores")?.as_u64()?).ok()?;
+    let key = crate::cmp::key_of(j.field("config")?.as_str()?)?;
+    let apps = j
+        .field("apps")?
+        .as_arr()?
+        .iter()
+        .map(|a| Some(workloads::profiles::by_name(a.as_str()?)?.name))
+        .collect::<Option<Vec<&'static str>>>()?;
+    let per_core = j
+        .field("per_core")?
+        .as_arr()?
+        .iter()
+        .map(decode_core)
+        .collect::<Option<Vec<CoreResult>>>()?;
+    let u64s = |k: &str| -> Option<Vec<u64>> {
+        j.field(k)?.as_arr()?.iter().map(Json::as_u64).collect()
+    };
+    let per_core_bank_stalls = u64s("per_core_bank_stalls")?;
+    let invalidations = u64s("invalidations")?;
+    let n = cores as usize;
+    if apps.len() != n
+        || per_core.len() != n
+        || per_core_bank_stalls.len() != n
+        || invalidations.len() != n
+    {
+        return None;
+    }
+    let u = |k: &str| j.field(k)?.as_u64();
+    Some(CmpRun {
+        key,
+        cores,
+        apps,
+        result: ::cmp::CmpResult {
+            per_core,
+            report: OrgReport {
+                l2_accesses: u("l2_accesses")?,
+                l2_misses: u("l2_misses")?,
+                group_fracs: j
+                    .field("group_frac_bits")?
+                    .as_arr()?
+                    .iter()
+                    .map(bits_f64)
+                    .collect::<Option<Vec<f64>>>()?,
+                miss_frac: bits_f64(j.field("miss_frac_bits")?)?,
+                dgroup_accesses: u("dgroup_accesses")?,
+                swaps: u("swaps")?,
+                memory_accesses: u("memory_accesses")?,
+                l2_energy: {
+                    let nj = bits_f64(j.field("l2_energy_bits")?)?;
+                    (nj.is_finite() && nj >= 0.0).then(|| EnergyNj::new(nj))?
+                },
+            },
+            bank_conflicts: u("bank_conflicts")?,
+            bank_stall_cycles: u("bank_stall_cycles")?,
+            per_core_bank_stalls,
+            invalidations,
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +309,67 @@ mod tests {
             }
         }
         assert!(decode(&j).is_none());
+    }
+
+    fn cmp_sample() -> crate::cmp::CmpRun {
+        crate::cmp::run_cmp_opts(
+            "nf4",
+            2,
+            &kind_of("nf4"),
+            Scale {
+                warmup: 10_000,
+                measure: 16_000,
+            },
+            &simtel::TelemetrySink::disabled(),
+            0,
+            crate::runner::RunOptions::default(),
+        )
+    }
+
+    #[test]
+    fn cmp_encode_decode_is_bit_identical() {
+        let run = cmp_sample();
+        let line = encode_cmp(&run).render();
+        let parsed = simsched::json::parse(&line).expect("parses");
+        assert_eq!(decode_cmp(&parsed).expect("decodes"), run);
+    }
+
+    #[test]
+    fn cmp_and_app_codecs_never_cross_decode() {
+        let cmp_run = cmp_sample();
+        let app_run = sample();
+        assert!(decode(&encode_cmp(&cmp_run)).is_none(), "AppRun decoder rejects CMP");
+        assert!(decode_cmp(&encode(&app_run)).is_none(), "CMP decoder rejects AppRun");
+    }
+
+    #[test]
+    fn corrupt_cmp_payloads_decode_to_none() {
+        let run = cmp_sample();
+        // Core-count / vector-length mismatch.
+        let mut j = encode_cmp(&run);
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "cmp_cores" {
+                    *v = Json::U64(4);
+                }
+            }
+        }
+        assert!(decode_cmp(&j).is_none());
+        // Unknown configuration key.
+        let mut j = encode_cmp(&run);
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "config" {
+                    *v = Json::Str("not-a-config".into());
+                }
+            }
+        }
+        assert!(decode_cmp(&j).is_none());
+        // Missing field.
+        let mut j = encode_cmp(&run);
+        if let Json::Obj(pairs) = &mut j {
+            pairs.retain(|(k, _)| k != "bank_conflicts");
+        }
+        assert!(decode_cmp(&j).is_none());
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::artifact;
 use crate::checkpoint::CheckpointStore;
+use crate::cmp::CmpRun;
 use crate::report::{f2, pct, rel, TextTable};
 use crate::runner::{run_app_opts, run_digest, AppRun, L2Kind, RunOptions, Scale, WarmupMode};
 use cachemodel::catalog::{self, DnucaGeometry, NuRapidGeometry};
@@ -45,6 +46,7 @@ pub struct Sweep {
     apps: Vec<BenchProfile>,
     threads: usize,
     store: RunStore<u128, AppRun>,
+    cmp_store: RunStore<u128, CmpRun>,
     artifacts: Option<ArtifactStore>,
     checkpoints: Option<Arc<CheckpointStore>>,
     warmup: WarmupMode,
@@ -68,6 +70,7 @@ impl Sweep {
             apps,
             threads: 1,
             store: RunStore::new(),
+            cmp_store: RunStore::new(),
             artifacts: None,
             checkpoints: None,
             warmup: WarmupMode::default(),
@@ -237,6 +240,101 @@ impl Sweep {
         run
     }
 
+    /// Runs (or returns the stored run of) the CMP scenario with `cores`
+    /// cores sharing the configuration named `key` (see [`crate::cmp`]).
+    /// CMP runs live in their own digest-keyed single-flight store with
+    /// the same artifact-resume and checkpoint behavior as [`Sweep::run`];
+    /// the `simulated`/`resumed` counters are shared, so status lines and
+    /// the CI resume proof account for both families.
+    pub fn run_cmp(&self, cores: u32, key: &'static str) -> Arc<CmpRun> {
+        let kind = kind_of(key);
+        let cfg = ::cmp::CmpConfig::micro2003(cores);
+        let apps = crate::cmp::cmp_profiles(cores);
+        let digest = crate::cmp::cmp_run_digest(&cfg, &apps, &kind, self.scale);
+        let event_label = format!("cmp{cores}x/{key}");
+        self.emit(&event_label, EventKind::Started);
+        let t0 = Instant::now();
+
+        let mut outcome = None;
+        let run = self.cmp_store.get_or_compute(digest.raw(), || {
+            if let Some(store) = &self.artifacts {
+                if let Some(run) =
+                    store.lookup(&digest.hex()).as_ref().and_then(artifact::decode_cmp)
+                {
+                    self.resumed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tel) = &self.telemetry {
+                        tel.record_run(
+                            &event_label,
+                            &digest.hex(),
+                            cmp_run_fields(&run),
+                            &TelemetrySink::disabled(),
+                        );
+                    }
+                    outcome = Some(Outcome::Resumed);
+                    return run;
+                }
+            }
+            let opts = RunOptions {
+                mode: self.warmup,
+                checkpoints: self.checkpoints.as_deref(),
+                wall: self.telemetry.as_deref(),
+            };
+            let run = match &self.telemetry {
+                Some(tel) => {
+                    let sink = tel.run_sink();
+                    let run = crate::cmp::run_cmp_opts(
+                        key,
+                        cores,
+                        &kind,
+                        self.scale,
+                        &sink,
+                        tel.snap_cycles(),
+                        opts,
+                    );
+                    tel.record_run(&event_label, &digest.hex(), cmp_run_fields(&run), &sink);
+                    run
+                }
+                None => crate::cmp::run_cmp_opts(
+                    key,
+                    cores,
+                    &kind,
+                    self.scale,
+                    &TelemetrySink::disabled(),
+                    0,
+                    opts,
+                ),
+            };
+            self.simulated.fetch_add(1, Ordering::Relaxed);
+            if let Some(store) = &self.artifacts {
+                let _ = store.append(&digest.hex(), artifact::encode_cmp(&run));
+            }
+            outcome = Some(Outcome::Simulated);
+            run
+        });
+
+        self.emit(
+            &event_label,
+            EventKind::Finished {
+                outcome: outcome.unwrap_or(Outcome::Shared),
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            },
+        );
+        run
+    }
+
+    /// Executes the given (cores, configuration-key) CMP jobs on the
+    /// sweep's worker pool, populating the CMP run store.
+    pub fn prefetch_cmp(&self, jobs: &[(u32, &'static str)]) {
+        for &(cores, key) in jobs {
+            self.emit(&format!("cmp{cores}x/{key}"), EventKind::Queued);
+        }
+        let thunks: Vec<_> = jobs
+            .iter()
+            .map(|&(cores, key)| move || drop(self.run_cmp(cores, key)))
+            .collect();
+        pool::run_jobs(self.threads, thunks);
+    }
+
     /// Executes the given (application, configuration-key) jobs on the
     /// sweep's worker pool, populating the run store. Figure functions
     /// called afterwards hit the warm store. Duplicate pairs — and pairs
@@ -262,10 +360,10 @@ impl Sweep {
         self.prefetch(&pairs);
     }
 
-    /// Number of distinct completed runs in the store (simulated plus
-    /// resumed from artifacts).
+    /// Number of distinct completed runs across both stores (single-core
+    /// and CMP; simulated plus resumed from artifacts).
     pub fn runs(&self) -> usize {
-        self.store.completed()
+        self.store.completed() + self.cmp_store.completed()
     }
 
     /// Number of runs actually simulated by this sweep.
@@ -310,6 +408,23 @@ fn run_fields(run: &AppRun) -> Vec<(&'static str, Value)> {
         ("l2_energy_nj", Value::F64(run.l2_energy.nj())),
         ("total_energy_nj", Value::F64(run.energy.total().nj())),
         ("edp", Value::F64(run.edp())),
+    ]
+}
+
+/// The summary fields exported to `metrics.json` for one CMP run.
+fn cmp_run_fields(run: &CmpRun) -> Vec<(&'static str, Value)> {
+    vec![
+        ("config", Value::Str(run.key.to_string())),
+        ("cores", Value::U64(u64::from(run.cores))),
+        ("mean_ipc", Value::F64(run.mean_ipc())),
+        ("fairness", Value::F64(run.fairness())),
+        ("l2_accesses", Value::U64(run.result.report.l2_accesses)),
+        ("l2_misses", Value::U64(run.result.report.l2_misses)),
+        ("miss_frac", Value::F64(run.result.report.miss_frac)),
+        ("group_fracs", Value::F64s(run.result.report.group_fracs.clone())),
+        ("bank_conflicts", Value::U64(run.result.bank_conflicts)),
+        ("bank_stall_cycles", Value::U64(run.result.bank_stall_cycles)),
+        ("invalidations", Value::U64(run.result.invalidations.iter().sum())),
     ]
 }
 

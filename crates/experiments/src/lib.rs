@@ -29,6 +29,7 @@
 
 pub mod artifact;
 pub mod checkpoint;
+pub mod cmp;
 pub mod exps;
 pub mod report;
 pub mod repro;
@@ -36,3 +37,4 @@ pub mod runner;
 
 pub use checkpoint::CheckpointStore;
 pub use runner::{run_digest, warmup_digest, AppRun, L2Kind, RunOptions, Scale, WarmupMode};
+pub use self::cmp::{cmp_run_digest, cmp_warmup_digest, CmpRun};

@@ -28,6 +28,9 @@ pub const EXPERIMENTS: &[(&str, &[&str])] = &[
     ("fig11", &["base", "dn-perf", "dn-energy", "nf4"]),
     ("restrict", &["base", "nf4", "nf4-r256", "nf4-r64"]),
     ("orgs", &["base", "dn-perf", "dn-energy", "dn-memo", "cnuca"]),
+    // `cmp` prewarms nothing here: its jobs are CMP scenarios, prefetched
+    // on the worker pool by `cmp::cmp_table` itself.
+    ("cmp", &[]),
 ];
 
 /// The union of every listed experiment's configuration keys, in first-use
@@ -69,13 +72,32 @@ pub fn resolve_ids(exp: &str) -> Option<Vec<&'static str>> {
 /// Panics on an id not present in [`EXPERIMENTS`]; validate selectors
 /// with [`resolve_ids`] first.
 pub fn render_selection(ids: &[&str], sweep: &Sweep, tsv: bool) -> String {
+    render_selection_cores(ids, sweep, tsv, crate::cmp::CMP_CORES)
+}
+
+/// [`render_selection`] with an explicit CMP core-count list (the
+/// `--cores` flag): the `cmp` experiment sweeps `cores` instead of its
+/// default 2/4/8, every other experiment is unaffected.
+///
+/// # Panics
+///
+/// Panics on an id not present in [`EXPERIMENTS`]; validate selectors
+/// with [`resolve_ids`] first.
+pub fn render_selection_cores(ids: &[&str], sweep: &Sweep, tsv: bool, cores: &[u32]) -> String {
     let keys = prewarm_keys(ids);
     if !keys.is_empty() {
         sweep.prefetch_all(&keys);
     }
     let mut out = String::new();
     for id in ids {
-        let text = if tsv { render_experiment_tsv(id, sweep) } else { None };
+        let text = if *id == "cmp" {
+            let table = crate::cmp::cmp_table(sweep, cores);
+            Some(if tsv { table.render_tsv() } else { table.render() })
+        } else if tsv {
+            render_experiment_tsv(id, sweep)
+        } else {
+            None
+        };
         let text = text
             .or_else(|| render_experiment(id, sweep))
             .unwrap_or_else(|| panic!("unknown experiment id {id:?}"));
@@ -106,6 +128,7 @@ pub fn render_experiment(id: &str, sweep: &Sweep) -> Option<String> {
         "fig11" => exps::fig11(sweep).render(),
         "restrict" => exps::restriction_ablation(sweep).render(),
         "orgs" => exps::orgs(sweep).render(),
+        "cmp" => crate::cmp::cmp_table(sweep, crate::cmp::CMP_CORES).render(),
         _ => return None,
     })
 }
@@ -121,6 +144,7 @@ pub fn render_experiment_tsv(id: &str, sweep: &Sweep) -> Option<String> {
         "fig7" => exps::fig7(sweep).render_tsv(),
         "fig8" => exps::fig8(sweep).render_tsv(),
         "fig9" => exps::fig9(sweep).render_tsv(),
+        "cmp" => crate::cmp::cmp_table(sweep, crate::cmp::CMP_CORES).render_tsv(),
         _ => return None,
     })
 }

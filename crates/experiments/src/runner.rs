@@ -183,13 +183,10 @@ impl L2Kind {
     }
 }
 
-/// Digest of one schedulable job: the full application profile, the full
-/// cache configuration, the instruction budget, and the trace seed.
-/// Everything that determines an [`AppRun`] bit-for-bit is included, so
-/// equal digests ⇒ interchangeable results (in-process or on disk).
-pub fn run_digest(profile: &BenchProfile, kind: &L2Kind, scale: Scale) -> Digest {
-    let mut h = Hasher128::new();
-    h.write_str("nurapid-run-v1");
+/// Feeds every field of an application profile into `h`. Shared by the
+/// single-core digests below and the CMP digests in [`crate::cmp`], so
+/// the two families can never disagree about what identifies a workload.
+pub(crate) fn digest_profile(h: &mut Hasher128, profile: &BenchProfile) {
     h.write_str(profile.name);
     h.write_u8(profile.class as u8);
     h.write_bool(profile.fp);
@@ -204,6 +201,16 @@ pub fn run_digest(profile: &BenchProfile, kind: &L2Kind, scale: Scale) -> Digest
     h.write_u32(profile.spatial_run);
     h.write_f64(profile.dep_load_frac);
     h.write_u64(profile.code_footprint.bytes());
+}
+
+/// Digest of one schedulable job: the full application profile, the full
+/// cache configuration, the instruction budget, and the trace seed.
+/// Everything that determines an [`AppRun`] bit-for-bit is included, so
+/// equal digests ⇒ interchangeable results (in-process or on disk).
+pub fn run_digest(profile: &BenchProfile, kind: &L2Kind, scale: Scale) -> Digest {
+    let mut h = Hasher128::new();
+    h.write_str("nurapid-run-v1");
+    digest_profile(&mut h, profile);
     kind.digest_into(&mut h);
     h.write_u64(scale.warmup);
     h.write_u64(scale.measure);
@@ -219,20 +226,19 @@ pub fn run_digest(profile: &BenchProfile, kind: &L2Kind, scale: Scale) -> Digest
 pub fn warmup_digest(profile: &BenchProfile, kind: &L2Kind, scale: Scale) -> Digest {
     let mut h = Hasher128::new();
     h.write_str("nurapid-warmup-v1");
-    h.write_str(profile.name);
-    h.write_u8(profile.class as u8);
-    h.write_bool(profile.fp);
-    h.write_f64(profile.load_frac);
-    h.write_f64(profile.store_frac);
-    h.write_u32(profile.branch_every);
-    h.write_f64(profile.branch_bias);
-    h.write_f64(profile.l1_reuse);
-    h.write_u64(profile.hot_footprint.bytes());
-    h.write_f64(profile.hot_frac);
-    h.write_u64(profile.stream_footprint.bytes());
-    h.write_u32(profile.spatial_run);
-    h.write_f64(profile.dep_load_frac);
-    h.write_u64(profile.code_footprint.bytes());
+    digest_profile(&mut h, profile);
+    digest_kind_architectural(&mut h, kind);
+    h.write_u64(scale.warmup);
+    h.write_u64(TRACE_SEED);
+    h.write_u32(crate::checkpoint::CHECKPOINT_VERSION);
+    h.digest()
+}
+
+/// Feeds the **architectural** slice of a configuration into `h`:
+/// everything that shapes warm-up state, with timing-only knobs
+/// deliberately excluded so their variants share one checkpoint. Shared
+/// by [`warmup_digest`] and the CMP warm-up digest in [`crate::cmp`].
+pub(crate) fn digest_kind_architectural(h: &mut Hasher128, kind: &L2Kind) {
     match kind {
         L2Kind::Base => h.write_u8(0),
         L2Kind::NuRapid(c) => {
@@ -279,10 +285,6 @@ pub fn warmup_digest(profile: &BenchProfile, kind: &L2Kind, scale: Scale) -> Dig
             h.write_u64(c.comp_seed);
         }
     }
-    h.write_u64(scale.warmup);
-    h.write_u64(TRACE_SEED);
-    h.write_u32(crate::checkpoint::CHECKPOINT_VERSION);
-    h.digest()
 }
 
 /// The measured results of one application on one organization.

@@ -251,6 +251,25 @@ impl<L: LowerCache> CoreMemSystem<L> {
         }
     }
 
+    /// Drops every L1 data-cache line covered by one lower-level block —
+    /// the invalidation-lite sharing model: when another core writes a
+    /// shared block, this core's private copies vanish without a
+    /// writeback (their dirt, if any, is considered absorbed by the
+    /// writer's lower-level update). The I-cache is untouched: code is
+    /// read-only in the trace model. Returns how many lines were dropped.
+    pub fn invalidate_lower_block(&mut self, lower_block: BlockAddr) -> u32 {
+        let base = self.lower_geom.base_of(lower_block);
+        let lines = self.lower_geom.block_bytes() / self.l1_geom.block_bytes();
+        let mut dropped = 0;
+        for i in 0..lines {
+            let line = self.l1_geom.block_of(base.offset(i * self.l1_geom.block_bytes()));
+            if self.dcache.invalidate(line).is_some() {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
     /// Warm-up drain barrier: forgets in-flight timing state (outstanding
     /// MSHR entries) so the measured phase starts from a quiesced machine
     /// whose behavior is fully determined by architectural state. The
@@ -514,6 +533,33 @@ mod tests {
             s.lower().log.iter().any(|&(_, k)| k.is_write()),
             "writeback must reach the lower cache as a write"
         );
+    }
+
+    #[test]
+    fn invalidate_lower_block_drops_covered_dcache_lines_only() {
+        let mut s = sys();
+        // Four 32-B lines inside the 128-B lower block at 0x100..0x180,
+        // one line outside it, and the I-cache line for the same range.
+        for a in [0x100u64, 0x120, 0x140, 0x160, 0x200] {
+            s.data_access(Addr::new(a), AccessKind::Write, Cycle::ZERO);
+        }
+        s.fetch(Addr::new(0x100), Cycle::ZERO);
+        let lower = BlockGeometry::new(128).block_of(Addr::new(0x100));
+        assert_eq!(s.invalidate_lower_block(lower), 4);
+        // Idempotent: nothing left to drop.
+        assert_eq!(s.invalidate_lower_block(lower), 0);
+        for a in [0x100u64, 0x120, 0x140, 0x160] {
+            assert!(
+                !s.data_access(Addr::new(a), AccessKind::Read, Cycle::ZERO).l1_hit,
+                "line {a:#x} must be gone"
+            );
+        }
+        assert!(
+            s.data_access(Addr::new(0x200), AccessKind::Read, Cycle::ZERO).l1_hit,
+            "uncovered line survives"
+        );
+        s.fetch(Addr::new(0x104), Cycle::ZERO);
+        assert_eq!(s.i_hits(), 1, "icache is untouched by data invalidation");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! assert!(!out.hit); // cold miss goes to memory
 //! ```
 
+pub mod bankq;
 pub mod hierarchy;
 pub mod l1;
 pub mod lower;

@@ -252,6 +252,7 @@ fn sweep_fields(req: &SweepReq) -> Vec<(&'static str, Json)> {
         ("exp", Json::Str(req.exp.clone())),
         ("scale", Json::Str(req.scale.as_str().into())),
         ("tsv", Json::Bool(req.tsv)),
+        ("cores", Json::U64(req.cores)),
         ("watch", Json::Bool(req.watch)),
     ]
 }

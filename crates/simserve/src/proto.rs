@@ -119,6 +119,11 @@ pub struct SweepReq {
     pub scale: ScaleName,
     /// Render TSV where an experiment has a TSV form.
     pub tsv: bool,
+    /// Core-count restriction for the `cmp` experiment: `0` means the
+    /// server's default sweep (2/4/8 cores), `1..=8` restricts `cmp` to
+    /// that single core count. Other experiments ignore it, but it is
+    /// always part of the report identity.
+    pub cores: u64,
     /// Stream progress events while the sweep computes (only honored by
     /// the blocking `sweep` op).
     pub watch: bool,
@@ -228,10 +233,23 @@ fn sweep_req(v: &Json) -> Result<SweepReq, Fail> {
             return Err(Fail::new(ErrCode::BadRequest, "\"scale\" must be \"quick\" or \"full\""))
         }
     };
+    let cores = match v.field("cores") {
+        None => 0,
+        Some(f) => match f.as_u64() {
+            Some(n) if n <= 8 => n,
+            _ => {
+                return Err(Fail::new(
+                    ErrCode::BadRequest,
+                    "\"cores\" must be an integer between 0 and 8",
+                ))
+            }
+        },
+    };
     Ok(SweepReq {
         exp,
         scale,
         tsv: bool_field(v, "tsv")?,
+        cores,
         watch: bool_field(v, "watch")?,
     })
 }
@@ -329,20 +347,39 @@ mod tests {
                 exp: "all".into(),
                 scale: ScaleName::Quick,
                 tsv: false,
+                cores: 0,
                 watch: false
             })
         );
-        let (_, req) =
-            parse_ok(r#"{"v":1,"id":3,"op":"sweep","exp":"fig9","scale":"full","tsv":true,"watch":true}"#);
+        let (_, req) = parse_ok(
+            r#"{"v":1,"id":3,"op":"sweep","exp":"fig9","scale":"full","tsv":true,"cores":4,"watch":true}"#,
+        );
         assert_eq!(
             req,
             Request::Sweep(SweepReq {
                 exp: "fig9".into(),
                 scale: ScaleName::Full,
                 tsv: true,
+                cores: 4,
                 watch: true
             })
         );
+    }
+
+    #[test]
+    fn cores_field_is_bounded() {
+        for n in [0u64, 1, 8] {
+            let (_, req) = parse_ok(&format!(r#"{{"v":1,"id":1,"op":"sweep","cores":{n}}}"#));
+            assert!(matches!(req, Request::Sweep(s) if s.cores == n));
+        }
+        for bad in [
+            r#"{"v":1,"id":1,"op":"sweep","cores":9}"#,
+            r#"{"v":1,"id":1,"op":"sweep","cores":"4"}"#,
+            r#"{"v":1,"id":1,"op":"sweep","cores":-1}"#,
+        ] {
+            let (_, fail) = parse_request(bad).expect_err("must fail");
+            assert_eq!(fail.code, ErrCode::BadRequest, "{bad}");
+        }
     }
 
     #[test]

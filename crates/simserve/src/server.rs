@@ -482,6 +482,7 @@ fn dispatch(
             if let Some(token) = token {
                 service.hub().unsubscribe(token);
             }
+            service.note_events_dropped(dropped.load(Ordering::Relaxed));
             service.exit_request();
             match outcome {
                 Ok(done) => proto::ok_frame(

@@ -23,7 +23,7 @@
 
 use crate::proto::{ErrCode, Fail, ScaleName, SweepReq};
 use experiments::exps::Sweep;
-use experiments::repro::{render_selection, resolve_ids};
+use experiments::repro::{render_selection, render_selection_cores, resolve_ids};
 use experiments::Scale;
 use simbase::digest::{Digest, Hasher128};
 use simbase::json::Json;
@@ -117,6 +117,7 @@ pub struct Service {
     requests: AtomicU64,
     computed: AtomicU64,
     coalesced: AtomicU64,
+    events_dropped: AtomicU64,
     draining: AtomicBool,
     abandon_queued: AtomicBool,
     inflight: Mutex<u64>,
@@ -168,6 +169,7 @@ impl Service {
             requests: AtomicU64::new(0),
             computed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            events_dropped: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             abandon_queued: AtomicBool::new(false),
             inflight: Mutex::new(0),
@@ -242,10 +244,12 @@ impl Service {
     }
 
     /// The report digest for a validated request: a structural hash of
-    /// the experiment ids (in rendering order), the concrete scale, and
-    /// the rendering mode. Duplicate requests from any number of clients
-    /// map to one digest and therefore one rendering.
-    fn report_digest(ids: &[&str], scale: Scale, tsv: bool) -> Digest {
+    /// the experiment ids (in rendering order), the concrete scale, the
+    /// rendering mode, and the `cmp` core restriction. Duplicate requests
+    /// from any number of clients map to one digest and therefore one
+    /// rendering; a `--cores 4` report can never collide with the default
+    /// 2/4/8 sweep.
+    fn report_digest(ids: &[&str], scale: Scale, tsv: bool, cores: u64) -> Digest {
         let mut h = Hasher128::new();
         h.write_str("simserve-report-v1");
         h.write_u64(ids.len() as u64);
@@ -255,6 +259,7 @@ impl Service {
         h.write_u64(scale.warmup);
         h.write_u64(scale.measure);
         h.write_bool(tsv);
+        h.write_u64(cores);
         h.digest()
     }
 
@@ -263,7 +268,7 @@ impl Service {
             Fail::new(ErrCode::BadRequest, format!("unknown experiment {:?}", req.exp))
         })?;
         let (_, scale) = self.sweep_for(req.scale);
-        let digest = Service::report_digest(&ids, scale, req.tsv);
+        let digest = Service::report_digest(&ids, scale, req.tsv, req.cores);
         Ok((ids, digest))
     }
 
@@ -299,7 +304,10 @@ impl Service {
         let mut fresh = false;
         let report = self.reports.get_or_compute(digest.raw(), || {
             fresh = true;
-            render_selection(&ids, sweep, req.tsv)
+            match req.cores {
+                0 => render_selection(&ids, sweep, req.tsv),
+                n => render_selection_cores(&ids, sweep, req.tsv, &[n as u32]),
+            }
         });
         if fresh {
             self.computed.fetch_add(1, Ordering::Relaxed);
@@ -409,8 +417,25 @@ impl Service {
             ("simulated_full", Json::U64(self.full.simulated())),
             ("inflight", Json::U64(*self.inflight.lock().expect("service poisoned"))),
             ("watchers", Json::U64(self.hub.subscribers() as u64)),
+            ("events_dropped", Json::U64(self.events_dropped.load(Ordering::Relaxed))),
             ("draining", Json::Bool(self.draining())),
         ]
+    }
+
+    /// Folds one connection's dropped-progress-event count into the
+    /// server-lifetime total surfaced by `stats` as `events_dropped`.
+    /// Called by the connection handler after it unsubscribes its watch
+    /// observer, so the aggregate is exact once a request is answered.
+    pub fn note_events_dropped(&self, n: u64) {
+        if n > 0 {
+            self.events_dropped.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Total progress events dropped across all watch connections (the
+    /// `events_dropped` stats field).
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped.load(Ordering::Relaxed)
     }
 
     /// Number of distinct reports rendered so far.
@@ -514,7 +539,7 @@ mod tests {
     fn table_req() -> SweepReq {
         // table2/table4 need no runs at all, so service-level tests stay
         // fast even in debug builds.
-        SweepReq { exp: "table2".into(), scale: ScaleName::Quick, tsv: false, watch: false }
+        SweepReq { exp: "table2".into(), scale: ScaleName::Quick, tsv: false, cores: 0, watch: false }
     }
 
     #[test]
@@ -554,7 +579,8 @@ mod tests {
             .digest_of(&SweepReq { scale: ScaleName::Full, ..table_req() })
             .expect("digest");
         let d4 = svc.digest_of(&SweepReq { tsv: true, ..table_req() }).expect("digest");
-        let all = [d1, d2, d3, d4];
+        let d5 = svc.digest_of(&SweepReq { cores: 4, ..table_req() }).expect("digest");
+        let all = [d1, d2, d3, d4, d5];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_ne!(a, b);
@@ -603,6 +629,25 @@ mod tests {
         let (d2, state) = svc.submit(&table_req()).expect("resubmit");
         assert_eq!((d2, state), (digest, "done"));
         svc.wait_idle();
+        svc.close();
+    }
+
+    #[test]
+    fn events_dropped_aggregates_across_connections() {
+        let svc = Service::new(tiny_config()).expect("service");
+        assert_eq!(svc.events_dropped(), 0);
+        let has_field = |svc: &Service| {
+            svc.stats_fields()
+                .iter()
+                .find(|(k, _)| *k == "events_dropped")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(has_field(&svc), Some(Json::U64(0)));
+        svc.note_events_dropped(0); // no-op
+        svc.note_events_dropped(3);
+        svc.note_events_dropped(2);
+        assert_eq!(svc.events_dropped(), 5);
+        assert_eq!(has_field(&svc), Some(Json::U64(5)));
         svc.close();
     }
 

@@ -152,7 +152,13 @@ fn builder_parser_round_trip() {
         range_u64(0, u64::MAX),
     );
     fprop("builder_parser_round_trip").check(&gen, |(exp, scale, tsv, watch, id)| {
-        let req = SweepReq { exp: exp.to_string(), scale: *scale, tsv: *tsv, watch: *watch };
+        let req = SweepReq {
+            exp: exp.to_string(),
+            scale: *scale,
+            tsv: *tsv,
+            cores: u64::from(*id % 9 == 0) * 4,
+            watch: *watch,
+        };
         let frame = proto::request_frame(
             *id,
             "sweep",
@@ -160,6 +166,7 @@ fn builder_parser_round_trip() {
                 ("exp", Json::Str(req.exp.clone())),
                 ("scale", Json::Str(req.scale.as_str().into())),
                 ("tsv", Json::Bool(req.tsv)),
+                ("cores", Json::U64(req.cores)),
                 ("watch", Json::Bool(req.watch)),
             ],
         );

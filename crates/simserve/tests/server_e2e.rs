@@ -60,7 +60,7 @@ impl Drop for Daemon {
 }
 
 fn table_req() -> SweepReq {
-    SweepReq { exp: "table2".into(), scale: ScaleName::Quick, tsv: false, watch: false }
+    SweepReq { exp: "table2".into(), scale: ScaleName::Quick, tsv: false, cores: 0, watch: false }
 }
 
 #[test]
@@ -124,7 +124,8 @@ fn submit_status_report_lifecycle() {
 fn watch_streams_progress_events() {
     let daemon = Daemon::start(tiny_config());
     let mut client = Client::connect(&daemon.addr).expect("connect");
-    let req = SweepReq { exp: "fig4".into(), scale: ScaleName::Quick, tsv: false, watch: true };
+    let req =
+        SweepReq { exp: "fig4".into(), scale: ScaleName::Quick, tsv: false, cores: 0, watch: true };
     let mut events = Vec::new();
     let out = client
         .sweep_watch(&req, |e| {

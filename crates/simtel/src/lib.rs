@@ -46,6 +46,7 @@
 pub mod console;
 pub mod hist;
 pub mod metrics;
+pub mod percore;
 pub mod ring;
 pub mod sink;
 pub mod telemetry;

@@ -1,0 +1,124 @@
+//! Per-core metric names for chip-multiprocessor runs.
+//!
+//! Metric and counter names flow through the sink as `&'static str`
+//! (interning keeps the record path allocation-free), so per-core
+//! prefixes cannot be formatted at runtime. This module pins one static
+//! name table per CMP metric, indexed by core id, plus the shared
+//! bank-contention counters — the single place the `cmp.coreN.*`
+//! namespace is defined.
+
+/// The largest core count the CMP front-end supports.
+pub const MAX_CORES: usize = 8;
+
+macro_rules! per_core_names {
+    ($fn_name:ident, $doc:literal, [$($name:literal),+ $(,)?]) => {
+        #[doc = $doc]
+        ///
+        /// # Panics
+        ///
+        /// Panics if `core >= MAX_CORES`.
+        pub const fn $fn_name(core: usize) -> &'static str {
+            const NAMES: [&str; MAX_CORES] = [$($name),+];
+            NAMES[core]
+        }
+    };
+}
+
+per_core_names!(
+    instructions,
+    "Committed instructions for one core.",
+    [
+        "cmp.core0.instructions",
+        "cmp.core1.instructions",
+        "cmp.core2.instructions",
+        "cmp.core3.instructions",
+        "cmp.core4.instructions",
+        "cmp.core5.instructions",
+        "cmp.core6.instructions",
+        "cmp.core7.instructions",
+    ]
+);
+
+per_core_names!(
+    ipc_milli,
+    "Per-core IPC in milli-units (counters are integral).",
+    [
+        "cmp.core0.ipc_milli",
+        "cmp.core1.ipc_milli",
+        "cmp.core2.ipc_milli",
+        "cmp.core3.ipc_milli",
+        "cmp.core4.ipc_milli",
+        "cmp.core5.ipc_milli",
+        "cmp.core6.ipc_milli",
+        "cmp.core7.ipc_milli",
+    ]
+);
+
+per_core_names!(
+    bank_stall_cycles,
+    "Bank queue-delay cycles charged to one core's lower-level accesses.",
+    [
+        "cmp.core0.bank_stall_cycles",
+        "cmp.core1.bank_stall_cycles",
+        "cmp.core2.bank_stall_cycles",
+        "cmp.core3.bank_stall_cycles",
+        "cmp.core4.bank_stall_cycles",
+        "cmp.core5.bank_stall_cycles",
+        "cmp.core6.bank_stall_cycles",
+        "cmp.core7.bank_stall_cycles",
+    ]
+);
+
+per_core_names!(
+    invalidations,
+    "Private-L1 lines dropped in this core by other cores' writes.",
+    [
+        "cmp.core0.invalidations",
+        "cmp.core1.invalidations",
+        "cmp.core2.invalidations",
+        "cmp.core3.invalidations",
+        "cmp.core4.invalidations",
+        "cmp.core5.invalidations",
+        "cmp.core6.invalidations",
+        "cmp.core7.invalidations",
+    ]
+);
+
+/// Accesses that found their lower-level bank busy, all cores combined.
+pub const BANK_CONFLICTS: &str = "cmp.bank_conflicts";
+
+/// Queue-delay cycles charged by the bank model, all cores combined.
+pub const BANK_STALL_CYCLES: &str = "cmp.bank_stall_cycles";
+
+/// Cross-core invalidations delivered by the sharing model.
+pub const INVALIDATIONS: &str = "cmp.invalidations";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_and_indexed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in 0..MAX_CORES {
+            for name in [
+                instructions(c),
+                ipc_milli(c),
+                bank_stall_cycles(c),
+                invalidations(c),
+            ] {
+                assert!(name.contains(&format!("core{c}")), "{name} lacks core{c}");
+                assert!(seen.insert(name), "{name} duplicated");
+            }
+        }
+        assert!(seen.insert(BANK_CONFLICTS));
+        assert!(seen.insert(BANK_STALL_CYCLES));
+        assert!(seen.insert(INVALIDATIONS));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_core_panics() {
+        let _ = instructions(MAX_CORES);
+    }
+}

@@ -26,8 +26,10 @@
 //! ```
 
 pub mod generator;
+pub mod multi;
 pub mod profiles;
 pub mod tracefile;
 
 pub use generator::TraceGenerator;
+pub use multi::CoreStream;
 pub use profiles::{BenchProfile, LoadClass, ROSTER};

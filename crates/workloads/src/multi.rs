@@ -1,0 +1,213 @@
+//! Per-core trace streams for chip-multiprocessor runs.
+//!
+//! A [`CoreStream`] wraps one [`TraceGenerator`] and gives it a private
+//! slice of the address space: every code and data address is offset by
+//! `core << PRIVATE_SHIFT`, so two cores running the *same* synthetic
+//! benchmark never alias in the shared lower-level cache by accident.
+//! A fraction of data accesses (the **shared-region knob**, in per-mille)
+//! is instead folded into one common [`SHARED_WINDOW`]-sized region that
+//! every core maps identically — the traffic that exercises the
+//! invalidation-lite sharing model.
+//!
+//! **Single-core is a byte-for-byte passthrough**: with `cores == 1` no
+//! offset is applied and the decision RNG is never drawn, so a 1-core CMP
+//! run consumes exactly the stream a single-core run would.
+
+use crate::generator::TraceGenerator;
+use crate::profiles::BenchProfile;
+use cpu::uop::{MicroOp, TraceSource};
+use simbase::rng::SimRng;
+use simbase::snapshot::{Decoder, Encoder, SnapshotError};
+use simbase::Addr;
+
+/// Bits of private address space per core; generators stay far below
+/// `1 << PRIVATE_SHIFT`, so per-core slices never overlap.
+pub const PRIVATE_SHIFT: u32 = 40;
+
+/// Base of the core-shared data region — above every private slice
+/// (`8 << 40 < 1 << 46`), so shared and private traffic cannot collide.
+pub const SHARED_BASE: u64 = 1 << 46;
+
+/// Size of the shared region every core folds its shared accesses into.
+/// A power of two; masking keeps 32-B line alignment intact.
+pub const SHARED_WINDOW: u64 = 4 << 20;
+
+/// One core's view of its benchmark trace.
+#[derive(Debug)]
+pub struct CoreStream {
+    gen: TraceGenerator,
+    /// Decides per data access whether it targets the shared region.
+    /// Drawn only when `cores > 1`, keeping single-core bit-identical.
+    share_rng: SimRng,
+    core: u32,
+    cores: u32,
+    shared_milli: u32,
+}
+
+impl CoreStream {
+    /// A stream for `core` of `cores`, running `profile` seeded from the
+    /// run's trace seed. `shared_milli` is the per-mille fraction of data
+    /// accesses folded into the shared region (0 = fully private,
+    /// multiprogrammed; ignored when `cores == 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= cores`, `cores == 0`, or `shared_milli > 1000`.
+    pub fn new(profile: BenchProfile, seed: u64, core: u32, cores: u32, shared_milli: u32) -> Self {
+        assert!(cores > 0 && core < cores, "core {core} of {cores}");
+        assert!(shared_milli <= 1000, "shared_milli is per-mille");
+        // Core 0 keeps the seed unchanged (the single-core passthrough);
+        // later cores decorrelate so identical profiles do not lockstep.
+        let gen_seed = seed ^ (core as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        CoreStream {
+            gen: TraceGenerator::new(profile, gen_seed),
+            share_rng: SimRng::seeded(seed ^ 0x5348_4152_4544 ^ ((core as u64) << 32)),
+            core,
+            cores,
+            shared_milli,
+        }
+    }
+
+    /// The wrapped benchmark profile.
+    pub fn profile(&self) -> &BenchProfile {
+        self.gen.profile()
+    }
+
+    /// Maps a generator data address into this core's view: shared-region
+    /// fold or private offset.
+    fn map_data(&mut self, addr: Addr) -> Addr {
+        if self.share_rng.below(1000) < self.shared_milli as u64 {
+            Addr::new(SHARED_BASE + (addr.raw() & (SHARED_WINDOW - 1)))
+        } else {
+            Addr::new(addr.raw() + ((self.core as u64) << PRIVATE_SHIFT))
+        }
+    }
+
+    /// Serializes generator and decision-RNG state (for CMP warm-up
+    /// checkpoints).
+    pub fn save_state(&self, e: &mut Encoder) {
+        self.gen.save_state(e);
+        for w in self.share_rng.state() {
+            e.put_u64(w);
+        }
+    }
+
+    /// Restores state written by [`CoreStream::save_state`].
+    pub fn load_state(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        self.gen.load_state(d)?;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = d.u64()?;
+        }
+        self.share_rng = SimRng::from_state(s);
+        Ok(())
+    }
+}
+
+impl TraceSource for CoreStream {
+    fn next_op(&mut self) -> MicroOp {
+        let mut op = self.gen.next_op();
+        if self.cores > 1 {
+            op.pc = Addr::new(op.pc.raw() + ((self.core as u64) << PRIVATE_SHIFT));
+            if let Some(addr) = op.mem_addr {
+                op.mem_addr = Some(self.map_data(addr));
+            }
+        }
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    fn profile() -> BenchProfile {
+        profiles::by_name("galgel").expect("in the roster")
+    }
+
+    #[test]
+    fn single_core_is_a_pure_passthrough() {
+        let mut plain = TraceGenerator::new(profile(), 7);
+        let mut wrapped = CoreStream::new(profile(), 7, 0, 1, 500);
+        for _ in 0..5_000 {
+            assert_eq!(plain.next_op(), wrapped.next_op());
+        }
+    }
+
+    #[test]
+    fn private_traffic_is_disjoint_across_cores() {
+        let mut a = CoreStream::new(profile(), 7, 0, 4, 0);
+        let mut b = CoreStream::new(profile(), 7, 1, 4, 0);
+        let slice = |addr: u64| addr >> PRIVATE_SHIFT;
+        for _ in 0..5_000 {
+            let (oa, ob) = (a.next_op(), b.next_op());
+            assert_eq!(slice(oa.pc.raw()), 0);
+            assert_eq!(slice(ob.pc.raw()), 1);
+            if let Some(addr) = oa.mem_addr {
+                assert_eq!(slice(addr.raw()), 0, "core 0 stays in slice 0");
+            }
+            if let Some(addr) = ob.mem_addr {
+                assert_eq!(slice(addr.raw()), 1, "core 1 stays in slice 1");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_knob_routes_the_expected_fraction() {
+        let mut s = CoreStream::new(profile(), 7, 1, 4, 250);
+        let (mut shared, mut private) = (0u64, 0u64);
+        for _ in 0..40_000 {
+            if let Some(addr) = s.next_op().mem_addr {
+                if addr.raw() >= SHARED_BASE {
+                    assert!(addr.raw() < SHARED_BASE + SHARED_WINDOW);
+                    shared += 1;
+                } else {
+                    private += 1;
+                }
+            }
+        }
+        let frac = shared as f64 / (shared + private) as f64;
+        assert!((0.2..0.3).contains(&frac), "shared fraction {frac} far from 25%");
+    }
+
+    #[test]
+    fn cores_overlap_only_in_the_shared_window() {
+        let mut a = CoreStream::new(profile(), 7, 0, 2, 300);
+        let mut b = CoreStream::new(profile(), 7, 1, 2, 300);
+        let collect = |s: &mut CoreStream| {
+            let mut set = std::collections::BTreeSet::new();
+            for _ in 0..20_000 {
+                if let Some(addr) = s.next_op().mem_addr {
+                    set.insert(addr.raw() >> 7); // 128-B blocks
+                }
+            }
+            set
+        };
+        let (sa, sb) = (collect(&mut a), collect(&mut b));
+        let mut overlap = sa.intersection(&sb).peekable();
+        assert!(overlap.peek().is_some(), "some blocks must be shared");
+        assert!(
+            sa.intersection(&sb).all(|&blk| blk << 7 >= SHARED_BASE),
+            "every overlapping block lies in the shared window"
+        );
+    }
+
+    #[test]
+    fn state_roundtrips_through_snapshot() {
+        let mut s = CoreStream::new(profile(), 7, 2, 4, 150);
+        for _ in 0..3_000 {
+            s.next_op();
+        }
+        let mut e = Encoder::new();
+        s.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut twin = CoreStream::new(profile(), 7, 2, 4, 150);
+        let mut d = Decoder::new(&bytes);
+        twin.load_state(&mut d).expect("loads");
+        d.finish().expect("no trailing bytes");
+        for _ in 0..3_000 {
+            assert_eq!(s.next_op(), twin.next_op());
+        }
+    }
+}

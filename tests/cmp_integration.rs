@@ -1,0 +1,111 @@
+//! End-to-end checks of the CMP subsystem through the experiment
+//! harness: CMP runs must be bit-identical across simsched worker-thread
+//! counts, across cold and warm checkpoint paths, and across artifact
+//! resume — the same determinism contract `simsched_integration.rs`
+//! pins for the single-core sweep.
+
+use experiments::exps::Sweep;
+use experiments::{CmpRun, Scale};
+use std::path::PathBuf;
+
+fn tiny() -> Scale {
+    Scale {
+        warmup: 12_000,
+        measure: 20_000,
+    }
+}
+
+/// A mixed CMP job list: two core counts, two organizations.
+const JOBS: [(u32, &'static str); 3] = [(2, "nf4"), (2, "base"), (4, "nf4")];
+
+fn sweep(scale: Scale) -> Sweep {
+    // CMP jobs bring their own high-load application assignment; the
+    // sweep just needs a non-empty per-app roster to construct.
+    Sweep::with_apps(scale, vec![workloads::profiles::by_name("galgel").expect("in roster")])
+}
+
+fn runs_of(s: &Sweep) -> Vec<CmpRun> {
+    JOBS.iter().map(|&(cores, key)| (*s.run_cmp(cores, key)).clone()).collect()
+}
+
+/// A process-unique scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("cmp-it-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn cmp_runs_are_bit_identical_across_thread_counts() {
+    // Same CMP jobs on 1, 2, and 8 worker threads: every CmpRun must be
+    // bit-identical and the rendered table byte-identical.
+    let serial = sweep(tiny());
+    serial.prefetch_cmp(&JOBS);
+    let baseline_runs = runs_of(&serial);
+    let baseline_table = experiments::cmp::cmp_table(&serial, &[2, 4]).render();
+
+    for threads in [2usize, 8] {
+        let s = sweep(tiny()).with_threads(threads);
+        s.prefetch_cmp(&JOBS);
+        assert_eq!(
+            s.simulated() as usize,
+            JOBS.len(),
+            "{threads}-thread prefetch duplicated or lost CMP work"
+        );
+        assert_eq!(runs_of(&s), baseline_runs, "{threads}-thread CmpRuns differ from serial");
+        assert_eq!(
+            experiments::cmp::cmp_table(&s, &[2, 4]).render(),
+            baseline_table,
+            "{threads}-thread cmp table differs from serial"
+        );
+    }
+}
+
+#[test]
+fn cmp_checkpoints_are_bit_identical_cold_and_warm() {
+    let scratch = Scratch::new("chk");
+
+    // Reference: no checkpoint store anywhere near the run.
+    let direct = sweep(tiny());
+    let want = runs_of(&direct);
+
+    // Cold path: every warm-up digest misses, snapshots are built and
+    // written — and the run must already go through the decode leg.
+    let cold = sweep(tiny()).with_checkpoints(&scratch.0).expect("checkpoint dir");
+    assert_eq!(runs_of(&cold), want, "cold checkpoint path diverged from direct");
+    drop(cold);
+    let snapshots = std::fs::read_dir(&scratch.0).expect("dir").count();
+    assert!(snapshots > 0, "cold pass wrote no checkpoints");
+
+    // Warm path: a fresh sweep over the same directory restores every
+    // warm-up from disk instead of re-simulating it.
+    let warm = sweep(tiny()).with_checkpoints(&scratch.0).expect("checkpoint dir");
+    assert_eq!(runs_of(&warm), want, "warm checkpoint path diverged from direct");
+}
+
+#[test]
+fn cmp_artifacts_resume_bit_identically() {
+    let scratch = Scratch::new("art");
+    let reference = sweep(tiny());
+
+    let first = sweep(tiny()).with_artifacts(&scratch.0).expect("artifact dir");
+    first.prefetch_cmp(&JOBS);
+    assert_eq!(first.simulated() as usize, JOBS.len());
+    drop(first);
+
+    let resumed = sweep(tiny()).with_artifacts(&scratch.0).expect("artifact dir");
+    resumed.prefetch_cmp(&JOBS);
+    assert_eq!(resumed.resumed() as usize, JOBS.len(), "artifacted CMP jobs should load");
+    assert_eq!(resumed.simulated(), 0, "fully-artifacted CMP sweep must not re-simulate");
+    assert_eq!(runs_of(&resumed), runs_of(&reference), "resumed CmpRuns diverged");
+}

@@ -237,6 +237,54 @@ fn reset_stats_clears_the_report_but_not_the_cache() {
     }
 }
 
+/// Every organization in the factory roster must also conform under the
+/// CMP front-end: two cores interleaving misses into one shared instance
+/// stay deterministic across reconstruction, retire their full
+/// instruction budget, and the bank/report accounting stays coherent.
+/// A new organization registered in the factory is covered here
+/// automatically, exactly like the single-core legs above.
+#[test]
+fn every_organization_conforms_under_the_cmp_front_end() {
+    use cmp::{CmpConfig, CmpSystem};
+    use simtel::TelemetrySink;
+    let profiles: Vec<_> = ["galgel", "wupwise"]
+        .iter()
+        .map(|n| workloads::profiles::by_name(n).expect("in roster"))
+        .collect();
+    for (name, kind) in roster() {
+        let run = || {
+            let mut sys =
+                CmpSystem::new(CmpConfig::micro2003(2), kind.build(), &profiles, 0x5eed);
+            sys.warm_run(3_000);
+            sys.drain_barrier(&TelemetrySink::disabled(), 0);
+            sys.run(6_000);
+            sys.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "{name}: CMP run diverged across reconstruction");
+        assert_eq!(a.per_core.len(), 2, "{name}");
+        for (i, core) in a.per_core.iter().enumerate() {
+            assert!(core.instructions >= 6_000, "{name}: core {i} under-retired");
+            assert!(core.cycles > 0 && core.ipc() > 0.0, "{name}: core {i} made no progress");
+        }
+        assert!(a.report.l2_accesses > 0, "{name}: the shared L2 saw no traffic");
+        assert!(a.report.l2_misses <= a.report.l2_accesses, "{name}");
+        assert_eq!(
+            a.per_core_bank_stalls.iter().sum::<u64>(),
+            a.bank_stall_cycles,
+            "{name}: per-core bank stalls must sum to the total"
+        );
+        assert_eq!(
+            a.bank_conflicts == 0,
+            a.bank_stall_cycles == 0,
+            "{name}: conflicts and stall cycles must agree on zero"
+        );
+        let fairness = a.fairness();
+        assert!((0.0..=1.0 + 1e-9).contains(&fairness), "{name}: fairness {fairness} out of range");
+    }
+}
+
 /// The reports of distance-structured organizations expose their d-group
 /// geometry; the base hierarchy reports none. This pins the shape the
 /// table renderers rely on.

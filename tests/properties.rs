@@ -7,6 +7,7 @@
 //! A failure prints a shrunk counterexample and a `SIMKIT_SEED=0x...`
 //! replay command, and is appended to `tests/simkit-regressions.txt`.
 
+use memsys::bankq::{BankQueue, BankQueueParams, BankQueues};
 use memsys::lower::LowerCache;
 use memsys::replacement::{PolicyKind, SetPolicy};
 use nuca::{DnucaCache, DnucaConfig, SearchPolicy};
@@ -392,6 +393,105 @@ fn way_memo_skips_probes_without_changing_transitions() {
             );
         },
     );
+}
+
+/// 16. An idle bank is free: arrivals spaced at least one service
+/// interval apart never find the bank busy, so the queue model charges
+/// zero delay and counts zero conflicts — contention only ever comes
+/// from genuine bandwidth oversubscription, never from the model itself.
+#[test]
+fn bank_queue_spaced_arrivals_are_free() {
+    let gen = (range_u64(1, 16), vec_of(range_u64(0, 100), 1, 200));
+    prop("bank_queue_spaced_arrivals_are_free").check(&gen, |(service, extras)| {
+        let mut b = BankQueue::new(BankQueueParams {
+            service_cycles: *service,
+            max_delay: 64,
+        });
+        let mut t = 0u64;
+        for &extra in extras {
+            assert_eq!(b.occupy(Cycle::new(t)), 0, "idle bank charged a delay");
+            t += *service + extra;
+        }
+        assert_eq!((b.conflicts(), b.stall_cycles()), (0, 0));
+        assert_eq!(b.accesses(), extras.len() as u64);
+    });
+}
+
+/// 17. Delay is monotone non-decreasing with load: within a same-cycle
+/// burst the k-th access waits exactly k service intervals, capped at
+/// `max_delay`, and the charged stall cycles account for every delay.
+#[test]
+fn bank_queue_delay_is_monotone_in_load() {
+    let gen = (range_u64(1, 16), range_u64(1, 128), range_u64(2, 40));
+    prop("bank_queue_delay_is_monotone_in_load").check(&gen, |(service, max_delay, burst)| {
+        let mut b = BankQueue::new(BankQueueParams {
+            service_cycles: *service,
+            max_delay: *max_delay,
+        });
+        let mut last = 0u64;
+        let mut total = 0u64;
+        for k in 0..*burst {
+            let d = b.occupy(Cycle::new(0));
+            assert!(d >= last, "delay shrank as load grew");
+            assert_eq!(d, (k * service).min(*max_delay), "burst delay is k·service, capped");
+            last = d;
+            total += d;
+        }
+        assert_eq!(b.stall_cycles(), total);
+        assert_eq!(b.conflicts(), *burst - 1, "all but the burst head conflict");
+    });
+}
+
+/// 18. The bank array is a pure function of its traffic: two identical
+/// arrays fed the same (block, arrival) trace charge identical delays
+/// and counters, every delay respects the bound, and the drain barrier
+/// leaves the banks idle without touching the counters.
+#[test]
+fn bank_queues_are_deterministic_and_account_exactly() {
+    let gen = (
+        select(vec![1usize, 2, 4, 32]),
+        vec_of((range_u64(0, 4_096), range_u64(0, 12)), 1, 300),
+    );
+    prop("bank_queues_are_deterministic_and_account_exactly").check(&gen, |(n_banks, ops)| {
+        let params = BankQueueParams::micro2003(128);
+        let mut a = BankQueues::new(*n_banks, params);
+        let mut b = BankQueues::new(*n_banks, params);
+        let mut t = 0u64;
+        let (mut sum, mut n_conflicts) = (0u64, 0u64);
+        for &(blk, dt) in ops {
+            t += dt;
+            let block = BlockAddr::from_index(blk);
+            let da = a.occupy(block, Cycle::new(t));
+            let db = b.occupy(block, Cycle::new(t));
+            assert_eq!(da, db, "identical bank arrays diverged on identical traffic");
+            assert!(da <= params.max_delay);
+            sum += da;
+            n_conflicts += u64::from(da > 0);
+        }
+        assert_eq!(a.stall_cycles(), sum);
+        assert_eq!(a.conflicts(), n_conflicts);
+        a.drain();
+        assert_eq!(
+            a.occupy(BlockAddr::from_index(0), Cycle::new(t)),
+            0,
+            "drained banks must be idle"
+        );
+    });
+}
+
+/// 19. Pinned bank-queue regression: a same-cycle burst followed by a
+/// straggler inside the busy window and a late arrival past it, with the
+/// exact delays the history model must produce (service 8, bound 64).
+/// Kept verbatim so a queue-model rewrite cannot silently re-time the
+/// CMP experiment.
+#[test]
+fn bank_queue_pinned_regression_case() {
+    let mut b = BankQueue::new(BankQueueParams { service_cycles: 8, max_delay: 64 });
+    let delays: Vec<u64> =
+        [0u64, 0, 0, 4, 30, 30, 95].iter().map(|&t| b.occupy(Cycle::new(t))).collect();
+    assert_eq!(delays, vec![0, 8, 16, 20, 2, 10, 0]);
+    assert_eq!(b.conflicts(), 5);
+    assert_eq!(b.stall_cycles(), 56);
 }
 
 /// 15. The memo table is invalidated on eviction: once the memoized

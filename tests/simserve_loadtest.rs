@@ -41,6 +41,7 @@ fn a_thousand_overlapping_sweeps_coalesce_onto_one_rendering() {
         exp: "fig4".to_string(),
         scale: ScaleName::Quick,
         tsv: false,
+        cores: 0,
         watch: false,
     };
 
@@ -138,6 +139,7 @@ fn distinct_requests_share_underlying_runs_but_not_reports() {
             exp: "fig4".into(),
             scale: ScaleName::Quick,
             tsv: false,
+            cores: 0,
             watch: false,
         })
         .expect("text sweep");
@@ -150,6 +152,7 @@ fn distinct_requests_share_underlying_runs_but_not_reports() {
             exp: "fig4".into(),
             scale: ScaleName::Quick,
             tsv: true,
+            cores: 0,
             watch: false,
         })
         .expect("tsv sweep");
