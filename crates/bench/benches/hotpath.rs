@@ -114,6 +114,53 @@ fn bench_caches(b: &mut BenchRunner) {
     let r =
         b.bench("hotpath_base_hierarchy", WARMUP, ITERS, || black_box(drive(&mut base, ACCESSES)));
     throughput(r, ACCESSES, "accesses");
+
+    // The L4 DRAM-cache tier (DESIGN.md §15) wrapped around NuRAPID,
+    // after a shrink + grow so the consistent-hash ring carries retired
+    // vnodes and the bank slots a liveness mix — the steady state the
+    // resize-transient experiment spends most of its windows in. The
+    // cold scan's 64-MB stride range overflows the 32-MB tier, so the
+    // timed loop exercises tag-cache hits and misses, fills, orphaned-
+    // block replacement, and DRAM-channel queueing on every iteration.
+    let kind = experiments::L2Kind::L4(
+        Box::new(experiments::L2Kind::NuRapid(NuRapidConfig::micro2003(4))),
+        experiments::L4Config::tdram(),
+    );
+    let mut l4 = kind.build();
+    l4.prefill();
+    drive_org(&mut l4, ACCESSES);
+    for target in [4, 12] {
+        l4.main_memory_mut()
+            .expect("the L4 wrapper is DRAM-backed")
+            .resize_l4(target, Cycle::ZERO);
+    }
+    let r = b.bench("hotpath_nurapid_l4", WARMUP, ITERS, || {
+        black_box(drive_org(&mut l4, ACCESSES))
+    });
+    throughput(r, ACCESSES, "accesses");
+}
+
+/// [`drive`] for a boxed [`Organization`](memsys::org::Organization) —
+/// same deterministic stream, dispatched through the trait object like
+/// the real runner.
+fn drive_org(c: &mut Box<dyn memsys::org::Organization>, n: u64) -> (u64, u64) {
+    let mut rng = SimRng::seeded(0x686f_7470_6174_68);
+    let mut t = Cycle::ZERO;
+    let mut hits = 0;
+    let mut cold = 0u64;
+    for i in 0..n {
+        let block = if rng.below(4) < 3 {
+            BlockAddr::from_index(rng.below(4096))
+        } else {
+            cold = cold.wrapping_add(97);
+            BlockAddr::from_index(4096 + (cold & 0x7_ffff))
+        };
+        let kind = if i % 5 == 0 { AccessKind::Write } else { AccessKind::Read };
+        let out = c.access(block, kind, t);
+        hits += out.hit as u64;
+        t = out.complete_at + 4;
+    }
+    (hits, t.raw())
 }
 
 fn bench_full_system(b: &mut BenchRunner) {

@@ -115,6 +115,7 @@ fn main() {
         tsv: args.tsv,
         cores: 0,
         watch: false,
+        l4: false,
     };
     let expected = args.expect.as_ref().map(|path| {
         std::fs::read_to_string(path).unwrap_or_else(|e| {

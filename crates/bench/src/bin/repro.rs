@@ -2,19 +2,24 @@
 //! scheduling full-system runs on the simsched worker pool.
 //!
 //! ```text
-//! repro [--exp <id>] [--quick] [--tsv] [--cores N] [--threads N]
+//! repro [--exp <id>] [--quick] [--tsv] [--cores N] [--l4] [--threads N]
 //!       [--artifacts DIR] [--checkpoints DIR] [--telemetry DIR] [--quiet]
 //!       [--serve ADDR [--port-file FILE]]
 //!       [--connect ADDR [--watch | --drain | --shutdown]]
 //!
 //!   --exp       table2 | table3 | table4 | fig4 | fig5 | fig6 | lru |
 //!               fig7 | fig8 | fig9 | fig10 | fig11 | restrict | orgs |
-//!               cmp | all (default: all)
+//!               cmp | dram | all (default: all; `dram` — the L4
+//!               resize-transient study — is opt-in only, never part of
+//!               `all`)
 //!   --quick     run at the reduced test scale instead of the full
 //!               reproduction scale
 //!   --cores     restrict the `cmp` experiment to one core count (1-8;
 //!               default: sweep 2, 4, and 8); other experiments are
 //!               unaffected
+//!   --l4        interpose the L4 DRAM-cache tier between every
+//!               organization and DRAM; without it the report is
+//!               byte-identical to builds that predate the tier
 //!   --tsv       machine-readable output for the figure experiments
 //!   --threads   worker threads for the run sweep (default:
 //!               $SIMSCHED_THREADS, else the machine's parallelism;
@@ -69,6 +74,7 @@ fn main() {
     let mut quick = false;
     let mut tsv = false;
     let mut cores: Option<u32> = None;
+    let mut l4 = false;
     let mut quiet = false;
     let mut threads = default_threads();
     let mut artifacts = std::env::var("SIMSCHED_DIR").ok();
@@ -100,6 +106,7 @@ fn main() {
                 }
                 cores = Some(n);
             }
+            "--l4" => l4 = true,
             "--quiet" => quiet = true,
             "--threads" => {
                 i += 1;
@@ -158,7 +165,7 @@ fn main() {
         return;
     }
     if let Some(addr) = connect {
-        connect_main(&addr, &exp, quick, tsv, cores, watch, drain, shutdown, quiet);
+        connect_main(&addr, &exp, quick, tsv, cores, l4, watch, drain, shutdown, quiet);
         return;
     }
     let cores_list: Vec<u32> = match cores {
@@ -180,11 +187,11 @@ fn main() {
         Ok("timed") => WarmupMode::Timed,
         _ => WarmupMode::FastForward,
     };
-    let mut sweep = Sweep::new(scale).with_threads(threads).with_warmup(warmup).with_observer(console_observer(
-        console.clone(),
-        Arc::clone(&counts),
-        telemetry.clone(),
-    ));
+    let mut sweep = Sweep::new(scale)
+        .with_threads(threads)
+        .with_warmup(warmup)
+        .with_l4(l4.then(experiments::L4Config::tdram))
+        .with_observer(console_observer(console.clone(), Arc::clone(&counts), telemetry.clone()));
     if let Some(tel) = &telemetry {
         sweep = sweep.with_telemetry(Arc::clone(tel));
     }
@@ -338,6 +345,7 @@ fn connect_main(
     quick: bool,
     tsv: bool,
     cores: Option<u32>,
+    l4: bool,
     watch: bool,
     drain: bool,
     shutdown: bool,
@@ -362,6 +370,7 @@ fn connect_main(
             tsv,
             cores: cores.map_or(0, u64::from),
             watch,
+            l4,
         };
         client
             .sweep_watch(&req, |e| {
@@ -399,8 +408,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|orgs|cmp|all] \
-         [--quick] [--tsv] [--cores N] [--threads N] [--artifacts DIR] [--checkpoints DIR] [--telemetry DIR] [--quiet] \
+        "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|orgs|cmp|dram|all] \
+         [--quick] [--tsv] [--cores N] [--l4] [--threads N] [--artifacts DIR] [--checkpoints DIR] [--telemetry DIR] [--quiet] \
          [--serve ADDR [--port-file FILE]] [--connect ADDR [--watch|--drain|--shutdown]]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -1,0 +1,73 @@
+//! Memory-tier energy with an L4 DRAM cache in the path (DESIGN.md §15).
+//!
+//! Without an L4, every lower-cache miss is one off-chip DRAM block
+//! transfer priced at [`CoreEnergyModel::per_memory_access`]
+//! (30 nJ). With an L4, the same request stream splits three ways:
+//!
+//! - **DRAM blocks** — fills, writebacks, and resize flushes that really
+//!   cross the channel, still 30 nJ each. An effective L4 shrinks this
+//!   count, which is where the tier's energy win comes from.
+//! - **L4 data-array accesses** — every request touches a DRAM-cache row
+//!   (hit or fill), far cheaper than the off-chip transfer.
+//! - **Tag probes** — SRAM tag-cache misses that burst the in-DRAM tag
+//!   store; narrow transfers, priced accordingly.
+//!
+//! The functions here take plain counters (no `memsys` dependency) so
+//! the pricing stays a pure table like [`crate::l2`] and [`crate::core`].
+//!
+//! [`CoreEnergyModel::per_memory_access`]: crate::core::CoreEnergyModel
+
+use simbase::EnergyNj;
+
+/// One off-chip DRAM block transfer — identical to
+/// [`crate::core::CoreEnergyModel::micro2003`]'s `per_memory_access`, so
+/// an L4 that filters nothing prices exactly like no L4 plus its own
+/// access overhead.
+pub const DRAM_BLOCK_NJ: f64 = 30.0;
+
+/// One L4 DRAM-cache data-array access (row activation + burst for a
+/// 128-B block; on-package DRAM, no off-chip I/O).
+pub const L4_ACCESS_NJ: f64 = 6.0;
+
+/// One in-DRAM tag-store probe (narrow 8-B burst on an SRAM tag-cache
+/// miss).
+pub const TAG_PROBE_NJ: f64 = 2.0;
+
+/// Prices the memory tier of a run: off-chip DRAM block transfers plus
+/// the L4's own data-array and tag-probe traffic. Drop-in replacement
+/// for [`crate::core::CoreEnergyModel::memory_energy`] when an L4 is
+/// attached; with the L4 detached the runner keeps using the plain
+/// per-access model and the two agree by construction
+/// ([`DRAM_BLOCK_NJ`] = `per_memory_access`).
+pub fn memory_energy(dram_blocks: u64, tag_probes: u64, l4_accesses: u64) -> EnergyNj {
+    EnergyNj::new(DRAM_BLOCK_NJ) * dram_blocks
+        + EnergyNj::new(TAG_PROBE_NJ) * tag_probes
+        + EnergyNj::new(L4_ACCESS_NJ) * l4_accesses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::CoreEnergyModel;
+
+    #[test]
+    fn dram_block_price_matches_the_no_l4_model() {
+        let m = CoreEnergyModel::micro2003();
+        assert_eq!(m.memory_energy(7).nj(), (EnergyNj::new(DRAM_BLOCK_NJ) * 7).nj());
+    }
+
+    #[test]
+    fn components_add_up() {
+        let e = memory_energy(2, 3, 5);
+        assert_eq!(e.nj(), 2.0 * DRAM_BLOCK_NJ + 3.0 * TAG_PROBE_NJ + 5.0 * L4_ACCESS_NJ);
+    }
+
+    #[test]
+    fn a_filtering_l4_beats_raw_dram() {
+        // 100 requests, 90% L4 hit rate: 10 DRAM blocks + 100 L4 accesses
+        // + a handful of tag probes must undercut 100 DRAM blocks.
+        let with_l4 = memory_energy(10, 20, 100);
+        let without = memory_energy(100, 0, 0);
+        assert!(with_l4.nj() < without.nj());
+    }
+}

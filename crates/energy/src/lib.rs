@@ -28,6 +28,7 @@
 
 pub mod core;
 pub mod l2;
+pub mod l4;
 
 use simbase::EnergyNj;
 

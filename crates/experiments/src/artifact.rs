@@ -16,9 +16,11 @@
 //! domain separation anyway) could never decode the wrong type.
 
 use crate::cmp::CmpRun;
-use crate::runner::AppRun;
+use crate::exps::DramRun;
+use crate::runner::{AppRun, TransientWindow};
 use cpu::CoreResult;
 use energy::EnergyTally;
+use memsys::dramcache::L4Stats;
 use memsys::org::OrgReport;
 use simbase::EnergyNj;
 use simsched::json::Json;
@@ -250,6 +252,90 @@ pub fn decode_cmp(j: &Json) -> Option<CmpRun> {
     })
 }
 
+fn encode_window(w: &TransientWindow) -> Json {
+    let s = &w.l4;
+    Json::obj(vec![
+        ("instructions", Json::U64(w.instructions)),
+        ("cycles", Json::U64(w.cycles)),
+        ("n_banks", Json::U64(u64::from(w.n_banks))),
+        ("accesses", Json::U64(s.accesses)),
+        ("hits", Json::U64(s.hits)),
+        ("misses", Json::U64(s.misses)),
+        ("fills", Json::U64(s.fills)),
+        ("dirty_fills", Json::U64(s.dirty_fills)),
+        ("writebacks", Json::U64(s.writebacks)),
+        ("tag_probes", Json::U64(s.tag_probes)),
+        ("tag_cache_hits", Json::U64(s.tag_cache_hits)),
+        ("resize_writebacks", Json::U64(s.resize_writebacks)),
+        ("resizes", Json::U64(s.resizes)),
+        ("memory_energy_bits", f64_bits(w.memory_energy.nj())),
+    ])
+}
+
+fn decode_window(j: &Json) -> Option<TransientWindow> {
+    let u = |k: &str| j.field(k)?.as_u64();
+    Some(TransientWindow {
+        instructions: u("instructions")?,
+        cycles: u("cycles")?,
+        n_banks: u32::try_from(u("n_banks")?).ok()?,
+        l4: L4Stats {
+            accesses: u("accesses")?,
+            hits: u("hits")?,
+            misses: u("misses")?,
+            fills: u("fills")?,
+            dirty_fills: u("dirty_fills")?,
+            writebacks: u("writebacks")?,
+            tag_probes: u("tag_probes")?,
+            tag_cache_hits: u("tag_cache_hits")?,
+            resize_writebacks: u("resize_writebacks")?,
+            resizes: u("resizes")?,
+        },
+        memory_energy: {
+            let nj = bits_f64(j.field("memory_energy_bits")?)?;
+            (nj.is_finite() && nj >= 0.0).then(|| EnergyNj::new(nj))?
+        },
+    })
+}
+
+/// Encodes a DRAM-transient run as a JSON object (the artifact
+/// payload). The `dram_app` field discriminates the family — neither
+/// [`decode`] (wants a top-level `"app"`) nor [`decode_cmp`] (wants
+/// `"cmp_cores"`) will touch this payload, and [`decode_dram`] requires
+/// `dram_app`, so the three codecs can never cross-decode. The
+/// whole-run [`AppRun`] nests under `"run"` using the plain codec.
+pub fn encode_dram(run: &DramRun) -> Json {
+    Json::obj(vec![
+        ("dram_app", Json::Str(run.run.name.to_string())),
+        ("run", encode(&run.run)),
+        (
+            "windows",
+            Json::Arr(run.windows.iter().map(encode_window).collect()),
+        ),
+    ])
+}
+
+/// Decodes a DRAM-transient run from an artifact payload. Returns
+/// `None` if any field is missing or ill-typed, the window list is
+/// empty, or the discriminator disagrees with the nested run's
+/// application (the caller then re-simulates).
+pub fn decode_dram(j: &Json) -> Option<DramRun> {
+    let name = j.field("dram_app")?.as_str()?;
+    let run = decode(j.field("run")?)?;
+    if run.name != name {
+        return None;
+    }
+    let windows = j
+        .field("windows")?
+        .as_arr()?
+        .iter()
+        .map(decode_window)
+        .collect::<Option<Vec<TransientWindow>>>()?;
+    if windows.is_empty() {
+        return None;
+    }
+    Some(DramRun { run, windows })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,5 +457,76 @@ mod tests {
             pairs.retain(|(k, _)| k != "bank_conflicts");
         }
         assert!(decode_cmp(&j).is_none());
+    }
+
+    fn dram_sample() -> DramRun {
+        let scale = Scale {
+            warmup: 10_000,
+            measure: 16_000,
+        };
+        let (run, windows) = crate::runner::run_app_transient(
+            by_name("galgel").unwrap(),
+            &crate::exps::dram_kind(scale),
+            scale,
+            crate::exps::DRAM_WINDOWS,
+            crate::runner::RunOptions::default(),
+        );
+        DramRun { run, windows }
+    }
+
+    #[test]
+    fn dram_encode_decode_survives_a_disk_roundtrip() {
+        let run = dram_sample();
+        let line = encode_dram(&run).render();
+        let parsed = simsched::json::parse(&line).expect("parses");
+        assert_eq!(decode_dram(&parsed).expect("decodes"), run);
+    }
+
+    #[test]
+    fn dram_codec_never_cross_decodes() {
+        let dram_run = dram_sample();
+        let j = encode_dram(&dram_run);
+        assert!(decode(&j).is_none(), "AppRun decoder rejects DramRun");
+        assert!(decode_cmp(&j).is_none(), "CMP decoder rejects DramRun");
+        assert!(decode_dram(&encode(&sample())).is_none(), "DramRun decoder rejects AppRun");
+        assert!(
+            decode_dram(&encode_cmp(&cmp_sample())).is_none(),
+            "DramRun decoder rejects CmpRun"
+        );
+    }
+
+    #[test]
+    fn corrupt_dram_payloads_decode_to_none() {
+        let run = dram_sample();
+        // Discriminator disagreeing with the nested run.
+        let mut j = encode_dram(&run);
+        if let Json::Obj(pairs) = &mut j {
+            pairs[0].1 = Json::Str("wupwise".into());
+        }
+        assert!(decode_dram(&j).is_none());
+        // Empty window list.
+        let mut j = encode_dram(&run);
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "windows" {
+                    *v = Json::Arr(vec![]);
+                }
+            }
+        }
+        assert!(decode_dram(&j).is_none());
+        // A window missing one stats field.
+        let mut j = encode_dram(&run);
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "windows" {
+                    if let Json::Arr(ws) = v {
+                        if let Json::Obj(w) = &mut ws[0] {
+                            w.retain(|(k, _)| k != "resize_writebacks");
+                        }
+                    }
+                }
+            }
+        }
+        assert!(decode_dram(&j).is_none());
     }
 }

@@ -10,10 +10,15 @@ use crate::artifact;
 use crate::checkpoint::CheckpointStore;
 use crate::cmp::CmpRun;
 use crate::report::{f2, pct, rel, TextTable};
-use crate::runner::{run_app_opts, run_digest, AppRun, L2Kind, RunOptions, Scale, WarmupMode};
+use crate::runner::{
+    run_app_opts, run_app_transient, run_digest, AppRun, L2Kind, RunOptions, Scale,
+    TransientWindow, WarmupMode,
+};
 use cachemodel::catalog::{self, DnucaGeometry, NuRapidGeometry};
+use memsys::dramcache::L4Config;
 use nuca::{CnucaConfig, SearchPolicy};
 use nurapid::{DistanceVictimPolicy, NuRapidConfig, PromotionPolicy};
+use simbase::digest::{Digest, Hasher128};
 use simbase::stats::GeoMean;
 use simbase::Capacity;
 use simsched::progress::{Event, EventKind, Observer, Outcome};
@@ -47,6 +52,8 @@ pub struct Sweep {
     threads: usize,
     store: RunStore<u128, AppRun>,
     cmp_store: RunStore<u128, CmpRun>,
+    dram_store: RunStore<u128, DramRun>,
+    l4: Option<L4Config>,
     artifacts: Option<ArtifactStore>,
     checkpoints: Option<Arc<CheckpointStore>>,
     warmup: WarmupMode,
@@ -71,6 +78,8 @@ impl Sweep {
             threads: 1,
             store: RunStore::new(),
             cmp_store: RunStore::new(),
+            dram_store: RunStore::new(),
+            l4: None,
             artifacts: None,
             checkpoints: None,
             warmup: WarmupMode::default(),
@@ -114,6 +123,28 @@ impl Sweep {
     /// The attached checkpoint store, if any (for hit/miss reporting).
     pub fn checkpoints(&self) -> Option<&CheckpointStore> {
         self.checkpoints.as_deref()
+    }
+
+    /// Attaches an L4 DRAM-cache tier (the `--l4` knob, DESIGN.md §15):
+    /// every keyed run — [`Sweep::run`] and [`Sweep::run_cmp`] — wraps
+    /// its organization in [`L2Kind::L4`] with this configuration. The
+    /// wrapped configuration digests differently, so L4 runs can never
+    /// alias their unwrapped twins in the store or on disk; with `None`
+    /// (the default) every byte of every report is identical to a build
+    /// without this method.
+    #[must_use]
+    pub fn with_l4(mut self, l4: Option<L4Config>) -> Self {
+        self.l4 = l4;
+        self
+    }
+
+    /// Wraps a keyed organization in the sweep-wide L4 tier, when one is
+    /// configured.
+    fn wrap_l4(&self, kind: L2Kind) -> L2Kind {
+        match &self.l4 {
+            Some(cfg) => L2Kind::L4(Box::new(kind), cfg.clone()),
+            None => kind,
+        }
     }
 
     /// Selects the warm-up mode (default: functional fast-forward).
@@ -166,7 +197,7 @@ impl Sweep {
     /// Runs (or returns the stored run of) `app` on the configuration
     /// named `key`.
     pub fn run(&self, app: BenchProfile, key: &'static str) -> Arc<AppRun> {
-        self.run_kind(app, key, &kind_of(key))
+        self.run_kind(app, key, &self.wrap_l4(kind_of(key)))
     }
 
     /// Runs `app` on an explicit organization. `label` is only for
@@ -247,7 +278,7 @@ impl Sweep {
     /// the `simulated`/`resumed` counters are shared, so status lines and
     /// the CI resume proof account for both families.
     pub fn run_cmp(&self, cores: u32, key: &'static str) -> Arc<CmpRun> {
-        let kind = kind_of(key);
+        let kind = self.wrap_l4(kind_of(key));
         let cfg = ::cmp::CmpConfig::micro2003(cores);
         let apps = crate::cmp::cmp_profiles(cores);
         let digest = crate::cmp::cmp_run_digest(&cfg, &apps, &kind, self.scale);
@@ -335,6 +366,67 @@ impl Sweep {
         pool::run_jobs(self.threads, thunks);
     }
 
+    /// Runs (or returns the stored run of) the `dram` resize-transient
+    /// scenario for `app`: [`dram_kind`] (NuRAPID + L4 with the shrink-
+    /// then-grow schedule) through [`run_app_transient`] with
+    /// [`DRAM_WINDOWS`] windows. Transient runs live in their own
+    /// digest-keyed single-flight store with the same artifact-resume
+    /// and checkpoint behavior as [`Sweep::run`].
+    pub fn run_dram(&self, app: BenchProfile) -> Arc<DramRun> {
+        let kind = dram_kind(self.scale);
+        let digest = dram_digest(&app, &kind, self.scale, DRAM_WINDOWS);
+        let event_label = format!("dram/{}", app.name);
+        self.emit(&event_label, EventKind::Started);
+        let t0 = Instant::now();
+
+        let mut outcome = None;
+        let run = self.dram_store.get_or_compute(digest.raw(), || {
+            if let Some(store) = &self.artifacts {
+                if let Some(run) =
+                    store.lookup(&digest.hex()).as_ref().and_then(artifact::decode_dram)
+                {
+                    self.resumed.fetch_add(1, Ordering::Relaxed);
+                    outcome = Some(Outcome::Resumed);
+                    return run;
+                }
+            }
+            let opts = RunOptions {
+                mode: self.warmup,
+                checkpoints: self.checkpoints.as_deref(),
+                wall: self.telemetry.as_deref(),
+            };
+            let (run, windows) = run_app_transient(app, &kind, self.scale, DRAM_WINDOWS, opts);
+            let run = DramRun { run, windows };
+            self.simulated.fetch_add(1, Ordering::Relaxed);
+            if let Some(store) = &self.artifacts {
+                let _ = store.append(&digest.hex(), artifact::encode_dram(&run));
+            }
+            outcome = Some(Outcome::Simulated);
+            run
+        });
+
+        self.emit(
+            &event_label,
+            EventKind::Finished {
+                outcome: outcome.unwrap_or(Outcome::Shared),
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            },
+        );
+        run
+    }
+
+    /// Executes the `dram` transient scenario for every application in
+    /// the sweep on the worker pool (called by [`dram`] itself, like the
+    /// CMP table prefetches its own jobs).
+    pub fn prefetch_dram(&self) {
+        for app in &self.apps {
+            self.emit(&format!("dram/{}", app.name), EventKind::Queued);
+        }
+        let jobs: Vec<_> =
+            self.apps.iter().map(|&app| move || drop(self.run_dram(app))).collect();
+        pool::run_jobs(self.threads, jobs);
+    }
+
     /// Executes the given (application, configuration-key) jobs on the
     /// sweep's worker pool, populating the run store. Figure functions
     /// called afterwards hit the warm store. Duplicate pairs — and pairs
@@ -360,10 +452,10 @@ impl Sweep {
         self.prefetch(&pairs);
     }
 
-    /// Number of distinct completed runs across both stores (single-core
-    /// and CMP; simulated plus resumed from artifacts).
+    /// Number of distinct completed runs across all stores (single-core,
+    /// CMP, and DRAM transient; simulated plus resumed from artifacts).
     pub fn runs(&self) -> usize {
-        self.store.completed() + self.cmp_store.completed()
+        self.store.completed() + self.cmp_store.completed() + self.dram_store.completed()
     }
 
     /// Number of runs actually simulated by this sweep.
@@ -1305,6 +1397,198 @@ impl OrgFigure {
     }
 }
 
+// ---------------------------------------------------------------------------
+// DRAM-cache resize transients (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// Number of equal measurement windows in the `dram` transient study.
+/// Eight divides the resize op-indices exactly: the shrink lands on the
+/// boundary between windows 2 and 3, the grow between windows 5 and 6,
+/// so each transient is isolated in the first window of its regime.
+pub const DRAM_WINDOWS: usize = 8;
+
+/// First window of the shrunk (4-bank) regime.
+pub const DRAM_SHRINK_WINDOW: usize = 3;
+
+/// First window of the grown (12-bank) regime.
+pub const DRAM_GROW_WINDOW: usize = 6;
+
+/// The `dram` scenario configuration: a capacity-constrained NuRAPID
+/// L2 backed by a TDRAM-style L4 that shrinks from 8 to 4 banks
+/// three-eighths of the way through measurement, then grows to 12
+/// banks at the six-eighths mark. Both resize op-indices fall on
+/// [`DRAM_WINDOWS`] window boundaries by construction.
+///
+/// The L2 is 2 MB here, not the paper's 8 MB: the SPEC-2000 hot
+/// footprints (0.5–5 MB) fit entirely inside an 8-MB L2, so its miss
+/// stream is purely compulsory and a victim tier below it can never
+/// hit, at any capacity. At 2 MB the larger hot sets overflow and the
+/// folded hot-set layout conflicts, so the miss stream carries reuse —
+/// which is what makes the L4's hit rate, its resize writebacks, and
+/// the orphaned-block transient after each remap visible.
+pub fn dram_kind(scale: Scale) -> L2Kind {
+    let at = |w: usize| scale.measure * w as u64 / DRAM_WINDOWS as u64;
+    let resizes = vec![(at(DRAM_SHRINK_WINDOW), 4), (at(DRAM_GROW_WINDOW), 12)];
+    let mut inner = NuRapidConfig::micro2003(4);
+    inner.capacity = Capacity::from_mib(2);
+    L2Kind::L4(
+        Box::new(L2Kind::NuRapid(inner)),
+        L4Config::tdram().with_resizes(resizes),
+    )
+}
+
+/// Digest keying a windowed transient run: the plain [`run_digest`]
+/// (profile, configuration incl. resize schedule, scale, trace seed)
+/// under a distinct domain tag, plus the window count — the same job
+/// sliced into a different number of windows is a different artifact.
+pub fn dram_digest(
+    profile: &BenchProfile,
+    kind: &L2Kind,
+    scale: Scale,
+    n_windows: usize,
+) -> Digest {
+    let mut h = Hasher128::new();
+    h.write_str("nurapid-dram-v1");
+    let raw = run_digest(profile, kind, scale).raw();
+    h.write_u64((raw >> 64) as u64);
+    h.write_u64(raw as u64);
+    h.write_u64(n_windows as u64);
+    h.digest()
+}
+
+/// One application's `dram` transient run: the whole-measurement
+/// [`AppRun`] plus its per-window slices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramRun {
+    /// The run's whole-measurement result (same shape as a keyed run).
+    pub run: AppRun,
+    /// [`DRAM_WINDOWS`] equal slices of the measured phase.
+    pub windows: Vec<TransientWindow>,
+}
+
+/// The `dram` experiment: per-window IPC, L4 behavior, and memory
+/// energy across the 8 → 4 → 12-bank resize schedule of [`dram_kind`].
+#[derive(Debug, Clone)]
+pub struct DramStudy {
+    /// `(name, per-window transients)` rows.
+    pub rows: Vec<(&'static str, Vec<TransientWindow>)>,
+}
+
+/// Regenerates the resize-transient study. Prefetches its own jobs on
+/// the sweep's worker pool (like the CMP table), so figure callers get
+/// `--threads` parallelism without a prewarm entry.
+pub fn dram(sweep: &Sweep) -> DramStudy {
+    sweep.prefetch_dram();
+    let rows = sweep
+        .apps()
+        .iter()
+        .map(|&p| (p.name, sweep.run_dram(p).windows.clone()))
+        .collect();
+    DramStudy { rows }
+}
+
+impl DramStudy {
+    /// Geometric-mean IPC of window `w` across applications.
+    pub fn avg_ipc(&self, w: usize) -> f64 {
+        geomean(self.rows.iter().map(|(_, ws)| ws[w].ipc()))
+    }
+
+    /// Mean L4 hit rate of window `w` across applications.
+    pub fn avg_hit_rate(&self, w: usize) -> f64 {
+        let sum: f64 = self
+            .rows
+            .iter()
+            .map(|(_, ws)| ws[w].l4.hits as f64 / ws[w].l4.accesses.max(1) as f64)
+            .sum();
+        sum / self.rows.len() as f64
+    }
+
+    /// Mean memory nJ per kilo-instruction of window `w`.
+    pub fn avg_energy_per_ki(&self, w: usize) -> f64 {
+        let sum: f64 = self
+            .rows
+            .iter()
+            .map(|(_, ws)| ws[w].memory_energy.nj() * 1000.0 / ws[w].instructions as f64)
+            .sum();
+        sum / self.rows.len() as f64
+    }
+
+    /// IPC of the shrink-transient window relative to the steady window
+    /// before it (< 1 when the shrink costs performance).
+    pub fn shrink_dip(&self) -> f64 {
+        self.avg_ipc(DRAM_SHRINK_WINDOW) / self.avg_ipc(DRAM_SHRINK_WINDOW - 1)
+    }
+
+    /// IPC of the grow-transient window relative to the steady window
+    /// before it.
+    pub fn grow_dip(&self) -> f64 {
+        self.avg_ipc(DRAM_GROW_WINDOW) / self.avg_ipc(DRAM_GROW_WINDOW - 1)
+    }
+
+    /// IPC of the final window relative to the pre-shrink steady state —
+    /// how fully the tier recovers once the grown cache re-warms.
+    pub fn recovery(&self) -> f64 {
+        self.avg_ipc(DRAM_WINDOWS - 1) / self.avg_ipc(DRAM_SHRINK_WINDOW - 1)
+    }
+
+    /// Renders the study.
+    pub fn render(&self) -> String {
+        let n = DRAM_WINDOWS;
+        let mut header = vec!["App".to_string()];
+        for w in 0..n {
+            header.push(format!("w{w} IPC"));
+        }
+        header.push("L4 hit% w7".to_string());
+        header.push("rsz-wb".to_string());
+        header.push("nJ/KI w2/w3/w7".to_string());
+        let mut t = TextTable::new(header);
+        let per_ki =
+            |w: &TransientWindow| w.memory_energy.nj() * 1000.0 / w.instructions as f64;
+        for (name, ws) in &self.rows {
+            let mut row = vec![name.to_string()];
+            for w in ws {
+                row.push(f2(w.ipc()));
+            }
+            let last = &ws[n - 1];
+            row.push(pct(last.l4.hits as f64 / last.l4.accesses.max(1) as f64));
+            let rsz_wb: u64 = ws.iter().map(|w| w.l4.resize_writebacks).sum();
+            row.push(rsz_wb.to_string());
+            row.push(format!(
+                "{}/{}/{}",
+                f2(per_ki(&ws[DRAM_SHRINK_WINDOW - 1])),
+                f2(per_ki(&ws[DRAM_SHRINK_WINDOW])),
+                f2(per_ki(&ws[n - 1])),
+            ));
+            t.row(row);
+        }
+        let mut avg = vec!["AVERAGE".to_string()];
+        for w in 0..n {
+            avg.push(f2(self.avg_ipc(w)));
+        }
+        avg.push(pct(self.avg_hit_rate(n - 1)));
+        avg.push("-".to_string());
+        avg.push(format!(
+            "{}/{}/{}",
+            f2(self.avg_energy_per_ki(DRAM_SHRINK_WINDOW - 1)),
+            f2(self.avg_energy_per_ki(DRAM_SHRINK_WINDOW)),
+            f2(self.avg_energy_per_ki(n - 1)),
+        ));
+        t.row(avg);
+        format!(
+            "L4 DRAM-cache resize transients: 8 -> 4 banks at w{}, 4 -> 12 at w{}\n{}\
+             shrink-window IPC vs prior window: {}\n\
+             grow-window IPC vs prior window: {}\n\
+             final-window IPC vs pre-shrink: {}\n",
+            DRAM_SHRINK_WINDOW,
+            DRAM_GROW_WINDOW,
+            t.render(),
+            rel(self.shrink_dip()),
+            rel(self.grow_dip()),
+            rel(self.recovery()),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1578,5 +1862,88 @@ mod tests {
         assert_eq!(t.rows.len(), 2);
         assert!(t.rows.iter().all(|r| r.2 > 0.0));
         assert!(t.render().contains("galgel"));
+    }
+
+    #[test]
+    fn dram_windows_track_the_resize_schedule() {
+        let s = tiny_sweep();
+        let d = dram(&s);
+        assert_eq!(d.rows.len(), 2);
+        assert_eq!(s.runs(), 2, "transient runs live in the dram store");
+        for (name, ws) in &d.rows {
+            assert_eq!(ws.len(), DRAM_WINDOWS, "{name}");
+            let banks: Vec<u32> = ws.iter().map(|w| w.n_banks).collect();
+            assert_eq!(banks, vec![8, 8, 8, 4, 4, 4, 12, 12], "{name}");
+            // Each resize lands exactly in the first window of its regime.
+            let resizes: Vec<u64> = ws.iter().map(|w| w.l4.resizes).collect();
+            assert_eq!(resizes, vec![0, 0, 0, 1, 0, 0, 1, 0], "{name}");
+            let instructions: u64 = ws.iter().map(|w| w.instructions).sum();
+            assert_eq!(instructions, 60_000, "{name}: windows tile the measured phase");
+        }
+        // The shrink transient costs memory energy: retired banks flush
+        // their dirty blocks and the survivors re-fill the lost capacity.
+        assert!(
+            d.avg_energy_per_ki(DRAM_SHRINK_WINDOW)
+                > d.avg_energy_per_ki(DRAM_SHRINK_WINDOW - 1),
+            "shrink window {} nJ/KI vs steady {}",
+            d.avg_energy_per_ki(DRAM_SHRINK_WINDOW),
+            d.avg_energy_per_ki(DRAM_SHRINK_WINDOW - 1)
+        );
+        let r = d.render();
+        assert!(r.contains("AVERAGE") && r.contains("8 -> 4"));
+    }
+
+    #[test]
+    fn dram_runs_are_bit_identical_across_threads_and_checkpoint_stores() {
+        let serial = tiny_sweep();
+        let apps = serial.apps().to_vec();
+        let baseline: Vec<_> = apps.iter().map(|&p| serial.run_dram(p)).collect();
+        for threads in [2, 8] {
+            let s = tiny_sweep().with_threads(threads);
+            s.prefetch_dram();
+            for (&p, b) in apps.iter().zip(&baseline) {
+                assert_eq!(*s.run_dram(p), **b, "threads={threads}");
+            }
+        }
+        let dir = std::env::temp_dir()
+            .join(format!("simchk-exps-dram-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for pass in ["cold", "warm"] {
+            let s = tiny_sweep().with_checkpoints(&dir).expect("open checkpoint store");
+            for (&p, b) in apps.iter().zip(&baseline) {
+                assert_eq!(*s.run_dram(p), **b, "{pass} checkpoint store");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dram_runs_resume_from_artifacts() {
+        let dir = std::env::temp_dir()
+            .join(format!("simart-exps-dram-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let app = by_name("galgel").unwrap();
+        let first = tiny_sweep().with_artifacts(&dir).expect("open artifacts");
+        let a = first.run_dram(app);
+        assert_eq!((first.simulated(), first.resumed()), (1, 0));
+        let second = tiny_sweep().with_artifacts(&dir).expect("reopen artifacts");
+        let b = second.run_dram(app);
+        assert_eq!((second.simulated(), second.resumed()), (0, 1));
+        assert_eq!(*a, *b, "artifact resume must be bit-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn with_l4_wraps_keyed_runs_but_not_explicit_kinds() {
+        let app = by_name("galgel").unwrap();
+        let plain = tiny_sweep();
+        let wrapped = tiny_sweep().with_l4(Some(L4Config::tdram()));
+        let p = plain.run(app, "nf4");
+        let w = wrapped.run(app, "nf4");
+        assert_ne!(*p, *w, "an attached L4 must change the run");
+        // An explicit kind is taken verbatim — no silent re-wrapping, so
+        // `run_dram`'s already-L4 configuration cannot be double-wrapped.
+        let e = wrapped.run_kind(app, "nf4", &kind_of("nf4"));
+        assert_eq!(*p, *e, "explicit kinds bypass the sweep's L4");
     }
 }

@@ -56,6 +56,12 @@ pub fn resolve_ids(exp: &str) -> Option<Vec<&'static str>> {
     if exp == "all" {
         return Some(EXPERIMENTS.iter().map(|&(id, _)| id).collect());
     }
+    // `dram` is opt-in only: not part of `all` (which pins the L4-free
+    // golden report), but a valid explicit selector. It prewarms nothing
+    // here — `exps::dram` prefetches its own transient jobs.
+    if exp == "dram" {
+        return Some(vec!["dram"]);
+    }
     EXPERIMENTS.iter().find(|&&(id, _)| id == exp).map(|&(id, _)| vec![id])
 }
 
@@ -129,6 +135,7 @@ pub fn render_experiment(id: &str, sweep: &Sweep) -> Option<String> {
         "restrict" => exps::restriction_ablation(sweep).render(),
         "orgs" => exps::orgs(sweep).render(),
         "cmp" => crate::cmp::cmp_table(sweep, crate::cmp::CMP_CORES).render(),
+        "dram" => exps::dram(sweep).render(),
         _ => return None,
     })
 }

@@ -16,6 +16,7 @@ use cpu::uop::TraceSource;
 use cpu::{CoreParams, CoreResult, OooCore};
 use energy::core::CoreEnergyModel;
 use energy::EnergyTally;
+use memsys::dramcache::{L4Config, L4DramCache, L4Stats};
 use memsys::hierarchy::BaseHierarchy;
 use memsys::l1::CoreMemSystem;
 use memsys::org::{OrgReport, Organization};
@@ -47,6 +48,9 @@ pub enum L2Kind {
     Dnuca(SearchPolicy),
     /// Compressed NUCA with the given configuration.
     Cnuca(CnucaConfig),
+    /// Any of the above with an L4 DRAM-cache tier attached to its main
+    /// memory (`--l4`; DESIGN.md §15).
+    L4(Box<L2Kind>, L4Config),
 }
 
 /// Instruction budget for a run.
@@ -129,6 +133,24 @@ impl L2Kind {
             L2Kind::Coupled(n) => Box::new(CoupledCache::micro2003(*n)),
             L2Kind::Dnuca(policy) => Box::new(DnucaCache::new(DnucaConfig::micro2003(*policy))),
             L2Kind::Cnuca(cfg) => Box::new(CompressedNucaCache::new(*cfg)),
+            L2Kind::L4(inner, cfg) => {
+                let mut org = inner.build();
+                org.main_memory_mut()
+                    .expect("the L4 tier needs a DRAM-backed organization")
+                    .attach_l4(L4DramCache::new(cfg.clone()));
+                org
+            }
+        }
+    }
+
+    /// The measured-phase resize schedule of the L4 tier (empty for
+    /// every other kind). Applied by the measured loop at the scheduled
+    /// op indices; part of [`run_digest`] but never [`warmup_digest`]
+    /// (resizes happen strictly after the warm-up barrier).
+    pub fn resize_schedule(&self) -> &[(u64, u32)] {
+        match self {
+            L2Kind::L4(_, cfg) => &cfg.resizes,
+            _ => &[],
         }
     }
 
@@ -178,6 +200,26 @@ impl L2Kind {
                 h.write_u64(c.n_positions as u64);
                 h.write_u64(c.comp_seed);
                 h.write_u64(c.decomp_cycles);
+            }
+            L2Kind::L4(inner, c) => {
+                h.write_u8(5);
+                inner.digest_into(h);
+                h.write_u32(c.n_banks);
+                h.write_u64(c.bank_blocks);
+                h.write_u32(c.assoc);
+                h.write_u32(c.vnodes_per_bank);
+                h.write_u64(c.hash_seed);
+                h.write_u64(c.block_bytes);
+                h.write_u64(c.tag_sram_latency);
+                h.write_u64(c.tag_probe_latency);
+                h.write_u64(c.base_latency);
+                h.write_u64(c.cycles_per_8b);
+                h.write_u32(c.tag_cache_entries);
+                h.write_u64(c.resizes.len() as u64);
+                for &(at, target) in &c.resizes {
+                    h.write_u64(at);
+                    h.write_u32(target);
+                }
             }
         }
     }
@@ -284,6 +326,21 @@ pub(crate) fn digest_kind_architectural(h: &mut Hasher128, kind: &L2Kind) {
             // transition.
             h.write_u64(c.comp_seed);
         }
+        L2Kind::L4(inner, c) => {
+            h.write_u8(5);
+            digest_kind_architectural(h, inner);
+            // Geometry and hashing shape the warm resident set; the
+            // latency knobs, the SRAM tag-cache size (timing-only), and
+            // the resize schedule (measured-phase-only by construction)
+            // are deliberately excluded so their variants share one
+            // checkpoint.
+            h.write_u32(c.n_banks);
+            h.write_u64(c.bank_blocks);
+            h.write_u32(c.assoc);
+            h.write_u32(c.vnodes_per_bank);
+            h.write_u64(c.hash_seed);
+            h.write_u64(c.block_bytes);
+        }
     }
 }
 
@@ -364,9 +421,19 @@ pub fn run_app_opts(
     opts: RunOptions<'_>,
 ) -> AppRun {
     let chk = warmup_digest(&profile, kind, scale);
-    let (core, mem) = drive(profile, kind.build(), scale, sink, snap_every, chk, opts);
+    let (core, mem) = drive(
+        profile,
+        kind.build(),
+        scale,
+        sink,
+        snap_every,
+        chk,
+        opts,
+        kind.resize_schedule(),
+    );
     let report = mem.lower().report();
-    finish_run(profile.name, core, mem.l1_accesses(), report)
+    let l4 = mem.lower().main_memory().and_then(|m| m.l4_stats());
+    finish_run(profile.name, core, mem.l1_accesses(), report, l4)
 }
 
 /// Runs the warm-up instructions on `core` in the requested mode.
@@ -382,11 +449,12 @@ fn warm_up(
     }
 }
 
-/// Runs the trace through the core: prefill, warm-up (optionally
-/// restored from a checkpoint), the drain barrier, and the measured
-/// phase. Dispatches through the [`Organization`] trait only — this
-/// function is identical for every plugin.
-fn drive(
+/// Runs prefill, warm-up (optionally restored from a checkpoint), and
+/// the drain barrier, returning a core parked at measured-phase cycle
+/// zero plus the trace generator positioned at the first measured op.
+/// Shared by [`drive`] and [`run_app_transient`], so the windowed
+/// transient runs cross the identical barrier as everything else.
+fn prepare(
     profile: BenchProfile,
     mut lower: Box<dyn Organization>,
     scale: Scale,
@@ -394,7 +462,7 @@ fn drive(
     snap_every: u64,
     chk_digest: Digest,
     opts: RunOptions<'_>,
-) -> (CoreResult, CoreMemSystem<Box<dyn Organization>>) {
+) -> (OooCore<Box<dyn Organization>>, TraceGenerator) {
     let mut gen = TraceGenerator::new(profile, TRACE_SEED);
     lower.prefill();
     let mem = CoreMemSystem::micro2003(lower);
@@ -464,29 +532,173 @@ fn drive(
     let mut core = OooCore::new(CoreParams::micro2003(), mem);
     core.set_predictor(pred);
     core.set_telemetry(sink.clone(), snap_every);
+    (core, gen)
+}
+
+/// Applies every resize scheduled at op index `i`, advancing the cursor.
+#[inline]
+fn apply_resizes(
+    core: &mut OooCore<Box<dyn Organization>>,
+    resizes: &[(u64, u32)],
+    next: &mut usize,
+    i: u64,
+) {
+    while *next < resizes.len() && resizes[*next].0 == i {
+        let target = resizes[*next].1;
+        let now = simbase::Cycle::new(core.cycles());
+        core.mem_mut()
+            .lower_mut()
+            .main_memory_mut()
+            .expect("a resize schedule needs a DRAM-backed organization")
+            .resize_l4(target, now);
+        *next += 1;
+    }
+}
+
+/// Runs the trace through the core: [`prepare`], then the measured
+/// phase, applying any L4 resize schedule at its op indices. Dispatches
+/// through the [`Organization`] trait only — this function is identical
+/// for every plugin.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    profile: BenchProfile,
+    lower: Box<dyn Organization>,
+    scale: Scale,
+    sink: &TelemetrySink,
+    snap_every: u64,
+    chk_digest: Digest,
+    opts: RunOptions<'_>,
+    resizes: &[(u64, u32)],
+) -> (CoreResult, CoreMemSystem<Box<dyn Organization>>) {
+    let wall = opts.wall;
+    let (mut core, mut gen) = prepare(profile, lower, scale, sink, snap_every, chk_digest, opts);
 
     // Phase 2 — the measured run.
     let t_measure = Instant::now();
-    for _ in 0..scale.measure {
+    let mut next_resize = 0usize;
+    for i in 0..scale.measure {
+        apply_resizes(&mut core, resizes, &mut next_resize, i);
         let op = gen.next_op();
         core.execute(op);
     }
-    if let Some(w) = opts.wall {
+    if let Some(w) = wall {
         w.wall_span("measure", profile.name, t_measure.elapsed().as_nanos() as u64);
     }
     let result = core.finish();
     (result, core.into_mem())
 }
 
+/// One window of a resize-transient run: the measured phase is split
+/// into equal instruction windows and the per-window rates expose the
+/// IPC/energy dip at each resize event and the recovery after it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientWindow {
+    /// Instructions committed in this window.
+    pub instructions: u64,
+    /// Cycles elapsed in this window.
+    pub cycles: u64,
+    /// L4 event deltas over this window.
+    pub l4: L4Stats,
+    /// Live L4 bank count at the end of the window.
+    pub n_banks: u32,
+    /// Memory-tier (L4 + DRAM) energy of this window.
+    pub memory_energy: EnergyNj,
+}
+
+impl TransientWindow {
+    /// Window IPC.
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// Runs `profile` on `kind` like [`run_app_opts`], but slices the
+/// measured phase into `n_windows` equal instruction windows and
+/// records per-window IPC, L4 traffic, bank count, and memory energy —
+/// the `dram` experiment's resize-transient data. The access stream,
+/// resize application, and final [`AppRun`] are bit-identical to an
+/// unwindowed run of the same configuration (windowing only samples
+/// counters between instructions).
+pub fn run_app_transient(
+    profile: BenchProfile,
+    kind: &L2Kind,
+    scale: Scale,
+    n_windows: usize,
+    opts: RunOptions<'_>,
+) -> (AppRun, Vec<TransientWindow>) {
+    assert!(n_windows > 0, "a transient run needs at least one window");
+    let chk = warmup_digest(&profile, kind, scale);
+    let sink = TelemetrySink::disabled();
+    let (mut core, mut gen) = prepare(profile, kind.build(), scale, &sink, 0, chk, opts);
+    let resizes = kind.resize_schedule();
+
+    let mut windows = Vec::with_capacity(n_windows);
+    let mut next_resize = 0usize;
+    let mut done = 0u64;
+    let mut window_start = 0u64;
+    let mut prev_cycles = 0u64;
+    let mut prev_l4 = L4Stats::default();
+    let mut prev_mem = 0u64;
+    let energy_model = CoreEnergyModel::micro2003();
+    for w in 0..n_windows {
+        let end = scale.measure * (w as u64 + 1) / n_windows as u64;
+        while done < end {
+            apply_resizes(&mut core, resizes, &mut next_resize, done);
+            let op = gen.next_op();
+            core.execute(op);
+            done += 1;
+        }
+        let main = core.mem().lower().main_memory();
+        let l4_now = main.and_then(|m| m.l4_stats());
+        let mem_now = main.map_or(0, |m| m.accesses());
+        let wl4 = l4_now.unwrap_or_default().minus(&prev_l4);
+        let memory_energy = match l4_now {
+            Some(_) => energy::l4::memory_energy(wl4.dram_blocks(), wl4.tag_probes, wl4.accesses),
+            None => energy_model.memory_energy(mem_now - prev_mem),
+        };
+        windows.push(TransientWindow {
+            instructions: end - window_start,
+            cycles: core.cycles() - prev_cycles,
+            l4: wl4,
+            n_banks: main.and_then(|m| m.l4()).map_or(0, |l| l.n_banks()),
+            memory_energy,
+        });
+        window_start = end;
+        prev_cycles = core.cycles();
+        prev_l4 = l4_now.unwrap_or_default();
+        prev_mem = mem_now;
+    }
+    let result = core.finish();
+    let mem = core.into_mem();
+    let report = mem.lower().report();
+    let l4 = mem.lower().main_memory().and_then(|m| m.l4_stats());
+    let run = finish_run(profile.name, result, mem.l1_accesses(), report, l4);
+    (run, windows)
+}
+
 /// Prices the full-system energy tally and assembles the [`AppRun`] from
-/// the organization's common [`OrgReport`].
-fn finish_run(name: &'static str, core: CoreResult, l1_accesses: u64, r: OrgReport) -> AppRun {
+/// the organization's common [`OrgReport`]. With an L4 attached, the
+/// memory tier is priced by [`energy::l4::memory_energy`] — only the
+/// traffic that really crossed the DRAM channel costs the off-chip rate,
+/// plus the L4's own access and tag-probe energy; without one, every
+/// lower-cache miss is a full off-chip transfer, exactly as before.
+fn finish_run(
+    name: &'static str,
+    core: CoreResult,
+    l1_accesses: u64,
+    r: OrgReport,
+    l4: Option<L4Stats>,
+) -> AppRun {
     let m = CoreEnergyModel::micro2003();
+    let memory = match l4 {
+        Some(s) => energy::l4::memory_energy(s.dram_blocks(), s.tag_probes, s.accesses),
+        None => m.memory_energy(r.memory_accesses),
+    };
     let energy = EnergyTally {
         core: m.core_energy(&core),
         l1: m.l1_energy(l1_accesses),
         l2: r.l2_energy,
-        memory: m.memory_energy(r.memory_accesses),
+        memory,
     };
     AppRun {
         name,
@@ -888,5 +1100,79 @@ mod tests {
                 assert_ne!(knobs[i], knobs[j], "knobs {i} and {j} collide");
             }
         }
+    }
+
+    #[test]
+    fn l4_digests_separate_the_tier_and_share_timing_knobs() {
+        let app = by_name("galgel").unwrap();
+        let inner = L2Kind::NuRapid(NuRapidConfig::micro2003(4));
+        let l4 = |c: L4Config| L2Kind::L4(Box::new(inner.clone()), c);
+        let base = l4(L4Config::tdram());
+
+        // Attaching an L4 is a different run and different warm state.
+        assert_ne!(run_digest(&app, &inner, tiny()), run_digest(&app, &base, tiny()));
+        assert_ne!(
+            warmup_digest(&app, &inner, tiny()),
+            warmup_digest(&app, &base, tiny())
+        );
+
+        // Geometry is architectural: it splits the warm-up digest.
+        let mut small = L4Config::tdram();
+        small.n_banks = 4;
+        assert_ne!(
+            warmup_digest(&app, &base, tiny()),
+            warmup_digest(&app, &l4(small), tiny())
+        );
+
+        // Latency and tag-cache sizing are timing-only: their variants
+        // share the warm checkpoint but stay distinct runs.
+        let mut slow = L4Config::tdram();
+        slow.base_latency += 20;
+        slow.tag_cache_entries = 256;
+        assert_eq!(
+            warmup_digest(&app, &base, tiny()),
+            warmup_digest(&app, &l4(slow.clone()), tiny())
+        );
+        assert_ne!(run_digest(&app, &base, tiny()), run_digest(&app, &l4(slow), tiny()));
+
+        // The resize schedule applies to the measured phase only: it
+        // enters the run digest but never the warm-up digest.
+        let resized = l4(L4Config::tdram().with_resizes(vec![(1_000, 4)]));
+        assert_eq!(
+            warmup_digest(&app, &base, tiny()),
+            warmup_digest(&app, &resized, tiny())
+        );
+        assert_ne!(run_digest(&app, &base, tiny()), run_digest(&app, &resized, tiny()));
+    }
+
+    #[test]
+    fn l4_checkpointed_runs_are_bit_identical_cold_and_warm() {
+        let app = by_name("parser").unwrap();
+        let inner = L2Kind::NuRapid(NuRapidConfig::micro2003(4));
+        let kind = L2Kind::L4(
+            Box::new(inner.clone()),
+            L4Config::tdram().with_resizes(vec![(tiny().measure / 2, 4)]),
+        );
+        let sink = TelemetrySink::disabled();
+        let direct = run_app_opts(app, &kind, tiny(), &sink, 0, RunOptions::default());
+
+        let (dir, store) = temp_store("l4-cold-warm");
+        let opts = RunOptions {
+            checkpoints: Some(&store),
+            ..Default::default()
+        };
+        let cold = run_app_opts(app, &kind, tiny(), &sink, 0, opts);
+        let warm = run_app_opts(app, &kind, tiny(), &sink, 0, opts);
+        assert_eq!((store.misses(), store.hits()), (1, 1));
+        assert_eq!(direct, cold, "cold store changed the result");
+        assert_eq!(cold, warm, "warm store changed the result");
+
+        // The L4-enabled blob never serves the L4-free twin: the inner
+        // organization builds (and reuses) its own checkpoint.
+        let plain_direct = run_app_opts(app, &inner, tiny(), &sink, 0, RunOptions::default());
+        let plain = run_app_opts(app, &inner, tiny(), &sink, 0, opts);
+        assert_eq!((store.misses(), store.hits()), (2, 1));
+        assert_eq!(plain_direct, plain, "L4-free twin changed under the shared store");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -212,6 +212,7 @@ impl BaseHierarchy {
     pub fn save_state(&self, e: &mut simbase::snapshot::Encoder) {
         self.l2.save_state(e);
         self.l3.save_state(e);
+        self.memory.save_l4_state(e);
     }
 
     /// Restores state written by [`BaseHierarchy::save_state`] into a
@@ -221,14 +222,19 @@ impl BaseHierarchy {
         d: &mut simbase::snapshot::Decoder<'_>,
     ) -> Result<(), simbase::snapshot::SnapshotError> {
         self.l2.load_state(d)?;
-        self.l3.load_state(d)
+        self.l3.load_state(d)?;
+        self.memory.load_l4_state(d)
     }
 
     /// Warm-up variant of [`BaseHierarchy::fill_l3`]: the dirty-victim
-    /// writeback to memory is pure timing (the channel holds no
-    /// architectural state), so only the directory fill remains.
+    /// writeback is pure timing on the channel, but with an L4 attached
+    /// it changes L4 resident state, so it takes the warm twin.
     fn warm_fill_l3(&mut self, block: BlockAddr, dirty: bool) {
-        let _ = self.l3.fill(block, dirty);
+        if let Some(ev) = self.l3.fill(block, dirty) {
+            if ev.dirty {
+                self.memory.warm_writeback(ev.block);
+            }
+        }
     }
 
     /// Warm-up variant of [`BaseHierarchy::fill_l2`]: same victim handling,
@@ -246,7 +252,7 @@ impl BaseHierarchy {
         if let Some(ev) = self.l3.fill(block, dirty) {
             if ev.dirty {
                 self.writebacks.inc();
-                let _ = self.memory.access(self.block_bytes, now);
+                let _ = self.memory.writeback_block(ev.block, self.block_bytes, now);
             }
         }
     }
@@ -294,7 +300,7 @@ impl LowerCache for BaseHierarchy {
         // Off-chip. L3 lookup time is part of the 43-cycle L3 latency; the
         // memory access starts after the on-chip lookups.
         let after_l3 = now + self.l3_latency;
-        let done = self.memory.access(self.block_bytes, after_l3);
+        let done = self.memory.fill_block(block, self.block_bytes, after_l3);
         self.fill_l3(block, false, done);
         self.fill_l2(block, kind.is_write(), done);
         LowerOutcome {
@@ -326,6 +332,7 @@ impl LowerCache for BaseHierarchy {
             self.warm_fill_l2(block, kind.is_write());
             return;
         }
+        self.memory.warm_fill(block);
         self.warm_fill_l3(block, false);
         self.warm_fill_l2(block, kind.is_write());
     }
@@ -357,6 +364,14 @@ impl Organization for BaseHierarchy {
         d: &mut simbase::snapshot::Decoder<'_>,
     ) -> Result<(), simbase::snapshot::SnapshotError> {
         BaseHierarchy::load_state(self, d)
+    }
+
+    fn main_memory(&self) -> Option<&crate::memory::MainMemory> {
+        Some(&self.memory)
+    }
+
+    fn main_memory_mut(&mut self) -> Option<&mut crate::memory::MainMemory> {
+        Some(&mut self.memory)
     }
 
     fn report(&self) -> OrgReport {

@@ -25,6 +25,8 @@
 //! ```
 
 pub mod bankq;
+pub mod chash;
+pub mod dramcache;
 pub mod hierarchy;
 pub mod l1;
 pub mod lower;

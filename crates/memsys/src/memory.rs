@@ -5,11 +5,16 @@
 //! cycles per block fill. A single channel serializes transfers, so
 //! back-to-back misses queue behind one another's burst.
 
+use crate::dramcache::{L4DramCache, L4Stats};
+use simbase::snapshot::{Decoder, Encoder, SnapshotError};
 use simbase::stats::Counter;
-use simbase::{Cycle, EnergyNj};
+use simbase::{BlockAddr, Cycle, EnergyNj};
 use simtel::TelemetrySink;
 
-/// The off-chip memory channel.
+/// The off-chip memory channel, optionally fronted by an L4 DRAM cache
+/// ([`crate::dramcache`]). With no L4 attached, the block entry points
+/// ([`MainMemory::fill_block`] / [`MainMemory::writeback_block`]) are
+/// exactly [`MainMemory::access`] — a strict passthrough.
 #[derive(Debug, Clone)]
 pub struct MainMemory {
     base_latency: u64,
@@ -18,6 +23,7 @@ pub struct MainMemory {
     accesses: Counter,
     busy_cycles: u64,
     sink: TelemetrySink,
+    l4: Option<Box<L4DramCache>>,
 }
 
 impl MainMemory {
@@ -35,13 +41,38 @@ impl MainMemory {
             accesses: Counter::new(),
             busy_cycles: 0,
             sink: TelemetrySink::disabled(),
+            l4: None,
         }
     }
 
     /// Attaches a telemetry sink: every access records its round-trip
     /// latency (a histogram sample plus a cycle-stamped span).
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        if let Some(l4) = &mut self.l4 {
+            l4.set_telemetry(sink.clone());
+        }
         self.sink = sink;
+    }
+
+    /// Interposes an L4 DRAM cache between block requests and the
+    /// channel.
+    pub fn attach_l4(&mut self, l4: L4DramCache) {
+        self.l4 = Some(Box::new(l4));
+    }
+
+    /// The attached L4 tier, if any.
+    pub fn l4(&self) -> Option<&L4DramCache> {
+        self.l4.as_deref()
+    }
+
+    /// Mutable access to the attached L4 tier, if any.
+    pub fn l4_mut(&mut self) -> Option<&mut L4DramCache> {
+        self.l4.as_deref_mut()
+    }
+
+    /// Event counters of the attached L4 tier, if any.
+    pub fn l4_stats(&self) -> Option<L4Stats> {
+        self.l4.as_deref().map(L4DramCache::stats)
     }
 
     /// Latency in cycles to transfer `bytes` once the channel is free.
@@ -50,9 +81,99 @@ impl MainMemory {
     }
 
     /// Requests a `bytes`-sized transfer at `now`; returns the completion
-    /// time, accounting for channel contention.
+    /// time, accounting for channel contention. Goes straight to the
+    /// channel — the L4, if any, is consulted only by the block entry
+    /// points below.
     pub fn access(&mut self, bytes: u64, now: Cycle) -> Cycle {
         self.accesses.inc();
+        self.channel_transfer(bytes, now)
+    }
+
+    /// A block fill from the organization's miss path. With an L4
+    /// attached the tier is consulted first; without one this is exactly
+    /// [`MainMemory::access`]. The `accesses` counter counts every
+    /// request either way, so organization-level miss statistics are
+    /// identical with the L4 on or off — the tier changes only timing
+    /// and energy.
+    pub fn fill_block(&mut self, block: BlockAddr, bytes: u64, now: Cycle) -> Cycle {
+        match self.l4.take() {
+            None => self.access(bytes, now),
+            Some(mut l4) => {
+                self.accesses.inc();
+                let done = l4.fill(block, bytes, now, self);
+                self.l4 = Some(l4);
+                done
+            }
+        }
+    }
+
+    /// A dirty-block writeback from the organization. Same passthrough
+    /// and counting contract as [`MainMemory::fill_block`].
+    pub fn writeback_block(&mut self, block: BlockAddr, bytes: u64, now: Cycle) -> Cycle {
+        match self.l4.take() {
+            None => self.access(bytes, now),
+            Some(mut l4) => {
+                self.accesses.inc();
+                let done = l4.writeback(block, bytes, now, self);
+                self.l4 = Some(l4);
+                done
+            }
+        }
+    }
+
+    /// Warm-up twin of [`MainMemory::fill_block`]: updates L4 resident
+    /// state with no timing or counters. No-op without an L4.
+    pub fn warm_fill(&mut self, block: BlockAddr) {
+        if let Some(l4) = &mut self.l4 {
+            l4.warm_fill(block);
+        }
+    }
+
+    /// Warm-up twin of [`MainMemory::writeback_block`].
+    pub fn warm_writeback(&mut self, block: BlockAddr) {
+        if let Some(l4) = &mut self.l4 {
+            l4.warm_writeback(block);
+        }
+    }
+
+    /// Resizes the attached L4 to `target` banks (see
+    /// [`L4DramCache::resize`]). Returns when the retirement flush
+    /// clears the channel, or `now` with no L4 attached.
+    pub fn resize_l4(&mut self, target: u32, now: Cycle) -> Cycle {
+        match self.l4.take() {
+            None => now,
+            Some(mut l4) => {
+                let done = l4.resize(target, now, self);
+                self.l4 = Some(l4);
+                done
+            }
+        }
+    }
+
+    /// Serializes the L4's architectural state, writing nothing when no
+    /// L4 is attached — L4-off snapshots keep their historical bytes.
+    pub fn save_l4_state(&self, e: &mut Encoder) {
+        if let Some(l4) = &self.l4 {
+            l4.save_state(e);
+        }
+    }
+
+    /// Restores state written by [`MainMemory::save_l4_state`]. With no
+    /// L4 attached this consumes nothing, so an L4-enabled snapshot fed
+    /// to an L4-disabled run leaves trailing bytes for the decoder's
+    /// `finish` to reject, and the reverse truncates.
+    pub fn load_l4_state(&mut self, d: &mut Decoder<'_>) -> Result<(), SnapshotError> {
+        match &mut self.l4 {
+            None => Ok(()),
+            Some(l4) => l4.load_state(d),
+        }
+    }
+
+    /// The raw channel: a `bytes`-sized transfer at `now`, without
+    /// touching the request counter. Shared by [`MainMemory::access`]
+    /// and the L4's fetch/writeback/flush paths, so both tiers queue on
+    /// one deterministic channel clock.
+    pub(crate) fn channel_transfer(&mut self, bytes: u64, now: Cycle) -> Cycle {
         let start = now.max(self.channel_free_at);
         let burst = self.cycles_per_8b * bytes.div_ceil(8);
         let done = start + self.base_latency + burst;
@@ -78,13 +199,21 @@ impl MainMemory {
     pub fn reset_counters(&mut self) {
         self.accesses = Counter::new();
         self.busy_cycles = 0;
+        if let Some(l4) = &mut self.l4 {
+            l4.reset_stats();
+        }
     }
 
     /// Warm-up drain barrier: forgets channel occupancy so the measured
     /// phase starts from an idle channel at cycle zero. The channel holds
-    /// no architectural state, so this cannot change cache contents.
+    /// no architectural state, so this cannot change cache contents; the
+    /// L4's timing-only state (its channel and SRAM tag cache) drains
+    /// with it.
     pub fn drain_timing(&mut self) {
         self.channel_free_at = Cycle::ZERO;
+        if let Some(l4) = &mut self.l4 {
+            l4.drain_timing();
+        }
     }
 
     /// Total cycles the channel spent bursting data.
@@ -143,5 +272,44 @@ mod tests {
         let m = MainMemory::micro2003();
         assert_eq!(m.transfer_latency(1), 134);
         assert_eq!(m.transfer_latency(9), 138);
+    }
+
+    #[test]
+    fn block_entry_points_are_plain_accesses_without_an_l4() {
+        let mut a = MainMemory::micro2003();
+        let mut b = MainMemory::micro2003();
+        for i in 0..20u64 {
+            let now = Cycle::new(i * 37);
+            let via_block = if i % 3 == 0 {
+                a.writeback_block(BlockAddr::from_index(i), 128, now)
+            } else {
+                a.fill_block(BlockAddr::from_index(i), 128, now)
+            };
+            assert_eq!(via_block, b.access(128, now));
+        }
+        assert_eq!(a.accesses(), b.accesses());
+        assert_eq!(a.busy_cycles(), b.busy_cycles());
+        // Warm twins and snapshot hooks are no-ops with no L4.
+        a.warm_fill(BlockAddr::from_index(1));
+        a.warm_writeback(BlockAddr::from_index(1));
+        let mut e = Encoder::new();
+        a.save_l4_state(&mut e);
+        assert!(e.into_bytes().is_empty(), "no L4, no snapshot bytes");
+    }
+
+    #[test]
+    fn l4_counts_every_request_but_filters_dram_traffic() {
+        use crate::dramcache::L4Config;
+        let mut m = MainMemory::micro2003();
+        m.attach_l4(L4DramCache::new(L4Config::tdram()));
+        let d1 = m.fill_block(BlockAddr::from_index(5), 128, Cycle::ZERO);
+        let d2 = m.fill_block(BlockAddr::from_index(5), 128, Cycle::new(5_000));
+        // Both requests count as accesses (org stats are L4-invariant)...
+        assert_eq!(m.accesses(), 2);
+        // ...but only the miss touched the DRAM channel.
+        assert_eq!(m.busy_cycles(), 64);
+        assert!(d2.saturating_since(Cycle::new(5_000)) < d1.raw());
+        let stats = m.l4_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 }

@@ -102,6 +102,19 @@ pub trait Organization: LowerCache {
     /// Reduces the counters accumulated since the last
     /// [`Organization::reset_stats`] to the common report row.
     fn report(&self) -> OrgReport;
+
+    /// The [`MainMemory`](crate::memory::MainMemory) backing this
+    /// organization, if it has one — the attachment point of the L4 DRAM
+    /// cache (`--l4`). Defaults to `None` for organizations without a
+    /// DRAM channel of their own.
+    fn main_memory(&self) -> Option<&crate::memory::MainMemory> {
+        None
+    }
+
+    /// Mutable twin of [`Organization::main_memory`].
+    fn main_memory_mut(&mut self) -> Option<&mut crate::memory::MainMemory> {
+        None
+    }
 }
 
 /// A boxed organization is itself a [`LowerCache`], so the generic CPU /

@@ -194,8 +194,11 @@ impl DnucaCache {
 
     /// Zeroes the statistics (cache contents and bank states are kept).
     /// Used after warm-up, matching the paper's fast-forward methodology.
+    /// The memory model's counters — including an attached L4's — reset
+    /// with them, so a timed warm-up leaves nothing behind the barrier.
     pub fn reset_stats(&mut self) {
         self.stats = DnucaStats::new(self.config.n_positions, self.config.n_banks);
+        self.memory.reset_counters();
     }
 
     /// The physical geometry.
@@ -377,18 +380,21 @@ impl DnucaCache {
     }
 
     /// Architectural half of a miss: evict the slowest-way victim (keeping
-    /// the ss array in sync) and install `block` there. Write-back and
-    /// bank/memory timing are the timed caller's business.
-    fn install_on_miss(&mut self, block: BlockAddr, kind: AccessKind) -> (u32, bool) {
+    /// the ss array in sync) and install `block` there. Returns the dirty
+    /// victim block, if any — write-back and bank/memory timing are the
+    /// timed caller's business.
+    fn install_on_miss(&mut self, block: BlockAddr, kind: AccessKind) -> (u32, Option<BlockAddr>) {
         let set = self.set_of(block);
         let slowest = self.config.n_positions - 1;
         let victim_way = self.lru_way_at_position(set, slowest);
         let vi = self.slot_idx(set, victim_way);
-        let mut victim_dirty = false;
+        let mut victim_dirty = None;
         if self.flags[vi] & VALID != 0 {
             let victim_block = BlockAddr::from_index(self.blocks[vi]);
             self.ss.invalidate(victim_block, victim_way);
-            victim_dirty = self.flags[vi] & DIRTY != 0;
+            if self.flags[vi] & DIRTY != 0 {
+                victim_dirty = Some(victim_block);
+            }
         }
         self.blocks[vi] = block.index();
         self.flags[vi] = VALID | if kind.is_write() { DIRTY } else { 0 };
@@ -412,12 +418,12 @@ impl DnucaCache {
     ) -> LowerOutcome {
         self.stats.misses.inc();
         self.stats.memory_reads.inc();
-        let mem_done = self.memory.access(BLOCK_BYTES, detect_at);
+        let mem_done = self.memory.fill_block(block, BLOCK_BYTES, detect_at);
         let set = self.set_of(block);
         let (victim_way, victim_dirty) = self.install_on_miss(block, kind);
-        if victim_dirty {
+        if let Some(victim) = victim_dirty {
             self.stats.writebacks.inc();
-            let _ = self.memory.access(BLOCK_BYTES, mem_done);
+            let _ = self.memory.writeback_block(victim, BLOCK_BYTES, mem_done);
         }
         // The fill is a full access to the slowest bank.
         let bank = self.bank_of(set, victim_way);
@@ -454,7 +460,11 @@ impl DnucaCache {
                 self.memo[set] = other.unwrap_or(w);
             }
             None => {
-                let _ = self.install_on_miss(block, kind);
+                self.memory.warm_fill(block);
+                let (_, victim_dirty) = self.install_on_miss(block, kind);
+                if let Some(victim) = victim_dirty {
+                    self.memory.warm_writeback(victim);
+                }
             }
         }
     }
@@ -476,6 +486,7 @@ impl DnucaCache {
         e.put_u64_slice(&self.last_use);
         self.ss.save_state(e);
         e.put_u32_slice(&self.memo);
+        self.memory.save_l4_state(e);
     }
 
     /// Restores state written by [`Self::save_state`] into a cache of the
@@ -505,7 +516,7 @@ impl DnucaCache {
             return Err(SnapshotError::Malformed("dnuca memo length mismatch"));
         }
         self.memo = memo;
-        Ok(())
+        self.memory.load_l4_state(d)
     }
 
     /// Demand access with the configured search policy.
@@ -727,6 +738,14 @@ impl memsys::org::Organization for DnucaCache {
 
     fn load_state(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
         DnucaCache::load_state(self, d)
+    }
+
+    fn main_memory(&self) -> Option<&memsys::memory::MainMemory> {
+        Some(&self.memory)
+    }
+
+    fn main_memory_mut(&mut self) -> Option<&mut memsys::memory::MainMemory> {
+        Some(&mut self.memory)
     }
 
     fn report(&self) -> memsys::org::OrgReport {

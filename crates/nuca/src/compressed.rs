@@ -190,8 +190,11 @@ impl CompressedNucaCache {
     }
 
     /// Zeroes the statistics (cache contents and bank states are kept).
+    /// The memory model's counters — including an attached L4's — reset
+    /// with them, so a timed warm-up leaves nothing behind the barrier.
     pub fn reset_stats(&mut self) {
         self.stats = CnucaStats::new(self.config.n_positions, self.config.n_banks);
+        self.memory.reset_counters();
     }
 
     /// The physical geometry.
@@ -415,16 +418,18 @@ impl CompressedNucaCache {
     /// Architectural half of a miss: evict the slowest-position LRU way
     /// and install `block` there (raw — compression only buys fast-way
     /// residency, never extra slow-way capacity).
-    fn install_on_miss(&mut self, block: BlockAddr, kind: AccessKind) -> (u32, bool) {
+    fn install_on_miss(&mut self, block: BlockAddr, kind: AccessKind) -> (u32, Option<BlockAddr>) {
         let set = self.set_of(block);
         let slowest = self.config.n_positions - 1;
         let victim_way = self.lru_way_at_position(set, slowest);
         let vi = self.slot_idx(set, victim_way);
-        let mut victim_dirty = false;
+        let mut victim_dirty = None;
         if self.flags[vi] & VALID != 0 {
             let victim_block = BlockAddr::from_index(self.blocks[vi]);
             self.ss.invalidate(victim_block, victim_way);
-            victim_dirty = self.flags[vi] & DIRTY != 0;
+            if self.flags[vi] & DIRTY != 0 {
+                victim_dirty = Some(victim_block);
+            }
         }
         self.blocks[vi] = block.index();
         self.flags[vi] = VALID | if kind.is_write() { DIRTY } else { 0 };
@@ -442,12 +447,12 @@ impl CompressedNucaCache {
     ) -> LowerOutcome {
         self.stats.misses.inc();
         self.stats.memory_reads.inc();
-        let mem_done = self.memory.access(BLOCK_BYTES, detect_at);
+        let mem_done = self.memory.fill_block(block, BLOCK_BYTES, detect_at);
         let set = self.set_of(block);
         let (victim_way, victim_dirty) = self.install_on_miss(block, kind);
-        if victim_dirty {
+        if let Some(victim) = victim_dirty {
             self.stats.writebacks.inc();
-            let _ = self.memory.access(BLOCK_BYTES, mem_done);
+            let _ = self.memory.writeback_block(victim, BLOCK_BYTES, mem_done);
         }
         let bank = self.bank_of(set, victim_way);
         let _ = self.bank_access(bank, mem_done);
@@ -479,7 +484,11 @@ impl CompressedNucaCache {
                 let _ = self.bubble_swap_slots(set, w);
             }
             None => {
-                let _ = self.install_on_miss(block, kind);
+                self.memory.warm_fill(block);
+                let (_, victim_dirty) = self.install_on_miss(block, kind);
+                if let Some(victim) = victim_dirty {
+                    self.memory.warm_writeback(victim);
+                }
             }
         }
     }
@@ -499,6 +508,7 @@ impl CompressedNucaCache {
         e.put_u8_slice(&self.flags);
         e.put_u64_slice(&self.last_use);
         self.ss.save_state(e);
+        self.memory.save_l4_state(e);
     }
 
     /// Restores state written by [`Self::save_state`] into a cache of the
@@ -522,7 +532,8 @@ impl CompressedNucaCache {
         self.blocks = blocks;
         self.flags = flags;
         self.last_use = last_use;
-        self.ss.load_state(d)
+        self.ss.load_state(d)?;
+        self.memory.load_l4_state(d)
     }
 
     /// Demand access: multicast search (as D-NUCA ss-performance), with
@@ -627,6 +638,14 @@ impl memsys::org::Organization for CompressedNucaCache {
 
     fn load_state(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
         CompressedNucaCache::load_state(self, d)
+    }
+
+    fn main_memory(&self) -> Option<&memsys::memory::MainMemory> {
+        Some(&self.memory)
+    }
+
+    fn main_memory_mut(&mut self) -> Option<&mut memsys::memory::MainMemory> {
+        Some(&mut self.memory)
     }
 
     fn report(&self) -> memsys::org::OrgReport {
@@ -785,7 +804,7 @@ mod tests {
 
     #[test]
     fn load_state_rejects_wrong_geometry() {
-        let mut small = CompressedNucaCache::new(CnucaConfig {
+        let small = CompressedNucaCache::new(CnucaConfig {
             capacity: Capacity::from_mib(1),
             assoc: 16,
             n_banks: 16,

@@ -230,9 +230,12 @@ impl NuRapidCache {
 
     /// Zeroes the statistics (cache contents and timing state are kept).
     /// Used after warm-up so measurements reflect steady state, matching
-    /// the paper's fast-forward-then-measure methodology.
+    /// the paper's fast-forward-then-measure methodology. The memory
+    /// model's counters — including an attached L4's — reset with them,
+    /// so a timed warm-up leaves nothing behind the barrier.
     pub fn reset_stats(&mut self) {
         self.stats = NuRapidStats::new(self.config.n_dgroups);
+        self.memory.reset_counters();
     }
 
     /// Off-chip accesses (misses + writebacks) for energy accounting.
@@ -403,7 +406,7 @@ impl NuRapidCache {
                 // and its demotion chain.
                 let probe_start = self.port.reserve(now, self.geo.tag_latency_cycles());
                 let mem_start = probe_start + self.geo.tag_latency_cycles();
-                let mem_done = self.memory.access(BLOCK_BYTES, mem_start);
+                let mem_done = self.memory.fill_block(block, BLOCK_BYTES, mem_start);
 
                 // Data replacement: allocate the tag entry, evicting the
                 // set's LRU block if needed (Figure 2, steps 1-2).
@@ -416,7 +419,7 @@ impl NuRapidCache {
                     self.dgroups[ev.freed.group as usize].release(ev.freed.frame);
                     if ev.dirty {
                         self.stats.writebacks.inc();
-                        let _ = self.memory.access(BLOCK_BYTES, mem_done);
+                        let _ = self.memory.writeback_block(ev.block, BLOCK_BYTES, mem_done);
                     }
                 }
                 // Distance placement: the new block goes to the fastest
@@ -450,6 +453,7 @@ impl NuRapidCache {
                 let _ = self.promote(at, g, ptr.frame, self.region_of(block));
             }
             TagLookup::Miss => {
+                self.memory.warm_fill(block);
                 let (at, evicted) = self.tags.allocate(
                     block,
                     FramePtr { group: 0, frame: 0 }, // provisional
@@ -457,6 +461,9 @@ impl NuRapidCache {
                 );
                 if let Some(ev) = evicted {
                     self.dgroups[ev.freed.group as usize].release(ev.freed.frame);
+                    if ev.dirty {
+                        self.memory.warm_writeback(ev.block);
+                    }
                 }
                 let _ = self.place_with_demotions(at, 0, self.region_of(block));
             }
@@ -478,6 +485,7 @@ impl NuRapidCache {
         for g in &self.dgroups {
             g.save_state(e);
         }
+        self.memory.save_l4_state(e);
     }
 
     /// Restores state written by [`NuRapidCache::save_state`] into a cache
@@ -495,7 +503,7 @@ impl NuRapidCache {
         for g in self.dgroups.iter_mut() {
             g.load_state(d)?;
         }
-        Ok(())
+        self.memory.load_l4_state(d)
     }
 
     /// Verifies the tag/data bijection: every valid tag entry's forward
@@ -581,6 +589,14 @@ impl memsys::org::Organization for NuRapidCache {
         d: &mut simbase::snapshot::Decoder<'_>,
     ) -> Result<(), simbase::snapshot::SnapshotError> {
         NuRapidCache::load_state(self, d)
+    }
+
+    fn main_memory(&self) -> Option<&memsys::memory::MainMemory> {
+        Some(&self.memory)
+    }
+
+    fn main_memory_mut(&mut self) -> Option<&mut memsys::memory::MainMemory> {
+        Some(&mut self.memory)
     }
 
     fn report(&self) -> memsys::org::OrgReport {

@@ -105,10 +105,12 @@ impl CoupledCache {
     }
 
     /// Zeroes the statistics (cache contents are kept); see
-    /// [`crate::cache::NuRapidCache::reset_stats`].
+    /// [`crate::cache::NuRapidCache::reset_stats`]. The memory model's
+    /// counters — including an attached L4's — reset with them.
     pub fn reset_stats(&mut self) {
         let n = self.stats.n_dgroups();
         self.stats = NuRapidStats::new(n);
+        self.memory.reset_counters();
     }
 
     /// The physical geometry.
@@ -273,7 +275,12 @@ impl CoupledCache {
             }
             return;
         }
-        let _ = self.evict_set_lru(set); // write-back is timing-only
+        self.memory.warm_fill(block);
+        if let Some(v) = self.evict_set_lru(set) {
+            if v.dirty {
+                self.memory.warm_writeback(v.block);
+            }
+        }
         let incoming = Slot {
             block,
             dirty: kind.is_write(),
@@ -299,6 +306,7 @@ impl CoupledCache {
             e.put_u8(s.valid as u8 | (s.dirty as u8) << 1);
             e.put_u64(s.last_use);
         }
+        self.memory.save_l4_state(e);
     }
 
     /// Restores state written by [`Self::save_state`] into a cache of the
@@ -320,7 +328,7 @@ impl CoupledCache {
             s.dirty = packed & 2 != 0;
             s.last_use = d.u64()?;
         }
-        Ok(())
+        self.memory.load_l4_state(d)
     }
 
     /// Demand access; same contract as NuRAPID's.
@@ -366,14 +374,14 @@ impl CoupledCache {
         self.stats.memory_reads.inc();
         let probe_start = self.port.reserve(now, self.geo.tag_latency_cycles());
         let mem_start = probe_start + self.geo.tag_latency_cycles();
-        let mem_done = self.memory.access(BLOCK_BYTES, mem_start);
+        let mem_done = self.memory.fill_block(block, BLOCK_BYTES, mem_start);
 
         // Data replacement: evict the set-wide LRU block (conventional),
         // freeing its slot.
         if let Some(v) = self.evict_set_lru(set) {
             if v.dirty {
                 self.stats.writebacks.inc();
-                let _ = self.memory.access(BLOCK_BYTES, mem_done);
+                let _ = self.memory.writeback_block(v.block, BLOCK_BYTES, mem_done);
             }
         }
         // Initial placement in the fastest group, demoting within the set.
@@ -439,6 +447,14 @@ impl memsys::org::Organization for CoupledCache {
 
     fn load_state(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
         CoupledCache::load_state(self, d)
+    }
+
+    fn main_memory(&self) -> Option<&memsys::memory::MainMemory> {
+        Some(&self.memory)
+    }
+
+    fn main_memory_mut(&mut self) -> Option<&mut memsys::memory::MainMemory> {
+        Some(&mut self.memory)
     }
 
     fn report(&self) -> memsys::org::OrgReport {

@@ -40,8 +40,16 @@ pub struct PortSchedule {
 
 impl PortSchedule {
     /// Creates an idle port.
+    ///
+    /// The buffer is preallocated to its steady-state bound up front:
+    /// live reservations span at most the pruning lag (4096 cycles, see
+    /// [`PortSchedule::reserve`]) and every port operation occupies at
+    /// least a few cycles, so with the ×2 compaction slack the buffer
+    /// never outgrows this — keeping the per-access path allocation-free
+    /// from the first access (`tests/no_alloc.rs`) instead of after a
+    /// workload-dependent warm-up.
     pub fn new() -> Self {
-        PortSchedule::default()
+        PortSchedule { busy: Vec::with_capacity(2048), head: 0 }
     }
 
     /// Reserves `dur` port cycles at the earliest time ≥ `at` that does

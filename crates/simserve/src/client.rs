@@ -254,6 +254,7 @@ fn sweep_fields(req: &SweepReq) -> Vec<(&'static str, Json)> {
         ("tsv", Json::Bool(req.tsv)),
         ("cores", Json::U64(req.cores)),
         ("watch", Json::Bool(req.watch)),
+        ("l4", Json::Bool(req.l4)),
     ]
 }
 

@@ -127,6 +127,10 @@ pub struct SweepReq {
     /// Stream progress events while the sweep computes (only honored by
     /// the blocking `sweep` op).
     pub watch: bool,
+    /// Attach the L4 DRAM-cache tier to every run (the `repro --l4`
+    /// flag). Part of the report identity: an L4 report never aliases
+    /// the plain one.
+    pub l4: bool,
 }
 
 /// A parsed request.
@@ -251,6 +255,7 @@ fn sweep_req(v: &Json) -> Result<SweepReq, Fail> {
         tsv: bool_field(v, "tsv")?,
         cores,
         watch: bool_field(v, "watch")?,
+        l4: bool_field(v, "l4")?,
     })
 }
 
@@ -348,11 +353,12 @@ mod tests {
                 scale: ScaleName::Quick,
                 tsv: false,
                 cores: 0,
-                watch: false
+                watch: false,
+                l4: false
             })
         );
         let (_, req) = parse_ok(
-            r#"{"v":1,"id":3,"op":"sweep","exp":"fig9","scale":"full","tsv":true,"cores":4,"watch":true}"#,
+            r#"{"v":1,"id":3,"op":"sweep","exp":"fig9","scale":"full","tsv":true,"cores":4,"watch":true,"l4":true}"#,
         );
         assert_eq!(
             req,
@@ -361,9 +367,13 @@ mod tests {
                 scale: ScaleName::Full,
                 tsv: true,
                 cores: 4,
-                watch: true
+                watch: true,
+                l4: true
             })
         );
+        let (_, fail) = parse_request(r#"{"v":1,"id":3,"op":"sweep","l4":"yes"}"#)
+            .expect_err("mistyped l4 must fail");
+        assert_eq!(fail.code, ErrCode::BadRequest);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use crate::proto::{ErrCode, Fail, ScaleName, SweepReq};
 use experiments::exps::Sweep;
 use experiments::repro::{render_selection, render_selection_cores, resolve_ids};
-use experiments::Scale;
+use experiments::{L4Config, Scale};
 use simbase::digest::{Digest, Hasher128};
 use simbase::json::Json;
 use simsched::progress::Hub;
@@ -110,6 +110,8 @@ pub struct Service {
     cfg: ServeConfig,
     quick: Sweep,
     full: Sweep,
+    quick_l4: Sweep,
+    full_l4: Sweep,
     hub: Arc<Hub>,
     telemetry: Option<Arc<Telemetry>>,
     console: Console,
@@ -143,10 +145,11 @@ impl Service {
         if let Some(tel) = &telemetry {
             console = console.with_mirror(Arc::clone(tel));
         }
-        let make_sweep = |scale: Scale| -> std::io::Result<Sweep> {
+        let make_sweep = |scale: Scale, l4: Option<L4Config>| -> std::io::Result<Sweep> {
             let mut sweep = Sweep::with_apps(scale, cfg.apps.clone())
                 .with_threads(cfg.threads)
-                .with_observer(hub.observer());
+                .with_observer(hub.observer())
+                .with_l4(l4);
             if let Some(dir) = &cfg.artifacts {
                 sweep = sweep.with_artifacts(dir)?;
             }
@@ -160,8 +163,15 @@ impl Service {
         };
         let (tx, rx) = sync_channel(cfg.submit_queue.max(1));
         let service = Arc::new(Service {
-            quick: make_sweep(cfg.quick)?,
-            full: make_sweep(cfg.full)?,
+            quick: make_sweep(cfg.quick, None)?,
+            full: make_sweep(cfg.full, None)?,
+            // The L4-enabled twins share the artifact and checkpoint
+            // directories: every store is digest-keyed and the L4 enters
+            // both digests, so the families can never alias. They are
+            // built lazily in the sense that an unused sweep owns no
+            // runs — only `"l4":true` requests populate them.
+            quick_l4: make_sweep(cfg.quick, Some(L4Config::tdram()))?,
+            full_l4: make_sweep(cfg.full, Some(L4Config::tdram()))?,
             hub,
             telemetry,
             console,
@@ -236,20 +246,23 @@ impl Service {
         self.telemetry.as_ref()
     }
 
-    fn sweep_for(&self, scale: ScaleName) -> (&Sweep, Scale) {
-        match scale {
-            ScaleName::Quick => (&self.quick, self.cfg.quick),
-            ScaleName::Full => (&self.full, self.cfg.full),
+    fn sweep_for(&self, scale: ScaleName, l4: bool) -> (&Sweep, Scale) {
+        match (scale, l4) {
+            (ScaleName::Quick, false) => (&self.quick, self.cfg.quick),
+            (ScaleName::Full, false) => (&self.full, self.cfg.full),
+            (ScaleName::Quick, true) => (&self.quick_l4, self.cfg.quick),
+            (ScaleName::Full, true) => (&self.full_l4, self.cfg.full),
         }
     }
 
     /// The report digest for a validated request: a structural hash of
     /// the experiment ids (in rendering order), the concrete scale, the
-    /// rendering mode, and the `cmp` core restriction. Duplicate requests
-    /// from any number of clients map to one digest and therefore one
-    /// rendering; a `--cores 4` report can never collide with the default
-    /// 2/4/8 sweep.
-    fn report_digest(ids: &[&str], scale: Scale, tsv: bool, cores: u64) -> Digest {
+    /// rendering mode, the `cmp` core restriction, and the L4 flag.
+    /// Duplicate requests from any number of clients map to one digest
+    /// and therefore one rendering; a `--cores 4` report can never
+    /// collide with the default 2/4/8 sweep, nor an `--l4` report with
+    /// the plain one.
+    fn report_digest(ids: &[&str], scale: Scale, tsv: bool, cores: u64, l4: bool) -> Digest {
         let mut h = Hasher128::new();
         h.write_str("simserve-report-v1");
         h.write_u64(ids.len() as u64);
@@ -260,6 +273,7 @@ impl Service {
         h.write_u64(scale.measure);
         h.write_bool(tsv);
         h.write_u64(cores);
+        h.write_bool(l4);
         h.digest()
     }
 
@@ -267,8 +281,8 @@ impl Service {
         let ids = resolve_ids(&req.exp).ok_or_else(|| {
             Fail::new(ErrCode::BadRequest, format!("unknown experiment {:?}", req.exp))
         })?;
-        let (_, scale) = self.sweep_for(req.scale);
-        let digest = Service::report_digest(&ids, scale, req.tsv, req.cores);
+        let (_, scale) = self.sweep_for(req.scale, req.l4);
+        let digest = Service::report_digest(&ids, scale, req.tsv, req.cores, req.l4);
         Ok((ids, digest))
     }
 
@@ -298,7 +312,7 @@ impl Service {
     /// admitted before the drain began must finish.
     fn compute(&self, req: &SweepReq) -> Result<SweepDone, Fail> {
         let (ids, digest) = self.resolve(req)?;
-        let (sweep, _) = self.sweep_for(req.scale);
+        let (sweep, _) = self.sweep_for(req.scale, req.l4);
         self.requests.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
         let mut fresh = false;
@@ -411,10 +425,11 @@ impl Service {
             ("reports_computed", Json::U64(self.computed.load(Ordering::Relaxed))),
             ("reports_coalesced", Json::U64(self.coalesced.load(Ordering::Relaxed))),
             ("reports", Json::U64(self.reports.completed() as u64)),
-            ("runs_quick", Json::U64(self.quick.runs() as u64)),
-            ("simulated_quick", Json::U64(self.quick.simulated())),
-            ("runs_full", Json::U64(self.full.runs() as u64)),
-            ("simulated_full", Json::U64(self.full.simulated())),
+            // Each scale's totals cover the plain sweep and its L4 twin.
+            ("runs_quick", Json::U64((self.quick.runs() + self.quick_l4.runs()) as u64)),
+            ("simulated_quick", Json::U64(self.quick.simulated() + self.quick_l4.simulated())),
+            ("runs_full", Json::U64((self.full.runs() + self.full_l4.runs()) as u64)),
+            ("simulated_full", Json::U64(self.full.simulated() + self.full_l4.simulated())),
             ("inflight", Json::U64(*self.inflight.lock().expect("service poisoned"))),
             ("watchers", Json::U64(self.hub.subscribers() as u64)),
             ("events_dropped", Json::U64(self.events_dropped.load(Ordering::Relaxed))),
@@ -539,7 +554,14 @@ mod tests {
     fn table_req() -> SweepReq {
         // table2/table4 need no runs at all, so service-level tests stay
         // fast even in debug builds.
-        SweepReq { exp: "table2".into(), scale: ScaleName::Quick, tsv: false, cores: 0, watch: false }
+        SweepReq {
+            exp: "table2".into(),
+            scale: ScaleName::Quick,
+            tsv: false,
+            cores: 0,
+            watch: false,
+            l4: false,
+        }
     }
 
     #[test]
@@ -580,12 +602,23 @@ mod tests {
             .expect("digest");
         let d4 = svc.digest_of(&SweepReq { tsv: true, ..table_req() }).expect("digest");
         let d5 = svc.digest_of(&SweepReq { cores: 4, ..table_req() }).expect("digest");
-        let all = [d1, d2, d3, d4, d5];
+        let d6 = svc.digest_of(&SweepReq { l4: true, ..table_req() }).expect("digest");
+        let all = [d1, d2, d3, d4, d5, d6];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_ne!(a, b);
             }
         }
+        svc.close();
+    }
+
+    #[test]
+    fn dram_selector_resolves_and_separates_by_l4() {
+        let svc = Service::new(tiny_config()).expect("service");
+        let dram = SweepReq { exp: "dram".into(), l4: true, ..table_req() };
+        let d1 = svc.digest_of(&dram).expect("dram resolves");
+        let d2 = svc.digest_of(&SweepReq { l4: false, ..dram }).expect("digest");
+        assert_ne!(d1, d2, "the l4 flag is part of the report identity");
         svc.close();
     }
 

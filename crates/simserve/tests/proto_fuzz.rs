@@ -158,6 +158,7 @@ fn builder_parser_round_trip() {
             tsv: *tsv,
             cores: u64::from(*id % 9 == 0) * 4,
             watch: *watch,
+            l4: *id % 3 == 0,
         };
         let frame = proto::request_frame(
             *id,
@@ -168,6 +169,7 @@ fn builder_parser_round_trip() {
                 ("tsv", Json::Bool(req.tsv)),
                 ("cores", Json::U64(req.cores)),
                 ("watch", Json::Bool(req.watch)),
+                ("l4", Json::Bool(req.l4)),
             ],
         );
         let (got_id, got) = proto::parse_request(&frame).expect("round trip");

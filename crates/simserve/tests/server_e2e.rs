@@ -60,7 +60,7 @@ impl Drop for Daemon {
 }
 
 fn table_req() -> SweepReq {
-    SweepReq { exp: "table2".into(), scale: ScaleName::Quick, tsv: false, cores: 0, watch: false }
+    SweepReq { exp: "table2".into(), scale: ScaleName::Quick, tsv: false, cores: 0, watch: false, l4: false }
 }
 
 #[test]
@@ -125,7 +125,7 @@ fn watch_streams_progress_events() {
     let daemon = Daemon::start(tiny_config());
     let mut client = Client::connect(&daemon.addr).expect("connect");
     let req =
-        SweepReq { exp: "fig4".into(), scale: ScaleName::Quick, tsv: false, cores: 0, watch: true };
+        SweepReq { exp: "fig4".into(), scale: ScaleName::Quick, tsv: false, cores: 0, watch: true, l4: false };
     let mut events = Vec::new();
     let out = client
         .sweep_watch(&req, |e| {

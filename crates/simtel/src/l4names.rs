@@ -1,0 +1,15 @@
+//! Metric names of the L4 DRAM-cache tier.
+//!
+//! Like [`percore`](crate::percore), names flow through the sink as
+//! `&'static str`, so the `l4.*` namespace is pinned here — the one
+//! place the L4 tier and its consumers (telcheck, plots) agree on
+//! spelling.
+
+/// Block requests (fills plus writebacks) reaching the L4.
+pub const ACCESSES: &str = "l4.accesses";
+
+/// Resize events applied to the live bank set.
+pub const RESIZES: &str = "l4.resizes";
+
+/// Dirty blocks flushed to DRAM by bank retirement.
+pub const RESIZE_WRITEBACKS: &str = "l4.resize_writebacks";

@@ -45,6 +45,7 @@
 
 pub mod console;
 pub mod hist;
+pub mod l4names;
 pub mod metrics;
 pub mod percore;
 pub mod ring;

@@ -1,0 +1,162 @@
+//! Property suite for the consistent-hashing bank map behind the L4
+//! DRAM cache (`memsys::chash`, DESIGN.md §15).
+//!
+//! The resizable L4 is only safe to resize live because of three map
+//! invariants, pinned here exactly (not statistically):
+//!
+//! 1. **Grow moves keys only onto the new banks** — a key whose owner
+//!    changed must land on a bank added by that resize.
+//! 2. **Shrink moves only the retired banks' keys** — a key owned by a
+//!    surviving bank keeps that owner bit-for-bit.
+//! 3. **Grow-then-shrink restores the map** — retirement is LIFO, so
+//!    returning to the old bank count returns every key to its old
+//!    owner.
+//!
+//! On top of the exact laws, the expected remap fraction (`k / (n + k)`
+//! when growing by `k`) is asserted with generous slack, and the
+//! snapshot codec is round-tripped through resize history.
+//!
+//! Failures are appended to `tests/chash-regressions.txt` and replayed
+//! before every random sweep.
+
+use memsys::chash::BankMap;
+use simbase::snapshot::{Decoder, Encoder};
+use simkit::prop::{any_u64, checker, range_u32, select, vec_of, Checker};
+
+fn prop(name: &str) -> Checker {
+    checker(name)
+        .cases(64)
+        .corpus(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/chash-regressions.txt"))
+}
+
+/// Keys probed against every map: enough for the statistical bound to
+/// concentrate, fixed so corpus seeds replay the identical case.
+const KEYS: u64 = 2_000;
+
+fn owners(map: &BankMap) -> Vec<u32> {
+    (0..KEYS).map(|b| map.lookup(b)).collect()
+}
+
+/// Map geometry generator: initial banks, resize step, vnode count, seed.
+fn geometry() -> (
+    simkit::prop::U32Range,
+    simkit::prop::U32Range,
+    simkit::prop::Select<u32>,
+    simkit::prop::AnyU64,
+) {
+    (range_u32(1, 12), range_u32(1, 8), select(vec![1u32, 8, 32]), any_u64())
+}
+
+#[test]
+fn grow_moves_keys_only_onto_new_banks() {
+    prop("grow_moves_keys_only_onto_new_banks").check(&geometry(), |&(n, k, vnodes, seed)| {
+        let mut map = BankMap::new(n, vnodes, seed);
+        let before = owners(&map);
+        let delta = map.resize(n + k);
+        assert_eq!(delta.added.len(), k as usize);
+        assert!(delta.retired.is_empty());
+        let mut moved = 0u64;
+        for (b, old) in before.iter().enumerate() {
+            let now = map.lookup(b as u64);
+            if now != *old {
+                moved += 1;
+                assert!(
+                    delta.added.contains(&now),
+                    "key {b} moved {old} -> {now}, not a new bank {:?}",
+                    delta.added
+                );
+            }
+        }
+        // Expected remap fraction k/(n+k); allow wide hashing variance.
+        let expected = f64::from(k) / f64::from(n + k);
+        let frac = moved as f64 / KEYS as f64;
+        assert!(
+            frac <= expected * 2.5 + 0.05,
+            "grow {n}+{k} moved {frac:.3} of keys (expected ~{expected:.3})"
+        );
+    });
+}
+
+#[test]
+fn shrink_moves_only_the_retired_banks_keys() {
+    prop("shrink_moves_only_the_retired_banks_keys").check(&geometry(), |&(n, k, vnodes, seed)| {
+        let mut map = BankMap::new(n + k, vnodes, seed);
+        let before = owners(&map);
+        let delta = map.resize(n);
+        assert_eq!(delta.retired.len(), k as usize);
+        assert!(delta.added.is_empty());
+        let mut moved = 0u64;
+        for (b, old) in before.iter().enumerate() {
+            let now = map.lookup(b as u64);
+            if delta.retired.contains(old) {
+                moved += 1;
+                assert!(!delta.retired.contains(&now), "key {b} remapped to a retired bank");
+            } else {
+                assert_eq!(now, *old, "key {b} moved although bank {old} survived");
+            }
+        }
+        let expected = f64::from(k) / f64::from(n + k);
+        let frac = moved as f64 / KEYS as f64;
+        assert!(
+            frac <= expected * 2.5 + 0.05,
+            "shrink {}->{n} moved {frac:.3} of keys (expected ~{expected:.3})",
+            n + k
+        );
+    });
+}
+
+#[test]
+fn grow_then_shrink_restores_every_owner() {
+    prop("grow_then_shrink_restores_every_owner").check(&geometry(), |&(n, k, vnodes, seed)| {
+        let mut map = BankMap::new(n, vnodes, seed);
+        let before = owners(&map);
+        map.resize(n + k);
+        map.resize(n);
+        // Retirement is LIFO: the shrink retires exactly the banks the
+        // grow added, so the live set — and every lookup — is restored.
+        assert_eq!(owners(&map), before);
+        assert_eq!(map.n_banks(), n);
+        // Ids are never reused: a second grow allocates fresh ones.
+        let again = map.resize(n + 1);
+        assert!(again.added[0] >= n + k, "bank id {} was reused", again.added[0]);
+    });
+}
+
+#[test]
+fn snapshot_roundtrip_preserves_resize_history() {
+    let gen = (geometry(), vec_of(range_u32(1, 16), 0, 6));
+    prop("snapshot_roundtrip_preserves_resize_history").check(
+        &gen,
+        |((n, _k, vnodes, seed), targets)| {
+            let mut map = BankMap::new(*n, *vnodes, *seed);
+            for &t in targets {
+                map.resize(t);
+            }
+            let mut e = Encoder::new();
+            map.save_state(&mut e);
+            let bytes = e.into_bytes();
+
+            // Same geometry: the restored map equals the live one.
+            let mut fresh = BankMap::new(*n, *vnodes, *seed);
+            let mut d = Decoder::new(&bytes);
+            fresh.load_state(&mut d).expect("roundtrip");
+            d.finish().expect("no trailing bytes");
+            assert_eq!(fresh, map);
+            assert_eq!(owners(&fresh), owners(&map));
+
+            // Different geometry: the blob is rejected, never misread.
+            let mut skewed = BankMap::new(*n, *vnodes, seed ^ 1);
+            assert!(skewed.load_state(&mut Decoder::new(&bytes)).is_err());
+
+            // Any strict prefix is malformed, not silently short.
+            if !bytes.is_empty() {
+                let mut fresh = BankMap::new(*n, *vnodes, *seed);
+                let cut = bytes.len() / 2;
+                assert!(
+                    fresh.load_state(&mut Decoder::new(&bytes[..cut])).is_err(),
+                    "truncation at {cut} decoded"
+                );
+            }
+        },
+    );
+}

@@ -12,6 +12,8 @@
 //! `tests/differential-regressions.txt`, which is replayed first on every
 //! run.
 
+use memsys::dramcache::{naive::NaiveL4, L4Config, L4DramCache};
+use memsys::memory::MainMemory;
 use memsys::naive::{NaiveLru, NaiveSetAssocCache};
 use memsys::packed_lru::LruTable;
 use memsys::replacement::PolicyKind;
@@ -314,5 +316,79 @@ fn cnuca_matches_naive_oracle() {
         }
         assert_eq!(fast.stats(), naive.stats(), "final stats diverged");
         assert_eq!(fast.memory_accesses(), naive.memory_accesses());
+    });
+}
+
+/// 8. The L4 DRAM-cache tier (sorted consistent-hash ring, flat tag
+/// arena, packed LRU words, direct-mapped tag cache) is bit-identical to
+/// its naive oracle — every fill/writeback completion cycle, warm-path
+/// transition, residency/dirty answer, stats field, and downstream DRAM
+/// channel cycle — including access sequences straddling two live
+/// resizes at one- and two-thirds of the stream.
+#[test]
+fn l4_dram_cache_matches_naive_oracle() {
+    let gen = (
+        trace(4_096),
+        range_u32(1, 6),  // initial banks
+        range_u32(1, 10), // first mid-stream resize target
+        range_u32(1, 10), // second mid-stream resize target
+        any_u64(),        // ring hash seed
+    );
+    dprop("l4_dram_cache_matches_naive_oracle").check(&gen, |(ops, banks, t1, t2, seed)| {
+        // A deliberately tiny tier (16 sets x 4 ways per bank, 16
+        // tag-cache slots) so 400 ops create evictions, dirty victims,
+        // tag-cache conflicts, and resize flush traffic.
+        let mut cfg = L4Config::tdram();
+        cfg.n_banks = *banks;
+        cfg.bank_blocks = 64;
+        cfg.assoc = 4;
+        cfg.vnodes_per_bank = 8;
+        cfg.hash_seed = *seed;
+        cfg.tag_cache_entries = 16;
+        let mut fast = L4DramCache::new(cfg.clone());
+        let mut naive = NaiveL4::new(cfg.clone());
+        let mut fast_dram = MainMemory::micro2003();
+        let mut naive_dram = MainMemory::micro2003();
+        let (r1, r2) = (ops.len() / 3, ops.len() * 2 / 3);
+        let mut t = Cycle::ZERO;
+        for (i, &(b, w)) in ops.iter().enumerate() {
+            if (i == r1 && r1 != r2) || i == r2 {
+                let target = if i == r1 { *t1 } else { *t2 };
+                assert_eq!(
+                    fast.resize(target, t, &mut fast_dram),
+                    naive.resize(target, t, &mut naive_dram),
+                    "resize to {target} at {t}"
+                );
+                assert_eq!(fast.n_banks(), naive.n_banks());
+            }
+            let block = BlockAddr::from_index(b);
+            if i % 13 == 7 {
+                // Warm-up path: architectural transitions, no timing.
+                if w {
+                    fast.warm_writeback(block);
+                    naive.warm_writeback(block);
+                } else {
+                    fast.warm_fill(block);
+                    naive.warm_fill(block);
+                }
+            } else {
+                let done = if w {
+                    fast.writeback(block, cfg.block_bytes, t, &mut fast_dram)
+                } else {
+                    fast.fill(block, cfg.block_bytes, t, &mut fast_dram)
+                };
+                let oracle = if w {
+                    naive.writeback(block, cfg.block_bytes, t, &mut naive_dram)
+                } else {
+                    naive.fill(block, cfg.block_bytes, t, &mut naive_dram)
+                };
+                assert_eq!(done, oracle, "completion of {block} at {t}");
+                t = done + 1;
+            }
+            assert_eq!(fast.resident(block), naive.resident(block), "residency of {block}");
+            assert_eq!(fast.is_dirty(block), naive.is_dirty(block), "dirtiness of {block}");
+        }
+        assert_eq!(fast.stats(), naive.stats(), "final stats diverged");
+        assert_eq!(fast_dram.busy_cycles(), naive_dram.busy_cycles(), "DRAM channel diverged");
     });
 }

@@ -18,10 +18,11 @@
 //! *intentional* output change, rerun the command above and review the
 //! diff — never regenerate to silence a failure you can't explain.
 
-use experiments::repro::render_report;
+use experiments::repro::{render_report, render_selection};
 use experiments::{exps::Sweep, Scale};
 
 const GOLDEN: &str = include_str!("golden/repro_quick.txt");
+const GOLDEN_DRAM: &str = include_str!("golden/dram_quick.txt");
 
 /// Runs the full quick-scale sweep in-process and compares the rendered
 /// report against the committed golden snapshot, byte for byte.
@@ -47,6 +48,36 @@ fn quick_report_matches_golden_snapshot() {
             "report and golden share {} lines but differ in length",
             GOLDEN.lines().count()
         );
+        unreachable!("reports differ but no diverging line found");
+    }
+}
+
+/// The `dram` resize-transient experiment against its own snapshot —
+/// opt-in at the CLI (`--exp dram`, never part of `all`), so the main
+/// golden above can't cover it. Regenerate with:
+///
+/// ```text
+/// cargo run --release -p bench --bin repro -- --quick --exp dram \
+///     > tests/golden/dram_quick.txt
+/// ```
+///
+/// Beyond byte-stability this pins the tier's *behavior*: the committed
+/// snapshot shows a shrink-window IPC dip with an energy spike, nonzero
+/// retirement writebacks for every application whose working set
+/// overflows the 2-MB L2, and recovery by the final window — if a
+/// change flattens those transients, the diff in this golden is where
+/// it shows.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full sweep is slow unoptimized; run under --release")]
+fn dram_transient_report_matches_golden_snapshot() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let sweep = Sweep::new(Scale::quick()).with_threads(threads);
+    let report = render_selection(&["dram"], &sweep, false);
+    if report != GOLDEN_DRAM {
+        for (i, (got, want)) in report.lines().zip(GOLDEN_DRAM.lines()).enumerate() {
+            assert_eq!(got, want, "dram report diverges from golden at line {}", i + 1);
+        }
+        assert_eq!(report.len(), GOLDEN_DRAM.len(), "reports share lines but differ in length");
         unreachable!("reports differ but no diverging line found");
     }
 }

@@ -103,4 +103,28 @@ fn steady_state_access_paths_do_not_allocate() {
         org.prefill();
         measure(name, &mut org, 262_144);
     }
+
+    // The L4 DRAM-cache tier joins the contract: after a shrink (which
+    // may allocate while it retires banks and flushes dirty blocks) and
+    // a grow (which allocates the fresh banks), the steady-state access
+    // path through the resized tier — tag-cache probes, ring lookups,
+    // fills into live banks, orphaned blocks aging out — must stay
+    // allocation-free. One representative inner organization suffices:
+    // the tier wraps every roster entry through the same MainMemory
+    // entry points.
+    let kind = L2Kind::L4(
+        Box::new(L2Kind::NuRapid(NuRapidConfig::micro2003(4))),
+        experiments::L4Config::tdram(),
+    );
+    let mut org = kind.build();
+    org.prefill();
+    drive(&mut org, 100_000, 262_144);
+    let resize = |org: &mut Box<dyn Organization>, target: u32| {
+        org.main_memory_mut()
+            .expect("the L4 wrapper is DRAM-backed")
+            .resize_l4(target, Cycle::ZERO);
+    };
+    resize(&mut org, 4);
+    resize(&mut org, 12);
+    measure("nurapid+l4 after shrink+grow", &mut org, 262_144);
 }

@@ -285,6 +285,166 @@ fn every_organization_conforms_under_the_cmp_front_end() {
     }
 }
 
+/// The roster again, each organization wrapped in a small L4 DRAM-cache
+/// tier (DESIGN.md §15). Every contract leg below runs the full roster
+/// through `Box<dyn Organization>` exactly like the plain legs, so a new
+/// organization is covered with and without the tier automatically.
+fn l4_roster() -> Vec<(String, L2Kind)> {
+    // A deliberately small tier (4 banks x 64 sets x 4 ways, 64
+    // tag-cache slots) so conformance-sized traces create evictions,
+    // dirty flushes, and orphaned blocks around every resize.
+    let mut cfg = memsys::dramcache::L4Config::tdram();
+    cfg.n_banks = 4;
+    cfg.bank_blocks = 256;
+    cfg.assoc = 4;
+    cfg.vnodes_per_bank = 8;
+    cfg.tag_cache_entries = 64;
+    roster()
+        .into_iter()
+        .map(|(name, kind)| (format!("{name}+l4"), L2Kind::L4(Box::new(kind), cfg.clone())))
+        .collect()
+}
+
+/// Shrinks or grows the organization's L4 to `target` banks at `now`.
+fn resize_l4(org: &mut Box<dyn Organization>, target: u32, now: Cycle) {
+    org.main_memory_mut()
+        .expect("the L4 roster is DRAM-backed")
+        .resize_l4(target, now);
+}
+
+/// With the L4 tier attached, reconstruction stays deterministic even
+/// when the measured stream straddles a shrink (orphaning resident
+/// blocks and flushing dirty ones) and a grow (remapping onto fresh
+/// banks): outcomes, the report, and every L4 counter reproduce bit for
+/// bit.
+#[test]
+fn l4_reconstruction_is_deterministic_across_resizes() {
+    for (name, kind) in l4_roster() {
+        let run = || {
+            let mut org = kind.build();
+            org.prefill();
+            warm_drive(&mut org, 4_000);
+            org.drain_timing();
+            org.reset_stats();
+            let (mut outcomes, t) = drive(&mut org, 4_000, Cycle::ZERO);
+            resize_l4(&mut org, 2, t);
+            let (more, t) = drive(&mut org, 2_000, t);
+            outcomes.extend(more);
+            resize_l4(&mut org, 6, t);
+            let (more, _) = drive(&mut org, 2_000, t);
+            outcomes.extend(more);
+            let l4 = org.main_memory().expect("DRAM-backed").l4_stats().expect("L4 attached");
+            (outcomes, org.report(), l4)
+        };
+        let (out_a, rep_a, l4_a) = run();
+        let (out_b, rep_b, l4_b) = run();
+        assert_eq!(out_a, out_b, "{name}: outcomes diverged across reconstruction");
+        assert_eq!(rep_a, rep_b, "{name}: reports diverged across reconstruction");
+        assert_eq!(l4_a, l4_b, "{name}: L4 counters diverged across reconstruction");
+        assert_eq!(l4_a.resizes, 2, "{name}: both resizes must be counted");
+        assert!(l4_a.accesses > 0, "{name}: the L4 saw no traffic");
+    }
+}
+
+/// The snapshot contract holds through a live resize: saving after a
+/// shrink (with its eager dirty flush and orphaned survivors) and
+/// restoring into a freshly built twin continues exactly like the
+/// uninterrupted run.
+#[test]
+fn l4_snapshot_round_trip_survives_a_resize() {
+    for (name, kind) in l4_roster() {
+        let mut org = kind.build();
+        org.prefill();
+        warm_drive(&mut org, 4_000);
+        let (_, t) = drive(&mut org, 4_000, Cycle::ZERO);
+        resize_l4(&mut org, 2, t);
+        let (_, resume_at) = drive(&mut org, 2_000, t);
+
+        org.drain_timing();
+        let mut e = Encoder::new();
+        org.save_state(&mut e);
+        let bytes = e.into_bytes();
+
+        let mut twin = kind.build();
+        let mut d = Decoder::new(&bytes);
+        twin.load_state(&mut d)
+            .unwrap_or_else(|err| panic!("{name}: load_state failed: {err:?}"));
+        d.finish()
+            .unwrap_or_else(|err| panic!("{name}: trailing snapshot bytes: {err:?}"));
+
+        org.reset_stats();
+        twin.reset_stats();
+        let (out_orig, _) = drive(&mut org, 4_000, resume_at);
+        let (out_twin, _) = drive(&mut twin, 4_000, resume_at);
+        assert_eq!(out_orig, out_twin, "{name}: restored twin diverged");
+        assert_eq!(org.report(), twin.report(), "{name}: reports diverged after restore");
+        let stats = |o: &Box<dyn Organization>| o.main_memory().unwrap().l4_stats().unwrap();
+        assert_eq!(stats(&org), stats(&twin), "{name}: L4 counters diverged after restore");
+    }
+}
+
+/// An L4-enabled snapshot can never load into the same organization
+/// without the tier, and vice versa: the magic-framed L4 section leaves
+/// trailing bytes one way and truncates the other. This is the safety
+/// net under checkpoint keying when the `--l4` flag flips between runs.
+#[test]
+fn l4_snapshots_do_not_cross_load_with_plain_ones() {
+    for ((plain_name, plain_kind), (l4_name, l4_kind)) in roster().into_iter().zip(l4_roster()) {
+        let snapshot = |kind: &L2Kind| {
+            let mut org = kind.build();
+            org.prefill();
+            warm_drive(&mut org, 2_000);
+            let mut e = Encoder::new();
+            org.save_state(&mut e);
+            e.into_bytes()
+        };
+        let plain_bytes = snapshot(&plain_kind);
+        let l4_bytes = snapshot(&l4_kind);
+
+        let mut org = plain_kind.build();
+        let mut d = Decoder::new(&l4_bytes);
+        let outcome = org.load_state(&mut d).and_then(|()| d.finish());
+        assert!(outcome.is_err(), "{plain_name} silently accepted a {l4_name} snapshot");
+
+        let mut org = l4_kind.build();
+        let mut d = Decoder::new(&plain_bytes);
+        let outcome = org.load_state(&mut d).and_then(|()| d.finish());
+        assert!(outcome.is_err(), "{l4_name} silently accepted a {plain_name} snapshot");
+    }
+}
+
+/// `reset_stats` across a resize zeroes every L4 counter (including the
+/// resize and flush counts) while keeping the resized geometry and the
+/// resident blocks: the post-reset stream is identical whether or not
+/// stats were reset after the shrink.
+#[test]
+fn l4_reset_stats_clears_counters_but_keeps_the_resized_tier() {
+    for (name, kind) in l4_roster() {
+        let mut org = kind.build();
+        org.prefill();
+        let (_, t) = drive(&mut org, 4_000, Cycle::ZERO);
+        resize_l4(&mut org, 2, t);
+        org.reset_stats();
+        let l4 = org.main_memory().unwrap().l4_stats().unwrap();
+        assert_eq!(l4, memsys::dramcache::L4Stats::default(), "{name}: reset left L4 counters");
+        assert_eq!(
+            org.main_memory().unwrap().l4().unwrap().n_banks(),
+            2,
+            "{name}: reset must not undo the resize"
+        );
+
+        // A twin that never resets takes the same transitions.
+        let mut twin = kind.build();
+        twin.prefill();
+        let (_, t2) = drive(&mut twin, 4_000, Cycle::ZERO);
+        assert_eq!(t, t2);
+        resize_l4(&mut twin, 2, t2);
+        let (out_reset, _) = drive(&mut org, 4_000, t);
+        let (out_plain, _) = drive(&mut twin, 4_000, t2);
+        assert_eq!(out_reset, out_plain, "{name}: reset_stats changed behavior");
+    }
+}
+
 /// The reports of distance-structured organizations expose their d-group
 /// geometry; the base hierarchy reports none. This pins the shape the
 /// table renderers rely on.

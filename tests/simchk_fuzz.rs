@@ -247,3 +247,106 @@ fn simchk_typed_truncation_fails_cleanly() {
         );
     });
 }
+
+/// A small populated L4 DRAM-cache tier and its snapshot section bytes:
+/// random warm traffic, then a resize (so retired/live slot framing is
+/// exercised), then `save_state`.
+fn l4_section(ops: &[(u64, bool)], target: u32) -> (memsys::dramcache::L4Config, Vec<u8>) {
+    use memsys::dramcache::{L4Config, L4DramCache};
+    let cfg = L4Config {
+        n_banks: 4,
+        bank_blocks: 64,
+        assoc: 4,
+        vnodes_per_bank: 8,
+        tag_cache_entries: 16,
+        ..L4Config::tdram()
+    };
+    let mut l4 = L4DramCache::new(cfg.clone());
+    let mut dram = memsys::memory::MainMemory::micro2003();
+    for &(b, w) in ops {
+        let block = simbase::BlockAddr::from_index(b);
+        if w {
+            l4.warm_writeback(block);
+        } else {
+            l4.warm_fill(block);
+        }
+    }
+    l4.resize(target, simbase::Cycle::ZERO, &mut dram);
+    let mut e = Encoder::new();
+    l4.save_state(&mut e);
+    (cfg, e.into_bytes())
+}
+
+/// 7. An L4 snapshot section cut at any strict interior point never
+/// loads: whatever the cut removes — header, bank map, a slot's tag or
+/// dirty words, the LRU table — the decoder reports an error instead of
+/// restoring a partial tier.
+#[test]
+fn l4_section_truncation_never_loads() {
+    let gen = (
+        vec_of((range_u64(0, 2_048), simkit::prop::any_bool()), 1, 200),
+        range_u32(1, 7),
+        any_u64(),
+    );
+    fprop("l4_section_truncation_never_loads").check(&gen, |(ops, target, cut_seed)| {
+        let (cfg, bytes) = l4_section(ops, *target);
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let mut fresh = memsys::dramcache::L4DramCache::new(cfg);
+        let err = fresh.load_state(&mut Decoder::new(&bytes[..cut]));
+        assert!(err.is_err(), "cut at {cut}/{} loaded", bytes.len());
+    });
+}
+
+/// 8. Corrupting the L4 section framing never loads: any change to the
+/// magic (bytes 0..8) or the layout version (bytes 8..12) is rejected as
+/// `Malformed` before a single bank byte is interpreted. Payload-byte
+/// corruption is the sealed container checksum's job (property 3); the
+/// framing must hold even for bytes the checksum never sees.
+#[test]
+fn l4_section_header_corruption_never_loads() {
+    let gen = (
+        vec_of((range_u64(0, 2_048), simkit::prop::any_bool()), 1, 100),
+        range_u32(1, 7),
+        range_u64(0, 11),
+        select((1u8..=255).collect::<Vec<_>>()),
+    );
+    fprop("l4_section_header_corruption_never_loads").check(
+        &gen,
+        |(ops, target, victim, flip)| {
+            let (cfg, mut bytes) = l4_section(ops, *target);
+            bytes[*victim as usize] ^= *flip;
+            let mut fresh = memsys::dramcache::L4DramCache::new(cfg);
+            let err = fresh.load_state(&mut Decoder::new(&bytes));
+            assert!(
+                matches!(err, Err(SnapshotError::Malformed(_))),
+                "header byte {victim} flipped by {flip:#x}: got {err:?}"
+            );
+        },
+    );
+}
+
+/// 9. Version skew on `L4_SNAPSHOT_VERSION` is rejected for every other
+/// version value: a section written by a future (or past) layout never
+/// decodes into this one, independent of the payload that follows.
+#[test]
+fn l4_section_version_skew_is_rejected() {
+    let gen = (
+        vec_of((range_u64(0, 2_048), simkit::prop::any_bool()), 1, 100),
+        range_u32(1, 7),
+        range_u32(0, u32::MAX),
+    );
+    fprop("l4_section_version_skew_is_rejected").check(&gen, |(ops, target, skewed)| {
+        let (cfg, mut bytes) = l4_section(ops, *target);
+        bytes[8..12].copy_from_slice(&skewed.to_le_bytes());
+        let mut fresh = memsys::dramcache::L4DramCache::new(cfg.clone());
+        let got = fresh.load_state(&mut Decoder::new(&bytes));
+        if *skewed == memsys::dramcache::L4_SNAPSHOT_VERSION {
+            assert!(got.is_ok(), "the genuine version must still load");
+        } else {
+            assert!(
+                matches!(got, Err(SnapshotError::Malformed(_))),
+                "version {skewed} decoded: {got:?}"
+            );
+        }
+    });
+}

@@ -43,6 +43,7 @@ fn a_thousand_overlapping_sweeps_coalesce_onto_one_rendering() {
         tsv: false,
         cores: 0,
         watch: false,
+        l4: false,
     };
 
     // The in-process expectation every served byte must match.
@@ -141,6 +142,7 @@ fn distinct_requests_share_underlying_runs_but_not_reports() {
             tsv: false,
             cores: 0,
             watch: false,
+            l4: false,
         })
         .expect("text sweep");
     let runs_after_text = {
@@ -154,6 +156,7 @@ fn distinct_requests_share_underlying_runs_but_not_reports() {
             tsv: true,
             cores: 0,
             watch: false,
+            l4: false,
         })
         .expect("tsv sweep");
     assert_ne!(text.digest, tsv.digest, "tsv must key a distinct report");
