@@ -183,6 +183,29 @@ fn bench_full_system(b: &mut BenchRunner) {
     throughput(r, cycles_per_iter, "sim-cycles");
 }
 
+fn bench_sampled(b: &mut BenchRunner) {
+    // The sampled estimation path (DESIGN.md §16): functional
+    // fast-forward between short detailed windows, the measured phase
+    // split into 4 interval jobs seeded from encoded snapshots. The
+    // sampler's win comes from executing ~6× fewer detailed
+    // instructions at this regime; what this bench guards is the
+    // machinery's own overhead — the snapshot chain, interval
+    // encode/decode seeding, and the trace-order window stitch — which
+    // must stay small against the detailed windows it saves.
+    use experiments::{run_app_sampled, RunOptions, SampleSpec, Scale};
+    let app = by_name("equake").unwrap();
+    let kind = experiments::L2Kind::NuRapid(NuRapidConfig::micro2003(4));
+    let scale = Scale { warmup: 30_000, measure: 50_000 };
+    let spec = SampleSpec { period: 5_000, warmup: 200, measure: 800 };
+    let mut insts = 0u64;
+    let r = b.bench("hotpath_sampled", WARMUP, ITERS, || {
+        let s = run_app_sampled(app, &kind, scale, spec, 4, 1, RunOptions::default());
+        insts = scale.measure;
+        black_box(s.ipc().mean)
+    });
+    throughput(r, insts, "sampled-insts");
+}
+
 fn bench_cmp_system(b: &mut BenchRunner) {
     // The CMP front-end: two cores interleaving misses into one shared
     // NuRAPID through the per-bank contention model — the `cmp`
@@ -210,6 +233,7 @@ fn main() {
     let mut b = BenchRunner::new("hotpath");
     bench_caches(&mut b);
     bench_full_system(&mut b);
+    bench_sampled(&mut b);
     bench_cmp_system(&mut b);
     b.finish();
 }

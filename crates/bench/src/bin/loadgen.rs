@@ -14,13 +14,14 @@
 //!
 //! ```text
 //! loadgen <addr> [--clients N] [--requests N] [--exp ID] [--quick]
-//!         [--tsv] [--expect FILE] [--quiet]
+//!         [--tsv] [--sample] [--expect FILE] [--quiet]
 //!
 //!   --clients   concurrent connections (default 8)
 //!   --requests  total requests across all clients (default 1000)
 //!   --exp       experiment selector sent on every request (default all)
 //!   --quick     request the daemon's quick scale (default: full)
 //!   --tsv       request TSV rendering
+//!   --sample    request sampled estimates instead of full-detail runs
 //!   --expect    file the report must match byte-for-byte
 //!   --quiet     suppress the progress line per client
 //! ```
@@ -38,6 +39,7 @@ struct Args {
     exp: String,
     quick: bool,
     tsv: bool,
+    sample: bool,
     expect: Option<String>,
     quiet: bool,
 }
@@ -51,6 +53,7 @@ fn parse_args() -> Args {
         exp: "all".to_string(),
         quick: false,
         tsv: false,
+        sample: false,
         expect: None,
         quiet: false,
     };
@@ -77,6 +80,7 @@ fn parse_args() -> Args {
             }
             "--quick" => args.quick = true,
             "--tsv" => args.tsv = true,
+            "--sample" => args.sample = true,
             "--expect" => {
                 i += 1;
                 args.expect =
@@ -116,6 +120,8 @@ fn main() {
         cores: 0,
         watch: false,
         l4: false,
+        sample: args.sample,
+        intervals: 1,
     };
     let expected = args.expect.as_ref().map(|path| {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -236,6 +242,18 @@ fn main() {
     // missing field exits 1 via `counter` (the serving contract includes
     // observability, not just report bytes).
     let events_dropped = counter(&after, "events_dropped");
+    // Same contract for the checkpoint-store counters and the uptime:
+    // all zero on a store-less daemon, but the fields must exist, and
+    // the uptime clock may never run backwards across the barrage.
+    let simchk_hits = counter(&after, "simchk_hits");
+    let simchk_misses = counter(&after, "simchk_misses");
+    let _simchk_pruned = counter(&after, "simchk_pruned");
+    let uptime_before = counter(&before, "uptime_ms");
+    let uptime_after = counter(&after, "uptime_ms");
+    if uptime_after < uptime_before {
+        eprintln!("error: daemon uptime went backwards ({uptime_before} -> {uptime_after} ms)");
+        failed += 1;
+    }
     if computed_delta > 1 {
         eprintln!("error: duplicate digests computed {computed_delta} times (expected <= 1)");
         failed += 1;
@@ -260,7 +278,8 @@ fn main() {
         eprintln!(
             "[loadgen] {total} requests / {} clients in {:.2}s: {:.0} req/s, \
              p50 {:.2} ms, p99 {:.2} ms; computed +{computed_delta}, coalesced +{coalesced_delta}, \
-             events dropped {events_dropped}",
+             events dropped {events_dropped}, simchk {simchk_hits}/{simchk_misses} hits/misses, \
+             up {uptime_after} ms",
             args.clients,
             wall.as_secs_f64(),
             total as f64 / wall.as_secs_f64(),
@@ -285,7 +304,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: loadgen <addr> [--clients N] [--requests N] [--exp ID] [--quick] [--tsv] \
+        "usage: loadgen <addr> [--clients N] [--requests N] [--exp ID] [--quick] [--tsv] [--sample] \
          [--expect FILE] [--quiet]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

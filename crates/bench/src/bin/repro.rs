@@ -2,18 +2,33 @@
 //! scheduling full-system runs on the simsched worker pool.
 //!
 //! ```text
-//! repro [--exp <id>] [--quick] [--tsv] [--cores N] [--l4] [--threads N]
-//!       [--artifacts DIR] [--checkpoints DIR] [--telemetry DIR] [--quiet]
+//! repro [--exp <id>] [--quick | --huge] [--tsv] [--cores N] [--l4]
+//!       [--sample [--intervals K]] [--threads N]
+//!       [--artifacts DIR] [--checkpoints DIR [--simchk-prune BYTES]]
+//!       [--telemetry DIR] [--quiet]
 //!       [--serve ADDR [--port-file FILE]]
 //!       [--connect ADDR [--watch | --drain | --shutdown]]
 //!
 //!   --exp       table2 | table3 | table4 | fig4 | fig5 | fig6 | lru |
 //!               fig7 | fig8 | fig9 | fig10 | fig11 | restrict | orgs |
-//!               cmp | dram | all (default: all; `dram` — the L4
-//!               resize-transient study — is opt-in only, never part of
-//!               `all`)
+//!               cmp | dram | sampling | all (default: all; `dram` — the
+//!               L4 resize-transient study — and `sampling` — the
+//!               sampled-vs-full error/speedup study — are opt-in only,
+//!               never part of `all`)
 //!   --quick     run at the reduced test scale instead of the full
 //!               reproduction scale
+//!   --huge      run at the billion-instruction scale (local only;
+//!               pair it with --sample unless you have hours to spare)
+//!   --sample    estimate every run from periodic detailed windows with
+//!               functional fast-forward between them (SMARTS-style)
+//!               instead of simulating every instruction in detail;
+//!               reports carry the same tables over estimated runs
+//!   --intervals with --sample: split each sampled run into K (1-64)
+//!               checkpoint-seeded intervals executed in parallel on the
+//!               worker pool; output is bit-identical for any K
+//!   --simchk-prune with --checkpoints: evict least-recently-used
+//!               .simchk files beyond BYTES after each publish (also
+//!               $SIMCHK_MAX; default: keep everything)
 //!   --cores     restrict the `cmp` experiment to one core count (1-8;
 //!               default: sweep 2, 4, and 8); other experiments are
 //!               unaffected
@@ -72,13 +87,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut exp = "all".to_string();
     let mut quick = false;
+    let mut huge = false;
     let mut tsv = false;
     let mut cores: Option<u32> = None;
     let mut l4 = false;
+    let mut sample = false;
+    let mut intervals: u64 = 1;
     let mut quiet = false;
     let mut threads = default_threads();
     let mut artifacts = std::env::var("SIMSCHED_DIR").ok();
     let mut checkpoints = std::env::var("SIMCHK_DIR").ok();
+    let mut simchk_budget: Option<u64> =
+        std::env::var("SIMCHK_MAX").ok().and_then(|v| v.parse().ok());
     let mut telemetry_dir = std::env::var("SIMTEL_DIR").ok();
     let mut serve: Option<String> = None;
     let mut port_file: Option<String> = None;
@@ -94,6 +114,27 @@ fn main() {
                 exp = args.get(i).cloned().unwrap_or_else(|| usage("missing experiment id"));
             }
             "--quick" => quick = true,
+            "--huge" => huge = true,
+            "--sample" => sample = true,
+            "--intervals" => {
+                i += 1;
+                let n: u64 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing or bad --intervals value"));
+                if !(1..=64).contains(&n) {
+                    usage("--intervals must be between 1 and 64");
+                }
+                intervals = n;
+            }
+            "--simchk-prune" => {
+                i += 1;
+                let n: u64 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("missing or bad --simchk-prune byte budget"));
+                simchk_budget = Some(n);
+            }
             "--tsv" => tsv = true,
             "--cores" => {
                 i += 1;
@@ -155,17 +196,40 @@ fn main() {
         }
         i += 1;
     }
-    let scale = if quick { Scale::quick() } else { Scale::full() };
+    if quick && huge {
+        usage("--quick and --huge are mutually exclusive");
+    }
+    let scale = if quick {
+        Scale::quick()
+    } else if huge {
+        Scale::huge()
+    } else {
+        Scale::full()
+    };
 
     if serve.is_some() && connect.is_some() {
         usage("--serve and --connect are mutually exclusive");
     }
     if let Some(addr) = serve {
-        serve_main(&addr, port_file.as_deref(), threads, quiet, artifacts, checkpoints, telemetry_dir);
+        serve_main(
+            &addr,
+            port_file.as_deref(),
+            threads,
+            quiet,
+            artifacts,
+            checkpoints,
+            simchk_budget,
+            telemetry_dir,
+        );
         return;
     }
     if let Some(addr) = connect {
-        connect_main(&addr, &exp, quick, tsv, cores, l4, watch, drain, shutdown, quiet);
+        if huge {
+            usage("--huge is local-only; the daemon serves quick and full");
+        }
+        connect_main(
+            &addr, &exp, quick, tsv, cores, l4, sample, intervals, watch, drain, shutdown, quiet,
+        );
         return;
     }
     let cores_list: Vec<u32> = match cores {
@@ -191,6 +255,8 @@ fn main() {
         .with_threads(threads)
         .with_warmup(warmup)
         .with_l4(l4.then(experiments::L4Config::tdram))
+        .with_sample(sample.then(|| experiments::SampleSpec::for_scale(scale)))
+        .with_intervals(intervals)
         .with_observer(console_observer(console.clone(), Arc::clone(&counts), telemetry.clone()));
     if let Some(tel) = &telemetry {
         sweep = sweep.with_telemetry(Arc::clone(tel));
@@ -205,8 +271,10 @@ fn main() {
         };
     }
     if let Some(dir) = &checkpoints {
-        sweep = match sweep.with_checkpoints(dir) {
-            Ok(s) => s,
+        sweep = match experiments::checkpoint::CheckpointStore::open(dir) {
+            Ok(store) => {
+                sweep.with_checkpoint_store(Arc::new(store.with_budget(simchk_budget)))
+            }
             Err(e) => usage(&format!("cannot open checkpoint dir {dir:?}: {e}")),
         };
     }
@@ -247,9 +315,10 @@ fn main() {
     ));
     if let Some(store) = sweep.checkpoints() {
         console.status(&format!(
-            "[simchk] {} hits, {} misses -> {}",
+            "[simchk] {} hits, {} misses, {} pruned -> {}",
             store.hits(),
             store.misses(),
+            store.pruned(),
             store.dir().display()
         ));
     }
@@ -300,6 +369,7 @@ fn run_one(id: &str, sweep: &Sweep, tsv: bool, cores: &[u32]) {
 }
 
 /// `--serve`: run as the resident daemon until a client drains it.
+#[allow(clippy::too_many_arguments)]
 fn serve_main(
     addr: &str,
     port_file: Option<&str>,
@@ -307,6 +377,7 @@ fn serve_main(
     quiet: bool,
     artifacts: Option<String>,
     checkpoints: Option<String>,
+    simchk_budget: Option<u64>,
     telemetry_dir: Option<String>,
 ) {
     let cfg = simserve::ServeConfig {
@@ -314,6 +385,7 @@ fn serve_main(
         quiet,
         artifacts: artifacts.map(Into::into),
         checkpoints: checkpoints.map(Into::into),
+        simchk_budget,
         telemetry: telemetry_dir.map(Into::into),
         ..simserve::ServeConfig::default()
     };
@@ -346,6 +418,8 @@ fn connect_main(
     tsv: bool,
     cores: Option<u32>,
     l4: bool,
+    sample: bool,
+    intervals: u64,
     watch: bool,
     drain: bool,
     shutdown: bool,
@@ -371,6 +445,8 @@ fn connect_main(
             cores: cores.map_or(0, u64::from),
             watch,
             l4,
+            sample,
+            intervals,
         };
         client
             .sweep_watch(&req, |e| {
@@ -408,8 +484,9 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|orgs|cmp|dram|all] \
-         [--quick] [--tsv] [--cores N] [--l4] [--threads N] [--artifacts DIR] [--checkpoints DIR] [--telemetry DIR] [--quiet] \
+        "usage: repro [--exp table2|table3|table4|fig4|fig5|fig6|lru|fig7|fig8|fig9|fig10|fig11|restrict|orgs|cmp|dram|sampling|all] \
+         [--quick|--huge] [--tsv] [--cores N] [--l4] [--sample [--intervals K]] [--threads N] [--artifacts DIR] \
+         [--checkpoints DIR [--simchk-prune BYTES]] [--telemetry DIR] [--quiet] \
          [--serve ADDR [--port-file FILE]] [--connect ADDR [--watch|--drain|--shutdown]]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -440,6 +440,15 @@ impl<L: LowerCache> OooCore<L> {
         }
     }
 
+    /// Functional fast-forward to an **absolute** stream offset: warm-runs
+    /// until `src` has emitted `target` ops. A no-op when the stream is
+    /// already at (or past) the target, so callers can issue it
+    /// unconditionally between sampled windows.
+    pub fn warm_run_to<S: crate::uop::TraceCursor>(&mut self, src: &mut S, target: u64) {
+        let n = target.saturating_sub(src.position());
+        self.warm_run(src, n);
+    }
+
     /// Branch predictor statistics.
     pub fn predictor(&self) -> &HybridPredictor {
         &self.predictor

@@ -133,6 +133,17 @@ impl<F: FnMut() -> MicroOp> TraceSource for F {
     }
 }
 
+/// A trace source that knows its absolute position in the op stream —
+/// the number of ops it has emitted since construction. Offset-addressed
+/// execution (sampled simulation, interval-parallel runs) uses this to
+/// fast-forward a core *to* a stream offset instead of *by* a count, so
+/// a consumer that restored mid-trace state never has to track how many
+/// ops the stream already produced.
+pub trait TraceCursor: TraceSource {
+    /// Ops emitted so far (the index of the next op).
+    fn position(&self) -> u64;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,7 @@
 use crate::cmp::CmpRun;
 use crate::exps::DramRun;
 use crate::runner::{AppRun, TransientWindow};
+use crate::sampling::{SampleSpec, SampledRun, WindowObs};
 use cpu::CoreResult;
 use energy::EnergyTally;
 use memsys::dramcache::L4Stats;
@@ -336,6 +337,172 @@ pub fn decode_dram(j: &Json) -> Option<DramRun> {
     Some(DramRun { run, windows })
 }
 
+fn encode_l4(s: &L4Stats) -> Json {
+    Json::obj(vec![
+        ("accesses", Json::U64(s.accesses)),
+        ("hits", Json::U64(s.hits)),
+        ("misses", Json::U64(s.misses)),
+        ("fills", Json::U64(s.fills)),
+        ("dirty_fills", Json::U64(s.dirty_fills)),
+        ("writebacks", Json::U64(s.writebacks)),
+        ("tag_probes", Json::U64(s.tag_probes)),
+        ("tag_cache_hits", Json::U64(s.tag_cache_hits)),
+        ("resize_writebacks", Json::U64(s.resize_writebacks)),
+        ("resizes", Json::U64(s.resizes)),
+    ])
+}
+
+fn decode_l4(j: &Json) -> Option<L4Stats> {
+    let u = |k: &str| j.field(k)?.as_u64();
+    Some(L4Stats {
+        accesses: u("accesses")?,
+        hits: u("hits")?,
+        misses: u("misses")?,
+        fills: u("fills")?,
+        dirty_fills: u("dirty_fills")?,
+        writebacks: u("writebacks")?,
+        tag_probes: u("tag_probes")?,
+        tag_cache_hits: u("tag_cache_hits")?,
+        resize_writebacks: u("resize_writebacks")?,
+        resizes: u("resizes")?,
+    })
+}
+
+fn encode_energy(e: &EnergyTally) -> Json {
+    Json::obj(vec![
+        ("core", f64_bits(e.core.nj())),
+        ("l1", f64_bits(e.l1.nj())),
+        ("l2", f64_bits(e.l2.nj())),
+        ("memory", f64_bits(e.memory.nj())),
+    ])
+}
+
+fn decode_energy(j: &Json) -> Option<EnergyTally> {
+    let e = |k: &str| -> Option<EnergyNj> {
+        let nj = bits_f64(j.field(k)?)?;
+        (nj.is_finite() && nj >= 0.0).then(|| EnergyNj::new(nj))
+    };
+    Some(EnergyTally {
+        core: e("core")?,
+        l1: e("l1")?,
+        l2: e("l2")?,
+        memory: e("memory")?,
+    })
+}
+
+fn encode_obs(w: &WindowObs) -> Json {
+    let mut pairs = vec![
+        ("index", Json::U64(w.index)),
+        ("start", Json::U64(w.start)),
+        ("core", encode_core(&w.core)),
+        ("l1_accesses", Json::U64(w.l1_accesses)),
+        ("l2_accesses", Json::U64(w.l2_accesses)),
+        ("l2_misses", Json::U64(w.l2_misses)),
+        ("dgroup_accesses", Json::U64(w.dgroup_accesses)),
+        ("swaps", Json::U64(w.swaps)),
+        (
+            "group_hit_bits",
+            Json::Arr(w.group_hits.iter().map(|&h| f64_bits(h)).collect()),
+        ),
+        ("memory_accesses", Json::U64(w.memory_accesses)),
+        ("energy_bits", encode_energy(&w.energy)),
+    ];
+    if let Some(s) = &w.l4 {
+        pairs.push(("l4", encode_l4(s)));
+    }
+    Json::obj(pairs)
+}
+
+fn decode_obs(j: &Json) -> Option<WindowObs> {
+    let u = |k: &str| j.field(k)?.as_u64();
+    Some(WindowObs {
+        index: u("index")?,
+        start: u("start")?,
+        core: decode_core(j.field("core")?)?,
+        l1_accesses: u("l1_accesses")?,
+        l2_accesses: u("l2_accesses")?,
+        l2_misses: u("l2_misses")?,
+        dgroup_accesses: u("dgroup_accesses")?,
+        swaps: u("swaps")?,
+        group_hits: j
+            .field("group_hit_bits")?
+            .as_arr()?
+            .iter()
+            .map(bits_f64)
+            .collect::<Option<Vec<f64>>>()?,
+        memory_accesses: u("memory_accesses")?,
+        l4: match j.field("l4") {
+            Some(l4) => Some(decode_l4(l4)?),
+            None => None,
+        },
+        energy: decode_energy(j.field("energy_bits")?)?,
+    })
+}
+
+/// Encodes a sampled run as a JSON object (the artifact payload). The
+/// `sampled_app` field discriminates the family from the `"app"`,
+/// `"cmp_cores"`, and `"dram_app"` payloads; the estimated [`AppRun`]
+/// nests under `"run"` using the plain codec and the per-window
+/// observations under `"windows"`, so a resumed sampling study
+/// reproduces both the estimate and its confidence intervals
+/// bit-identically.
+pub fn encode_sampled(run: &SampledRun) -> Json {
+    Json::obj(vec![
+        ("sampled_app", Json::Str(run.run.name.to_string())),
+        (
+            "spec",
+            Json::obj(vec![
+                ("period", Json::U64(run.spec.period)),
+                ("warmup", Json::U64(run.spec.warmup)),
+                ("measure", Json::U64(run.spec.measure)),
+            ]),
+        ),
+        ("intervals", Json::U64(run.intervals)),
+        ("total_instructions", Json::U64(run.total_instructions)),
+        ("detailed_instructions", Json::U64(run.detailed_instructions)),
+        ("run", encode(&run.run)),
+        (
+            "windows",
+            Json::Arr(run.windows.iter().map(encode_obs).collect()),
+        ),
+    ])
+}
+
+/// Decodes a sampled run from an artifact payload. Returns `None` if
+/// any field is missing or ill-typed, the window list is empty, or the
+/// discriminator disagrees with the nested run's application (the
+/// caller then re-simulates).
+pub fn decode_sampled(j: &Json) -> Option<SampledRun> {
+    let name = j.field("sampled_app")?.as_str()?;
+    let run = decode(j.field("run")?)?;
+    if run.name != name {
+        return None;
+    }
+    let spec = j.field("spec")?;
+    let su = |k: &str| spec.field(k)?.as_u64();
+    let windows = j
+        .field("windows")?
+        .as_arr()?
+        .iter()
+        .map(decode_obs)
+        .collect::<Option<Vec<WindowObs>>>()?;
+    if windows.is_empty() {
+        return None;
+    }
+    Some(SampledRun {
+        run,
+        spec: SampleSpec {
+            period: su("period")?,
+            warmup: su("warmup")?,
+            measure: su("measure")?,
+        },
+        intervals: j.field("intervals")?.as_u64()?,
+        total_instructions: j.field("total_instructions")?.as_u64()?,
+        detailed_instructions: j.field("detailed_instructions")?.as_u64()?,
+        windows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,6 +576,7 @@ mod tests {
             &simtel::TelemetrySink::disabled(),
             0,
             crate::runner::RunOptions::default(),
+            None,
         )
     }
 
@@ -493,6 +661,81 @@ mod tests {
             decode_dram(&encode_cmp(&cmp_sample())).is_none(),
             "DramRun decoder rejects CmpRun"
         );
+    }
+
+    fn sampled_sample() -> SampledRun {
+        crate::sampling::run_app_sampled(
+            by_name("galgel").unwrap(),
+            &kind_of("nf4"),
+            Scale {
+                warmup: 10_000,
+                measure: 20_000,
+            },
+            SampleSpec {
+                period: 4_000,
+                warmup: 100,
+                measure: 400,
+            },
+            2,
+            1,
+            crate::runner::RunOptions::default(),
+        )
+    }
+
+    #[test]
+    fn sampled_encode_decode_survives_a_disk_roundtrip() {
+        let run = sampled_sample();
+        let line = encode_sampled(&run).render();
+        let parsed = simsched::json::parse(&line).expect("parses");
+        assert_eq!(decode_sampled(&parsed).expect("decodes"), run);
+    }
+
+    #[test]
+    fn sampled_codec_never_cross_decodes() {
+        let s = sampled_sample();
+        let j = encode_sampled(&s);
+        assert!(decode(&j).is_none(), "AppRun decoder rejects SampledRun");
+        assert!(decode_cmp(&j).is_none(), "CMP decoder rejects SampledRun");
+        assert!(decode_dram(&j).is_none(), "DramRun decoder rejects SampledRun");
+        assert!(
+            decode_sampled(&encode(&sample())).is_none(),
+            "SampledRun decoder rejects AppRun"
+        );
+    }
+
+    #[test]
+    fn corrupt_sampled_payloads_decode_to_none() {
+        let run = sampled_sample();
+        // Discriminator disagreeing with the nested run.
+        let mut j = encode_sampled(&run);
+        if let Json::Obj(pairs) = &mut j {
+            pairs[0].1 = Json::Str("wupwise".into());
+        }
+        assert!(decode_sampled(&j).is_none());
+        // Empty window list.
+        let mut j = encode_sampled(&run);
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "windows" {
+                    *v = Json::Arr(vec![]);
+                }
+            }
+        }
+        assert!(decode_sampled(&j).is_none());
+        // A window missing a field.
+        let mut j = encode_sampled(&run);
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "windows" {
+                    if let Json::Arr(ws) = v {
+                        if let Json::Obj(w) = &mut ws[0] {
+                            w.retain(|(k, _)| k != "memory_accesses");
+                        }
+                    }
+                }
+            }
+        }
+        assert!(decode_sampled(&j).is_none());
     }
 
     #[test]

@@ -21,9 +21,10 @@
 use simbase::digest::Digest;
 use simbase::snapshot;
 use simsched::store::RunStore;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Version tag of the checkpoint payload layout. Bump whenever any
 /// `save_state` encoding or the payload ordering changes; old files then
@@ -40,6 +41,31 @@ pub struct CheckpointStore {
     blobs: RunStore<u128, Vec<u8>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    budget: Option<u64>,
+    pruned: AtomicU64,
+    pins: Mutex<HashMap<u128, usize>>,
+}
+
+/// Holds a checkpoint file pinned against [`CheckpointStore::prune_to_budget`]
+/// for as long as the guard lives. [`CheckpointStore::get_or_build`] pins
+/// internally for its own duration; long-running consumers (an interval
+/// chain re-reading its seed blob, a differential harness comparing
+/// files on disk) pin explicitly.
+pub struct PinGuard<'a> {
+    store: &'a CheckpointStore,
+    key: u128,
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        let mut pins = self.store.pins.lock().expect("pin table poisoned");
+        if let Some(n) = pins.get_mut(&self.key) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&self.key);
+            }
+        }
+    }
 }
 
 impl CheckpointStore {
@@ -56,12 +82,43 @@ impl CheckpointStore {
             blobs: RunStore::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            budget: None,
+            pruned: AtomicU64::new(0),
+            pins: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Sets a byte budget for the on-disk store (the `--simchk-prune` /
+    /// `SIMCHK_MAX` knob). After every fresh build the store evicts
+    /// least-recently-used `.simchk` files until the directory fits the
+    /// budget — never touching files a live [`PinGuard`] holds, and
+    /// never the in-process cache (an evicted file is simply rebuilt on
+    /// the next cold request). `None` (the default) never prunes.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Option<u64>) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// The backing directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Pins `digest`'s checkpoint file against pruning for the guard's
+    /// lifetime. Pinning is advisory bookkeeping in this process — it
+    /// does not create the file or keep other processes from touching it.
+    pub fn pin(&self, digest: Digest) -> PinGuard<'_> {
+        *self
+            .pins
+            .lock()
+            .expect("pin table poisoned")
+            .entry(digest.raw())
+            .or_insert(0) += 1;
+        PinGuard {
+            store: self,
+            key: digest.raw(),
+        }
     }
 
     fn path_of(&self, digest: Digest) -> PathBuf {
@@ -79,10 +136,17 @@ impl CheckpointStore {
         build: impl FnOnce() -> Vec<u8>,
     ) -> (Arc<Vec<u8>>, bool) {
         let mut built = false;
+        let _pin = self.pin(digest);
         let blob = self.blobs.get_or_compute(digest.raw(), || {
             let path = self.path_of(digest);
             if let Ok(bytes) = std::fs::read(&path) {
                 if let Ok(payload) = snapshot::open(&bytes, CHECKPOINT_VERSION) {
+                    // Refresh the file's recency so the LRU pruner ranks
+                    // live checkpoints above abandoned ones (best-effort;
+                    // a read-only directory just loses recency).
+                    if let Ok(f) = std::fs::File::options().append(true).open(&path) {
+                        let _ = f.set_modified(std::time::SystemTime::now());
+                    }
                     return payload.to_vec();
                 }
             }
@@ -113,10 +177,65 @@ impl CheckpointStore {
         });
         if built {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            // A fresh publish is the only event that grows the directory,
+            // so it is the only prune trigger needed to hold the budget.
+            self.prune_to_budget();
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         (blob, !built)
+    }
+
+    /// Evicts least-recently-used `.simchk` files until the directory
+    /// fits the configured budget, skipping files currently pinned (by a
+    /// live [`PinGuard`] or an in-flight [`CheckpointStore::get_or_build`]).
+    /// Returns the bytes removed; a no-op without a budget. Eviction
+    /// order is mtime then file name, so concurrent pruners converge on
+    /// the same survivors.
+    pub fn prune_to_budget(&self) -> u64 {
+        let Some(budget) = self.budget else { return 0 };
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return 0 };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let path = e.path();
+                if path.extension().is_none_or(|x| x != CHECKPOINT_EXT) {
+                    return None;
+                }
+                let meta = e.metadata().ok()?;
+                Some((meta.modified().ok()?, path, meta.len()))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        if total <= budget {
+            return 0;
+        }
+        files.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        let pinned: Vec<u128> = {
+            let pins = self.pins.lock().expect("pin table poisoned");
+            pins.keys().copied().collect()
+        };
+        let is_pinned = |path: &Path| {
+            path.file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|hex| u128::from_str_radix(hex, 16).ok())
+                .is_some_and(|raw| pinned.contains(&raw))
+        };
+        let mut freed = 0;
+        for (_, path, len) in files {
+            if total <= budget {
+                break;
+            }
+            if is_pinned(&path) {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total -= len;
+                freed += len;
+                self.pruned.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        freed
     }
 
     /// Requests served without building (from memory or disk).
@@ -127,6 +246,11 @@ impl CheckpointStore {
     /// Requests that had to run warm-up and build the checkpoint.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint files evicted by [`CheckpointStore::prune_to_budget`].
+    pub fn pruned(&self) -> u64 {
+        self.pruned.load(Ordering::Relaxed)
     }
 }
 
@@ -225,6 +349,84 @@ mod tests {
             // winner's identical file — so no .tmp may survive.)
             assert!(leftovers.is_empty(), "round {round}: leftover temp files {leftovers:?}");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Backdates a checkpoint file so LRU order is deterministic without
+    /// sleeping across mtime granularity.
+    fn set_age(store: &CheckpointStore, d: Digest, seconds_ago: u64) {
+        let f = std::fs::File::options()
+            .append(true)
+            .open(store.path_of(d))
+            .expect("checkpoint file exists");
+        let t = std::time::SystemTime::now() - std::time::Duration::from_secs(seconds_ago);
+        f.set_modified(t).expect("set mtime");
+    }
+
+    #[test]
+    fn pruning_evicts_lru_files_beyond_the_budget() {
+        let dir = temp_dir("prune");
+        // Each sealed file is 64 bytes payload + the 36-byte envelope.
+        let plain = CheckpointStore::open(&dir).expect("open");
+        for tag in 0..3u64 {
+            plain.get_or_build(digest(10 + tag), || vec![tag as u8; 64]);
+            set_age(&plain, digest(10 + tag), 300 - tag * 100);
+        }
+        // An unbudgeted store never prunes.
+        assert_eq!(plain.prune_to_budget(), 0);
+
+        // 300 bytes over a 250-byte budget: exactly the oldest file goes.
+        let store = CheckpointStore::open(&dir).expect("reopen").with_budget(Some(250));
+        let freed = store.prune_to_budget();
+        assert_eq!(freed, 100, "one file frees exactly its sealed size");
+        assert_eq!(store.pruned(), 1);
+        let exists = |tag: u64| store.path_of(digest(10 + tag)).exists();
+        assert!(!exists(0), "oldest file must be evicted first");
+        assert!(exists(1) && exists(2), "files within budget must survive");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pruning_never_evicts_a_pinned_checkpoint() {
+        let dir = temp_dir("prune-pin");
+        let store = CheckpointStore::open(&dir).expect("open").with_budget(Some(220));
+        let held = digest(20);
+        store.get_or_build(held, || vec![1; 64]);
+        set_age(&store, held, 1_000); // oldest: first in LRU eviction order
+        let guard = store.pin(held);
+
+        // Publishing two more files (300 bytes total) forces pruning on
+        // each publish; the pinned LRU file must be skipped every time.
+        store.get_or_build(digest(21), || vec![2; 64]);
+        store.get_or_build(digest(22), || vec![3; 64]);
+        store.prune_to_budget();
+        assert!(
+            store.path_of(held).exists(),
+            "a pinned (in-flight) checkpoint must never be pruned"
+        );
+        assert!(store.pruned() > 0, "unpinned files were eligible");
+
+        // Once the run lets go, the file is ordinary LRU prey again: the
+        // next publish that busts the budget evicts it.
+        drop(guard);
+        set_age(&store, held, 1_000);
+        store.get_or_build(digest(23), || vec![4; 64]);
+        assert!(!store.path_of(held).exists(), "unpinned LRU file must go");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_hits_refresh_recency() {
+        let dir = temp_dir("prune-touch");
+        let a = CheckpointStore::open(&dir).expect("open");
+        a.get_or_build(digest(30), || vec![7; 64]);
+        set_age(&a, digest(30), 5_000);
+        let before = std::fs::metadata(a.path_of(digest(30))).unwrap().modified().unwrap();
+        // A fresh store's disk hit must touch the file forward.
+        let b = CheckpointStore::open(&dir).expect("reopen");
+        b.get_or_build(digest(30), || panic!("must hit from disk"));
+        let after = std::fs::metadata(b.path_of(digest(30))).unwrap().modified().unwrap();
+        assert!(after > before, "hit must refresh mtime for LRU ranking");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

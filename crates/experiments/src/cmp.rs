@@ -16,6 +16,7 @@ use crate::report::{f2, pct, rel, TextTable};
 use crate::runner::{
     digest_kind_architectural, digest_profile, L2Kind, RunOptions, Scale, TRACE_SEED,
 };
+use crate::sampling::SampleSpec;
 use ::cmp::{CmpConfig, CmpResult, CmpSystem};
 use simbase::digest::{Digest, Hasher128};
 use simbase::snapshot::{Decoder, Encoder};
@@ -143,6 +144,28 @@ pub fn cmp_warmup_digest(
     h.digest()
 }
 
+/// Digest of one **sampled** CMP job: the plain [`cmp_run_digest`]
+/// under a distinct domain tag plus the sampling regime, so a sampled
+/// scenario can never alias its unsampled twin (or a different regime)
+/// in the run store or on disk. Sampled CMP runs are never split into
+/// intervals (the multi-core trace interleaving is resolved inside one
+/// [`CmpSystem`]), so no interval count is folded.
+pub fn cmp_sampled_digest(
+    cfg: &CmpConfig,
+    apps: &[BenchProfile],
+    kind: &L2Kind,
+    scale: Scale,
+    spec: SampleSpec,
+) -> Digest {
+    let mut h = Hasher128::new();
+    h.write_str("nurapid-cmp-sampled-v1");
+    let raw = cmp_run_digest(cfg, apps, kind, scale).raw();
+    h.write_u64((raw >> 64) as u64);
+    h.write_u64(raw as u64);
+    spec.digest_into(&mut h);
+    h.digest()
+}
+
 /// Runs one CMP scenario. The instruction budget is split evenly across
 /// cores (`scale.warmup / cores` warm-up and `scale.measure / cores`
 /// measured ops per core), so a CMP run costs about as much as a
@@ -150,6 +173,16 @@ pub fn cmp_warmup_digest(
 /// state goes through an encoded blob on both the build and the reuse
 /// path, mirroring the single-core runner's cold/warm structural
 /// identity.
+///
+/// With `sample`, the measured phase alternates short detailed windows
+/// with functional fast-forward, exactly like the single-core sampled
+/// runner — the regime is scaled to the per-core budget (period, window
+/// warm-up, and window measure all divide by the core count), the
+/// per-window pipeline warm-up runs detailed and stays in the counters
+/// (the CMP result has no per-window delta seam to subtract it through;
+/// ratio metrics are unaffected beyond the sampling error the regime
+/// already carries), and the checkpoint digest is unchanged — sampled
+/// and unsampled CMP runs share warm-up checkpoints.
 pub fn run_cmp_opts(
     key: &'static str,
     cores: u32,
@@ -158,6 +191,7 @@ pub fn run_cmp_opts(
     sink: &TelemetrySink,
     snap_every: u64,
     opts: RunOptions<'_>,
+    sample: Option<SampleSpec>,
 ) -> CmpRun {
     let cfg = CmpConfig::micro2003(cores);
     let apps = cmp_profiles(cores);
@@ -194,7 +228,31 @@ pub fn run_cmp_opts(
     sys.drain_barrier(sink, snap_every);
 
     let t_measure = Instant::now();
-    sys.run(per_core_measure);
+    match sample {
+        None => sys.run(per_core_measure),
+        Some(spec) => {
+            // The per-core regime: every knob divides by the core count
+            // (floored to 1), mirroring the per-core budget split.
+            let pc = SampleSpec {
+                period: (spec.period / u64::from(cores)).max(1),
+                warmup: (spec.warmup / u64::from(cores)).max(1),
+                measure: (spec.measure / u64::from(cores)).max(1),
+            };
+            let detailed = pc.detailed_per_window().min(pc.period);
+            let windows = (per_core_measure / pc.period).max(1);
+            let mut done = 0;
+            for w in 0..windows {
+                sys.run(detailed);
+                if let Some(t) = opts.wall {
+                    t.wall_mark("sample-window", &format!("{label}/w{w}"));
+                }
+                sys.warm_run(pc.period - detailed);
+                done += pc.period;
+            }
+            // The budget's tail (a partial period) runs functionally.
+            sys.warm_run(per_core_measure.saturating_sub(done));
+        }
+    }
     if let Some(w) = opts.wall {
         w.wall_span("measure", &label, t_measure.elapsed().as_nanos() as u64);
     }
@@ -400,8 +458,8 @@ mod tests {
     fn cmp_runs_are_deterministic_and_contend_at_eight_cores() {
         let kind = kind_of("nf4");
         let sink = TelemetrySink::disabled();
-        let a = run_cmp_opts("nf4", 8, &kind, tiny(), &sink, 0, RunOptions::default());
-        let b = run_cmp_opts("nf4", 8, &kind, tiny(), &sink, 0, RunOptions::default());
+        let a = run_cmp_opts("nf4", 8, &kind, tiny(), &sink, 0, RunOptions::default(), None);
+        let b = run_cmp_opts("nf4", 8, &kind, tiny(), &sink, 0, RunOptions::default(), None);
         assert_eq!(a, b);
         assert!(a.result.bank_conflicts > 0, "8 cores must show bank conflicts");
         assert!(a.bank_stalls_per_ki() > 0.0);
@@ -409,10 +467,54 @@ mod tests {
     }
 
     #[test]
+    fn sampled_cmp_runs_are_deterministic_and_cheaper() {
+        let kind = kind_of("nf4");
+        let sink = TelemetrySink::disabled();
+        let spec = SampleSpec {
+            period: 8_000,
+            warmup: 400,
+            measure: 1_600,
+        };
+        let a = run_cmp_opts("nf4", 4, &kind, tiny(), &sink, 0, RunOptions::default(), Some(spec));
+        let b = run_cmp_opts("nf4", 4, &kind, tiny(), &sink, 0, RunOptions::default(), Some(spec));
+        assert_eq!(a, b, "sampled CMP runs must be deterministic");
+        let full = run_cmp_opts("nf4", 4, &kind, tiny(), &sink, 0, RunOptions::default(), None);
+        let detailed: u64 = a.result.per_core.iter().map(|c| c.instructions).sum();
+        let full_ops: u64 = full.result.per_core.iter().map(|c| c.instructions).sum();
+        assert!(
+            detailed * 3 < full_ops,
+            "sampling must cut detailed ops: {detailed} vs {full_ops}"
+        );
+        assert_ne!(a, full);
+    }
+
+    #[test]
+    fn sampled_cmp_digest_separates_regimes() {
+        let kind = kind_of("nf4");
+        let cfg = CmpConfig::micro2003(4);
+        let apps = cmp_profiles(4);
+        let spec = SampleSpec {
+            period: 8_000,
+            warmup: 400,
+            measure: 1_600,
+        };
+        let base = cmp_sampled_digest(&cfg, &apps, &kind, tiny(), spec);
+        assert_eq!(base, cmp_sampled_digest(&cfg, &apps, &kind, tiny(), spec), "stable");
+        assert_ne!(
+            base,
+            cmp_run_digest(&cfg, &apps, &kind, tiny()),
+            "sampled and unsampled CMP digests must never alias"
+        );
+        let mut other = spec;
+        other.measure += 1;
+        assert_ne!(base, cmp_sampled_digest(&cfg, &apps, &kind, tiny(), other));
+    }
+
+    #[test]
     fn checkpointed_cmp_runs_are_bit_identical_cold_and_warm() {
         let kind = kind_of("nf4");
         let sink = TelemetrySink::disabled();
-        let direct = run_cmp_opts("nf4", 4, &kind, tiny(), &sink, 0, RunOptions::default());
+        let direct = run_cmp_opts("nf4", 4, &kind, tiny(), &sink, 0, RunOptions::default(), None);
 
         let dir = std::env::temp_dir()
             .join(format!("simchk-cmp-exp-{}", std::process::id()));
@@ -422,14 +524,14 @@ mod tests {
             checkpoints: Some(&store),
             ..Default::default()
         };
-        let cold = run_cmp_opts("nf4", 4, &kind, tiny(), &sink, 0, opts);
-        let warm = run_cmp_opts("nf4", 4, &kind, tiny(), &sink, 0, opts);
+        let cold = run_cmp_opts("nf4", 4, &kind, tiny(), &sink, 0, opts, None);
+        let warm = run_cmp_opts("nf4", 4, &kind, tiny(), &sink, 0, opts, None);
         assert_eq!((store.misses(), store.hits()), (1, 1));
         assert_eq!(direct, cold, "cold store changed the CMP result");
         assert_eq!(cold, warm, "warm store changed the CMP result");
 
         // The ideal twin reuses the nf4 checkpoint (timing-only knob).
-        let _id = run_cmp_opts("id4", 4, &kind_of("id4"), tiny(), &sink, 0, opts);
+        let _id = run_cmp_opts("id4", 4, &kind_of("id4"), tiny(), &sink, 0, opts, None);
         assert_eq!((store.misses(), store.hits()), (1, 2));
         let _ = std::fs::remove_dir_all(&dir);
     }

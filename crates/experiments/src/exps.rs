@@ -14,6 +14,7 @@ use crate::runner::{
     run_app_opts, run_app_transient, run_digest, AppRun, L2Kind, RunOptions, Scale,
     TransientWindow, WarmupMode,
 };
+use crate::sampling::{self, SampleSpec, SampledRun};
 use cachemodel::catalog::{self, DnucaGeometry, NuRapidGeometry};
 use memsys::dramcache::L4Config;
 use nuca::{CnucaConfig, SearchPolicy};
@@ -53,7 +54,10 @@ pub struct Sweep {
     store: RunStore<u128, AppRun>,
     cmp_store: RunStore<u128, CmpRun>,
     dram_store: RunStore<u128, DramRun>,
+    sampled_store: RunStore<u128, SampledRun>,
     l4: Option<L4Config>,
+    sample: Option<SampleSpec>,
+    intervals: u64,
     artifacts: Option<ArtifactStore>,
     checkpoints: Option<Arc<CheckpointStore>>,
     warmup: WarmupMode,
@@ -79,7 +83,10 @@ impl Sweep {
             store: RunStore::new(),
             cmp_store: RunStore::new(),
             dram_store: RunStore::new(),
+            sampled_store: RunStore::new(),
             l4: None,
+            sample: None,
+            intervals: 1,
             artifacts: None,
             checkpoints: None,
             warmup: WarmupMode::default(),
@@ -120,9 +127,53 @@ impl Sweep {
         Ok(self)
     }
 
+    /// Attaches an **existing** checkpoint store (shared with other
+    /// sweeps — e.g. every per-request sweep of the serving daemon
+    /// shares one store so its hit/miss counters are daemon-wide).
+    #[must_use]
+    pub fn with_checkpoint_store(mut self, store: Arc<CheckpointStore>) -> Self {
+        self.checkpoints = Some(store);
+        self
+    }
+
     /// The attached checkpoint store, if any (for hit/miss reporting).
     pub fn checkpoints(&self) -> Option<&CheckpointStore> {
         self.checkpoints.as_deref()
+    }
+
+    /// Switches every keyed run to **sampled** execution (the `--sample`
+    /// knob, DESIGN.md §16): [`Sweep::run`] estimates each
+    /// [`AppRun`] through [`sampling::run_app_sampled`] and
+    /// [`Sweep::run_cmp`] alternates detailed windows with functional
+    /// fast-forward. Sampled runs digest under their own domain tags, so
+    /// they can never alias full runs in the stores or on disk; with
+    /// `None` (the default) every byte of every report is identical to a
+    /// build without this method.
+    #[must_use]
+    pub fn with_sample(mut self, sample: Option<SampleSpec>) -> Self {
+        self.sample = sample;
+        self
+    }
+
+    /// Sets the interval count sampled single-app runs are split into
+    /// (the `--intervals` knob; default 1). The count is part of the
+    /// sampled digest — results are bit-identical for any *thread* count
+    /// at a fixed interval count, while different interval counts are
+    /// different (equally valid) estimators keyed apart.
+    #[must_use]
+    pub fn with_intervals(mut self, intervals: u64) -> Self {
+        self.intervals = intervals.max(1);
+        self
+    }
+
+    /// The sampling regime keyed runs execute under, if any.
+    pub fn sample(&self) -> Option<SampleSpec> {
+        self.sample
+    }
+
+    /// The interval count for sampled single-app runs.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
     }
 
     /// Attaches an L4 DRAM-cache tier (the `--l4` knob, DESIGN.md §15):
@@ -203,7 +254,22 @@ impl Sweep {
     /// Runs `app` on an explicit organization. `label` is only for
     /// progress display — the store is keyed by the digest of `kind`, so
     /// two different configurations sharing a label cannot collide.
+    /// Under [`Sweep::with_sample`] the run is a sampled estimate.
     pub fn run_kind(&self, app: BenchProfile, label: &str, kind: &L2Kind) -> Arc<AppRun> {
+        match self.sample {
+            Some(spec) => self.run_kind_sampled(app, label, kind, spec),
+            None => self.run_kind_full(app, label, kind),
+        }
+    }
+
+    /// Runs `app` on the configuration named `key` with full detail,
+    /// regardless of [`Sweep::with_sample`] — the baseline leg of the
+    /// sampling error study.
+    pub fn run_full(&self, app: BenchProfile, key: &'static str) -> Arc<AppRun> {
+        self.run_kind_full(app, key, &self.wrap_l4(kind_of(key)))
+    }
+
+    fn run_kind_full(&self, app: BenchProfile, label: &str, kind: &L2Kind) -> Arc<AppRun> {
         let digest = run_digest(&app, kind, self.scale);
         let event_label = format!("{label}/{}", app.name);
         self.emit(&event_label, EventKind::Started);
@@ -271,6 +337,83 @@ impl Sweep {
         run
     }
 
+    /// The sampled twin of [`Sweep::run_kind_full`]: same single-flight
+    /// store, same artifact resume (the estimated [`AppRun`] reuses the
+    /// plain `"app"` codec under the sampled digest), same telemetry
+    /// recording — but the simulation is
+    /// [`sampling::run_app_sampled`] with the sweep's interval count,
+    /// fanning the intervals out on the sweep's worker-thread budget.
+    fn run_kind_sampled(
+        &self,
+        app: BenchProfile,
+        label: &str,
+        kind: &L2Kind,
+        spec: SampleSpec,
+    ) -> Arc<AppRun> {
+        let digest = sampling::sampled_digest(&app, kind, self.scale, spec, self.intervals);
+        let event_label = format!("{label}/{}", app.name);
+        self.emit(&event_label, EventKind::Started);
+        let t0 = Instant::now();
+
+        let mut outcome = None;
+        let run = self.store.get_or_compute(digest.raw(), || {
+            if let Some(store) = &self.artifacts {
+                if let Some(run) = store.lookup(&digest.hex()).as_ref().and_then(artifact::decode)
+                {
+                    self.resumed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(tel) = &self.telemetry {
+                        tel.record_run(
+                            &event_label,
+                            &digest.hex(),
+                            run_fields(&run),
+                            &TelemetrySink::disabled(),
+                        );
+                    }
+                    outcome = Some(Outcome::Resumed);
+                    return run;
+                }
+            }
+            let opts = RunOptions {
+                mode: self.warmup,
+                checkpoints: self.checkpoints.as_deref(),
+                wall: self.telemetry.as_deref(),
+            };
+            let sampled = sampling::run_app_sampled(
+                app,
+                kind,
+                self.scale,
+                spec,
+                self.intervals,
+                self.threads,
+                opts,
+            );
+            let run = sampled.run;
+            if let Some(tel) = &self.telemetry {
+                tel.record_run(
+                    &event_label,
+                    &digest.hex(),
+                    run_fields(&run),
+                    &TelemetrySink::disabled(),
+                );
+            }
+            self.simulated.fetch_add(1, Ordering::Relaxed);
+            if let Some(store) = &self.artifacts {
+                let _ = store.append(&digest.hex(), artifact::encode(&run));
+            }
+            outcome = Some(Outcome::Simulated);
+            run
+        });
+
+        self.emit(
+            &event_label,
+            EventKind::Finished {
+                outcome: outcome.unwrap_or(Outcome::Shared),
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            },
+        );
+        run
+    }
+
     /// Runs (or returns the stored run of) the CMP scenario with `cores`
     /// cores sharing the configuration named `key` (see [`crate::cmp`]).
     /// CMP runs live in their own digest-keyed single-flight store with
@@ -281,7 +424,12 @@ impl Sweep {
         let kind = self.wrap_l4(kind_of(key));
         let cfg = ::cmp::CmpConfig::micro2003(cores);
         let apps = crate::cmp::cmp_profiles(cores);
-        let digest = crate::cmp::cmp_run_digest(&cfg, &apps, &kind, self.scale);
+        let digest = match self.sample {
+            Some(spec) => {
+                crate::cmp::cmp_sampled_digest(&cfg, &apps, &kind, self.scale, spec)
+            }
+            None => crate::cmp::cmp_run_digest(&cfg, &apps, &kind, self.scale),
+        };
         let event_label = format!("cmp{cores}x/{key}");
         self.emit(&event_label, EventKind::Started);
         let t0 = Instant::now();
@@ -321,6 +469,7 @@ impl Sweep {
                         &sink,
                         tel.snap_cycles(),
                         opts,
+                        self.sample,
                     );
                     tel.record_run(&event_label, &digest.hex(), cmp_run_fields(&run), &sink);
                     run
@@ -333,6 +482,7 @@ impl Sweep {
                     &TelemetrySink::disabled(),
                     0,
                     opts,
+                    self.sample,
                 ),
             };
             self.simulated.fetch_add(1, Ordering::Relaxed);
@@ -427,6 +577,69 @@ impl Sweep {
         pool::run_jobs(self.threads, jobs);
     }
 
+    /// Runs (or returns the stored run of) `app` on the configuration
+    /// named `key` under an **explicit** sampling regime, keeping the
+    /// full per-window observation list — the sampled leg of the error
+    /// study, which needs the windows for confidence intervals. Lives in
+    /// its own digest-keyed single-flight store (under a study-specific
+    /// domain tag, so its `"sampled_app"` artifacts can never collide
+    /// with the plain estimates of [`Sweep::with_sample`] runs) with the
+    /// same artifact-resume behavior as every other family.
+    pub fn run_sampled(
+        &self,
+        app: BenchProfile,
+        key: &'static str,
+        spec: SampleSpec,
+    ) -> Arc<SampledRun> {
+        let kind = self.wrap_l4(kind_of(key));
+        let digest = sampled_study_digest(&app, &kind, self.scale, spec, self.intervals);
+        let event_label = format!("sampled-{key}/{}", app.name);
+        self.emit(&event_label, EventKind::Started);
+        let t0 = Instant::now();
+
+        let mut outcome = None;
+        let run = self.sampled_store.get_or_compute(digest.raw(), || {
+            if let Some(store) = &self.artifacts {
+                if let Some(run) =
+                    store.lookup(&digest.hex()).as_ref().and_then(artifact::decode_sampled)
+                {
+                    self.resumed.fetch_add(1, Ordering::Relaxed);
+                    outcome = Some(Outcome::Resumed);
+                    return run;
+                }
+            }
+            let opts = RunOptions {
+                mode: self.warmup,
+                checkpoints: self.checkpoints.as_deref(),
+                wall: self.telemetry.as_deref(),
+            };
+            let run = sampling::run_app_sampled(
+                app,
+                &kind,
+                self.scale,
+                spec,
+                self.intervals,
+                self.threads,
+                opts,
+            );
+            self.simulated.fetch_add(1, Ordering::Relaxed);
+            if let Some(store) = &self.artifacts {
+                let _ = store.append(&digest.hex(), artifact::encode_sampled(&run));
+            }
+            outcome = Some(Outcome::Simulated);
+            run
+        });
+
+        self.emit(
+            &event_label,
+            EventKind::Finished {
+                outcome: outcome.unwrap_or(Outcome::Shared),
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            },
+        );
+        run
+    }
+
     /// Executes the given (application, configuration-key) jobs on the
     /// sweep's worker pool, populating the run store. Figure functions
     /// called afterwards hit the warm store. Duplicate pairs — and pairs
@@ -455,7 +668,10 @@ impl Sweep {
     /// Number of distinct completed runs across all stores (single-core,
     /// CMP, and DRAM transient; simulated plus resumed from artifacts).
     pub fn runs(&self) -> usize {
-        self.store.completed() + self.cmp_store.completed() + self.dram_store.completed()
+        self.store.completed()
+            + self.cmp_store.completed()
+            + self.dram_store.completed()
+            + self.sampled_store.completed()
     }
 
     /// Number of runs actually simulated by this sweep.
@@ -1589,6 +1805,212 @@ impl DramStudy {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Sampled-simulation error-vs-speedup study (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+/// The organizations the `sampling` study validates the sampler on: the
+/// set-associative baseline and the flagship distance-associative
+/// NuRAPID — the paper's headline comparison, which the sampled runs
+/// must reproduce within tolerance.
+pub const SAMPLING_KEYS: [&str; 2] = ["sa4", "nf4"];
+
+/// Detail divisors the study sweeps: a divisor of N times roughly 1/N of
+/// each sampling period in detail, i.e. an ~N× reduction in detailed
+/// (timed) instructions versus full simulation.
+pub const SAMPLING_DIVISORS: [u64; 4] = [5, 10, 20, 40];
+
+/// The sampling regime for one study point: 20 windows across the
+/// measured phase, each timing `period / divisor` observed ops after a
+/// quarter-sized pipeline warm-up.
+pub fn sampling_spec(scale: Scale, divisor: u64) -> SampleSpec {
+    let period = (scale.measure / 20).max(1_000);
+    let measure = (period / divisor).max(100);
+    SampleSpec {
+        period,
+        warmup: (measure / 4).clamp(20, 2_000),
+        measure,
+    }
+}
+
+/// Digest keying one study run: the plain sampled digest under a
+/// study-specific domain tag, so full-window `"sampled_app"` artifacts
+/// never share a manifest key with the plain `"app"` estimates that
+/// [`Sweep::with_sample`] runs store under [`sampling::sampled_digest`].
+fn sampled_study_digest(
+    profile: &BenchProfile,
+    kind: &L2Kind,
+    scale: Scale,
+    spec: SampleSpec,
+    intervals: u64,
+) -> Digest {
+    let mut h = Hasher128::new();
+    h.write_str("nurapid-sampling-study-v1");
+    let raw = sampling::sampled_digest(profile, kind, scale, spec, intervals).raw();
+    h.write_u64((raw >> 64) as u64);
+    h.write_u64(raw as u64);
+    h.digest()
+}
+
+/// One point of the error-vs-speedup study: one detail divisor, with
+/// per-organization errors of the sampled estimates against the full
+/// runs and the detailed-instruction reduction that bought them.
+#[derive(Debug, Clone)]
+pub struct SamplingPoint {
+    /// Detail divisor (see [`SAMPLING_DIVISORS`]).
+    pub divisor: u64,
+    /// The regime this point ran under.
+    pub spec: SampleSpec,
+    /// Detailed-instruction reduction versus full simulation.
+    pub speedup: f64,
+    /// Per-key relative error of the sampled geomean IPC (order of
+    /// [`SAMPLING_KEYS`]).
+    pub ipc_err: [f64; 2],
+    /// Per-key relative error of the sampled mean energy/KI.
+    pub energy_err: [f64; 2],
+    /// DA/SA geomean-IPC ratio from the full runs.
+    pub delta_full: f64,
+    /// The same ratio from the sampled estimates.
+    pub delta_sampled: f64,
+    /// Mean relative 95%-CI half-width of the per-app sampled IPC
+    /// (`nf4` leg) — how tight the estimator itself thinks it is.
+    pub mean_rel_ci: f64,
+}
+
+/// The `sampling` experiment: sampled estimates vs full simulation on
+/// the SA/DA pair across [`SAMPLING_DIVISORS`].
+#[derive(Debug, Clone)]
+pub struct SamplingStudy {
+    /// One point per divisor, in [`SAMPLING_DIVISORS`] order.
+    pub points: Vec<SamplingPoint>,
+}
+
+fn energy_per_ki(run: &AppRun) -> f64 {
+    run.energy.total().nj() * 1000.0 / run.core.instructions.max(1) as f64
+}
+
+/// Regenerates the error-vs-speedup study: full-detail baselines for
+/// [`SAMPLING_KEYS`], then sampled estimates at every divisor, all on
+/// the sweep's worker pool. The full baselines always run unsampled
+/// ([`Sweep::run_full`]), so the study is meaningful even on a sweep
+/// built with [`Sweep::with_sample`].
+pub fn sampling(sweep: &Sweep) -> SamplingStudy {
+    let apps = sweep.apps().to_vec();
+    let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+    for &key in &SAMPLING_KEYS {
+        for &app in &apps {
+            sweep.emit(&format!("{key}/{}", app.name), EventKind::Queued);
+            jobs.push(Box::new(move || drop(sweep.run_full(app, key))));
+        }
+    }
+    for &divisor in &SAMPLING_DIVISORS {
+        let spec = sampling_spec(sweep.scale, divisor);
+        for &key in &SAMPLING_KEYS {
+            for &app in &apps {
+                sweep.emit(&format!("sampled-{key}/{}", app.name), EventKind::Queued);
+                jobs.push(Box::new(move || drop(sweep.run_sampled(app, key, spec))));
+            }
+        }
+    }
+    pool::run_jobs(sweep.threads(), jobs);
+
+    let full_ipc: Vec<f64> = SAMPLING_KEYS
+        .iter()
+        .map(|&key| geomean(apps.iter().map(|&a| sweep.run_full(a, key).ipc())))
+        .collect();
+    let full_eki: Vec<f64> = SAMPLING_KEYS
+        .iter()
+        .map(|&key| {
+            apps.iter().map(|&a| energy_per_ki(&sweep.run_full(a, key))).sum::<f64>()
+                / apps.len() as f64
+        })
+        .collect();
+
+    let points = SAMPLING_DIVISORS
+        .iter()
+        .map(|&divisor| {
+            let spec = sampling_spec(sweep.scale, divisor);
+            let runs: Vec<Vec<Arc<SampledRun>>> = SAMPLING_KEYS
+                .iter()
+                .map(|&key| apps.iter().map(|&a| sweep.run_sampled(a, key, spec)).collect())
+                .collect();
+            let ipc: Vec<f64> = runs
+                .iter()
+                .map(|rs| geomean(rs.iter().map(|r| r.run.ipc())))
+                .collect();
+            let eki: Vec<f64> = runs
+                .iter()
+                .map(|rs| {
+                    rs.iter().map(|r| energy_per_ki(&r.run)).sum::<f64>() / rs.len() as f64
+                })
+                .collect();
+            let err = |est: &[f64], full: &[f64], i: usize| (est[i] - full[i]).abs() / full[i];
+            SamplingPoint {
+                divisor,
+                spec,
+                speedup: runs[0][0].speedup(),
+                ipc_err: [err(&ipc, &full_ipc, 0), err(&ipc, &full_ipc, 1)],
+                energy_err: [err(&eki, &full_eki, 0), err(&eki, &full_eki, 1)],
+                delta_full: full_ipc[1] / full_ipc[0],
+                delta_sampled: ipc[1] / ipc[0],
+                mean_rel_ci: runs[1].iter().map(|r| r.ipc().rel_ci()).sum::<f64>()
+                    / runs[1].len() as f64,
+            }
+        })
+        .collect();
+    SamplingStudy { points }
+}
+
+impl SamplingStudy {
+    /// The point whose detailed-cycle reduction is closest to 20× — the
+    /// headline regime the acceptance criteria are stated against.
+    pub fn headline(&self) -> &SamplingPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                (a.speedup - 20.0).abs().partial_cmp(&(b.speedup - 20.0).abs()).unwrap()
+            })
+            .expect("study has points")
+    }
+
+    /// Renders the study.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "1/N detail",
+            "speedup",
+            "sa4 IPC err",
+            "nf4 IPC err",
+            "sa4 nJ/KI err",
+            "nf4 nJ/KI err",
+            "DA/SA full",
+            "DA/SA sampled",
+            "mean 95% CI",
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                format!("1/{}", p.divisor),
+                format!("{:.1}x", p.speedup),
+                pct(p.ipc_err[0]),
+                pct(p.ipc_err[1]),
+                pct(p.energy_err[0]),
+                pct(p.energy_err[1]),
+                rel(p.delta_full),
+                rel(p.delta_sampled),
+                pct(p.mean_rel_ci),
+            ]);
+        }
+        format!(
+            "Sampled vs full simulation: set-associative (sa4) vs \
+             distance-associative (nf4)\n\
+             (20 windows per run; errors are sampled-estimate vs full-run \
+             geomean IPC and mean nJ/KI;\n \
+             the 95% CI column is the estimator's own mean relative \
+             confidence half-width)\n{}",
+            t.render()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1931,6 +2353,110 @@ mod tests {
         assert_eq!((second.simulated(), second.resumed()), (0, 1));
         assert_eq!(*a, *b, "artifact resume must be bit-identical");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn tiny_spec() -> SampleSpec {
+        SampleSpec {
+            period: 5_000,
+            warmup: 200,
+            measure: 800,
+        }
+    }
+
+    #[test]
+    fn sampled_sweeps_are_bit_identical_across_threads_and_stores() {
+        let serial = tiny_sweep().with_sample(Some(tiny_spec())).with_intervals(4);
+        let apps = serial.apps().to_vec();
+        let baseline: Vec<_> = apps.iter().map(|&p| serial.run(p, "nf4")).collect();
+        // A sampled run is an estimate, not the full run.
+        assert_ne!(*baseline[0], *tiny_sweep().run(apps[0], "nf4"));
+
+        for threads in [2, 8] {
+            let s = tiny_sweep()
+                .with_sample(Some(tiny_spec()))
+                .with_intervals(4)
+                .with_threads(threads);
+            s.prefetch_all(&["nf4"]);
+            for (&p, b) in apps.iter().zip(&baseline) {
+                assert_eq!(*s.run(p, "nf4"), **b, "threads={threads}");
+            }
+        }
+        let dir = std::env::temp_dir()
+            .join(format!("simchk-exps-sampled-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for pass in ["cold", "warm"] {
+            let s = tiny_sweep()
+                .with_sample(Some(tiny_spec()))
+                .with_intervals(4)
+                .with_threads(2)
+                .with_checkpoints(&dir)
+                .expect("open checkpoint store");
+            for (&p, b) in apps.iter().zip(&baseline) {
+                assert_eq!(*s.run(p, "nf4"), **b, "{pass} checkpoint store");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampled_sweeps_resume_from_artifacts_without_aliasing_full_runs() {
+        let dir = std::env::temp_dir()
+            .join(format!("simart-exps-sampled-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let app = by_name("galgel").unwrap();
+        // A full run and a sampled run of the same job share the manifest
+        // without colliding (distinct digests).
+        let full = tiny_sweep().with_artifacts(&dir).expect("open artifacts");
+        let f = full.run(app, "nf4");
+        let first = tiny_sweep()
+            .with_sample(Some(tiny_spec()))
+            .with_artifacts(&dir)
+            .expect("open artifacts");
+        let a = first.run(app, "nf4");
+        assert_eq!((first.simulated(), first.resumed()), (1, 0));
+        let second = tiny_sweep()
+            .with_sample(Some(tiny_spec()))
+            .with_artifacts(&dir)
+            .expect("reopen artifacts");
+        let b = second.run(app, "nf4");
+        assert_eq!((second.simulated(), second.resumed()), (0, 1));
+        assert_eq!(*a, *b, "artifact resume must be bit-identical");
+        assert_ne!(*a, *f);
+        // The full run still resumes as itself.
+        let full2 = tiny_sweep().with_artifacts(&dir).expect("reopen artifacts");
+        assert_eq!(*full2.run(app, "nf4"), *f);
+        assert_eq!((full2.simulated(), full2.resumed()), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampling_study_bounds_errors_and_orders_speedups() {
+        let s = tiny_sweep().with_threads(2);
+        let study = sampling(&s);
+        assert_eq!(study.points.len(), SAMPLING_DIVISORS.len());
+        for pair in study.points.windows(2) {
+            assert!(
+                pair[1].speedup > pair[0].speedup,
+                "speedup must grow with the divisor"
+            );
+        }
+        for p in &study.points {
+            assert!(p.speedup >= 2.0);
+            for k in 0..2 {
+                assert!(
+                    p.ipc_err[k] < 0.5 && p.energy_err[k] < 0.5,
+                    "1/{} errors out of range: {:?} {:?}",
+                    p.divisor,
+                    p.ipc_err,
+                    p.energy_err
+                );
+            }
+            // The sampled estimate preserves the direction of the paper's
+            // headline comparison: DA beats SA.
+            assert!(p.delta_full > 1.0 && p.delta_sampled > 1.0);
+        }
+        let r = study.render();
+        assert!(r.contains("DA/SA") && r.contains("1/40"));
     }
 
     #[test]

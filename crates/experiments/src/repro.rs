@@ -62,6 +62,13 @@ pub fn resolve_ids(exp: &str) -> Option<Vec<&'static str>> {
     if exp == "dram" {
         return Some(vec!["dram"]);
     }
+    // `sampling` is opt-in for the same reason: the error-vs-speedup
+    // study runs full-detail baselines alongside its sampled estimates,
+    // so folding it into `all` would double the cost of the pinned
+    // report. `exps::sampling` prefetches its own jobs.
+    if exp == "sampling" {
+        return Some(vec!["sampling"]);
+    }
     EXPERIMENTS.iter().find(|&&(id, _)| id == exp).map(|&(id, _)| vec![id])
 }
 
@@ -136,6 +143,7 @@ pub fn render_experiment(id: &str, sweep: &Sweep) -> Option<String> {
         "orgs" => exps::orgs(sweep).render(),
         "cmp" => crate::cmp::cmp_table(sweep, crate::cmp::CMP_CORES).render(),
         "dram" => exps::dram(sweep).render(),
+        "sampling" => exps::sampling(sweep).render(),
         _ => return None,
     })
 }

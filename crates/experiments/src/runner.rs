@@ -83,6 +83,18 @@ impl Scale {
             measure: 250_000,
         }
     }
+
+    /// The billion-instruction scale (`--huge`). Only practical through
+    /// the sampled runner ([`crate::sampling`]): a full detailed
+    /// simulation of a billion instructions is wall-clock-prohibitive,
+    /// while periodic sampling executes the bulk of it as a functional
+    /// fast-forward and times only the measurement windows.
+    pub fn huge() -> Self {
+        Scale {
+            warmup: 5_000_000,
+            measure: 1_000_000_000,
+        }
+    }
 }
 
 /// How the warm-up phase executes. Both modes build bit-identical

@@ -204,6 +204,19 @@ impl Encoder {
             self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
+
+    /// Writes a length-prefixed *section*: `fill` populates a nested
+    /// encoder, and the nested byte count is framed ahead of its bytes.
+    /// A reader that knows the section's layout sub-decodes it with
+    /// [`Decoder::section`]; one that doesn't can still skip it, which
+    /// is what lets a snapshot owner append optional trailing sections
+    /// without breaking older readers. An empty `fill` writes a valid
+    /// zero-length section (just the 8-byte length prefix).
+    pub fn put_section(&mut self, fill: impl FnOnce(&mut Encoder)) {
+        let mut inner = Encoder::new();
+        fill(&mut inner);
+        self.put_u8_slice(&inner.buf);
+    }
 }
 
 /// Bounds-checked little-endian reader over a snapshot payload.
@@ -299,6 +312,18 @@ impl<'a> Decoder<'a> {
             return Err(SnapshotError::Malformed("length exceeds remaining bytes"));
         }
         (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Reads a section written by [`Encoder::put_section`], returning a
+    /// sub-decoder over exactly the section's bytes. The outer decoder
+    /// advances past the whole section, so calling this and ignoring
+    /// the result *skips* it. A zero-length section yields an empty
+    /// sub-decoder whose [`Decoder::finish`] succeeds immediately; the
+    /// length prefix is bounds-checked like every other length, so a
+    /// corrupt prefix fails here rather than overrunning the payload.
+    pub fn section(&mut self) -> Result<Decoder<'a>, SnapshotError> {
+        let n = self.len()?;
+        Ok(Decoder::new(self.take(n)?))
     }
 }
 
@@ -406,5 +431,69 @@ mod tests {
     fn unconsumed_bytes_fail_finish() {
         let d = Decoder::new(&[1]);
         assert!(matches!(d.finish(), Err(SnapshotError::Malformed(_))));
+    }
+
+    #[test]
+    fn sections_roundtrip_and_isolate() {
+        let mut e = Encoder::new();
+        e.put_section(|s| {
+            s.put_u32(7);
+            s.put_u8_slice(b"inner");
+        });
+        e.put_u64(99); // field after the section must stay aligned
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let mut s = d.section().unwrap();
+        assert_eq!(s.u32().unwrap(), 7);
+        assert_eq!(s.u8_slice().unwrap(), b"inner".to_vec());
+        s.finish().unwrap();
+        assert_eq!(d.u64().unwrap(), 99);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn zero_length_section_is_valid_and_skippable() {
+        let mut e = Encoder::new();
+        e.put_section(|_| {});
+        e.put_section(|s| s.put_u8(0xAB));
+        e.put_u32(5);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let empty = d.section().unwrap();
+        assert_eq!(empty.remaining(), 0);
+        empty.finish().unwrap();
+        // Skipping a section without reading it still advances past it.
+        let _skipped = d.section().unwrap();
+        assert_eq!(d.u32().unwrap(), 5);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn section_underconsumption_fails_the_sub_decoder_only() {
+        let mut e = Encoder::new();
+        e.put_section(|s| s.put_u64(1));
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let s = d.section().unwrap();
+        // The sub-decoder catches the unread field; the outer decoder
+        // already advanced past the whole section regardless.
+        assert!(matches!(s.finish(), Err(SnapshotError::Malformed(_))));
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn corrupt_section_length_is_bounds_checked() {
+        let mut e = Encoder::new();
+        e.put_section(|s| s.put_u8(1));
+        let mut bytes = e.into_bytes();
+        bytes[0] = 0xFF; // claim a section far larger than the payload
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.section(), Err(SnapshotError::Malformed(_))));
+    }
+
+    #[test]
+    fn truncated_section_length_prefix_is_detected() {
+        let mut d = Decoder::new(&[0, 0, 0]);
+        assert_eq!(d.section().err(), Some(SnapshotError::Truncated));
     }
 }

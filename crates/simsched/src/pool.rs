@@ -119,6 +119,31 @@ mod tests {
     }
 
     #[test]
+    fn flattened_chunk_results_stitch_in_job_order() {
+        // The interval-parallel sampling stitch depends on exactly this:
+        // each job returns a chunk of consecutive indices, and
+        // flattening the job-ordered results reproduces the full
+        // sequence for any thread count, even when completion order is
+        // scrambled by uneven chunk run times.
+        let bounds: [(u64, u64); 5] = [(0, 3), (3, 4), (4, 9), (9, 16), (16, 17)];
+        for threads in [1usize, 2, 8] {
+            let jobs: Vec<_> = bounds
+                .iter()
+                .map(|&(lo, hi)| {
+                    move || {
+                        if lo % 2 == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        (lo..hi).collect::<Vec<u64>>()
+                    }
+                })
+                .collect();
+            let out: Vec<u64> = run_jobs(threads, jobs).into_iter().flatten().collect();
+            assert_eq!(out, (0u64..17).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
     fn every_job_runs_exactly_once() {
         let count = AtomicU64::new(0);
         let jobs: Vec<_> = (0..100).map(|_| || count.fetch_add(1, Ordering::SeqCst)).collect();

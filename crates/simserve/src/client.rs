@@ -255,6 +255,8 @@ fn sweep_fields(req: &SweepReq) -> Vec<(&'static str, Json)> {
         ("cores", Json::U64(req.cores)),
         ("watch", Json::Bool(req.watch)),
         ("l4", Json::Bool(req.l4)),
+        ("sample", Json::Bool(req.sample)),
+        ("intervals", Json::U64(req.intervals)),
     ]
 }
 

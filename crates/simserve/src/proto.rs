@@ -131,6 +131,16 @@ pub struct SweepReq {
     /// flag). Part of the report identity: an L4 report never aliases
     /// the plain one.
     pub l4: bool,
+    /// Run every application sweep in sampled mode (the `repro --sample`
+    /// flag): periodic detailed windows with functional fast-forward
+    /// between them. Part of the report identity — a sampled estimate
+    /// never aliases a full-detail report.
+    pub sample: bool,
+    /// Interval-parallel split factor for sampled runs (the `repro
+    /// --intervals` flag): `1..=64`, defaulting to 1 (a single serial
+    /// interval). Always part of the report identity, though it only
+    /// changes how a sampled run is scheduled, never its numbers.
+    pub intervals: u64,
 }
 
 /// A parsed request.
@@ -249,6 +259,18 @@ fn sweep_req(v: &Json) -> Result<SweepReq, Fail> {
             }
         },
     };
+    let intervals = match v.field("intervals") {
+        None => 1,
+        Some(f) => match f.as_u64() {
+            Some(n) if (1..=64).contains(&n) => n,
+            _ => {
+                return Err(Fail::new(
+                    ErrCode::BadRequest,
+                    "\"intervals\" must be an integer between 1 and 64",
+                ))
+            }
+        },
+    };
     Ok(SweepReq {
         exp,
         scale,
@@ -256,6 +278,8 @@ fn sweep_req(v: &Json) -> Result<SweepReq, Fail> {
         cores,
         watch: bool_field(v, "watch")?,
         l4: bool_field(v, "l4")?,
+        sample: bool_field(v, "sample")?,
+        intervals,
     })
 }
 
@@ -354,11 +378,13 @@ mod tests {
                 tsv: false,
                 cores: 0,
                 watch: false,
-                l4: false
+                l4: false,
+                sample: false,
+                intervals: 1
             })
         );
         let (_, req) = parse_ok(
-            r#"{"v":1,"id":3,"op":"sweep","exp":"fig9","scale":"full","tsv":true,"cores":4,"watch":true,"l4":true}"#,
+            r#"{"v":1,"id":3,"op":"sweep","exp":"fig9","scale":"full","tsv":true,"cores":4,"watch":true,"l4":true,"sample":true,"intervals":8}"#,
         );
         assert_eq!(
             req,
@@ -368,7 +394,9 @@ mod tests {
                 tsv: true,
                 cores: 4,
                 watch: true,
-                l4: true
+                l4: true,
+                sample: true,
+                intervals: 8
             })
         );
         let (_, fail) = parse_request(r#"{"v":1,"id":3,"op":"sweep","l4":"yes"}"#)
@@ -386,6 +414,28 @@ mod tests {
             r#"{"v":1,"id":1,"op":"sweep","cores":9}"#,
             r#"{"v":1,"id":1,"op":"sweep","cores":"4"}"#,
             r#"{"v":1,"id":1,"op":"sweep","cores":-1}"#,
+        ] {
+            let (_, fail) = parse_request(bad).expect_err("must fail");
+            assert_eq!(fail.code, ErrCode::BadRequest, "{bad}");
+        }
+    }
+
+    #[test]
+    fn sample_and_intervals_fields_are_validated() {
+        let (_, req) = parse_ok(r#"{"v":1,"id":1,"op":"sweep","sample":true}"#);
+        assert!(matches!(req, Request::Sweep(s) if s.sample && s.intervals == 1));
+        for n in [1u64, 2, 64] {
+            let (_, req) = parse_ok(&format!(
+                r#"{{"v":1,"id":1,"op":"submit","sample":true,"intervals":{n}}}"#
+            ));
+            assert!(matches!(req, Request::Submit(s) if s.intervals == n));
+        }
+        for bad in [
+            r#"{"v":1,"id":1,"op":"sweep","intervals":0}"#,
+            r#"{"v":1,"id":1,"op":"sweep","intervals":65}"#,
+            r#"{"v":1,"id":1,"op":"sweep","intervals":"4"}"#,
+            r#"{"v":1,"id":1,"op":"sweep","intervals":-2}"#,
+            r#"{"v":1,"id":1,"op":"sweep","sample":"yes"}"#,
         ] {
             let (_, fail) = parse_request(bad).expect_err("must fail");
             assert_eq!(fail.code, ErrCode::BadRequest, "{bad}");

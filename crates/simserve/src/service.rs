@@ -22,9 +22,10 @@
 //! unstarted submissions.
 
 use crate::proto::{ErrCode, Fail, ScaleName, SweepReq};
+use experiments::checkpoint::CheckpointStore;
 use experiments::exps::Sweep;
 use experiments::repro::{render_selection, render_selection_cores, resolve_ids};
-use experiments::{L4Config, Scale};
+use experiments::{L4Config, SampleSpec, Scale};
 use simbase::digest::{Digest, Hasher128};
 use simbase::json::Json;
 use simsched::progress::Hub;
@@ -54,6 +55,10 @@ pub struct ServeConfig {
     pub artifacts: Option<PathBuf>,
     /// Warm-up checkpoint directory, as `repro --checkpoints`.
     pub checkpoints: Option<PathBuf>,
+    /// Byte budget for the checkpoint directory, as `repro
+    /// --simchk-prune`: beyond it, least-recently-used `.simchk` files
+    /// are evicted after each fresh publish. `None` keeps everything.
+    pub simchk_budget: Option<u64>,
     /// Telemetry export directory; written when the server stops.
     pub telemetry: Option<PathBuf>,
     /// Threads servicing asynchronous `submit` requests.
@@ -81,6 +86,7 @@ impl Default for ServeConfig {
             full: Scale::full(),
             artifacts: None,
             checkpoints: None,
+            simchk_budget: None,
             telemetry: None,
             submit_workers: 2,
             submit_queue: 256,
@@ -115,6 +121,11 @@ pub struct Service {
     hub: Arc<Hub>,
     telemetry: Option<Arc<Telemetry>>,
     console: Console,
+    // One checkpoint store shared by every sweep (resident and
+    // ephemeral), so `stats` reports daemon-wide hit/miss/prune
+    // counters and the prune budget is enforced once, not per sweep.
+    simchk: Option<Arc<CheckpointStore>>,
+    started: Instant,
     reports: RunStore<u128, String>,
     requests: AtomicU64,
     computed: AtomicU64,
@@ -145,6 +156,12 @@ impl Service {
         if let Some(tel) = &telemetry {
             console = console.with_mirror(Arc::clone(tel));
         }
+        let simchk = match &cfg.checkpoints {
+            Some(dir) => {
+                Some(Arc::new(CheckpointStore::open(dir)?.with_budget(cfg.simchk_budget)))
+            }
+            None => None,
+        };
         let make_sweep = |scale: Scale, l4: Option<L4Config>| -> std::io::Result<Sweep> {
             let mut sweep = Sweep::with_apps(scale, cfg.apps.clone())
                 .with_threads(cfg.threads)
@@ -153,8 +170,8 @@ impl Service {
             if let Some(dir) = &cfg.artifacts {
                 sweep = sweep.with_artifacts(dir)?;
             }
-            if let Some(dir) = &cfg.checkpoints {
-                sweep = sweep.with_checkpoints(dir)?;
+            if let Some(store) = &simchk {
+                sweep = sweep.with_checkpoint_store(Arc::clone(store));
             }
             if let Some(tel) = &telemetry {
                 sweep = sweep.with_telemetry(Arc::clone(tel));
@@ -175,6 +192,8 @@ impl Service {
             hub,
             telemetry,
             console,
+            simchk,
+            started: Instant::now(),
             reports: RunStore::new(),
             requests: AtomicU64::new(0),
             computed: AtomicU64::new(0),
@@ -257,12 +276,13 @@ impl Service {
 
     /// The report digest for a validated request: a structural hash of
     /// the experiment ids (in rendering order), the concrete scale, the
-    /// rendering mode, the `cmp` core restriction, and the L4 flag.
-    /// Duplicate requests from any number of clients map to one digest
-    /// and therefore one rendering; a `--cores 4` report can never
-    /// collide with the default 2/4/8 sweep, nor an `--l4` report with
-    /// the plain one.
-    fn report_digest(ids: &[&str], scale: Scale, tsv: bool, cores: u64, l4: bool) -> Digest {
+    /// rendering mode, the `cmp` core restriction, the L4 flag, and the
+    /// sampling regime (`sample` + `intervals`). Duplicate requests from
+    /// any number of clients map to one digest and therefore one
+    /// rendering; a `--cores 4` report can never collide with the
+    /// default 2/4/8 sweep, nor an `--l4` report with the plain one,
+    /// nor a sampled estimate with a full-detail report.
+    fn report_digest(ids: &[&str], scale: Scale, req: &SweepReq) -> Digest {
         let mut h = Hasher128::new();
         h.write_str("simserve-report-v1");
         h.write_u64(ids.len() as u64);
@@ -271,9 +291,11 @@ impl Service {
         }
         h.write_u64(scale.warmup);
         h.write_u64(scale.measure);
-        h.write_bool(tsv);
-        h.write_u64(cores);
-        h.write_bool(l4);
+        h.write_bool(req.tsv);
+        h.write_u64(req.cores);
+        h.write_bool(req.l4);
+        h.write_bool(req.sample);
+        h.write_u64(req.intervals);
         h.digest()
     }
 
@@ -282,8 +304,36 @@ impl Service {
             Fail::new(ErrCode::BadRequest, format!("unknown experiment {:?}", req.exp))
         })?;
         let (_, scale) = self.sweep_for(req.scale, req.l4);
-        let digest = Service::report_digest(&ids, scale, req.tsv, req.cores, req.l4);
+        let digest = Service::report_digest(&ids, scale, req);
         Ok((ids, digest))
+    }
+
+    /// Builds the per-request sweep for a sampled report: same apps,
+    /// threads, progress hub, telemetry, artifact directory, and
+    /// (crucially) the same shared [`CheckpointStore`] as the resident
+    /// sweeps, plus the scale's default [`SampleSpec`] and the request's
+    /// interval split. Ephemeral because `intervals` is per-request;
+    /// run-level reuse across requests still happens through the shared
+    /// artifact and checkpoint stores, and duplicate requests coalesce
+    /// at the report layer before ever reaching this.
+    fn sampled_sweep(&self, scale: ScaleName, l4: bool, intervals: u64) -> std::io::Result<Sweep> {
+        let (_, concrete) = self.sweep_for(scale, l4);
+        let mut sweep = Sweep::with_apps(concrete, self.cfg.apps.clone())
+            .with_threads(self.cfg.threads)
+            .with_observer(self.hub.observer())
+            .with_l4(l4.then(L4Config::tdram))
+            .with_sample(Some(SampleSpec::for_scale(concrete)))
+            .with_intervals(intervals);
+        if let Some(dir) = &self.cfg.artifacts {
+            sweep = sweep.with_artifacts(dir)?;
+        }
+        if let Some(store) = &self.simchk {
+            sweep = sweep.with_checkpoint_store(Arc::clone(store));
+        }
+        if let Some(tel) = &self.telemetry {
+            sweep = sweep.with_telemetry(Arc::clone(tel));
+        }
+        Ok(sweep)
     }
 
     /// Validates a sweep request without running it: returns the digest
@@ -312,7 +362,14 @@ impl Service {
     /// admitted before the drain began must finish.
     fn compute(&self, req: &SweepReq) -> Result<SweepDone, Fail> {
         let (ids, digest) = self.resolve(req)?;
-        let (sweep, _) = self.sweep_for(req.scale, req.l4);
+        let sampled = match req.sample {
+            true => Some(self.sampled_sweep(req.scale, req.l4, req.intervals).map_err(|e| {
+                Fail::new(ErrCode::BadRequest, format!("cannot open run stores: {e}"))
+            })?),
+            false => None,
+        };
+        let (resident, _) = self.sweep_for(req.scale, req.l4);
+        let sweep = sampled.as_ref().unwrap_or(resident);
         self.requests.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
         let mut fresh = false;
@@ -433,8 +490,21 @@ impl Service {
             ("inflight", Json::U64(*self.inflight.lock().expect("service poisoned"))),
             ("watchers", Json::U64(self.hub.subscribers() as u64)),
             ("events_dropped", Json::U64(self.events_dropped.load(Ordering::Relaxed))),
+            // Checkpoint-store traffic across every sweep sharing the
+            // daemon's store; all zero when no --checkpoints directory
+            // is configured.
+            ("simchk_hits", Json::U64(self.simchk.as_ref().map_or(0, |s| s.hits()))),
+            ("simchk_misses", Json::U64(self.simchk.as_ref().map_or(0, |s| s.misses()))),
+            ("simchk_pruned", Json::U64(self.simchk.as_ref().map_or(0, |s| s.pruned()))),
+            ("uptime_ms", Json::U64(self.started.elapsed().as_millis() as u64)),
             ("draining", Json::Bool(self.draining())),
         ]
+    }
+
+    /// The daemon-wide checkpoint store, when a checkpoint directory is
+    /// configured. Every resident and per-request sweep shares it.
+    pub fn checkpoint_store(&self) -> Option<&Arc<CheckpointStore>> {
+        self.simchk.as_ref()
     }
 
     /// Folds one connection's dropped-progress-event count into the
@@ -561,6 +631,8 @@ mod tests {
             cores: 0,
             watch: false,
             l4: false,
+            sample: false,
+            intervals: 1,
         }
     }
 
@@ -603,7 +675,11 @@ mod tests {
         let d4 = svc.digest_of(&SweepReq { tsv: true, ..table_req() }).expect("digest");
         let d5 = svc.digest_of(&SweepReq { cores: 4, ..table_req() }).expect("digest");
         let d6 = svc.digest_of(&SweepReq { l4: true, ..table_req() }).expect("digest");
-        let all = [d1, d2, d3, d4, d5, d6];
+        let d7 = svc.digest_of(&SweepReq { sample: true, ..table_req() }).expect("digest");
+        let d8 = svc
+            .digest_of(&SweepReq { sample: true, intervals: 4, ..table_req() })
+            .expect("digest");
+        let all = [d1, d2, d3, d4, d5, d6, d7, d8];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_ne!(a, b);
@@ -620,6 +696,49 @@ mod tests {
         let d2 = svc.digest_of(&SweepReq { l4: false, ..dram }).expect("digest");
         assert_ne!(d1, d2, "the l4 flag is part of the report identity");
         svc.close();
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("simserve-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn sampled_sweeps_compute_through_the_shared_checkpoint_store() {
+        let dir = temp_dir("sampled");
+        let cfg = ServeConfig { checkpoints: Some(dir.clone()), ..tiny_config() };
+        let svc = Service::new(cfg).expect("service");
+        let sampled = SweepReq { exp: "fig4".into(), sample: true, intervals: 2, ..table_req() };
+        let full = SweepReq { exp: "fig4".into(), ..table_req() };
+        let a = svc.sweep(&sampled).expect("sampled sweep");
+        let b = svc.sweep(&full).expect("full sweep");
+        assert_ne!(a.digest, b.digest, "sampled reports never alias full ones");
+        assert_ne!(*a.report, *b.report, "a sampled estimate is not the full table");
+        // The per-request sampled sweep used the daemon's store: its
+        // warm-up/interval snapshots show up in the daemon-wide stats.
+        let field = |name: &str| {
+            svc.stats_fields()
+                .iter()
+                .find(|(k, _)| *k == name)
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap_or_else(|| panic!("stats field {name}"))
+        };
+        assert!(field("simchk_misses") > 0, "sampled runs publish checkpoints");
+        // The full sweep shares the same scale, apps, and warm-up
+        // digests, so at least its warm-up checkpoints come back as
+        // store hits rather than recomputations.
+        assert!(field("simchk_hits") > 0, "the resident sweep reuses them");
+        let _ = field("simchk_pruned");
+        let _ = field("uptime_ms");
+        // Identical sampled requests coalesce onto the one rendering.
+        let c = svc.sweep(&sampled).expect("repeat sampled sweep");
+        assert!(!c.fresh);
+        assert_eq!(c.digest, a.digest);
+        svc.close();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

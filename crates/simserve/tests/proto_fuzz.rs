@@ -159,6 +159,8 @@ fn builder_parser_round_trip() {
             cores: u64::from(*id % 9 == 0) * 4,
             watch: *watch,
             l4: *id % 3 == 0,
+            sample: *id % 5 == 0,
+            intervals: *id % 64 + 1,
         };
         let frame = proto::request_frame(
             *id,
@@ -170,6 +172,8 @@ fn builder_parser_round_trip() {
                 ("cores", Json::U64(req.cores)),
                 ("watch", Json::Bool(req.watch)),
                 ("l4", Json::Bool(req.l4)),
+                ("sample", Json::Bool(req.sample)),
+                ("intervals", Json::U64(req.intervals)),
             ],
         );
         let (got_id, got) = proto::parse_request(&frame).expect("round trip");

@@ -60,7 +60,16 @@ impl Drop for Daemon {
 }
 
 fn table_req() -> SweepReq {
-    SweepReq { exp: "table2".into(), scale: ScaleName::Quick, tsv: false, cores: 0, watch: false, l4: false }
+    SweepReq {
+        exp: "table2".into(),
+        scale: ScaleName::Quick,
+        tsv: false,
+        cores: 0,
+        watch: false,
+        l4: false,
+        sample: false,
+        intervals: 1,
+    }
 }
 
 #[test]
@@ -125,7 +134,7 @@ fn watch_streams_progress_events() {
     let daemon = Daemon::start(tiny_config());
     let mut client = Client::connect(&daemon.addr).expect("connect");
     let req =
-        SweepReq { exp: "fig4".into(), scale: ScaleName::Quick, tsv: false, cores: 0, watch: true, l4: false };
+        SweepReq { exp: "fig4".into(), watch: true, ..table_req() };
     let mut events = Vec::new();
     let out = client
         .sweep_watch(&req, |e| {

@@ -181,6 +181,22 @@ impl Telemetry {
         self.wall.lock().unwrap().len()
     }
 
+    /// Number of wall-clock events recorded in category `cat` — the
+    /// per-track view of the wall channel. Sampled runs use it to count
+    /// their `"sample-window"` marks and `"simchk"` hit/miss marks.
+    pub fn wall_events_in(&self, cat: &str) -> usize {
+        self.wall.lock().unwrap().iter().filter(|e| e.cat == cat).count()
+    }
+
+    /// Total duration (µs) of wall spans recorded in category `cat`.
+    /// This is the sampling-overhead track: comparing
+    /// `"sample-prefix"` (functional fast-forward and snapshot seeding)
+    /// against `"sample-measure"` (the detailed windows) shows where a
+    /// sampled run's wall time actually went.
+    pub fn wall_time_in(&self, cat: &str) -> u64 {
+        self.wall.lock().unwrap().iter().filter(|e| e.cat == cat).map(|e| e.dur_us).sum()
+    }
+
     /// Display labels in export order, disambiguated exactly as the
     /// exporters disambiguate them.
     fn display_labels(runs: &BTreeMap<(String, String), RunRecord>) -> Vec<String> {
@@ -482,5 +498,24 @@ mod tests {
             assert!(simbase::json::parse(&src).is_ok(), "{f} parses");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wall_category_views_partition_the_channel() {
+        let t = Telemetry::with_params(64, 0);
+        t.wall_span("sample-prefix", "nf4/galgel", 3_000_000);
+        t.wall_span("sample-measure", "nf4/galgel", 1_000_000);
+        t.wall_span("sample-measure", "nf4/galgel", 2_000_000);
+        t.wall_mark("sample-window", "nf4/galgel/w0");
+        t.wall_mark("sample-window", "nf4/galgel/w1");
+        assert_eq!(t.wall_events(), 5);
+        assert_eq!(t.wall_events_in("sample-prefix"), 1);
+        assert_eq!(t.wall_events_in("sample-measure"), 2);
+        assert_eq!(t.wall_events_in("sample-window"), 2);
+        assert_eq!(t.wall_events_in("absent"), 0);
+        assert_eq!(t.wall_time_in("sample-prefix"), 3_000);
+        assert_eq!(t.wall_time_in("sample-measure"), 3_000);
+        // Marks are instantaneous: a track of marks has zero duration.
+        assert_eq!(t.wall_time_in("sample-window"), 0);
     }
 }

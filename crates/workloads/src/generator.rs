@@ -263,6 +263,17 @@ fn fxhash(s: &str) -> u64 {
         })
 }
 
+impl cpu::uop::TraceCursor for TraceGenerator {
+    /// The stream is offset-addressable through its op counter: a
+    /// generator restored from [`TraceGenerator::load_state`] reports the
+    /// position the snapshot was taken at, so sampled and
+    /// interval-parallel runs can fast-forward to absolute trace offsets
+    /// without replaying (or even knowing) the prefix.
+    fn position(&self) -> u64 {
+        self.i
+    }
+}
+
 impl TraceSource for TraceGenerator {
     fn next_op(&mut self) -> MicroOp {
         self.i += 1;
@@ -480,6 +491,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn position_survives_state_roundtrip() {
+        use cpu::uop::TraceCursor;
+        let p = by_name("galgel").unwrap();
+        let mut g = TraceGenerator::new(p, 17);
+        assert_eq!(g.position(), 0);
+        for _ in 0..12_345 {
+            let _ = g.next_op();
+        }
+        assert_eq!(g.position(), 12_345);
+
+        let mut e = simbase::snapshot::Encoder::new();
+        g.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let mut restored = TraceGenerator::new(p, 17);
+        let mut d = simbase::snapshot::Decoder::new(&bytes);
+        restored.load_state(&mut d).expect("load");
+        // A restored stream knows the absolute offset its snapshot was
+        // taken at — the contract offset-addressed (sampled) runs rely on.
+        assert_eq!(restored.position(), 12_345);
+        let _ = restored.next_op();
+        assert_eq!(restored.position(), 12_346);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! pins for the single-core sweep.
 
 use experiments::exps::Sweep;
-use experiments::{CmpRun, Scale};
+use experiments::{CmpRun, SampleSpec, Scale};
 use std::path::PathBuf;
 
 fn tiny() -> Scale {
@@ -91,6 +91,49 @@ fn cmp_checkpoints_are_bit_identical_cold_and_warm() {
     // warm-up from disk instead of re-simulating it.
     let warm = sweep(tiny()).with_checkpoints(&scratch.0).expect("checkpoint dir");
     assert_eq!(runs_of(&warm), want, "warm checkpoint path diverged from direct");
+}
+
+#[test]
+fn sampled_cmp_runs_are_bit_identical_across_threads_and_stores() {
+    // The `repro --cores 4 --sample` regime: 4-core CMP scenarios
+    // estimated from periodic detailed windows. The determinism contract
+    // is identical to the full-detail one — bit-identical CmpRuns across
+    // 1, 2, and 8 simsched worker threads and across cold and warm
+    // checkpoint stores.
+    let spec = SampleSpec { period: 8_000, warmup: 400, measure: 1_600 };
+    let jobs: [(u32, &'static str); 2] = [(4, "nf4"), (4, "base")];
+    let sampled = |threads: usize| {
+        sweep(tiny()).with_threads(threads).with_sample(Some(spec))
+    };
+    let runs = |s: &Sweep| -> Vec<CmpRun> {
+        jobs.iter().map(|&(cores, key)| (*s.run_cmp(cores, key)).clone()).collect()
+    };
+
+    let serial = sampled(1);
+    serial.prefetch_cmp(&jobs);
+    let want = runs(&serial);
+    for threads in [2usize, 8] {
+        let s = sampled(threads);
+        s.prefetch_cmp(&jobs);
+        assert_eq!(runs(&s), want, "{threads}-thread sampled CmpRuns differ from serial");
+    }
+
+    // Cold then warm checkpoint store, same directory.
+    let scratch = Scratch::new("sampled-chk");
+    let cold = sampled(2).with_checkpoints(&scratch.0).expect("checkpoint dir");
+    assert_eq!(runs(&cold), want, "cold-store sampled CmpRuns diverged");
+    drop(cold);
+    let warm = sampled(8).with_checkpoints(&scratch.0).expect("checkpoint dir");
+    assert_eq!(runs(&warm), want, "warm-store sampled CmpRuns diverged");
+
+    // And the sampled estimate is a genuinely different regime from the
+    // full-detail run, not an alias of it.
+    let full = sweep(tiny());
+    assert_ne!(
+        (*full.run_cmp(4, "nf4")).clone(),
+        want[0],
+        "sampled run must not alias the full-detail run"
+    );
 }
 
 #[test]

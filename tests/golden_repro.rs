@@ -23,6 +23,7 @@ use experiments::{exps::Sweep, Scale};
 
 const GOLDEN: &str = include_str!("golden/repro_quick.txt");
 const GOLDEN_DRAM: &str = include_str!("golden/dram_quick.txt");
+const GOLDEN_SAMPLING: &str = include_str!("golden/sampling_quick.txt");
 
 /// Runs the full quick-scale sweep in-process and compares the rendered
 /// report against the committed golden snapshot, byte for byte.
@@ -67,6 +68,37 @@ fn quick_report_matches_golden_snapshot() {
 /// overflows the 2-MB L2, and recovery by the final window — if a
 /// change flattens those transients, the diff in this golden is where
 /// it shows.
+/// The `sampling` error-vs-speedup study against its snapshot — also
+/// opt-in (`--exp sampling`, never part of `all`). Regenerate with:
+///
+/// ```text
+/// cargo run --release -p bench --bin repro -- --quick --exp sampling \
+///     > tests/golden/sampling_quick.txt
+/// ```
+///
+/// Beyond byte-stability this pins the sampler's *accuracy contract* at
+/// quick scale: every 1/N-detail row must keep the sampled DA/SA ratio
+/// equal to the full-run ratio to three decimals while the speedup
+/// column climbs past 30×, and the IPC error must stay in single-digit
+/// percent even at 1/40 detail. The report is bit-identical for any
+/// thread count and any interval split (the interval stitch is
+/// trace-ordered by construction — DESIGN.md §16), so a diff here means
+/// the estimator, not the schedule, moved.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full sweep is slow unoptimized; run under --release")]
+fn sampling_study_report_matches_golden_snapshot() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let sweep = Sweep::new(Scale::quick()).with_threads(threads);
+    let report = render_selection(&["sampling"], &sweep, false);
+    if report != GOLDEN_SAMPLING {
+        for (i, (got, want)) in report.lines().zip(GOLDEN_SAMPLING.lines()).enumerate() {
+            assert_eq!(got, want, "sampling report diverges from golden at line {}", i + 1);
+        }
+        assert_eq!(report.len(), GOLDEN_SAMPLING.len(), "reports share lines but differ in length");
+        unreachable!("reports differ but no diverging line found");
+    }
+}
+
 #[test]
 #[cfg_attr(debug_assertions, ignore = "full sweep is slow unoptimized; run under --release")]
 fn dram_transient_report_matches_golden_snapshot() {

@@ -248,6 +248,75 @@ fn simchk_typed_truncation_fails_cleanly() {
     });
 }
 
+/// 7. Length-prefixed sections round-trip through the container for any
+/// payload size — *including* zero-length and single-byte sections, the
+/// two sizes where an off-by-one in the length framing or the
+/// sub-decoder slice bounds would hide — and a field written after the
+/// section list still decodes, proving every section advanced the outer
+/// decoder by exactly its framed size.
+#[test]
+fn simchk_sections_roundtrip_including_degenerate_sizes() {
+    let gen = (vec_of(vec_of(any_u8(), 0, 16), 0, 12), any_u32(), any_u64());
+    fprop("simchk_sections_roundtrip_including_degenerate_sizes").check(
+        &gen,
+        |(sections, version, sentinel)| {
+            let mut e = Encoder::new();
+            e.put_len(sections.len());
+            for s in sections {
+                e.put_section(|inner| {
+                    for &b in s {
+                        inner.put_u8(b);
+                    }
+                });
+            }
+            e.put_u64(*sentinel);
+            let sealed = seal(*version, &e.into_bytes());
+            let payload = open(&sealed, *version).expect("own seal opens");
+            let mut d = Decoder::new(payload);
+            assert_eq!(d.len().expect("section count"), sections.len());
+            for want in sections {
+                let mut sd = d.section().expect("section opens");
+                assert_eq!(sd.remaining(), want.len(), "section framed a wrong size");
+                for &b in want {
+                    assert_eq!(sd.u8().expect("section byte"), b);
+                }
+                sd.finish().expect("section fully consumed");
+            }
+            assert_eq!(d.u64().expect("post-section field"), *sentinel);
+            d.finish().expect("outer decoder must land on the end");
+        },
+    );
+}
+
+/// 8. Empty and single-byte sections skip cleanly: a reader that calls
+/// `section()` and discards the sub-decoder lands exactly on the next
+/// field, whether the skipped section held zero bytes, one byte, or a
+/// mix — the skip path must not depend on the section's contents.
+#[test]
+fn simchk_degenerate_sections_skip_cleanly() {
+    let gen = (vec_of(range_u64(0, 1), 1, 24), any_u8(), any_u32());
+    fprop("simchk_degenerate_sections_skip_cleanly").check(&gen, |(sizes, fill, version)| {
+        let mut e = Encoder::new();
+        for &n in sizes {
+            e.put_section(|inner| {
+                for _ in 0..n {
+                    inner.put_u8(*fill);
+                }
+            });
+        }
+        e.put_u32(0xC0DE);
+        let sealed = seal(*version, &e.into_bytes());
+        let payload = open(&sealed, *version).expect("own seal opens");
+        let mut d = Decoder::new(payload);
+        for &n in sizes {
+            let skipped = d.section().expect("section skips");
+            assert_eq!(skipped.remaining() as u64, n);
+        }
+        assert_eq!(d.u32().expect("sentinel after sections"), 0xC0DE);
+        d.finish().expect("skip path must consume whole sections");
+    });
+}
+
 /// A small populated L4 DRAM-cache tier and its snapshot section bytes:
 /// random warm traffic, then a resize (so retired/live slot framing is
 /// exercised), then `save_state`.
@@ -277,7 +346,7 @@ fn l4_section(ops: &[(u64, bool)], target: u32) -> (memsys::dramcache::L4Config,
     (cfg, e.into_bytes())
 }
 
-/// 7. An L4 snapshot section cut at any strict interior point never
+/// 9. An L4 snapshot section cut at any strict interior point never
 /// loads: whatever the cut removes — header, bank map, a slot's tag or
 /// dirty words, the LRU table — the decoder reports an error instead of
 /// restoring a partial tier.
@@ -297,7 +366,7 @@ fn l4_section_truncation_never_loads() {
     });
 }
 
-/// 8. Corrupting the L4 section framing never loads: any change to the
+/// 10. Corrupting the L4 section framing never loads: any change to the
 /// magic (bytes 0..8) or the layout version (bytes 8..12) is rejected as
 /// `Malformed` before a single bank byte is interpreted. Payload-byte
 /// corruption is the sealed container checksum's job (property 3); the
@@ -325,7 +394,7 @@ fn l4_section_header_corruption_never_loads() {
     );
 }
 
-/// 9. Version skew on `L4_SNAPSHOT_VERSION` is rejected for every other
+/// 11. Version skew on `L4_SNAPSHOT_VERSION` is rejected for every other
 /// version value: a section written by a future (or past) layout never
 /// decodes into this one, independent of the payload that follows.
 #[test]

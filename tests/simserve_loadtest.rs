@@ -44,6 +44,8 @@ fn a_thousand_overlapping_sweeps_coalesce_onto_one_rendering() {
         cores: 0,
         watch: false,
         l4: false,
+        sample: false,
+        intervals: 1,
     };
 
     // The in-process expectation every served byte must match.
@@ -143,6 +145,8 @@ fn distinct_requests_share_underlying_runs_but_not_reports() {
             cores: 0,
             watch: false,
             l4: false,
+            sample: false,
+            intervals: 1,
         })
         .expect("text sweep");
     let runs_after_text = {
@@ -157,6 +161,8 @@ fn distinct_requests_share_underlying_runs_but_not_reports() {
             cores: 0,
             watch: false,
             l4: false,
+            sample: false,
+            intervals: 1,
         })
         .expect("tsv sweep");
     assert_ne!(text.digest, tsv.digest, "tsv must key a distinct report");

@@ -102,6 +102,29 @@ fn trace_exports_validate_as_chrome_traces() {
 }
 
 #[test]
+fn sampled_sweeps_populate_the_sampling_overhead_track() {
+    let tel = Arc::new(Telemetry::with_params(512, 10_000));
+    let spec = experiments::SampleSpec { period: 5_000, warmup: 200, measure: 800 };
+    let sweep = Sweep::with_apps(tiny(), apps())
+        .with_threads(2)
+        .with_sample(Some(spec))
+        .with_intervals(2)
+        .with_telemetry(Arc::clone(&tel));
+    sweep.prefetch_all(&["nf4"]);
+
+    // Two apps, each sampled: one prefix span and one measure span per
+    // run, plus one mark per detailed window (10 windows at this scale).
+    assert_eq!(tel.wall_events_in("sample-prefix"), 2, "one snapshot-chain span per run");
+    assert_eq!(tel.wall_events_in("sample-measure"), 2, "one window-execution span per run");
+    let windows = (tiny().measure / spec.period) as usize;
+    assert_eq!(tel.wall_events_in("sample-window"), 2 * windows, "one mark per window");
+    // Every sampled run still lands in metrics.json like a full run.
+    assert_eq!(tel.runs(), 2);
+    let wall = validate_chrome_trace(&tel.render_wall()).expect("wall.json valid");
+    assert_eq!(wall.events, tel.wall_events() + 1);
+}
+
+#[test]
 fn resumed_sweeps_still_record_every_run() {
     let dir = std::env::temp_dir().join(format!("simtel-it-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
